@@ -1,0 +1,69 @@
+//! Ablation: the three centralized evaluation strategies of Section 3
+//! (semi-naive, buffered semi-naive, pipelined semi-naive) on the same
+//! workload, plus the cost of incremental updates versus re-running.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ndlog_lang::{programs, Value};
+use ndlog_runtime::{Evaluator, Strategy, Tuple, TupleDelta};
+
+fn load_ring(eval: &mut Evaluator, n: u32) {
+    for i in 0..n {
+        let j = (i + 1) % n;
+        for (a, b) in [(i, j), (j, i)] {
+            eval.insert_fact(
+                "link",
+                Tuple::new(vec![Value::addr(a), Value::addr(b), Value::Float(1.0)]),
+            );
+        }
+    }
+}
+
+fn run(strategy: Strategy, n: u32) -> usize {
+    let program = programs::shortest_path("");
+    let mut eval = Evaluator::new(&program).unwrap();
+    load_ring(&mut eval, n);
+    eval.run(strategy).unwrap();
+    eval.results("shortestPath").len()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_evaluation_strategies");
+    group.sample_size(10);
+    for (name, strategy) in [
+        ("semi_naive", Strategy::SemiNaive),
+        ("buffered_batch4", Strategy::Buffered { batch: 4 }),
+        ("pipelined", Strategy::Pipelined),
+    ] {
+        group.bench_function(format!("{name}_ring16"), |b| {
+            b.iter(|| {
+                let results = run(strategy, 16);
+                assert_eq!(results, 16 * 15);
+                results
+            })
+        });
+    }
+    group.bench_function("incremental_update_vs_rerun_ring16", |b| {
+        b.iter(|| {
+            let program = programs::shortest_path("");
+            let mut eval = Evaluator::new(&program).unwrap();
+            load_ring(&mut eval, 16);
+            eval.run(Strategy::Pipelined).unwrap();
+            // One link update handled incrementally.
+            eval.update(TupleDelta::delete(
+                "link",
+                Tuple::new(vec![Value::addr(0u32), Value::addr(1u32), Value::Float(1.0)]),
+            ))
+            .unwrap();
+            eval.update(TupleDelta::insert(
+                "link",
+                Tuple::new(vec![Value::addr(0u32), Value::addr(1u32), Value::Float(2.0)]),
+            ))
+            .unwrap();
+            eval.results("shortestPath").len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Figure 7/8 bench: the four metric shortest-path queries with aggregate
+//! selections on the small testbed (the paper-scale run is produced by the
+//! `experiments` binary).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ndlog_bench::experiments::aggregate_selections;
+use ndlog_bench::Scale;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig07_aggregate_selections");
+    group.sample_size(10);
+    group.bench_function("four_metric_queries_small", |b| {
+        b.iter(|| {
+            let result = aggregate_selections(Scale::Small);
+            assert_eq!(result.runs.len(), 4);
+            result
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Figure 9/10 bench: periodic aggregate selections vs the eager variant.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ndlog_bench::experiments::{aggregate_selections, periodic_aggregate_selections};
+use ndlog_bench::Scale;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig09_periodic_aggregate_selections");
+    group.sample_size(10);
+    group.bench_function("eager_small", |b| {
+        b.iter(|| aggregate_selections(Scale::Small))
+    });
+    group.bench_function("periodic_small", |b| {
+        b.iter(|| periodic_aggregate_selections(Scale::Small))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

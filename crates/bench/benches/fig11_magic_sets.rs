@@ -1,0 +1,17 @@
+//! Figure 11 bench: magic sets + predicate reordering + result caching.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ndlog_bench::experiments::magic_sets;
+use ndlog_bench::Scale;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_magic_sets");
+    group.sample_size(10);
+    group.bench_function("eight_queries_small", |b| {
+        b.iter(|| magic_sets(Scale::Small, 8, &[4, 8]))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

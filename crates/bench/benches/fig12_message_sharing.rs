@@ -1,0 +1,22 @@
+//! Figure 12 bench: opportunistic message sharing across three concurrent
+//! metric queries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ndlog_bench::experiments::message_sharing;
+use ndlog_bench::Scale;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_message_sharing");
+    group.sample_size(10);
+    group.bench_function("share_vs_no_share_small", |b| {
+        b.iter(|| {
+            let result = message_sharing(Scale::Small);
+            assert!(result.share_mb <= result.no_share_mb);
+            result
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

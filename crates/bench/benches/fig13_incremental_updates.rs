@@ -1,0 +1,20 @@
+//! Figure 13/14 bench: incremental evaluation under bursty link updates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ndlog_bench::experiments::incremental_updates_with_intervals;
+use ndlog_bench::Scale;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13_incremental_updates");
+    group.sample_size(10);
+    group.bench_function("bursts_every_5s_small", |b| {
+        b.iter(|| incremental_updates_with_intervals(Scale::Small, &[5.0], 30.0))
+    });
+    group.bench_function("interleaved_2s_8s_small", |b| {
+        b.iter(|| incremental_updates_with_intervals(Scale::Small, &[2.0, 8.0], 30.0))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

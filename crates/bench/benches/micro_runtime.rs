@@ -1,0 +1,91 @@
+//! Micro-benchmarks of the runtime primitives: relation insertion with
+//! primary keys, strand firing (join + project) and incremental aggregate
+//! maintenance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ndlog_lang::seminaive::delta_rewrite_full;
+use ndlog_lang::{parse_program, Value};
+use ndlog_runtime::{AggregateView, CompiledStrand, Store, Tuple, TupleDelta};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_runtime");
+
+    group.bench_function("store_insert_1000_keyed", |b| {
+        b.iter(|| {
+            let mut store = Store::new();
+            for i in 0..1000u32 {
+                store.apply(&TupleDelta::insert(
+                    "r",
+                    Tuple::new(vec![Value::addr(i % 50), Value::Int(i as i64)]),
+                ));
+            }
+            store.total_tuples()
+        })
+    });
+
+    let program = parse_program(
+        "sp2 path(@S,@D,@Z,P,C) :- #link(@S,@Z,C1), path(@Z,@D,@Z2,P2,C2), \
+         f_member(P2, S) == 0, C := C1 + C2, P := f_cons(S, P2).",
+    )
+    .unwrap();
+    let strands: Vec<CompiledStrand> = delta_rewrite_full(&program)
+        .into_iter()
+        .map(CompiledStrand::new)
+        .collect();
+    let link_strand = strands
+        .iter()
+        .find(|s| s.trigger_relation() == "link")
+        .unwrap();
+    let mut store = Store::new();
+    for d in 2..102u32 {
+        store.apply(&TupleDelta::insert(
+            "path",
+            Tuple::new(vec![
+                Value::addr(1u32),
+                Value::addr(d),
+                Value::addr(d),
+                Value::list(vec![Value::addr(1u32), Value::addr(d)]),
+                Value::Float(1.0),
+            ]),
+        ));
+    }
+    let trigger = TupleDelta::insert(
+        "link",
+        Tuple::new(vec![Value::addr(0u32), Value::addr(1u32), Value::Float(1.0)]),
+    );
+    group.bench_function("strand_fire_join_100_paths", |b| {
+        b.iter(|| {
+            let out = link_strand.fire(&store, &trigger, u64::MAX).unwrap();
+            assert_eq!(out.len(), 100);
+            out.len()
+        })
+    });
+
+    let agg_program = parse_program("sp3 spCost(@S,@D,min<C>) :- path(@S,@D,@Z,P,C).").unwrap();
+    group.bench_function("aggregate_view_1000_updates", |b| {
+        b.iter(|| {
+            let mut view = AggregateView::from_rule(&agg_program.rules[0]).unwrap();
+            let store = Store::new();
+            let mut changes = 0usize;
+            for i in 0..1000u32 {
+                let delta = TupleDelta::insert(
+                    "path",
+                    Tuple::new(vec![
+                        Value::addr(0u32),
+                        Value::addr(i % 20),
+                        Value::addr(1u32),
+                        Value::nil(),
+                        Value::Float(f64::from(1000 - i)),
+                    ]),
+                );
+                changes += view.apply(&store, &delta).len();
+            }
+            changes
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,184 @@
+//! Experiment testbed: topology, overlay and engine setup shared by all
+//! experiments.
+//!
+//! The paper's setup (Section 6.1): 100 Emulab nodes on a GT-ITM
+//! transit-stub topology (4 transit nodes, 3 stubs per transit, 8 nodes per
+//! stub; 50/10/2 ms latencies; 10 Mbps links); each overlay node picks four
+//! random neighbors; each overlay link carries latency, reliability and
+//! random metrics.
+
+use ndlog_core::{plan, DistributedEngine, EngineConfig, QueryPlan};
+use ndlog_lang::{programs, Value};
+use ndlog_net::gtitm::{generate, TransitStubConfig};
+use ndlog_net::overlay::{Overlay, OverlayConfig, OverlayLink};
+use ndlog_net::topology::Metric;
+use ndlog_net::NodeAddr;
+use ndlog_runtime::{EvalError, Tuple};
+
+/// Experiment scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// The paper's 100-node setup.
+    Paper,
+    /// A 14-node setup for tests and Criterion benches.
+    Small,
+}
+
+impl Scale {
+    /// The transit-stub generator configuration for this scale.
+    pub fn transit_stub(self) -> TransitStubConfig {
+        match self {
+            Scale::Paper => TransitStubConfig::paper(),
+            Scale::Small => TransitStubConfig::small(),
+        }
+    }
+
+    /// Parse from a command-line string.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "paper" | "full" | "100" => Some(Scale::Paper),
+            "small" | "test" => Some(Scale::Small),
+            _ => None,
+        }
+    }
+}
+
+/// A constructed testbed: the underlay, the overlay and its link set.
+#[derive(Debug, Clone)]
+pub struct Testbed {
+    /// Which scale was used.
+    pub scale: Scale,
+    /// The overlay (each node picked four random neighbors).
+    pub overlay: Overlay,
+    /// The directed overlay links with their metrics.
+    pub links: Vec<OverlayLink>,
+}
+
+impl Testbed {
+    /// Build the testbed for a scale (deterministic given the scale).
+    pub fn new(scale: Scale) -> Testbed {
+        let ts = generate(&scale.transit_stub());
+        let overlay = Overlay::random_neighbors(&ts.topology, &OverlayConfig::default());
+        let links = overlay.links();
+        Testbed {
+            scale,
+            overlay,
+            links,
+        }
+    }
+
+    /// Number of overlay nodes.
+    pub fn node_count(&self) -> usize {
+        self.overlay.node_count()
+    }
+
+    /// The canonical relation suffix used for a metric's query instance.
+    pub fn metric_suffix(metric: Metric) -> &'static str {
+        match metric {
+            Metric::HopCount => "hops",
+            Metric::Latency => "latency",
+            Metric::Reliability => "reliability",
+            Metric::Random => "random",
+        }
+    }
+
+    /// The shortest-path plan for a metric (relations suffixed per metric).
+    pub fn shortest_path_plan(metric: Metric) -> QueryPlan {
+        plan(&programs::shortest_path(Self::metric_suffix(metric)))
+            .expect("canonical program plans")
+    }
+
+    /// The source-routing (magic, top-down) plan used by the Figure 11
+    /// experiment (unsuffixed relations).
+    pub fn source_routing_plan() -> QueryPlan {
+        plan(&programs::shortest_path_source_routing("")).expect("canonical program plans")
+    }
+
+    /// Build a distributed engine over this testbed's overlay graph.
+    pub fn engine(&self, plans: &[QueryPlan], config: EngineConfig) -> DistributedEngine {
+        DistributedEngine::new(self.overlay.graph.clone(), plans, config)
+            .expect("engine construction")
+    }
+
+    /// A link base tuple `link(@src, @dst, cost)`.
+    pub fn link_tuple(src: NodeAddr, dst: NodeAddr, cost: f64) -> Tuple {
+        Tuple::new(vec![Value::Addr(src), Value::Addr(dst), Value::Float(cost)])
+    }
+
+    /// Load every overlay link into `relation` with the given metric as the
+    /// cost column, at the link's source node.
+    pub fn load_links(
+        &self,
+        engine: &mut DistributedEngine,
+        relation: &str,
+        metric: Metric,
+    ) -> Result<(), EvalError> {
+        for link in &self.links {
+            engine.insert_base(
+                link.src,
+                relation,
+                Self::link_tuple(link.src, link.dst, link.cost(metric)),
+            )?;
+        }
+        Ok(())
+    }
+
+    /// The shortest-path relation name for a metric's query instance.
+    pub fn shortest_path_relation(metric: Metric) -> String {
+        format!("shortestPath_{}", Self::metric_suffix(metric))
+    }
+
+    /// The link relation name for a metric's query instance.
+    pub fn link_relation(metric: Metric) -> String {
+        format!("link_{}", Self::metric_suffix(metric))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_testbed_builds() {
+        let tb = Testbed::new(Scale::Small);
+        assert_eq!(tb.node_count(), 14);
+        assert!(!tb.links.is_empty());
+        assert!(tb.overlay.graph.is_connected());
+    }
+
+    #[test]
+    fn paper_testbed_has_100_nodes() {
+        let tb = Testbed::new(Scale::Paper);
+        assert_eq!(tb.node_count(), 100);
+    }
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("small"), Some(Scale::Small));
+        assert_eq!(Scale::parse("bogus"), None);
+    }
+
+    #[test]
+    fn metric_relations_are_suffixed() {
+        assert_eq!(Testbed::shortest_path_relation(Metric::HopCount), "shortestPath_hops");
+        assert_eq!(Testbed::link_relation(Metric::Random), "link_random");
+    }
+
+    #[test]
+    fn small_distributed_run_converges() {
+        let tb = Testbed::new(Scale::Small);
+        let plan = Testbed::shortest_path_plan(Metric::HopCount);
+        let mut config = EngineConfig::default();
+        config.node.aggregate_selections = true;
+        let mut engine = tb.engine(&[plan], config);
+        tb.load_links(&mut engine, "link_hops", Metric::HopCount).unwrap();
+        let report = engine.run_to_quiescence().unwrap();
+        assert!(report.quiesced);
+        // All-pairs results: n * (n - 1).
+        assert_eq!(
+            engine.result_count("shortestPath_hops"),
+            tb.node_count() * (tb.node_count() - 1)
+        );
+    }
+}

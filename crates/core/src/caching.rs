@@ -1,0 +1,195 @@
+//! Query-result caching for magic path queries (Section 5.2).
+//!
+//! The paper caches `shortestPath` results at the nodes they traverse while
+//! the answer is shipped back to the query source: a node `a` on the
+//! shortest path from `e` to `d` learns (and caches) its own shortest path
+//! to `d`, because subpaths of shortest paths are themselves shortest
+//! paths. A later query for destination `d` whose exploration reaches `a`
+//! can be answered from `a`'s cache instead of exploring the rest of the
+//! network.
+//!
+//! [`QueryCache`] maintains those per-node entries and tells the engine
+//! which nodes can stop propagating exploration tuples for a given
+//! destination (the engine models the cache answer by *blocking*
+//! propagation of the exploration relation at cache-hit nodes and
+//! accounting a fixed-size answer message per hit). As in the paper, cache
+//! hits may be **false positives**: the cached path through `a` is the best
+//! path *through `a`*, not necessarily the best path overall, which is why
+//! Figure 11 shows caching overhead for small query counts.
+
+use ndlog_net::NodeAddr;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A cached result at one node: the known path from that node to the
+/// destination and its cost.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheEntry {
+    /// Remaining path from the caching node to the destination (inclusive
+    /// of both endpoints).
+    pub suffix: Vec<NodeAddr>,
+    /// Cost of that remaining path.
+    pub cost: f64,
+}
+
+/// The distributed query-result cache (one logical cache per node,
+/// maintained centrally by the experiment harness for accounting).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct QueryCache {
+    /// (node, destination) -> cached entry.
+    entries: BTreeMap<(NodeAddr, NodeAddr), CacheEntry>,
+    hits: u64,
+    misses: u64,
+}
+
+impl QueryCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cache entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Cache hits recorded so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses recorded so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Record a completed query result: the full path (source first,
+    /// destination last) and per-hop cumulative costs are cached at every
+    /// node along the path, keyed by the destination. `hop_costs[i]` is the
+    /// cost of the link from `path[i]` to `path[i+1]`.
+    pub fn record_result(&mut self, path: &[NodeAddr], hop_costs: &[f64]) {
+        if path.len() < 2 || hop_costs.len() + 1 != path.len() {
+            return;
+        }
+        let dst = *path.last().expect("non-empty path");
+        for i in 0..path.len() - 1 {
+            let node = path[i];
+            let suffix = path[i..].to_vec();
+            let cost: f64 = hop_costs[i..].iter().sum();
+            let entry = CacheEntry { suffix, cost };
+            // Keep the better entry when one already exists.
+            match self.entries.get(&(node, dst)) {
+                Some(existing) if existing.cost <= entry.cost => {}
+                _ => {
+                    self.entries.insert((node, dst), entry);
+                }
+            }
+        }
+    }
+
+    /// Look up the cached entry for `(node, dst)` and record a hit/miss.
+    pub fn lookup(&mut self, node: NodeAddr, dst: NodeAddr) -> Option<CacheEntry> {
+        match self.entries.get(&(node, dst)) {
+            Some(e) => {
+                self.hits += 1;
+                Some(e.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// The set of nodes that hold a cache entry for `dst` (the nodes at
+    /// which exploration for `dst` can be cut short).
+    pub fn nodes_with_entry_for(&self, dst: NodeAddr) -> BTreeSet<NodeAddr> {
+        self.entries
+            .keys()
+            .filter(|(_, d)| *d == dst)
+            .map(|(n, _)| *n)
+            .collect()
+    }
+
+    /// Build the per-relation propagation-blocking map the engine consumes:
+    /// exploration tuples of `exploration_relation` are not propagated
+    /// beyond nodes that can answer destination `dst` from their cache.
+    pub fn blocked_map(
+        &self,
+        exploration_relation: &str,
+        dst: NodeAddr,
+    ) -> BTreeMap<String, BTreeSet<NodeAddr>> {
+        let mut map = BTreeMap::new();
+        let nodes = self.nodes_with_entry_for(dst);
+        if !nodes.is_empty() {
+            map.insert(exploration_relation.to_string(), nodes);
+        }
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeAddr {
+        NodeAddr(i)
+    }
+
+    #[test]
+    fn record_caches_every_suffix() {
+        let mut cache = QueryCache::new();
+        cache.record_result(&[n(0), n(1), n(2), n(3)], &[1.0, 2.0, 3.0]);
+        assert_eq!(cache.len(), 3);
+        assert_eq!(
+            cache.lookup(n(1), n(3)),
+            Some(CacheEntry {
+                suffix: vec![n(1), n(2), n(3)],
+                cost: 5.0
+            })
+        );
+        assert_eq!(cache.lookup(n(2), n(3)).unwrap().cost, 3.0);
+        assert!(cache.lookup(n(3), n(3)).is_none(), "destination itself is not cached");
+        assert_eq!(cache.hits(), 2);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn better_entries_replace_worse_ones() {
+        let mut cache = QueryCache::new();
+        cache.record_result(&[n(0), n(1), n(3)], &[4.0, 4.0]);
+        assert_eq!(cache.lookup(n(0), n(3)).unwrap().cost, 8.0);
+        cache.record_result(&[n(0), n(2), n(3)], &[1.0, 1.0]);
+        assert_eq!(cache.lookup(n(0), n(3)).unwrap().cost, 2.0);
+        // A worse later result does not overwrite.
+        cache.record_result(&[n(0), n(4), n(3)], &[5.0, 5.0]);
+        assert_eq!(cache.lookup(n(0), n(3)).unwrap().cost, 2.0);
+    }
+
+    #[test]
+    fn malformed_results_are_ignored() {
+        let mut cache = QueryCache::new();
+        cache.record_result(&[n(0)], &[]);
+        cache.record_result(&[n(0), n(1)], &[1.0, 2.0]);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn blocked_map_lists_cache_nodes_per_destination() {
+        let mut cache = QueryCache::new();
+        cache.record_result(&[n(0), n(1), n(9)], &[1.0, 1.0]);
+        cache.record_result(&[n(4), n(5), n(8)], &[1.0, 1.0]);
+        let blocked = cache.blocked_map("pathDst", n(9));
+        assert_eq!(
+            blocked.get("pathDst"),
+            Some(&[n(0), n(1)].into_iter().collect())
+        );
+        assert!(cache.blocked_map("pathDst", n(7)).is_empty());
+        assert_eq!(cache.nodes_with_entry_for(n(8)).len(), 2);
+    }
+}

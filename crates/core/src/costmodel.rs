@@ -1,0 +1,218 @@
+//! Cost-based rewrites driven by the neighborhood function (Section 5.3).
+//!
+//! For a constrained path query `shortestPath(@s, @d, P, C)` neither the
+//! top-down (TD, explore forward from the source) nor the bottom-up (BU,
+//! derive backwards from the destination) strategy is universally better:
+//! the TD exploration costs about `N(s, dist(s,d))` messages and the BU one
+//! `N(d, dist(s,d))`, where `N(x, r)` is the **neighborhood function** —
+//! the number of distinct nodes within `r` hops of `x`. The optimal plan is
+//! a *hybrid* that splits the search radius between the two endpoints:
+//!
+//! ```text
+//! (rs, rd) = argmin_{rs + rd = dist(s,d)} N(s, rs) + N(d, rd)
+//! ```
+//!
+//! and runs concurrent TD and BU searches with radii `rs` and `rd`; the two
+//! frontiers meet at at least one node, which can assemble the path. This
+//! module implements that estimator over the overlay graph (the statistic
+//! itself is computable decentrally by background queries or approximate
+//! counting, as the paper notes; here we read it from the topology, which
+//! is the same information). It is exercised by the `zone_routing` ablation
+//! tests and usable by callers that want to pick a strategy per query.
+
+use ndlog_net::topology::Topology;
+use ndlog_net::NodeAddr;
+use serde::{Deserialize, Serialize};
+
+/// A search strategy for a constrained (source, destination) path query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SearchStrategy {
+    /// Explore forward from the source only (the magic/source-routing
+    /// program).
+    TopDown,
+    /// Derive backwards from the destination only (the magic-destination
+    /// program).
+    BottomUp,
+    /// Split the radius: explore `source_radius` hops from the source and
+    /// `destination_radius` hops from the destination concurrently.
+    Hybrid {
+        /// Radius of the forward (source-side) exploration.
+        source_radius: usize,
+        /// Radius of the backward (destination-side) exploration.
+        destination_radius: usize,
+    },
+}
+
+/// The estimated message cost of a strategy, measured in "nodes reached"
+/// (each reached node forwards the query once, per the paper's model).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StrategyEstimate {
+    /// The strategy.
+    pub strategy: SearchStrategy,
+    /// Estimated number of nodes that participate.
+    pub cost: usize,
+}
+
+/// Estimate the cost of the pure top-down strategy: `N(s, dist(s, d))`.
+pub fn top_down_cost(graph: &Topology, src: NodeAddr, dst: NodeAddr) -> Option<usize> {
+    let dist = graph.hop_distance(src, dst)?;
+    Some(graph.neighborhood(src, dist))
+}
+
+/// Estimate the cost of the pure bottom-up strategy: `N(d, dist(s, d))`.
+pub fn bottom_up_cost(graph: &Topology, src: NodeAddr, dst: NodeAddr) -> Option<usize> {
+    let dist = graph.hop_distance(src, dst)?;
+    Some(graph.neighborhood(dst, dist))
+}
+
+/// Find the radius split `(rs, rd)` with `rs + rd = dist(s, d)` minimizing
+/// `N(s, rs) + N(d, rd)`. Returns `None` when the nodes are disconnected.
+pub fn hybrid_split(graph: &Topology, src: NodeAddr, dst: NodeAddr) -> Option<StrategyEstimate> {
+    let dist = graph.hop_distance(src, dst)?;
+    let mut best: Option<(usize, usize, usize)> = None;
+    for rs in 0..=dist {
+        let rd = dist - rs;
+        let cost = graph.neighborhood(src, rs) + graph.neighborhood(dst, rd);
+        match best {
+            Some((_, _, c)) if c <= cost => {}
+            _ => best = Some((rs, rd, cost)),
+        }
+    }
+    best.map(|(rs, rd, cost)| StrategyEstimate {
+        strategy: SearchStrategy::Hybrid {
+            source_radius: rs,
+            destination_radius: rd,
+        },
+        cost,
+    })
+}
+
+/// Choose the cheapest of TD, BU and the best hybrid split for a query.
+pub fn choose_strategy(graph: &Topology, src: NodeAddr, dst: NodeAddr) -> Option<StrategyEstimate> {
+    let td = StrategyEstimate {
+        strategy: SearchStrategy::TopDown,
+        cost: top_down_cost(graph, src, dst)?,
+    };
+    let bu = StrategyEstimate {
+        strategy: SearchStrategy::BottomUp,
+        cost: bottom_up_cost(graph, src, dst)?,
+    };
+    let hybrid = hybrid_split(graph, src, dst)?;
+    // Prefer the simpler single-direction strategies on ties (a hybrid of
+    // equal cost buys nothing and needs coordination).
+    let mut best = td;
+    if bu.cost < best.cost {
+        best = bu;
+    }
+    if hybrid.cost < best.cost {
+        best = hybrid;
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndlog_net::topology::LinkMetrics;
+
+    /// A "dumbbell": a dense clique with extra leaf nodes around the
+    /// source, a long path to a sparse destination. 15 nodes: clique
+    /// 0..=4, path 4-5-6-7-8-9, leaves 10..=14 attached to node 0.
+    fn dumbbell() -> Topology {
+        let mut t = Topology::with_nodes(15);
+        let m = LinkMetrics::uniform();
+        // Clique over nodes 0..=4 (dense side, containing the source 0).
+        for a in 0..5u32 {
+            for b in (a + 1)..5 {
+                t.add_link(NodeAddr(a), NodeAddr(b), m).unwrap();
+            }
+        }
+        // Path 4 - 5 - 6 - 7 - 8 - 9 (sparse side, destination 9).
+        for a in 4..9u32 {
+            t.add_link(NodeAddr(a), NodeAddr(a + 1), m).unwrap();
+        }
+        // Leaves hanging off the source, out of the destination's reach
+        // within dist(0, 9) hops.
+        for leaf in 10..15u32 {
+            t.add_link(NodeAddr(0), NodeAddr(leaf), m).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn td_and_bu_costs_reflect_density() {
+        let g = dumbbell();
+        let src = NodeAddr(0);
+        let dst = NodeAddr(9);
+        // dist(0, 9) = 6 hops (one hop across the clique, five along the path).
+        assert_eq!(g.hop_distance(src, dst), Some(6));
+        let td = top_down_cost(&g, src, dst).unwrap();
+        let bu = bottom_up_cost(&g, src, dst).unwrap();
+        // Exploring from the dense side reaches everything (15 nodes); the
+        // sparse side never reaches the source's leaves within 6 hops, so
+        // BU is cheaper here.
+        assert_eq!(td, 15);
+        assert_eq!(bu, 10);
+        assert!(bu < td);
+    }
+
+    #[test]
+    fn hybrid_never_loses_to_pure_strategies() {
+        let g = dumbbell();
+        for (s, d) in [(0u32, 9u32), (9, 0), (1, 7), (5, 9)] {
+            let src = NodeAddr(s);
+            let dst = NodeAddr(d);
+            let hybrid = hybrid_split(&g, src, dst).unwrap();
+            let td = top_down_cost(&g, src, dst).unwrap();
+            let bu = bottom_up_cost(&g, src, dst).unwrap();
+            assert!(hybrid.cost <= td.min(bu) + 1,
+                "hybrid {hybrid:?} should be competitive with td {td} / bu {bu}");
+            let SearchStrategy::Hybrid {
+                source_radius,
+                destination_radius,
+            } = hybrid.strategy
+            else {
+                panic!("hybrid_split always returns a hybrid");
+            };
+            assert_eq!(
+                source_radius + destination_radius,
+                g.hop_distance(src, dst).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn choose_strategy_picks_the_sparse_end() {
+        let g = dumbbell();
+        let best = choose_strategy(&g, NodeAddr(0), NodeAddr(9)).unwrap();
+        // Starting from the clique is the worst option; the chosen strategy
+        // must not be pure top-down.
+        assert_ne!(best.strategy, SearchStrategy::TopDown);
+        let reverse = choose_strategy(&g, NodeAddr(9), NodeAddr(0)).unwrap();
+        assert_ne!(reverse.strategy, SearchStrategy::BottomUp);
+        assert_eq!(best.cost, reverse.cost, "the problem is symmetric");
+    }
+
+    #[test]
+    fn adjacent_nodes_cost_one_endpoint() {
+        let g = dumbbell();
+        let est = choose_strategy(&g, NodeAddr(5), NodeAddr(6)).unwrap();
+        assert!(est.cost <= 3);
+    }
+
+    #[test]
+    fn disconnected_nodes_have_no_strategy() {
+        let mut g = Topology::with_nodes(3);
+        g.add_link(NodeAddr(0), NodeAddr(1), LinkMetrics::uniform()).unwrap();
+        assert!(choose_strategy(&g, NodeAddr(0), NodeAddr(2)).is_none());
+        assert!(hybrid_split(&g, NodeAddr(0), NodeAddr(2)).is_none());
+        assert!(top_down_cost(&g, NodeAddr(0), NodeAddr(2)).is_none());
+    }
+
+    #[test]
+    fn same_node_query_is_free() {
+        let g = dumbbell();
+        let est = choose_strategy(&g, NodeAddr(3), NodeAddr(3)).unwrap();
+        assert!(est.cost <= 2);
+    }
+}

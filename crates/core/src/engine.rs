@@ -1,0 +1,659 @@
+//! The distributed executor: runs one [`NodeEngine`] per overlay node over
+//! the discrete-event network simulator.
+//!
+//! The executor owns the event loop:
+//!
+//! 1. base-data changes (link insertions, update bursts) are injected at
+//!    specific nodes and processed to a local fixpoint;
+//! 2. derivations located at other nodes are batched per destination and
+//!    sent along overlay links (the simulator enforces FIFO delivery and
+//!    accounts every byte, matching the paper's communication-overhead
+//!    metric);
+//! 3. deliveries trigger processing at the receiving node, and so on until
+//!    the network quiesces.
+//!
+//! The executor also records every change to the tracked result relations
+//! with its simulation timestamp, from which it derives the paper's two
+//! evaluation metrics: *convergence time* (time until all results reach
+//! their final value) and *% results over time* (Figures 8 and 10).
+
+use crate::node::{NodeConfig, NodeEngine, ResultChange};
+use crate::plan::QueryPlan;
+use crate::sharing;
+use crate::updates::LinkUpdate;
+use ndlog_lang::Value;
+use ndlog_net::sim::{ms, to_seconds, SimTime};
+use ndlog_net::stats::NetStats;
+use ndlog_net::topology::Topology;
+use ndlog_net::{Message, NodeAddr, SimConfig, Simulator};
+use ndlog_runtime::{EvalError, Sign, Tuple, TupleDelta};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// Timer token for outbound-buffer flushes.
+const FLUSH_TOKEN: u64 = 1;
+
+/// Configuration of a distributed run.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Per-node configuration template.
+    pub node: NodeConfig,
+    /// Simulator configuration (FIFO links, header size, ...).
+    pub sim: SimConfig,
+    /// Safety cap for [`DistributedEngine::run_to_quiescence`], in seconds.
+    pub max_seconds: f64,
+    /// Relations whose propagation is blocked at specific nodes (used by
+    /// the query-result caching experiment).
+    pub blocked_propagation: BTreeMap<String, BTreeSet<NodeAddr>>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            node: NodeConfig::default(),
+            sim: SimConfig::default(),
+            max_seconds: 600.0,
+            blocked_propagation: BTreeMap::new(),
+        }
+    }
+}
+
+/// One recorded change to a tracked result relation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultRecord {
+    /// Simulation time of the change.
+    pub time: SimTime,
+    /// Node at which the result is stored.
+    pub node: NodeAddr,
+    /// Relation name.
+    pub relation: String,
+    /// The tuple.
+    pub tuple: Tuple,
+    /// Insertion or deletion.
+    pub sign: Sign,
+}
+
+/// Summary of a run segment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Whether the network quiesced before the time cap.
+    pub quiesced: bool,
+    /// Simulation time at the end of the segment, in seconds.
+    pub seconds: f64,
+    /// Total messages sent so far.
+    pub messages: usize,
+    /// Total megabytes sent so far.
+    pub total_mb: f64,
+}
+
+/// Convergence metrics for one tracked relation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvergenceReport {
+    /// Number of results present in the final state.
+    pub total_results: usize,
+    /// Time (seconds) at which the last result reached its final value.
+    pub convergence_seconds: f64,
+    /// Per-result finalization times (seconds), sorted ascending.
+    pub finalization_times: Vec<f64>,
+}
+
+impl ConvergenceReport {
+    /// Fraction of eventual results that had reached their final value by
+    /// time `t` seconds (the y-axis of Figures 8 and 10).
+    pub fn completion_at(&self, t: f64) -> f64 {
+        if self.total_results == 0 {
+            return 0.0;
+        }
+        let done = self.finalization_times.iter().filter(|&&x| x <= t).count();
+        done as f64 / self.total_results as f64
+    }
+
+    /// Sample the completion curve every `step` seconds up to convergence.
+    pub fn completion_series(&self, step: f64) -> Vec<(f64, f64)> {
+        let mut out = Vec::new();
+        let mut t = 0.0;
+        let end = self.convergence_seconds + step;
+        while t <= end {
+            out.push((t, self.completion_at(t)));
+            t += step;
+        }
+        out
+    }
+}
+
+/// The distributed declarative-networking engine.
+pub struct DistributedEngine {
+    sim: Simulator<Vec<TupleDelta>>,
+    nodes: BTreeMap<NodeAddr, NodeEngine>,
+    /// Declared primary keys per relation (for result tracking).
+    key_columns: BTreeMap<String, Vec<usize>>,
+    result_log: Vec<ResultRecord>,
+    flush_pending: BTreeSet<NodeAddr>,
+    sharing_enabled: bool,
+    max_seconds: f64,
+}
+
+impl DistributedEngine {
+    /// Build an engine over an overlay graph running the given plans on
+    /// every node.
+    pub fn new(
+        graph: Topology,
+        plans: &[QueryPlan],
+        config: EngineConfig,
+    ) -> Result<Self, String> {
+        let all_strands: Vec<_> = plans.iter().flat_map(|p| p.strands.clone()).collect();
+        let strands = Arc::new(all_strands);
+
+        let mut tracked: BTreeSet<String> = config.node.tracked_relations.clone();
+        for plan in plans {
+            tracked.extend(plan.query_relations());
+        }
+        let mut key_columns = BTreeMap::new();
+        for plan in plans {
+            for decl in &plan.program.tables {
+                key_columns.insert(decl.name.clone(), decl.key_columns.clone());
+            }
+        }
+
+        let mut nodes = BTreeMap::new();
+        for addr in graph.nodes() {
+            let mut node_config = config.node.clone();
+            node_config.tracked_relations = tracked.clone();
+            node_config.blocked_relations = config
+                .blocked_propagation
+                .iter()
+                .filter(|(_, nodes)| nodes.contains(&addr))
+                .map(|(rel, _)| rel.clone())
+                .collect();
+            let engine = NodeEngine::new(addr, plans, Arc::clone(&strands), node_config)?;
+            nodes.insert(addr, engine);
+        }
+
+        Ok(DistributedEngine {
+            sim: Simulator::new(graph, config.sim),
+            nodes,
+            key_columns,
+            result_log: Vec::new(),
+            flush_pending: BTreeSet::new(),
+            sharing_enabled: config.node.sharing_delay.is_some(),
+            max_seconds: config.max_seconds,
+        })
+    }
+
+    /// Current simulation time in seconds.
+    pub fn now_seconds(&self) -> f64 {
+        to_seconds(self.sim.now())
+    }
+
+    /// Network statistics accumulated so far.
+    pub fn stats(&self) -> &NetStats {
+        self.sim.stats()
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// A node's engine (panics on unknown address).
+    pub fn node(&self, addr: NodeAddr) -> &NodeEngine {
+        &self.nodes[&addr]
+    }
+
+    /// The raw result log.
+    pub fn result_log(&self) -> &[ResultRecord] {
+        &self.result_log
+    }
+
+    /// Total insertions pruned by aggregate selections across all nodes.
+    pub fn pruned_total(&self) -> u64 {
+        self.nodes.values().map(NodeEngine::pruned).sum()
+    }
+
+    /// Insert a base tuple at a node and process the consequences at the
+    /// current simulation time.
+    pub fn insert_base(
+        &mut self,
+        node: NodeAddr,
+        relation: &str,
+        tuple: Tuple,
+    ) -> Result<(), EvalError> {
+        self.inject(node, TupleDelta::insert(relation, tuple))
+    }
+
+    /// Delete a base tuple at a node.
+    pub fn delete_base(
+        &mut self,
+        node: NodeAddr,
+        relation: &str,
+        tuple: Tuple,
+    ) -> Result<(), EvalError> {
+        self.inject(node, TupleDelta::delete(relation, tuple))
+    }
+
+    /// Apply a bidirectional link-cost update (deletion of the old tuple
+    /// followed by insertion of the new one, in both directions).
+    pub fn apply_link_update(
+        &mut self,
+        relation: &str,
+        update: &LinkUpdate,
+    ) -> Result<(), EvalError> {
+        let link = |s: NodeAddr, d: NodeAddr, c: f64| {
+            Tuple::new(vec![Value::Addr(s), Value::Addr(d), Value::Float(c)])
+        };
+        self.delete_base(update.a, relation, link(update.a, update.b, update.old_cost))?;
+        self.insert_base(update.a, relation, link(update.a, update.b, update.new_cost))?;
+        self.delete_base(update.b, relation, link(update.b, update.a, update.old_cost))?;
+        self.insert_base(update.b, relation, link(update.b, update.a, update.new_cost))?;
+        Ok(())
+    }
+
+    fn inject(&mut self, node: NodeAddr, delta: TupleDelta) -> Result<(), EvalError> {
+        let engine = self
+            .nodes
+            .get_mut(&node)
+            .unwrap_or_else(|| panic!("unknown node {node}"));
+        engine.receive(vec![delta]);
+        self.process_node(node)
+    }
+
+    /// Process a node to its local fixpoint and ship its outbound batches.
+    fn process_node(&mut self, addr: NodeAddr) -> Result<(), EvalError> {
+        let now = self.sim.now();
+        let output = {
+            let node = self.nodes.get_mut(&addr).expect("known node");
+            node.set_time(now);
+            node.process()?
+        };
+        self.record_changes(addr, now, output.changes);
+        for (dest, deltas) in output.outbound {
+            self.send_batch(addr, dest, deltas);
+        }
+        if output.request_flush && !self.flush_pending.contains(&addr) {
+            if let Some(interval) = self.nodes[&addr].flush_interval() {
+                self.sim.schedule_timer_in(interval, addr, FLUSH_TOKEN);
+                self.flush_pending.insert(addr);
+            }
+        }
+        Ok(())
+    }
+
+    fn record_changes(&mut self, node: NodeAddr, time: SimTime, changes: Vec<ResultChange>) {
+        for c in changes {
+            self.result_log.push(ResultRecord {
+                time,
+                node,
+                relation: c.relation,
+                tuple: c.tuple,
+                sign: c.sign,
+            });
+        }
+    }
+
+    fn send_batch(&mut self, from: NodeAddr, dest: NodeAddr, deltas: Vec<TupleDelta>) {
+        if deltas.is_empty() {
+            return;
+        }
+        let bytes = if self.sharing_enabled {
+            sharing::combined_wire_size(&deltas)
+        } else {
+            sharing::plain_wire_size(&deltas)
+        };
+        self.sim.send(Message::new(from, dest, bytes, deltas));
+    }
+
+    /// Process events until the simulation time exceeds `seconds` or the
+    /// network quiesces. Returns a report of the run so far.
+    pub fn run_until(&mut self, seconds: f64) -> Result<RunReport, EvalError> {
+        let limit = ms(seconds * 1000.0);
+        let mut quiesced = true;
+        while let Some(next) = self.sim.peek_time() {
+            if next > limit {
+                quiesced = false;
+                break;
+            }
+            let event = self.sim.next_event().expect("peeked event exists");
+            match event.kind {
+                ndlog_net::EventKind::Delivery(message) => {
+                    let to = message.to;
+                    self.nodes
+                        .get_mut(&to)
+                        .expect("delivery to known node")
+                        .receive(message.payload);
+                    self.process_node(to)?;
+                }
+                ndlog_net::EventKind::Timer { node, token } if token == FLUSH_TOKEN => {
+                    self.flush_pending.remove(&node);
+                    let flushed = self.nodes.get_mut(&node).expect("known node").flush();
+                    for (dest, deltas) in flushed {
+                        self.send_batch(node, dest, deltas);
+                    }
+                }
+                ndlog_net::EventKind::Timer { .. } => {}
+            }
+        }
+        Ok(self.report(quiesced))
+    }
+
+    /// Run until no events remain (or the configured time cap is reached).
+    pub fn run_to_quiescence(&mut self) -> Result<RunReport, EvalError> {
+        let report = self.run_until(self.max_seconds)?;
+        Ok(RunReport {
+            quiesced: self.sim.peek_time().is_none(),
+            ..report
+        })
+    }
+
+    fn report(&self, quiesced: bool) -> RunReport {
+        RunReport {
+            quiesced,
+            seconds: self.now_seconds(),
+            messages: self.sim.stats().message_count(),
+            total_mb: self.sim.stats().total_mb(),
+        }
+    }
+
+    /// All stored tuples of a relation across the network, tagged with the
+    /// node that stores them.
+    pub fn results(&self, relation: &str) -> Vec<(NodeAddr, Tuple)> {
+        let mut out = Vec::new();
+        for (addr, node) in &self.nodes {
+            for tuple in node.store().tuples(relation) {
+                out.push((*addr, tuple));
+            }
+        }
+        out
+    }
+
+    /// Total number of stored tuples of a relation across the network.
+    pub fn result_count(&self, relation: &str) -> usize {
+        self.nodes
+            .values()
+            .map(|n| n.store().count(relation))
+            .sum()
+    }
+
+    /// Convergence metrics for a tracked relation, derived from the result
+    /// log: for every (node, primary key) the time of its last change is
+    /// its finalization time; results that end deleted are excluded.
+    pub fn convergence(&self, relation: &str) -> ConvergenceReport {
+        let key_cols = self.key_columns.get(relation).cloned().unwrap_or_default();
+        let key_of = |tuple: &Tuple| -> Vec<Value> {
+            if key_cols.is_empty() {
+                tuple.values().to_vec()
+            } else {
+                tuple.project(&key_cols)
+            }
+        };
+        let mut last: BTreeMap<(NodeAddr, Vec<Value>), (SimTime, Sign)> = BTreeMap::new();
+        for record in self.result_log.iter().filter(|r| r.relation == relation) {
+            last.insert(
+                (record.node, key_of(&record.tuple)),
+                (record.time, record.sign),
+            );
+        }
+        let mut finalization_times: Vec<f64> = last
+            .values()
+            .filter(|(_, sign)| *sign == Sign::Insert)
+            .map(|(t, _)| to_seconds(*t))
+            .collect();
+        finalization_times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        ConvergenceReport {
+            total_results: finalization_times.len(),
+            convergence_seconds: finalization_times.last().copied().unwrap_or(0.0),
+            finalization_times,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::plan;
+    use ndlog_lang::programs;
+    use ndlog_net::topology::LinkMetrics;
+
+    fn addr(i: u32) -> Value {
+        Value::addr(i)
+    }
+
+    fn link_tuple(s: u32, d: u32, c: f64) -> Tuple {
+        Tuple::new(vec![addr(s), addr(d), Value::Float(c)])
+    }
+
+    /// A 4-node diamond overlay: 0-1 (5), 0-2 (1), 2-1 (1), 1-3 (1).
+    fn diamond() -> (Topology, Vec<(u32, u32, f64)>) {
+        let mut t = Topology::with_nodes(4);
+        let edges = vec![(0u32, 1u32, 5.0), (0, 2, 1.0), (2, 1, 1.0), (1, 3, 1.0)];
+        for &(a, b, _) in &edges {
+            t.add_link(
+                NodeAddr(a),
+                NodeAddr(b),
+                LinkMetrics {
+                    latency_ms: 2.0,
+                    reliability: 1.0,
+                    random: 1.0,
+                    bandwidth_bps: 10_000_000.0,
+                },
+            )
+            .unwrap();
+        }
+        (t, edges)
+    }
+
+    fn build_engine(aggregate_selections: bool) -> DistributedEngine {
+        let (graph, edges) = diamond();
+        let plan = plan(&programs::shortest_path("")).unwrap();
+        let config = EngineConfig {
+            node: NodeConfig {
+                aggregate_selections,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let mut engine = DistributedEngine::new(graph, &[plan], config).unwrap();
+        for (a, b, c) in edges {
+            engine
+                .insert_base(NodeAddr(a), "link", link_tuple(a, b, c))
+                .unwrap();
+            engine
+                .insert_base(NodeAddr(b), "link", link_tuple(b, a, c))
+                .unwrap();
+        }
+        engine
+    }
+
+    fn shortest_cost(engine: &DistributedEngine, s: u32, d: u32) -> f64 {
+        engine
+            .results("shortestPath")
+            .into_iter()
+            .find(|(node, t)| {
+                *node == NodeAddr(s)
+                    && t.get(0) == Some(&addr(s))
+                    && t.get(1) == Some(&addr(d))
+            })
+            .and_then(|(_, t)| t.get(3).and_then(|v| v.as_f64()))
+            .unwrap_or(f64::NAN)
+    }
+
+    #[test]
+    fn distributed_shortest_paths_converge() {
+        let mut engine = build_engine(true);
+        let report = engine.run_to_quiescence().unwrap();
+        assert!(report.quiesced);
+        assert!(report.messages > 0);
+        assert!(report.total_mb > 0.0);
+        // All-pairs results are stored at their source nodes.
+        assert_eq!(engine.result_count("shortestPath"), 12);
+        assert_eq!(shortest_cost(&engine, 0, 1), 2.0);
+        assert_eq!(shortest_cost(&engine, 0, 3), 3.0);
+        assert_eq!(shortest_cost(&engine, 3, 0), 3.0);
+        assert_eq!(shortest_cost(&engine, 2, 3), 2.0);
+    }
+
+    #[test]
+    fn aggregate_selections_reduce_messages() {
+        let mut with = build_engine(true);
+        with.run_to_quiescence().unwrap();
+        let mut without = build_engine(false);
+        without.run_to_quiescence().unwrap();
+        // Both compute the same shortest-path costs...
+        for (s, d) in [(0u32, 1u32), (0, 3), (1, 2), (3, 2)] {
+            assert_eq!(shortest_cost(&with, s, d), shortest_cost(&without, s, d));
+        }
+        // ...but pruning strictly reduces the bytes on the wire.
+        assert!(with.stats().total_bytes() <= without.stats().total_bytes());
+        assert!(with.pruned_total() > 0);
+    }
+
+    #[test]
+    fn convergence_report_tracks_completion() {
+        let mut engine = build_engine(true);
+        engine.run_to_quiescence().unwrap();
+        let conv = engine.convergence("shortestPath");
+        assert_eq!(conv.total_results, 12);
+        assert!(conv.convergence_seconds > 0.0);
+        // Some 1-hop results are already final at t = 0 (derived from the
+        // local link facts before any message travels), but not all.
+        assert!(conv.completion_at(0.0) < 1.0);
+        assert!((conv.completion_at(conv.convergence_seconds) - 1.0).abs() < 1e-9);
+        let series = conv.completion_series(0.001);
+        assert!(series.len() > 2);
+        assert!(series.windows(2).all(|w| w[0].1 <= w[1].1), "monotone completion");
+    }
+
+    #[test]
+    fn link_update_changes_best_path() {
+        let mut engine = build_engine(true);
+        engine.run_to_quiescence().unwrap();
+        assert_eq!(shortest_cost(&engine, 0, 1), 2.0);
+        let before = engine.stats().total_bytes();
+        // The 0-2 link degrades to cost 10: the direct 0-1 link (cost 5)
+        // becomes the best path.
+        engine
+            .apply_link_update(
+                "link",
+                &LinkUpdate {
+                    a: NodeAddr(0),
+                    b: NodeAddr(2),
+                    old_cost: 1.0,
+                    new_cost: 10.0,
+                },
+            )
+            .unwrap();
+        let report = engine.run_to_quiescence().unwrap();
+        assert!(report.quiesced);
+        assert_eq!(shortest_cost(&engine, 0, 1), 5.0);
+        assert!(engine.stats().total_bytes() > before, "updates cost bandwidth");
+    }
+
+    #[test]
+    fn run_until_respects_the_time_limit() {
+        let (graph, edges) = diamond();
+        let plan = plan(&programs::shortest_path("")).unwrap();
+        let mut engine =
+            DistributedEngine::new(graph, &[plan], EngineConfig::default()).unwrap();
+        for (a, b, c) in edges {
+            engine
+                .insert_base(NodeAddr(a), "link", link_tuple(a, b, c))
+                .unwrap();
+            engine
+                .insert_base(NodeAddr(b), "link", link_tuple(b, a, c))
+                .unwrap();
+        }
+        // 1 ms is not enough for any 2 ms-latency message to arrive.
+        let report = engine.run_until(0.001).unwrap();
+        assert!(!report.quiesced);
+        // Before any message arrives each node only knows 1-hop paths to
+        // its direct neighbors: 2 + 3 + 2 + 1 = 8 results in the diamond.
+        assert_eq!(engine.result_count("shortestPath"), 8, "only 1-hop paths so far");
+        let report = engine.run_to_quiescence().unwrap();
+        assert!(report.quiesced);
+        assert_eq!(engine.result_count("shortestPath"), 12);
+    }
+
+    #[test]
+    fn sharing_reduces_bytes_for_concurrent_queries() {
+        let (graph, edges) = diamond();
+        let plans: Vec<_> = ["latency", "reliability", "random"]
+            .iter()
+            .map(|m| plan(&programs::shortest_path(m)).unwrap())
+            .collect();
+
+        let run = |sharing: bool| -> u64 {
+            let config = EngineConfig {
+                node: NodeConfig {
+                    aggregate_selections: true,
+                    sharing_delay: if sharing { Some(ms(300.0)) } else { None },
+                    ..Default::default()
+                },
+                ..Default::default()
+            };
+            let mut engine =
+                DistributedEngine::new(graph.clone(), &plans, config).unwrap();
+            for metric in ["latency", "reliability", "random"] {
+                let relation = format!("link_{metric}");
+                for &(a, b, c) in &edges {
+                    engine
+                        .insert_base(NodeAddr(a), &relation, link_tuple(a, b, c))
+                        .unwrap();
+                    engine
+                        .insert_base(NodeAddr(b), &relation, link_tuple(b, a, c))
+                        .unwrap();
+                }
+            }
+            engine.run_to_quiescence().unwrap();
+            assert_eq!(engine.result_count("shortestPath_latency"), 12);
+            engine.stats().total_bytes()
+        };
+
+        let without = run(false);
+        let with = run(true);
+        assert!(
+            with < without,
+            "sharing must reduce bytes: {with} vs {without}"
+        );
+    }
+
+    #[test]
+    fn blocked_propagation_limits_exploration() {
+        // Source-routing exploration from node 0; block pathDst propagation
+        // at node 1 and check node 3 (behind 1 on the line 0-2-1-3... use
+        // diamond: 3 is only reachable through 1) never learns a path.
+        let (graph, edges) = diamond();
+        let plan = plan(&programs::shortest_path_source_routing("")).unwrap();
+        let mut blocked = BTreeMap::new();
+        blocked.insert(
+            "pathDst".to_string(),
+            [NodeAddr(1)].into_iter().collect::<BTreeSet<_>>(),
+        );
+        let config = EngineConfig {
+            node: NodeConfig {
+                aggregate_selections: true,
+                ..Default::default()
+            },
+            blocked_propagation: blocked,
+            ..Default::default()
+        };
+        let mut engine = DistributedEngine::new(graph, &[plan], config).unwrap();
+        for (a, b, c) in edges {
+            engine
+                .insert_base(NodeAddr(a), "link", link_tuple(a, b, c))
+                .unwrap();
+            engine
+                .insert_base(NodeAddr(b), "link", link_tuple(b, a, c))
+                .unwrap();
+        }
+        engine
+            .insert_base(NodeAddr(0), "magicSrc", Tuple::new(vec![addr(0)]))
+            .unwrap();
+        engine
+            .insert_base(NodeAddr(3), "magicDst", Tuple::new(vec![addr(3)]))
+            .unwrap();
+        engine.run_to_quiescence().unwrap();
+        // Node 1 received exploration tuples but did not forward them, so
+        // node 3 has none.
+        assert!(engine.node(NodeAddr(1)).store().count("pathDst") > 0);
+        assert_eq!(engine.node(NodeAddr(3)).store().count("pathDst"), 0);
+    }
+}

@@ -1,0 +1,596 @@
+//! A single node's engine: the per-node half of the P2 dataflow.
+//!
+//! Every network node runs the same plan over its own store. Tuples arrive
+//! either from local base-data changes or from the network; they are
+//! processed with pipelined semi-naive evaluation (one tuple at a time,
+//! timestamp-guarded joins), and derivations whose location specifier names
+//! another node are handed back to the distributed engine to be sent along
+//! the corresponding link.
+//!
+//! The node also implements the per-node halves of the paper's
+//! optimizations:
+//!
+//! * **aggregate selections** (Section 5.1.1): an insertion into a relation
+//!   with an inferred monotonic aggregate selection is pruned unless it is
+//!   strictly better than the node's current aggregate for its group, so
+//!   only improvements are stored, extended and propagated;
+//! * **periodic aggregate selections**: outbound tuples of such relations
+//!   are buffered and, on a periodic flush, only the best tuple per
+//!   (destination, group) is actually sent;
+//! * **opportunistic message sharing** (Section 5.2): all outbound tuples
+//!   are delayed briefly so the engine can combine tuples that share
+//!   attribute values into one message;
+//! * **propagation blocking**, used by the query-result caching experiment
+//!   to model a node answering from its cache instead of forwarding an
+//!   exploration.
+
+use crate::plan::QueryPlan;
+use ndlog_lang::aggsel::AggSelectionSpec;
+use ndlog_net::sim::SimTime;
+use ndlog_net::NodeAddr;
+use ndlog_runtime::{AggregateView, CompiledStrand, EvalError, Sign, Store, Tuple, TupleDelta};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::Arc;
+
+/// Per-node configuration (shared by all nodes in an experiment except for
+/// the blocked-relation set, which the caching experiment varies per node).
+#[derive(Debug, Clone, Default)]
+pub struct NodeConfig {
+    /// Enable aggregate-selection pruning.
+    pub aggregate_selections: bool,
+    /// Buffer outbound tuples of selection relations and flush them
+    /// periodically (the *periodic aggregate selections* variant).
+    pub periodic_flush: Option<SimTime>,
+    /// Delay all outbound tuples by this long to create message-sharing
+    /// opportunities (Section 5.2; the paper uses 300 ms).
+    pub sharing_delay: Option<SimTime>,
+    /// Relations whose outbound propagation from this node is suppressed
+    /// (query-result caching: this node answers from its cache instead).
+    pub blocked_relations: BTreeSet<String>,
+    /// Relations whose changes should be reported to the distributed engine
+    /// for convergence tracking.
+    pub tracked_relations: BTreeSet<String>,
+}
+
+/// A change to a tracked relation, reported to the distributed engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultChange {
+    /// Relation name.
+    pub relation: String,
+    /// The tuple that was inserted or deleted.
+    pub tuple: Tuple,
+    /// Insertion or deletion.
+    pub sign: Sign,
+}
+
+/// What one processing step produced.
+#[derive(Debug, Default)]
+pub struct ProcessOutput {
+    /// Outbound deltas grouped by destination node.
+    pub outbound: BTreeMap<NodeAddr, Vec<TupleDelta>>,
+    /// Changes to tracked relations.
+    pub changes: Vec<ResultChange>,
+    /// Whether the node buffered outbound tuples and needs a flush timer.
+    pub request_flush: bool,
+}
+
+/// The per-node engine.
+pub struct NodeEngine {
+    addr: NodeAddr,
+    config: NodeConfig,
+    store: Store,
+    strands: Arc<Vec<CompiledStrand>>,
+    views: Vec<AggregateView>,
+    /// (selection, index of the aggregate view that tracks its groups).
+    selections: Vec<(AggSelectionSpec, usize)>,
+    queue: VecDeque<(TupleDelta, u64)>,
+    /// Outbound deltas held for periodic flush / message sharing.
+    held: Vec<(NodeAddr, TupleDelta)>,
+    changes: Vec<ResultChange>,
+    /// Count of insertions pruned by aggregate selections.
+    pruned: u64,
+}
+
+impl NodeEngine {
+    /// Build a node engine for a set of plans (one per concurrent query).
+    /// `strands` is the concatenation of all plans' strands, shared across
+    /// nodes.
+    pub fn new(
+        addr: NodeAddr,
+        plans: &[QueryPlan],
+        strands: Arc<Vec<CompiledStrand>>,
+        config: NodeConfig,
+    ) -> Result<Self, String> {
+        let mut store = Store::new();
+        let mut views = Vec::new();
+        let mut selections = Vec::new();
+        for plan in plans {
+            store.add_program(&plan.program);
+            for rule in &plan.aggregate_rules {
+                views.push(AggregateView::from_rule(rule)?);
+            }
+        }
+        for plan in plans {
+            for sel in &plan.selections {
+                let Some(view_idx) = views
+                    .iter()
+                    .position(|v| v.head_relation() == sel.aggregate_relation)
+                else {
+                    return Err(format!(
+                        "aggregate selection on {} has no matching aggregate view",
+                        sel.relation
+                    ));
+                };
+                selections.push((sel.clone(), view_idx));
+            }
+        }
+        Ok(NodeEngine {
+            addr,
+            config,
+            store,
+            strands,
+            views,
+            selections,
+            queue: VecDeque::new(),
+            held: Vec::new(),
+            changes: Vec::new(),
+            pruned: 0,
+        })
+    }
+
+    /// This node's address.
+    pub fn addr(&self) -> NodeAddr {
+        self.addr
+    }
+
+    /// The node's store (for inspection).
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// Number of insertions pruned by aggregate selections so far.
+    pub fn pruned(&self) -> u64 {
+        self.pruned
+    }
+
+    /// Whether the node has unprocessed work queued.
+    pub fn has_pending(&self) -> bool {
+        !self.queue.is_empty()
+    }
+
+    /// Advance the node's logical clock (for soft-state expiry).
+    pub fn set_time(&mut self, now_micros: u64) {
+        self.store.set_time(now_micros);
+    }
+
+    /// Accept deltas arriving from the network (or from local base-data
+    /// changes). They are applied to the store and queued; call
+    /// [`NodeEngine::process`] to run them to a local fixpoint.
+    pub fn receive(&mut self, deltas: Vec<TupleDelta>) {
+        for delta in deltas {
+            self.ingest(delta);
+        }
+    }
+
+    /// Expire soft-state tuples and queue the resulting deletions.
+    pub fn expire_soft_state(&mut self, now_micros: u64) {
+        let deltas = self.store.expire(now_micros);
+        for delta in deltas {
+            // The tuples are already removed from the store; propagate the
+            // deletions directly.
+            let seq = self.store.current_seq();
+            self.after_store_change(delta, seq);
+        }
+    }
+
+    /// Returns the current aggregate value governing a selection relation
+    /// group, if any (used by tests).
+    pub fn current_best(&self, relation: &str, tuple: &Tuple) -> Option<ndlog_lang::Value> {
+        self.selections
+            .iter()
+            .find(|(sel, _)| sel.relation == relation)
+            .and_then(|(_, idx)| self.views[*idx].current_for(tuple))
+    }
+
+    /// Apply a delta to the local store, with aggregate-selection pruning,
+    /// view maintenance and change tracking; queue whatever changed.
+    fn ingest(&mut self, delta: TupleDelta) {
+        // Aggregate-selection pruning: drop insertions that cannot improve
+        // their group's aggregate.
+        if self.config.aggregate_selections && delta.sign == Sign::Insert {
+            if let Some((sel, view_idx)) = self
+                .selections
+                .iter()
+                .find(|(sel, _)| sel.relation == delta.relation)
+            {
+                if let (Some(candidate), Some(current)) = (
+                    delta.tuple.get(sel.value_col).and_then(|v| v.as_f64()),
+                    self.views[*view_idx]
+                        .current_for(&delta.tuple)
+                        .and_then(|v| v.as_f64()),
+                ) {
+                    if !sel.is_better(candidate, current) {
+                        self.pruned += 1;
+                        return;
+                    }
+                }
+            }
+        }
+
+        let effect = self.store.apply(&delta);
+        let seq = effect.seq;
+        for prop in effect.propagate {
+            self.after_store_change(prop, seq);
+        }
+    }
+
+    /// Bookkeeping after a real store change: tracking, view maintenance,
+    /// queueing.
+    fn after_store_change(&mut self, delta: TupleDelta, seq: u64) {
+        if self.config.tracked_relations.contains(&delta.relation) {
+            self.changes.push(ResultChange {
+                relation: delta.relation.clone(),
+                tuple: delta.tuple.clone(),
+                sign: delta.sign,
+            });
+        }
+        // Feed aggregate views; their outputs are local (aggregate rules
+        // are local rules) and are ingested recursively.
+        let mut view_outputs = Vec::new();
+        for view in &mut self.views {
+            if view.source_relation() == delta.relation {
+                view_outputs.extend(view.apply(&self.store, &delta));
+            }
+        }
+        self.queue.push_back((delta, seq));
+        for out in view_outputs {
+            self.ingest(out);
+        }
+    }
+
+    /// Run queued work to a local fixpoint, producing outbound messages and
+    /// tracked-relation changes.
+    pub fn process(&mut self) -> Result<ProcessOutput, EvalError> {
+        let mut outbound: BTreeMap<NodeAddr, Vec<TupleDelta>> = BTreeMap::new();
+        let mut request_flush = false;
+
+        while let Some((delta, seq)) = self.queue.pop_front() {
+            let mut derived = Vec::new();
+            for strand in self.strands.iter() {
+                if strand.trigger_relation() != delta.relation {
+                    continue;
+                }
+                derived.extend(strand.fire(&self.store, &delta, seq)?);
+            }
+            for derivation in derived {
+                match derivation.location {
+                    Some(dest) if dest != self.addr => {
+                        // Remote derivation: send along the link (or hold).
+                        if self.config.blocked_relations.contains(&derivation.delta.relation) {
+                            continue;
+                        }
+                        let hold_for_sharing = self.config.sharing_delay.is_some();
+                        let hold_for_periodic = self.config.periodic_flush.is_some()
+                            && self
+                                .selections
+                                .iter()
+                                .any(|(sel, _)| sel.relation == derivation.delta.relation);
+                        if hold_for_sharing || hold_for_periodic {
+                            self.held.push((dest, derivation.delta));
+                            request_flush = true;
+                        } else {
+                            outbound.entry(dest).or_default().push(derivation.delta);
+                        }
+                    }
+                    _ => {
+                        // Local derivation (or location-free test program).
+                        self.ingest(derivation.delta);
+                    }
+                }
+            }
+        }
+
+        Ok(ProcessOutput {
+            outbound,
+            changes: std::mem::take(&mut self.changes),
+            request_flush,
+        })
+    }
+
+    /// The flush interval currently in effect (sharing delay takes
+    /// precedence over the periodic-selection interval when both are set,
+    /// since it is the shorter-lived buffer in the paper's experiments).
+    pub fn flush_interval(&self) -> Option<SimTime> {
+        self.config.sharing_delay.or(self.config.periodic_flush)
+    }
+
+    /// Flush held outbound tuples.
+    ///
+    /// For relations under a monotonic aggregate selection, only the best
+    /// held insertion per (destination, group) is sent — the *periodic
+    /// aggregate selections* saving. Buffers containing deletions for a
+    /// group are flushed verbatim to preserve FIFO correctness.
+    pub fn flush(&mut self) -> BTreeMap<NodeAddr, Vec<TupleDelta>> {
+        let held = std::mem::take(&mut self.held);
+        let mut out: BTreeMap<NodeAddr, Vec<TupleDelta>> = BTreeMap::new();
+        // Group keys that contain any deletion are exempt from deduplication.
+        let mut has_delete: BTreeSet<(NodeAddr, String, Vec<ndlog_lang::Value>)> = BTreeSet::new();
+        for (dest, delta) in &held {
+            if delta.sign == Sign::Delete {
+                if let Some(key) = self.group_key(delta) {
+                    has_delete.insert((*dest, delta.relation.clone(), key));
+                }
+            }
+        }
+        // Best insertion per (dest, relation, group).
+        let mut best: BTreeMap<(NodeAddr, String, Vec<ndlog_lang::Value>), (usize, f64)> =
+            BTreeMap::new();
+        for (idx, (dest, delta)) in held.iter().enumerate() {
+            let Some(sel) = self.selection_for(&delta.relation) else {
+                out.entry(*dest).or_default().push(delta.clone());
+                continue;
+            };
+            if delta.sign == Sign::Delete {
+                out.entry(*dest).or_default().push(delta.clone());
+                continue;
+            }
+            let Some(key) = self.group_key(delta) else {
+                out.entry(*dest).or_default().push(delta.clone());
+                continue;
+            };
+            let full_key = (*dest, delta.relation.clone(), key);
+            if has_delete.contains(&full_key) {
+                out.entry(*dest).or_default().push(delta.clone());
+                continue;
+            }
+            let value = delta
+                .tuple
+                .get(sel.value_col)
+                .and_then(|v| v.as_f64())
+                .unwrap_or(f64::INFINITY);
+            match best.get(&full_key) {
+                Some((_, current)) if !sel.is_better(value, *current) => {}
+                _ => {
+                    best.insert(full_key, (idx, value));
+                }
+            }
+        }
+        for ((dest, _, _), (idx, _)) in best {
+            out.entry(dest).or_default().push(held[idx].1.clone());
+        }
+        out
+    }
+
+    fn selection_for(&self, relation: &str) -> Option<&AggSelectionSpec> {
+        self.selections
+            .iter()
+            .find(|(sel, _)| sel.relation == relation)
+            .map(|(sel, _)| sel)
+    }
+
+    fn group_key(&self, delta: &TupleDelta) -> Option<Vec<ndlog_lang::Value>> {
+        let sel = self.selection_for(&delta.relation)?;
+        if sel
+            .group_cols
+            .iter()
+            .any(|&c| delta.tuple.get(c).is_none())
+        {
+            return None;
+        }
+        Some(delta.tuple.project(&sel.group_cols))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::plan;
+    use ndlog_lang::{programs, Value};
+
+    fn addr(i: u32) -> Value {
+        Value::addr(i)
+    }
+
+    fn link(s: u32, d: u32, c: f64) -> Tuple {
+        Tuple::new(vec![addr(s), addr(d), Value::Float(c)])
+    }
+
+    fn make_node(node: u32, config: NodeConfig) -> NodeEngine {
+        let plan = plan(&programs::shortest_path("")).unwrap();
+        let strands = Arc::new(plan.strands.clone());
+        NodeEngine::new(NodeAddr(node), &[plan], strands, config).unwrap()
+    }
+
+    #[test]
+    fn one_hop_path_stays_local_and_transfer_goes_remote() {
+        let mut node = make_node(0, NodeConfig::default());
+        node.receive(vec![TupleDelta::insert("link", link(0, 1, 5.0))]);
+        let out = node.process().unwrap();
+        // sp1 derives path(0,1,...) locally; sp2a derives sp2_xd(@1, @0, 5)
+        // which must be shipped to node 1.
+        assert_eq!(node.store().count("path"), 1);
+        assert!(out.outbound.contains_key(&NodeAddr(1)));
+        let to_1 = &out.outbound[&NodeAddr(1)];
+        assert!(to_1.iter().any(|d| d.relation == "path_sp2_xd"));
+        assert!(to_1.iter().all(|d| d.tuple.location() == Some(NodeAddr(1))));
+    }
+
+    #[test]
+    fn aggregate_selection_prunes_worse_paths() {
+        let config = NodeConfig {
+            aggregate_selections: true,
+            ..Default::default()
+        };
+        let mut node = make_node(0, config);
+        let path = |z: u32, c: f64| {
+            Tuple::new(vec![
+                addr(0),
+                addr(9),
+                addr(z),
+                Value::list(vec![addr(0), addr(z), addr(9)]),
+                Value::Float(c),
+            ])
+        };
+        node.receive(vec![TupleDelta::insert("path", path(1, 5.0))]);
+        node.process().unwrap();
+        assert_eq!(node.store().count("path"), 1);
+        assert_eq!(node.current_best("path", &path(1, 5.0)), Some(Value::Float(5.0)));
+        // A worse path for the same (S, D) group is pruned entirely.
+        node.receive(vec![TupleDelta::insert("path", path(2, 7.0))]);
+        node.process().unwrap();
+        assert_eq!(node.store().count("path"), 1);
+        assert_eq!(node.pruned(), 1);
+        // A better one replaces the aggregate and is stored.
+        node.receive(vec![TupleDelta::insert("path", path(3, 2.0))]);
+        node.process().unwrap();
+        assert_eq!(node.store().count("path"), 2);
+        assert_eq!(node.current_best("path", &path(1, 0.0)), Some(Value::Float(2.0)));
+        // The shortestPath result reflects the best cost.
+        let sp = node.store().tuples("shortestPath");
+        assert_eq!(sp.len(), 1);
+        assert_eq!(sp[0].get(3), Some(&Value::Float(2.0)));
+    }
+
+    #[test]
+    fn without_selections_all_paths_are_stored() {
+        let mut node = make_node(0, NodeConfig::default());
+        let path = |z: u32, c: f64| {
+            Tuple::new(vec![
+                addr(0),
+                addr(9),
+                addr(z),
+                Value::list(vec![addr(0), addr(z), addr(9)]),
+                Value::Float(c),
+            ])
+        };
+        node.receive(vec![
+            TupleDelta::insert("path", path(1, 5.0)),
+            TupleDelta::insert("path", path(2, 7.0)),
+        ]);
+        node.process().unwrap();
+        assert_eq!(node.store().count("path"), 2);
+        assert_eq!(node.pruned(), 0);
+    }
+
+    #[test]
+    fn tracked_relations_report_changes() {
+        let config = NodeConfig {
+            tracked_relations: ["shortestPath".to_string()].into_iter().collect(),
+            ..Default::default()
+        };
+        let mut node = make_node(0, config);
+        node.receive(vec![TupleDelta::insert("link", link(0, 1, 5.0))]);
+        let out = node.process().unwrap();
+        assert!(out
+            .changes
+            .iter()
+            .any(|c| c.relation == "shortestPath" && c.sign == Sign::Insert));
+    }
+
+    #[test]
+    fn periodic_flush_holds_and_dedups_outbound_paths() {
+        let config = NodeConfig {
+            aggregate_selections: true,
+            periodic_flush: Some(100_000),
+            ..Default::default()
+        };
+        // This node (1) stores paths to destination 9 and ships extension
+        // candidates to its neighbor 0.
+        let plan = plan(&programs::shortest_path("")).unwrap();
+        let strands = Arc::new(plan.strands.clone());
+        let mut node = NodeEngine::new(NodeAddr(1), &[plan], strands, config).unwrap();
+        // Neighbor relationship: node 1 knows the reverse link and transfer
+        // tuple for node 0.
+        node.receive(vec![
+            TupleDelta::insert("link", link(1, 0, 1.0)),
+            TupleDelta::insert("path_sp2_xd", Tuple::new(vec![addr(1), addr(0), Value::Float(1.0)])),
+        ]);
+        node.process().unwrap();
+        // Two successively better paths to 9 (via different next hops, so no
+        // primary-key replacement) arrive within one flush window.
+        let path = |z: u32, c: f64| {
+            Tuple::new(vec![
+                addr(1),
+                addr(9),
+                addr(z),
+                Value::list(vec![addr(1), addr(z), addr(9)]),
+                Value::Float(c),
+            ])
+        };
+        node.receive(vec![TupleDelta::insert("path", path(2, 5.0))]);
+        let out1 = node.process().unwrap();
+        node.receive(vec![TupleDelta::insert("path", path(3, 3.0))]);
+        let out2 = node.process().unwrap();
+        // Nothing was sent immediately; a flush was requested.
+        assert!(out1.outbound.is_empty() && out2.outbound.is_empty());
+        assert!(out1.request_flush);
+        // The flush sends only the better of the two buffered extensions.
+        let flushed = node.flush();
+        let to_0 = &flushed[&NodeAddr(0)];
+        let path_msgs: Vec<_> = to_0.iter().filter(|d| d.relation == "path").collect();
+        assert_eq!(path_msgs.len(), 1);
+        assert_eq!(path_msgs[0].tuple.get(4), Some(&Value::Float(4.0)));
+        // Flushing again sends nothing.
+        assert!(node.flush().is_empty());
+    }
+
+    #[test]
+    fn sharing_delay_holds_all_outbound() {
+        let config = NodeConfig {
+            sharing_delay: Some(300_000),
+            ..Default::default()
+        };
+        let mut node = make_node(0, config);
+        node.receive(vec![TupleDelta::insert("link", link(0, 1, 5.0))]);
+        let out = node.process().unwrap();
+        assert!(out.outbound.is_empty());
+        assert!(out.request_flush);
+        let flushed = node.flush();
+        assert!(flushed.contains_key(&NodeAddr(1)));
+        assert_eq!(node.flush_interval(), Some(300_000));
+    }
+
+    #[test]
+    fn blocked_relations_are_not_propagated() {
+        let config = NodeConfig {
+            blocked_relations: ["path_sp2_xd".to_string()].into_iter().collect(),
+            ..Default::default()
+        };
+        let mut node = make_node(0, config);
+        node.receive(vec![TupleDelta::insert("link", link(0, 1, 5.0))]);
+        let out = node.process().unwrap();
+        assert!(
+            !out.outbound
+                .values()
+                .flatten()
+                .any(|d| d.relation == "path_sp2_xd"),
+            "blocked relation must not leave the node"
+        );
+    }
+
+    #[test]
+    fn soft_state_expiry_queues_deletions() {
+        let program = ndlog_lang::parse_program(
+            r#"
+            materialize(ping, keys(1,2), ttl(1)).
+            materialize(alive, keys(1,2)).
+            a1 alive(@S,@D) :- ping(@S,@D).
+            "#,
+        )
+        .unwrap();
+        let plan = plan(&program).unwrap();
+        let strands = Arc::new(plan.strands.clone());
+        let mut node =
+            NodeEngine::new(NodeAddr(0), &[plan], strands, NodeConfig::default()).unwrap();
+        node.receive(vec![TupleDelta::insert(
+            "ping",
+            Tuple::new(vec![addr(0), addr(1)]),
+        )]);
+        node.process().unwrap();
+        assert_eq!(node.store().count("alive"), 1);
+        node.expire_soft_state(2_000_000);
+        node.process().unwrap();
+        assert_eq!(node.store().count("ping"), 0);
+        assert_eq!(node.store().count("alive"), 0, "derived tuple retracted");
+    }
+}

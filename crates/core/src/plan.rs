@@ -1,0 +1,144 @@
+//! The query planner: NDlog program → executable plan.
+//!
+//! Planning follows Section 3 of the paper:
+//!
+//! 1. **validate** the program against the NDlog constraints (Definition 6);
+//! 2. **localize** non-local link-restricted rules (Algorithm 2) so every
+//!    rule body is evaluable at a single node;
+//! 3. split off **aggregate rules** (maintained as incremental views) from
+//!    join rules;
+//! 4. apply the **semi-naive delta rewrite** to the join rules and compile
+//!    each delta rule into a [`CompiledStrand`];
+//! 5. infer **aggregate selections** (Section 5.1.1) so the engine can
+//!    prune non-improving tuples when the optimization is enabled.
+//!
+//! The resulting [`QueryPlan`] is immutable and can be shared by every node
+//! in the network (each node keeps its own mutable store and view state).
+
+use ndlog_lang::aggsel::{infer_aggregate_selections, AggSelectionSpec};
+use ndlog_lang::localize::localize;
+use ndlog_lang::seminaive::delta_rewrite_full;
+use ndlog_lang::validate::validate_strict;
+use ndlog_lang::{LangError, Program, Rule};
+use ndlog_runtime::CompiledStrand;
+
+/// An executable plan for one NDlog program.
+#[derive(Debug, Clone)]
+pub struct QueryPlan {
+    /// A short name (used in reports), taken from the program.
+    pub name: String,
+    /// The localized program (table declarations, rules, queries).
+    pub program: Program,
+    /// Compiled strands for the non-aggregate rules.
+    pub strands: Vec<CompiledStrand>,
+    /// Aggregate rules, maintained as incremental views per node.
+    pub aggregate_rules: Vec<Rule>,
+    /// Inferred aggregate selections (pruning opportunities).
+    pub selections: Vec<AggSelectionSpec>,
+}
+
+impl QueryPlan {
+    /// Relations named in `query ...` statements: the result relations a
+    /// caller usually wants to track for convergence.
+    pub fn query_relations(&self) -> Vec<String> {
+        self.program.queries.iter().map(|q| q.name.clone()).collect()
+    }
+
+    /// Primary-key columns declared for a relation (empty when keyed on all
+    /// columns or undeclared).
+    pub fn key_columns(&self, relation: &str) -> Vec<usize> {
+        self.program
+            .table_decl(relation)
+            .map(|d| d.key_columns.clone())
+            .unwrap_or_default()
+    }
+}
+
+/// Plan a program. Fails if the program violates the NDlog constraints or
+/// cannot be localized.
+pub fn plan(program: &Program) -> Result<QueryPlan, LangError> {
+    validate_strict(program)?;
+    let localized = localize(program)?;
+
+    let (aggregate_rules, join_rules): (Vec<Rule>, Vec<Rule>) = localized
+        .rules
+        .iter()
+        .cloned()
+        .partition(|r| r.head.has_aggregate());
+
+    let mut join_program = localized.clone();
+    join_program.rules = join_rules;
+    let strands = delta_rewrite_full(&join_program)
+        .into_iter()
+        .map(CompiledStrand::new)
+        .collect();
+
+    let selections = infer_aggregate_selections(&localized);
+
+    Ok(QueryPlan {
+        name: if program.name.is_empty() {
+            "ndlog".to_string()
+        } else {
+            program.name.clone()
+        },
+        program: localized,
+        strands,
+        aggregate_rules,
+        selections,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndlog_lang::{parse_program, programs};
+
+    #[test]
+    fn shortest_path_plan_shape() {
+        let plan = plan(&programs::shortest_path("")).unwrap();
+        // sp3 is the only aggregate rule; sp1, sp2a, sp2b, sp4 become strands.
+        assert_eq!(plan.aggregate_rules.len(), 1);
+        assert_eq!(plan.aggregate_rules[0].label, "sp3");
+        assert!(plan.strands.len() >= 5);
+        assert_eq!(plan.selections.len(), 1);
+        assert_eq!(plan.selections[0].relation, "path");
+        assert_eq!(plan.query_relations(), vec!["shortestPath".to_string()]);
+        assert_eq!(plan.key_columns("shortestPath"), vec![0, 1]);
+        assert_eq!(plan.key_columns("unknown"), Vec::<usize>::new());
+        // No strand is triggered by or derives an aggregate rule's head via joins.
+        assert!(plan.strands.iter().all(|s| s.rule_label() != "sp3"));
+    }
+
+    #[test]
+    fn invalid_programs_are_rejected() {
+        let bad = parse_program("a p(@S, X) :- q(@S, C).").unwrap();
+        assert!(plan(&bad).is_err());
+        let not_restricted = parse_program("a p(@S, C) :- q(@D, C), r(@S, C).").unwrap();
+        assert!(plan(&not_restricted).is_err());
+    }
+
+    #[test]
+    fn all_canonical_programs_plan() {
+        for p in [
+            programs::shortest_path("m"),
+            programs::shortest_path_magic_dst("m"),
+            programs::shortest_path_source_routing("m"),
+            programs::reachability("m"),
+            programs::distance_vector("m", 16),
+        ] {
+            let plan = plan(&p).expect("canonical program plans");
+            assert!(!plan.strands.is_empty());
+        }
+    }
+
+    #[test]
+    fn source_routing_plan_needs_no_localization_split() {
+        let plan = plan(&programs::shortest_path_source_routing("")).unwrap();
+        // The TD program is already link-local: no `_xd` transfer rules.
+        assert!(plan
+            .program
+            .rules
+            .iter()
+            .all(|r| !r.head.name.ends_with("_xd")));
+    }
+}

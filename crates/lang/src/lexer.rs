@@ -1,0 +1,514 @@
+//! Tokenizer for the NDlog surface syntax.
+//!
+//! The token stream feeds the recursive-descent parser in [`crate::parser`].
+//! Comments run from `//` or `%` to end of line. Identifiers starting with a
+//! lower-case letter are predicate/function names; identifiers starting with
+//! an upper-case letter (or `_`) are variables; `@`-prefixed identifiers are
+//! address-typed variables or address constants (`@n3`).
+
+use crate::error::ParseError;
+
+/// A lexical token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub column: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Lower-case identifier (predicate, function, keyword).
+    Ident(String),
+    /// Upper-case identifier (variable).
+    Var(String),
+    /// `@X` — address-typed variable.
+    AtVar(String),
+    /// `@n3` / `@17` — address constant.
+    AtConst(u32),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal.
+    Str(String),
+    /// `#` (link literal marker).
+    Hash,
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `[`.
+    LBracket,
+    /// `]`.
+    RBracket,
+    /// `,`.
+    Comma,
+    /// `.` (end of statement).
+    Period,
+    /// `:-`.
+    ColonDash,
+    /// `:=`.
+    Assign,
+    /// `=` (context-dependent: assignment or equality).
+    EqSign,
+    /// `==`.
+    EqEq,
+    /// `!=`.
+    NotEq,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// `+`.
+    Plus,
+    /// `-`.
+    Minus,
+    /// `*`.
+    Star,
+    /// `/`.
+    Slash,
+    /// `&&`.
+    AndAnd,
+    /// `||`.
+    OrOr,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// A short human-readable description used in error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Var(s) => format!("variable `{s}`"),
+            TokenKind::AtVar(s) => format!("address variable `@{s}`"),
+            TokenKind::AtConst(a) => format!("address constant `@n{a}`"),
+            TokenKind::Int(i) => format!("integer `{i}`"),
+            TokenKind::Float(x) => format!("float `{x}`"),
+            TokenKind::Str(s) => format!("string {s:?}"),
+            TokenKind::Eof => "end of input".to_string(),
+            other => format!("`{}`", other.symbol()),
+        }
+    }
+
+    fn symbol(&self) -> &'static str {
+        match self {
+            TokenKind::Hash => "#",
+            TokenKind::LParen => "(",
+            TokenKind::RParen => ")",
+            TokenKind::LBracket => "[",
+            TokenKind::RBracket => "]",
+            TokenKind::Comma => ",",
+            TokenKind::Period => ".",
+            TokenKind::ColonDash => ":-",
+            TokenKind::Assign => ":=",
+            TokenKind::EqSign => "=",
+            TokenKind::EqEq => "==",
+            TokenKind::NotEq => "!=",
+            TokenKind::Lt => "<",
+            TokenKind::Le => "<=",
+            TokenKind::Gt => ">",
+            TokenKind::Ge => ">=",
+            TokenKind::Plus => "+",
+            TokenKind::Minus => "-",
+            TokenKind::Star => "*",
+            TokenKind::Slash => "/",
+            TokenKind::AndAnd => "&&",
+            TokenKind::OrOr => "||",
+            _ => "?",
+        }
+    }
+}
+
+/// Tokenize NDlog source text.
+pub fn tokenize(src: &str) -> Result<Vec<Token>, ParseError> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    let mut line = 1usize;
+    let mut col = 1usize;
+
+    macro_rules! push {
+        ($kind:expr, $l:expr, $c:expr) => {
+            tokens.push(Token {
+                kind: $kind,
+                line: $l,
+                column: $c,
+            })
+        };
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let (tl, tc) = (line, col);
+        let advance = |i: &mut usize, line: &mut usize, col: &mut usize| {
+            if chars[*i] == '\n' {
+                *line += 1;
+                *col = 1;
+            } else {
+                *col += 1;
+            }
+            *i += 1;
+        };
+
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                advance(&mut i, &mut line, &mut col);
+            }
+            '%' => {
+                while i < chars.len() && chars[i] != '\n' {
+                    advance(&mut i, &mut line, &mut col);
+                }
+            }
+            '/' if i + 1 < chars.len() && chars[i + 1] == '/' => {
+                while i < chars.len() && chars[i] != '\n' {
+                    advance(&mut i, &mut line, &mut col);
+                }
+            }
+            '#' => {
+                push!(TokenKind::Hash, tl, tc);
+                advance(&mut i, &mut line, &mut col);
+            }
+            '(' => {
+                push!(TokenKind::LParen, tl, tc);
+                advance(&mut i, &mut line, &mut col);
+            }
+            ')' => {
+                push!(TokenKind::RParen, tl, tc);
+                advance(&mut i, &mut line, &mut col);
+            }
+            '[' => {
+                push!(TokenKind::LBracket, tl, tc);
+                advance(&mut i, &mut line, &mut col);
+            }
+            ']' => {
+                push!(TokenKind::RBracket, tl, tc);
+                advance(&mut i, &mut line, &mut col);
+            }
+            ',' => {
+                push!(TokenKind::Comma, tl, tc);
+                advance(&mut i, &mut line, &mut col);
+            }
+            '+' => {
+                push!(TokenKind::Plus, tl, tc);
+                advance(&mut i, &mut line, &mut col);
+            }
+            '-' => {
+                push!(TokenKind::Minus, tl, tc);
+                advance(&mut i, &mut line, &mut col);
+            }
+            '*' => {
+                push!(TokenKind::Star, tl, tc);
+                advance(&mut i, &mut line, &mut col);
+            }
+            '/' => {
+                push!(TokenKind::Slash, tl, tc);
+                advance(&mut i, &mut line, &mut col);
+            }
+            '.' => {
+                // Distinguish a statement terminator from a float like `.5`
+                // (we do not support leading-dot floats; always a period).
+                push!(TokenKind::Period, tl, tc);
+                advance(&mut i, &mut line, &mut col);
+            }
+            ':' => {
+                advance(&mut i, &mut line, &mut col);
+                if i < chars.len() && chars[i] == '-' {
+                    advance(&mut i, &mut line, &mut col);
+                    push!(TokenKind::ColonDash, tl, tc);
+                } else if i < chars.len() && chars[i] == '=' {
+                    advance(&mut i, &mut line, &mut col);
+                    push!(TokenKind::Assign, tl, tc);
+                } else {
+                    return Err(ParseError::new(tl, tc, "expected `:-` or `:=` after `:`"));
+                }
+            }
+            '=' => {
+                advance(&mut i, &mut line, &mut col);
+                if i < chars.len() && chars[i] == '=' {
+                    advance(&mut i, &mut line, &mut col);
+                    push!(TokenKind::EqEq, tl, tc);
+                } else {
+                    push!(TokenKind::EqSign, tl, tc);
+                }
+            }
+            '!' => {
+                advance(&mut i, &mut line, &mut col);
+                if i < chars.len() && chars[i] == '=' {
+                    advance(&mut i, &mut line, &mut col);
+                    push!(TokenKind::NotEq, tl, tc);
+                } else {
+                    return Err(ParseError::new(tl, tc, "expected `!=`"));
+                }
+            }
+            '<' => {
+                advance(&mut i, &mut line, &mut col);
+                if i < chars.len() && chars[i] == '=' {
+                    advance(&mut i, &mut line, &mut col);
+                    push!(TokenKind::Le, tl, tc);
+                } else {
+                    push!(TokenKind::Lt, tl, tc);
+                }
+            }
+            '>' => {
+                advance(&mut i, &mut line, &mut col);
+                if i < chars.len() && chars[i] == '=' {
+                    advance(&mut i, &mut line, &mut col);
+                    push!(TokenKind::Ge, tl, tc);
+                } else {
+                    push!(TokenKind::Gt, tl, tc);
+                }
+            }
+            '&' => {
+                advance(&mut i, &mut line, &mut col);
+                if i < chars.len() && chars[i] == '&' {
+                    advance(&mut i, &mut line, &mut col);
+                    push!(TokenKind::AndAnd, tl, tc);
+                } else {
+                    return Err(ParseError::new(tl, tc, "expected `&&`"));
+                }
+            }
+            '|' => {
+                advance(&mut i, &mut line, &mut col);
+                if i < chars.len() && chars[i] == '|' {
+                    advance(&mut i, &mut line, &mut col);
+                    push!(TokenKind::OrOr, tl, tc);
+                } else {
+                    return Err(ParseError::new(tl, tc, "expected `||`"));
+                }
+            }
+            '"' => {
+                advance(&mut i, &mut line, &mut col);
+                let mut s = String::new();
+                loop {
+                    if i >= chars.len() {
+                        return Err(ParseError::new(tl, tc, "unterminated string literal"));
+                    }
+                    if chars[i] == '"' {
+                        advance(&mut i, &mut line, &mut col);
+                        break;
+                    }
+                    s.push(chars[i]);
+                    advance(&mut i, &mut line, &mut col);
+                }
+                push!(TokenKind::Str(s), tl, tc);
+            }
+            '@' => {
+                advance(&mut i, &mut line, &mut col);
+                let mut s = String::new();
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    s.push(chars[i]);
+                    advance(&mut i, &mut line, &mut col);
+                }
+                if s.is_empty() {
+                    return Err(ParseError::new(tl, tc, "expected identifier after `@`"));
+                }
+                // @n3 or @3 is an address constant; @Upper is an address variable.
+                let digits = s.strip_prefix('n').unwrap_or(&s);
+                if digits.chars().all(|c| c.is_ascii_digit()) && !digits.is_empty() {
+                    let id: u32 = digits.parse().map_err(|_| {
+                        ParseError::new(tl, tc, format!("invalid address constant `@{s}`"))
+                    })?;
+                    push!(TokenKind::AtConst(id), tl, tc);
+                } else {
+                    push!(TokenKind::AtVar(s), tl, tc);
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let mut s = String::new();
+                let mut is_float = false;
+                while i < chars.len()
+                    && (chars[i].is_ascii_digit()
+                        || (chars[i] == '.'
+                            && !is_float
+                            && i + 1 < chars.len()
+                            && chars[i + 1].is_ascii_digit()))
+                {
+                    if chars[i] == '.' {
+                        is_float = true;
+                    }
+                    s.push(chars[i]);
+                    advance(&mut i, &mut line, &mut col);
+                }
+                if is_float {
+                    let v: f64 = s
+                        .parse()
+                        .map_err(|_| ParseError::new(tl, tc, format!("invalid float `{s}`")))?;
+                    push!(TokenKind::Float(v), tl, tc);
+                } else {
+                    let v: i64 = s
+                        .parse()
+                        .map_err(|_| ParseError::new(tl, tc, format!("invalid integer `{s}`")))?;
+                    push!(TokenKind::Int(v), tl, tc);
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    s.push(chars[i]);
+                    advance(&mut i, &mut line, &mut col);
+                }
+                let first = s.chars().next().unwrap();
+                if first.is_uppercase() || first == '_' {
+                    push!(TokenKind::Var(s), tl, tc);
+                } else {
+                    push!(TokenKind::Ident(s), tl, tc);
+                }
+            }
+            other => {
+                return Err(ParseError::new(
+                    tl,
+                    tc,
+                    format!("unexpected character `{other}`"),
+                ));
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        line,
+        column: col,
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn tokenizes_a_rule() {
+        let ks = kinds("sp1 path(@S,@D,C) :- #link(@S,@D,C).");
+        assert_eq!(ks[0], TokenKind::Ident("sp1".into()));
+        assert_eq!(ks[1], TokenKind::Ident("path".into()));
+        assert_eq!(ks[2], TokenKind::LParen);
+        assert_eq!(ks[3], TokenKind::AtVar("S".into()));
+        assert!(ks.contains(&TokenKind::ColonDash));
+        assert!(ks.contains(&TokenKind::Hash));
+        assert_eq!(*ks.last().unwrap(), TokenKind::Eof);
+        assert_eq!(ks[ks.len() - 2], TokenKind::Period);
+    }
+
+    #[test]
+    fn numbers_and_floats() {
+        assert_eq!(
+            kinds("42 3.5"),
+            vec![TokenKind::Int(42), TokenKind::Float(3.5), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn period_vs_float() {
+        // "10." is an integer followed by a statement period.
+        assert_eq!(
+            kinds("10."),
+            vec![TokenKind::Int(10), TokenKind::Period, TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            kinds(":= :- == != <= >= < > + - * / && ||"),
+            vec![
+                TokenKind::Assign,
+                TokenKind::ColonDash,
+                TokenKind::EqEq,
+                TokenKind::NotEq,
+                TokenKind::Le,
+                TokenKind::Ge,
+                TokenKind::Lt,
+                TokenKind::Gt,
+                TokenKind::Plus,
+                TokenKind::Minus,
+                TokenKind::Star,
+                TokenKind::Slash,
+                TokenKind::AndAnd,
+                TokenKind::OrOr,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn address_constants_and_variables() {
+        assert_eq!(
+            kinds("@S @n3 @12"),
+            vec![
+                TokenKind::AtVar("S".into()),
+                TokenKind::AtConst(3),
+                TokenKind::AtConst(12),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("a // comment\n% another\nb"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings() {
+        assert_eq!(
+            kinds(r#""hello world""#),
+            vec![TokenKind::Str("hello world".into()), TokenKind::Eof]
+        );
+        assert!(tokenize("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn error_positions() {
+        let e = tokenize("a\n  ^").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert_eq!(e.column, 3);
+    }
+
+    #[test]
+    fn bad_tokens_error() {
+        assert!(tokenize("!x").is_err());
+        assert!(tokenize("&x").is_err());
+        assert!(tokenize("|x").is_err());
+        assert!(tokenize(": x").is_err());
+        assert!(tokenize("@ ").is_err());
+    }
+
+    #[test]
+    fn underscore_is_variable() {
+        assert_eq!(
+            kinds("_ _Foo"),
+            vec![
+                TokenKind::Var("_".into()),
+                TokenKind::Var("_Foo".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn describe_tokens() {
+        assert_eq!(TokenKind::Ident("x".into()).describe(), "identifier `x`");
+        assert_eq!(TokenKind::ColonDash.describe(), "`:-`");
+        assert_eq!(TokenKind::Eof.describe(), "end of input");
+    }
+}

@@ -1,0 +1,55 @@
+//! Network Datalog (NDlog) language frontend.
+//!
+//! NDlog (Section 2 of the paper) is a restricted variant of Datalog for
+//! declarative networking. Its distinguishing features are:
+//!
+//! * every predicate carries a **location specifier** as its first
+//!   attribute (`@S`, `@D`, ...), giving the query writer explicit control
+//!   over data placement;
+//! * **link relations** (`#link(@src, @dst, ...)`) are stored relations that
+//!   describe the physical connectivity of the network and may never be
+//!   derived;
+//! * non-local rules must be **link-restricted** (Definition 5), which
+//!   guarantees that a program can be rewritten so that every rule body is
+//!   evaluated at a single node and all communication travels along links.
+//!
+//! This crate provides the complete language pipeline up to (but not
+//! including) execution:
+//!
+//! | module | role |
+//! |---|---|
+//! | [`value`] | runtime values: addresses, numbers, strings, path vectors |
+//! | [`ast`] | programs, rules, literals, atoms, terms, expressions |
+//! | [`lexer`] / [`parser`] | text syntax → AST |
+//! | [`validate`] | the four NDlog syntactic constraints of Definition 6 |
+//! | [`localize`] | the rule-localization rewrite of Algorithm 2 |
+//! | [`seminaive`] | the semi-naive delta rewrite (rule strands) |
+//! | [`magic`] | magic-sets rewriting (Section 5.1.2) |
+//! | [`reorder`] | predicate reordering: bottom-up ↔ top-down variants |
+//! | [`aggsel`] | aggregate-selection inference (Section 5.1.1) |
+//! | [`programs`] | the canonical NDlog programs used by the paper |
+//!
+//! The execution engines live in `ndlog-runtime` (single node) and
+//! `ndlog-core` (distributed).
+
+pub mod aggsel;
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod localize;
+pub mod magic;
+pub mod parser;
+pub mod programs;
+pub mod reorder;
+pub mod seminaive;
+pub mod validate;
+pub mod value;
+
+pub use ast::{
+    AggFunc, Aggregate, Assignment, Atom, BinOp, Expr, Literal, Program, Rule, TableDecl, Term,
+    Variable,
+};
+pub use error::{LangError, ParseError, ValidationError};
+pub use parser::parse_program;
+pub use validate::validate;
+pub use value::Value;

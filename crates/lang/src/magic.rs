@@ -1,0 +1,164 @@
+//! Magic-sets rewriting (Section 5.1.2).
+//!
+//! The all-pairs shortest-path query wastes work when only a subset of
+//! source/destination pairs is of interest. Magic-sets rewriting limits the
+//! computation to the relevant portion of the network by adding a *magic*
+//! predicate — a table of the constants the query is actually interested in
+//! — to the rules that seed the recursion. The paper's rule SP1-D:
+//!
+//! ```text
+//! SP1-D: path(@S,@D,@D,P,C) :- magicDst(@D), #link(@S,@D,C),
+//!                              P = f_concatPath(link(@S,@D,C), nil).
+//! ```
+//!
+//! only initializes 1-hop paths towards destinations present in `magicDst`,
+//! which transitively restricts everything SP2 derives.
+//!
+//! This module implements that stylized rewrite: given a program, the name
+//! of the recursive relation and a binding position, it adds a magic
+//! predicate to the recursion's *base rules* (rules whose body does not
+//! mention the recursive relation). It does not implement the fully general
+//! magic-sets transformation with adornment propagation through arbitrary
+//! sideways information passing — the paper itself only exercises the form
+//! above, and the source-constrained variant is obtained by predicate
+//! reordering (see [`crate::reorder`] and
+//! [`crate::programs::shortest_path_source_routing`]).
+
+use crate::ast::{Atom, Literal, Program, Term, Variable};
+use crate::error::LangError;
+
+/// Where the magic filter applies: which argument of the recursive
+/// relation's base rules is restricted by the magic table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MagicBinding {
+    /// Restrict by the argument at this position of the *head* of base
+    /// rules (0-based). For the shortest-path query, position 1 is the
+    /// destination.
+    HeadArg(usize),
+}
+
+/// Apply the magic rewrite.
+///
+/// * `recursive_relation` — the relation computed by the recursion (`path`);
+/// * `magic_relation` — the name of the magic table to consult
+///   (`magicDst`); the caller seeds it with the constants of interest;
+/// * `binding` — which head argument the magic table restricts.
+///
+/// Base rules (rules deriving `recursive_relation` whose bodies do not
+/// mention it) get a `magic_relation(@X)` literal prepended, where `X` is
+/// the bound head argument. Recursive rules are left unchanged: they can
+/// only extend paths that were seeded through the magic filter.
+pub fn magic_rewrite(
+    program: &Program,
+    recursive_relation: &str,
+    magic_relation: &str,
+    binding: MagicBinding,
+) -> Result<Program, LangError> {
+    let MagicBinding::HeadArg(pos) = binding;
+    let mut out = program.clone();
+    let mut rewrote = 0;
+    for rule in &mut out.rules {
+        if rule.head.name != recursive_relation || rule.is_fact() {
+            continue;
+        }
+        let is_base = rule.body_atoms().all(|a| a.name != recursive_relation);
+        if !is_base {
+            continue;
+        }
+        let bound_term = rule.head.args.get(pos).ok_or_else(|| {
+            LangError::Rewrite(format!(
+                "rule {}: head has no argument at position {pos}",
+                rule.label
+            ))
+        })?;
+        let magic_arg = match bound_term {
+            Term::Var(v) => Term::Var(Variable::located(v.name.clone())),
+            Term::Const(c) => Term::Const(c.clone()),
+            Term::Agg(_) => {
+                return Err(LangError::Rewrite(format!(
+                    "rule {}: cannot bind a magic predicate to an aggregate argument",
+                    rule.label
+                )))
+            }
+        };
+        rule.body.insert(
+            0,
+            Literal::Atom(Atom::new(magic_relation.to_string(), vec![magic_arg])),
+        );
+        rewrote += 1;
+    }
+    if rewrote == 0 {
+        return Err(LangError::Rewrite(format!(
+            "no base rules found for relation {recursive_relation}"
+        )));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::localize::{is_localized, localize};
+    use crate::parser::parse_program;
+    use crate::validate::validate;
+
+    const SP: &str = r#"
+        sp1 path(@S,@D,@D,P,C) :- #link(@S,@D,C), P := f_cons(S, f_cons(D, nil)).
+        sp2 path(@S,@D,@Z,P,C) :- #link(@S,@Z,C1), path(@Z,@D,@Z2,P2,C2),
+            C := C1 + C2, P := f_cons(S, P2).
+        sp3 spCost(@S,@D,min<C>) :- path(@S,@D,@Z,P,C).
+        sp4 shortestPath(@S,@D,P,C) :- spCost(@S,@D,C), path(@S,@D,@Z,P,C).
+    "#;
+
+    #[test]
+    fn magic_dst_added_to_base_rule_only() {
+        let p = parse_program(SP).unwrap();
+        let magic = magic_rewrite(&p, "path", "magicDst", MagicBinding::HeadArg(1)).unwrap();
+        let sp1 = magic.rule("sp1").unwrap();
+        let first = sp1.body_atoms().next().unwrap();
+        assert_eq!(first.name, "magicDst");
+        assert_eq!(first.args.len(), 1);
+        assert_eq!(first.location_var(), Some("D"));
+        // Recursive rule untouched.
+        assert_eq!(magic.rule("sp2").unwrap(), p.rule("sp2").unwrap());
+        // Still a valid NDlog program.
+        assert!(validate(&magic).is_empty(), "{:?}", validate(&magic));
+    }
+
+    #[test]
+    fn magic_program_localizes() {
+        let p = parse_program(SP).unwrap();
+        let magic = magic_rewrite(&p, "path", "magicDst", MagicBinding::HeadArg(1)).unwrap();
+        let localized = localize(&magic).unwrap();
+        assert!(is_localized(&localized));
+        // SP1-D becomes non-local (magicDst at @D, link at @S) and is split.
+        assert!(localized.rules.iter().any(|r| r.label == "sp1a"));
+        assert!(localized.rules.iter().any(|r| r.label == "sp1b"));
+    }
+
+    #[test]
+    fn missing_base_rule_errors() {
+        let p = parse_program("r2 path(@S,@D) :- #link(@S,@Z,C), path(@Z,@D).").unwrap();
+        assert!(magic_rewrite(&p, "path", "magicDst", MagicBinding::HeadArg(1)).is_err());
+    }
+
+    #[test]
+    fn out_of_range_binding_errors() {
+        let p = parse_program(SP).unwrap();
+        assert!(magic_rewrite(&p, "path", "m", MagicBinding::HeadArg(9)).is_err());
+    }
+
+    #[test]
+    fn binding_source_position_also_works() {
+        let p = parse_program(SP).unwrap();
+        let magic = magic_rewrite(&p, "path", "magicSrc", MagicBinding::HeadArg(0)).unwrap();
+        let sp1 = magic.rule("sp1").unwrap();
+        let first = sp1.body_atoms().next().unwrap();
+        assert_eq!(first.name, "magicSrc");
+        assert_eq!(first.location_var(), Some("S"));
+        // magicSrc(@S) is co-located with the link literal, so sp1 stays local
+        // to the link source and needs no splitting.
+        let localized = localize(&magic).unwrap();
+        assert!(localized.rules.iter().all(|r| r.label != "sp1a"));
+    }
+}

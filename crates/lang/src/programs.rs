@@ -1,0 +1,299 @@
+//! Canonical NDlog programs from the paper, as reusable builders.
+//!
+//! Every builder takes a `suffix` so multiple instances of the same query
+//! (e.g. the four metric variants of Figure 7, or concurrent queries in the
+//! message-sharing experiment) can coexist in one engine without their
+//! relations colliding: relation `path` becomes `path_<suffix>` and so on.
+//! The `link_<suffix>` relation is the query's input; the engine populates
+//! it from the overlay with the appropriate metric as the cost column.
+
+use crate::ast::Program;
+use crate::parser::parse_program;
+
+/// Relation names used by a shortest-path query instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShortestPathRelations {
+    /// The input link relation (`link_<suffix>`).
+    pub link: String,
+    /// The derived path relation.
+    pub path: String,
+    /// The per-(source, destination) minimum cost relation.
+    pub sp_cost: String,
+    /// The final shortest-path relation.
+    pub shortest_path: String,
+    /// The magic destination table (only used by the magic variants).
+    pub magic_dst: String,
+    /// The magic source table (only used by the source-routing variant).
+    pub magic_src: String,
+}
+
+impl ShortestPathRelations {
+    /// Relation names for a given suffix.
+    pub fn new(suffix: &str) -> Self {
+        let s = |base: &str| {
+            if suffix.is_empty() {
+                base.to_string()
+            } else {
+                format!("{base}_{suffix}")
+            }
+        };
+        ShortestPathRelations {
+            link: s("link"),
+            path: s("path"),
+            sp_cost: s("spCost"),
+            shortest_path: s("shortestPath"),
+            magic_dst: s("magicDst"),
+            magic_src: s("magicSrc"),
+        }
+    }
+}
+
+/// The all-pairs shortest-path query of Figure 1 (rules SP1–SP4), with the
+/// standard cycle-avoidance filter on the recursive rule. This is the
+/// bottom-up (right-recursive) form: paths accumulate at the *source* and
+/// grow towards the destination by following links backwards.
+pub fn shortest_path(suffix: &str) -> Program {
+    let r = ShortestPathRelations::new(suffix);
+    let src = format!(
+        r#"
+        materialize({link}, keys(1,2)).
+        materialize({path}, keys(1,2,4)).
+        materialize({spc}, keys(1,2)).
+        materialize({sp}, keys(1,2)).
+
+        sp1 {path}(@S,@D,@D,P,C) :- #{link}(@S,@D,C),
+            P := f_cons(S, f_cons(D, nil)).
+        sp2 {path}(@S,@D,@Z,P,C) :- #{link}(@S,@Z,C1), {path}(@Z,@D,@Z2,P2,C2),
+            f_member(P2, S) == 0, C := C1 + C2, P := f_cons(S, P2).
+        sp3 {spc}(@S,@D,min<C>) :- {path}(@S,@D,@Z,P,C).
+        sp4 {sp}(@S,@D,P,C) :- {spc}(@S,@D,C), {path}(@S,@D,@Z,P,C).
+
+        query {sp}(@S,@D,P,C).
+        "#,
+        link = r.link,
+        path = r.path,
+        spc = r.sp_cost,
+        sp = r.shortest_path,
+    );
+    parse_program(&src).expect("shortest_path program is well-formed")
+}
+
+/// The destination-constrained variant (rule SP1-D of Section 5.1.2):
+/// identical to [`shortest_path`] except that 1-hop paths are only seeded
+/// towards destinations present in the `magicDst` table.
+pub fn shortest_path_magic_dst(suffix: &str) -> Program {
+    let r = ShortestPathRelations::new(suffix);
+    let src = format!(
+        r#"
+        materialize({link}, keys(1,2)).
+        materialize({path}, keys(1,2,4)).
+        materialize({spc}, keys(1,2)).
+        materialize({sp}, keys(1,2)).
+        materialize({mdst}, keys(1)).
+
+        sp1 {path}(@S,@D,@D,P,C) :- {mdst}(@D), #{link}(@S,@D,C),
+            P := f_cons(S, f_cons(D, nil)).
+        sp2 {path}(@S,@D,@Z,P,C) :- #{link}(@S,@Z,C1), {path}(@Z,@D,@Z2,P2,C2),
+            f_member(P2, S) == 0, C := C1 + C2, P := f_cons(S, P2).
+        sp3 {spc}(@S,@D,min<C>) :- {path}(@S,@D,@Z,P,C).
+        sp4 {sp}(@S,@D,P,C) :- {spc}(@S,@D,C), {path}(@S,@D,@Z,P,C).
+
+        query {sp}(@S,@D,P,C).
+        "#,
+        link = r.link,
+        path = r.path,
+        spc = r.sp_cost,
+        sp = r.shortest_path,
+        mdst = r.magic_dst,
+    );
+    parse_program(&src).expect("shortest_path_magic_dst program is well-formed")
+}
+
+/// The source-and-destination-constrained, top-down variant (rules SP1-SD
+/// to SP4-SD of Section 5.1.2), obtained by predicate reordering: paths
+/// accumulate at the *destination* (`pathDst`) and grow forward from the
+/// sources listed in `magicSrc`; results are filtered by `magicDst`. This
+/// execution resembles dynamic source routing.
+pub fn shortest_path_source_routing(suffix: &str) -> Program {
+    let r = ShortestPathRelations::new(suffix);
+    let src = format!(
+        r#"
+        materialize({link}, keys(1,2)).
+        materialize({pathdst}, keys(1,2,4)).
+        materialize({spc}, keys(1,2)).
+        materialize({sp}, keys(1,2)).
+        materialize({msrc}, keys(1)).
+        materialize({mdst}, keys(1)).
+
+        sd1 {pathdst}(@D,@S,@D,P,C) :- {msrc}(@S), #{link}(@S,@D,C),
+            P := f_append(f_cons(S, nil), D).
+        sd2 {pathdst}(@D,@S,@Z,P,C) :- {pathdst}(@Z,@S,@Z1,P1,C1), #{link}(@Z,@D,C2),
+            f_member(P1, D) == 0, C := C1 + C2, P := f_append(P1, D).
+        sd3 {spc}(@D,@S,min<C>) :- {pathdst}(@D,@S,@Z,P,C).
+        sd4 {sp}(@D,@S,P,C) :- {mdst}(@D), {spc}(@D,@S,C), {pathdst}(@D,@S,@Z,P,C).
+
+        query {sp}(@D,@S,P,C).
+        "#,
+        link = r.link,
+        pathdst = format!("pathDst{}", if suffix.is_empty() { String::new() } else { format!("_{suffix}") }),
+        spc = r.sp_cost,
+        sp = r.shortest_path,
+        msrc = r.magic_src,
+        mdst = r.magic_dst,
+    );
+    parse_program(&src).expect("shortest_path_source_routing program is well-formed")
+}
+
+/// A minimal two-rule reachability program used by tests and the
+/// quickstart example: `reachable(@S,@D)` holds when `D` can be reached
+/// from `S` over links.
+pub fn reachability(suffix: &str) -> Program {
+    let r = ShortestPathRelations::new(suffix);
+    let reach = if suffix.is_empty() {
+        "reachable".to_string()
+    } else {
+        format!("reachable_{suffix}")
+    };
+    let src = format!(
+        r#"
+        materialize({link}, keys(1,2)).
+        materialize({reach}, keys(1,2)).
+
+        rc1 {reach}(@S,@D) :- #{link}(@S,@D,C).
+        rc2 {reach}(@S,@D) :- #{link}(@S,@Z,C), {reach}(@Z,@D).
+
+        query {reach}(@S,@D).
+        "#,
+        link = r.link,
+        reach = reach,
+    );
+    parse_program(&src).expect("reachability program is well-formed")
+}
+
+/// The distance-vector style "best next hop" program: like shortest path
+/// but propagating only the next hop rather than the full path vector,
+/// closer to how real routing protocols behave (Section 2.2 notes that many
+/// protocols propagate only the next hop). Uses hop counts bounded by a
+/// maximum to guarantee termination without a path-vector cycle check.
+pub fn distance_vector(suffix: &str, max_hops: u32) -> Program {
+    let r = ShortestPathRelations::new(suffix);
+    let route = if suffix.is_empty() {
+        "route".to_string()
+    } else {
+        format!("route_{suffix}")
+    };
+    let best = if suffix.is_empty() {
+        "bestRoute".to_string()
+    } else {
+        format!("bestRoute_{suffix}")
+    };
+    let cost = if suffix.is_empty() {
+        "bestCost".to_string()
+    } else {
+        format!("bestCost_{suffix}")
+    };
+    let src = format!(
+        r#"
+        materialize({link}, keys(1,2)).
+        materialize({route}, keys(1,2,3,4)).
+        materialize({cost}, keys(1,2)).
+        materialize({best}, keys(1,2)).
+
+        dv1 {route}(@S,@D,@D,C,H) :- #{link}(@S,@D,C), H := 1.
+        dv2 {route}(@S,@D,@Z,C,H) :- #{link}(@S,@Z,C1), {route}(@Z,@D,@N,C2,H2),
+            H := H2 + 1, H <= {max_hops}, C := C1 + C2.
+        dv3 {cost}(@S,@D,min<C>) :- {route}(@S,@D,@Z,C,H).
+        dv4 {best}(@S,@D,@Z,C) :- {cost}(@S,@D,C), {route}(@S,@D,@Z,C,H).
+
+        query {best}(@S,@D,@Z,C).
+        "#,
+        link = r.link,
+        route = route,
+        cost = cost,
+        best = best,
+        max_hops = max_hops,
+    );
+    parse_program(&src).expect("distance_vector program is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggsel::infer_aggregate_selections;
+    use crate::localize::{is_localized, localize};
+    use crate::validate::validate;
+
+    fn assert_valid(p: &Program) {
+        let errs = validate(p);
+        assert!(errs.is_empty(), "{errs:?}");
+        let localized = localize(p).expect("localizes");
+        assert!(is_localized(&localized));
+        assert!(validate(&localized).is_empty(), "{:?}", validate(&localized));
+    }
+
+    #[test]
+    fn shortest_path_is_valid_and_localizable() {
+        assert_valid(&shortest_path(""));
+        assert_valid(&shortest_path("latency"));
+    }
+
+    #[test]
+    fn magic_dst_variant_is_valid() {
+        assert_valid(&shortest_path_magic_dst("hops"));
+        let p = shortest_path_magic_dst("hops");
+        assert!(p.rules[0]
+            .body_atoms()
+            .any(|a| a.name == "magicDst_hops"));
+    }
+
+    #[test]
+    fn source_routing_variant_is_valid() {
+        assert_valid(&shortest_path_source_routing(""));
+        let p = shortest_path_source_routing("");
+        // The TD recursive rule is left-recursive: pathDst before the link.
+        let sd2 = p.rule("sd2").unwrap();
+        let first = sd2.body_atoms().next().unwrap();
+        assert_eq!(first.name, "pathDst");
+        assert!(!first.link);
+    }
+
+    #[test]
+    fn reachability_and_distance_vector_valid() {
+        assert_valid(&reachability(""));
+        assert_valid(&reachability("t"));
+        assert_valid(&distance_vector("", 16));
+    }
+
+    #[test]
+    fn suffixing_renames_all_relations() {
+        let p = shortest_path("rand");
+        for rule in &p.rules {
+            assert!(rule.head.name.ends_with("_rand"));
+        }
+        let r = ShortestPathRelations::new("rand");
+        assert_eq!(r.link, "link_rand");
+        assert_eq!(r.shortest_path, "shortestPath_rand");
+        let empty = ShortestPathRelations::new("");
+        assert_eq!(empty.link, "link");
+    }
+
+    #[test]
+    fn aggregate_selection_is_inferrable_from_programs() {
+        for p in [shortest_path(""), shortest_path_magic_dst(""), shortest_path_source_routing("")] {
+            let sels = infer_aggregate_selections(&p);
+            assert_eq!(sels.len(), 1, "each variant exposes exactly one min selection");
+        }
+    }
+
+    #[test]
+    fn distance_vector_bounds_hops() {
+        let p = distance_vector("", 8);
+        let dv2 = p.rule("dv2").unwrap();
+        let filters = dv2
+            .body
+            .iter()
+            .filter(|l| matches!(l, crate::ast::Literal::Filter(_)))
+            .count();
+        assert_eq!(filters, 1);
+    }
+}

@@ -1,0 +1,359 @@
+//! Validation of the NDlog syntactic constraints (Definition 6).
+//!
+//! A valid NDlog program satisfies:
+//!
+//! 1. **Location specificity** — each predicate has a location specifier as
+//!    its first attribute;
+//! 2. **Address type safety** — a variable that appears as an address type
+//!    must not appear elsewhere in the rule as a non-address type;
+//! 3. **Stored link relations** — link relations never appear in the head
+//!    of a rule with a non-empty body;
+//! 4. **Link-restriction** — any non-local rule is link-restricted by some
+//!    link relation (Definition 5): exactly one link literal in the body,
+//!    and every other literal (including the head) has its location
+//!    specifier set to the link's source or destination field.
+//!
+//! Beyond Definition 6 we also check basic Datalog sanity: consistent
+//! arities, rule safety (head variables bound in the body) and that
+//! aggregates only appear in head arguments.
+
+use crate::ast::{Literal, Program, Rule, Term};
+use crate::error::ValidationError;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Validate a program, returning all violations found (empty = valid).
+pub fn validate(program: &Program) -> Vec<ValidationError> {
+    let mut errors = Vec::new();
+    let link_relations = program.link_relations();
+    let mut arities: BTreeMap<String, usize> = BTreeMap::new();
+    for t in &program.tables {
+        if let Some(a) = t.arity {
+            arities.insert(t.name.clone(), a);
+        }
+    }
+
+    for rule in &program.rules {
+        check_location_specificity(rule, &mut errors);
+        check_address_type_safety(rule, &mut errors);
+        check_stored_link_relations(rule, &link_relations, &mut errors);
+        check_link_restriction(rule, &mut errors);
+        check_safety(rule, &mut errors);
+        check_aggregates(rule, &mut errors);
+        check_arities(rule, &mut arities, &mut errors);
+    }
+    errors
+}
+
+/// Validate and return `Ok(())` or the list of violations as an error.
+pub fn validate_strict(program: &Program) -> Result<(), crate::error::LangError> {
+    let errors = validate(program);
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(crate::error::LangError::Validation(errors))
+    }
+}
+
+fn check_location_specificity(rule: &Rule, errors: &mut Vec<ValidationError>) {
+    let mut check_atom = |atom: &crate::ast::Atom| {
+        match atom.location() {
+            None => errors.push(ValidationError::EmptyPredicate {
+                rule: rule.label.clone(),
+                predicate: atom.name.clone(),
+            }),
+            Some(loc) if !loc.is_address() => errors.push(ValidationError::MissingLocationSpecifier {
+                rule: rule.label.clone(),
+                predicate: atom.name.clone(),
+            }),
+            _ => {}
+        }
+    };
+    check_atom(&rule.head);
+    for a in rule.body_atoms() {
+        check_atom(a);
+    }
+}
+
+fn check_address_type_safety(rule: &Rule, errors: &mut Vec<ValidationError>) {
+    for (var, (as_addr, as_plain)) in rule.address_usage() {
+        if as_addr && as_plain {
+            errors.push(ValidationError::AddressTypeViolation {
+                rule: rule.label.clone(),
+                variable: var,
+            });
+        }
+    }
+}
+
+fn check_stored_link_relations(
+    rule: &Rule,
+    link_relations: &BTreeSet<String>,
+    errors: &mut Vec<ValidationError>,
+) {
+    if !rule.is_fact() && link_relations.contains(&rule.head.name) {
+        errors.push(ValidationError::DerivedLinkRelation {
+            rule: rule.label.clone(),
+            predicate: rule.head.name.clone(),
+        });
+    }
+}
+
+fn check_link_restriction(rule: &Rule, errors: &mut Vec<ValidationError>) {
+    if rule.is_local() || rule.is_fact() {
+        return;
+    }
+    let links: Vec<_> = rule.link_literals().collect();
+    if links.len() != 1 {
+        errors.push(ValidationError::NotLinkRestricted {
+            rule: rule.label.clone(),
+            reason: format!(
+                "non-local rules must have exactly one link literal, found {}",
+                links.len()
+            ),
+        });
+        return;
+    }
+    let link = links[0];
+    if link.arity() < 2 {
+        errors.push(ValidationError::NotLinkRestricted {
+            rule: rule.label.clone(),
+            reason: "link literal must have at least source and destination fields".into(),
+        });
+        return;
+    }
+    let endpoints = [&link.args[0], &link.args[1]];
+    let mut offenders = Vec::new();
+    let mut check = |atom: &crate::ast::Atom| {
+        if atom.link {
+            return;
+        }
+        match atom.location() {
+            Some(loc) if endpoints.iter().any(|e| *e == loc) => {}
+            Some(loc) => offenders.push(format!("{}@{}", atom.name, loc)),
+            None => offenders.push(atom.name.clone()),
+        }
+    };
+    check(&rule.head);
+    for a in rule.body_atoms() {
+        check(a);
+    }
+    if !offenders.is_empty() {
+        errors.push(ValidationError::NotLinkRestricted {
+            rule: rule.label.clone(),
+            reason: format!(
+                "location specifiers must be an endpoint of the link literal; offending predicates: {}",
+                offenders.join(", ")
+            ),
+        });
+    }
+}
+
+fn check_safety(rule: &Rule, errors: &mut Vec<ValidationError>) {
+    if rule.is_fact() {
+        // Facts must be ground.
+        for t in &rule.head.args {
+            if let Term::Var(v) = t {
+                errors.push(ValidationError::UnboundHeadVariable {
+                    rule: rule.label.clone(),
+                    variable: v.name.clone(),
+                });
+            }
+        }
+        return;
+    }
+    // Variables bound by body atoms or by assignments.
+    let mut bound: BTreeSet<String> = BTreeSet::new();
+    for a in rule.body_atoms() {
+        bound.extend(a.variables());
+    }
+    for l in &rule.body {
+        if let Literal::Assign(a) = l {
+            bound.insert(a.var.clone());
+        }
+    }
+    for t in &rule.head.args {
+        for v in t.variables() {
+            if !bound.contains(v) {
+                errors.push(ValidationError::UnboundHeadVariable {
+                    rule: rule.label.clone(),
+                    variable: v.to_string(),
+                });
+            }
+        }
+    }
+}
+
+fn check_aggregates(rule: &Rule, errors: &mut Vec<ValidationError>) {
+    for a in rule.body_atoms() {
+        if a.has_aggregate() {
+            errors.push(ValidationError::MisplacedAggregate {
+                rule: rule.label.clone(),
+            });
+        }
+    }
+}
+
+fn check_arities(
+    rule: &Rule,
+    arities: &mut BTreeMap<String, usize>,
+    errors: &mut Vec<ValidationError>,
+) {
+    let mut check = |name: &str, arity: usize| {
+        match arities.get(name) {
+            Some(&expected) if expected != arity => {
+                errors.push(ValidationError::ArityMismatch {
+                    predicate: name.to_string(),
+                    expected,
+                    found: arity,
+                    rule: rule.label.clone(),
+                });
+            }
+            Some(_) => {}
+            None => {
+                arities.insert(name.to_string(), arity);
+            }
+        }
+    };
+    check(&rule.head.name, rule.head.arity());
+    for a in rule.body_atoms() {
+        check(&a.name, a.arity());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn errors_of(src: &str) -> Vec<ValidationError> {
+        validate(&parse_program(src).unwrap())
+    }
+
+    #[test]
+    fn shortest_path_program_is_valid() {
+        let src = r#"
+            sp1 path(@S,@D,@D,P,C) :- #link(@S,@D,C), P := f_cons(S, f_cons(D, nil)).
+            sp2 path(@S,@D,@Z,P,C) :- #link(@S,@Z,C1), path(@Z,@D,@Z2,P2,C2),
+                C := C1 + C2, P := f_cons(S, P2).
+            sp3 spCost(@S,@D,min<C>) :- path(@S,@D,@Z,P,C).
+            sp4 shortestPath(@S,@D,P,C) :- spCost(@S,@D,C), path(@S,@D,@Z,P,C).
+        "#;
+        assert!(errors_of(src).is_empty());
+    }
+
+    #[test]
+    fn missing_location_specifier() {
+        let errs = errors_of("a p(X, @S) :- q(@S, X).");
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::MissingLocationSpecifier { predicate, .. } if predicate == "p")));
+    }
+
+    #[test]
+    fn address_type_safety_violation() {
+        // S is used as an address in the head and as a plain variable in the body.
+        let errs = errors_of("a p(@S, C) :- q(@S, C), C := f_f(S).");
+        // S appears in f_f(S) as an expression variable, which is fine (the
+        // check is about predicate argument positions), so construct a real
+        // violation instead:
+        let errs2 = errors_of("a p(@S, S) :- q(@S, S).");
+        assert!(errs2
+            .iter()
+            .any(|e| matches!(e, ValidationError::AddressTypeViolation { variable, .. } if variable == "S")));
+        assert!(errs.is_empty());
+    }
+
+    #[test]
+    fn derived_link_relation_rejected() {
+        let errs = errors_of("a link(@S, @D, C) :- path(@S, @D, C).");
+        assert!(errs.is_empty(), "link only counts as a link relation when used with #");
+        let errs = errors_of(
+            "a link(@S,@D,C) :- path(@S,@D,C). b reach(@S,@D) :- #link(@S,@D,C).",
+        );
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::DerivedLinkRelation { predicate, .. } if predicate == "link")));
+    }
+
+    #[test]
+    fn link_facts_are_allowed() {
+        let errs = errors_of("f link(@n0, @n1, 3). b reach(@S,@D) :- #link(@S,@D,C).");
+        assert!(errs.is_empty(), "{errs:?}");
+    }
+
+    #[test]
+    fn non_local_rule_without_link_literal() {
+        let errs = errors_of("a p(@S, C) :- q(@D, C), r(@S, D).");
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::NotLinkRestricted { .. })));
+    }
+
+    #[test]
+    fn non_local_rule_with_two_link_literals() {
+        let errs =
+            errors_of("a p(@S, C) :- #link(@S, @D, C), #link(@D, @E, C2), q(@D, C).");
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::NotLinkRestricted { reason, .. } if reason.contains("exactly one"))));
+    }
+
+    #[test]
+    fn non_local_rule_with_off_link_location() {
+        // q is located at @E which is not an endpoint of the link literal.
+        let errs = errors_of("a p(@S, C) :- #link(@S, @D, C), q(@E, C), r(@D, E).");
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::NotLinkRestricted { reason, .. } if reason.contains("q"))));
+    }
+
+    #[test]
+    fn local_rules_need_no_link() {
+        let errs = errors_of("a p(@S, C) :- q(@S, C), r(@S, C).");
+        assert!(errs.is_empty());
+    }
+
+    #[test]
+    fn unsafe_head_variable() {
+        let errs = errors_of("a p(@S, X) :- q(@S, C).");
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::UnboundHeadVariable { variable, .. } if variable == "X")));
+    }
+
+    #[test]
+    fn assignment_binds_head_variable() {
+        let errs = errors_of("a p(@S, X) :- q(@S, C), X := C + 1.");
+        assert!(errs.is_empty());
+    }
+
+    #[test]
+    fn non_ground_fact_rejected() {
+        let errs = errors_of("a p(@S, 3).");
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::UnboundHeadVariable { .. })));
+    }
+
+    #[test]
+    fn aggregate_in_body_rejected() {
+        let errs = errors_of("a p(@S, C) :- q(@S, min<C>).");
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::MisplacedAggregate { .. })));
+    }
+
+    #[test]
+    fn arity_mismatch_detected() {
+        let errs = errors_of("a p(@S, C) :- q(@S, C). b r(@S) :- q(@S, C, D).");
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::ArityMismatch { predicate, .. } if predicate == "q")));
+    }
+
+    #[test]
+    fn validate_strict_wraps_errors() {
+        assert!(validate_strict(&parse_program("a p(@S, X) :- q(@S, C).").unwrap()).is_err());
+        assert!(validate_strict(&parse_program("a p(@S, C) :- q(@S, C).").unwrap()).is_ok());
+    }
+}

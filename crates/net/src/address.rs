@@ -1,0 +1,126 @@
+//! Network addresses.
+//!
+//! An address identifies a node in the (simulated) network and is the value
+//! type carried by NDlog location specifiers (`@S`, `@D`, ...). Addresses are
+//! small copyable integers; a human-readable dotted form is provided for
+//! display and parsing so NDlog programs can mention literal addresses.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// A node address in the network.
+///
+/// Addresses are dense small integers assigned by the topology builder.
+/// `NodeAddr(0)` is a valid address; [`NodeAddr::NONE`] is reserved as a
+/// sentinel for "no address".
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeAddr(pub u32);
+
+impl NodeAddr {
+    /// Sentinel meaning "no node".
+    pub const NONE: NodeAddr = NodeAddr(u32::MAX);
+
+    /// Create an address from a raw index.
+    pub fn new(id: u32) -> Self {
+        NodeAddr(id)
+    }
+
+    /// The raw index of this address.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this is the [`NodeAddr::NONE`] sentinel.
+    pub fn is_none(self) -> bool {
+        self == Self::NONE
+    }
+}
+
+impl fmt::Debug for NodeAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_none() {
+            write!(f, "@none")
+        } else {
+            write!(f, "@n{}", self.0)
+        }
+    }
+}
+
+impl fmt::Display for NodeAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<u32> for NodeAddr {
+    fn from(v: u32) -> Self {
+        NodeAddr(v)
+    }
+}
+
+impl From<usize> for NodeAddr {
+    fn from(v: usize) -> Self {
+        NodeAddr(v as u32)
+    }
+}
+
+/// Error returned when parsing a [`NodeAddr`] from text fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AddrParseError(pub String);
+
+impl fmt::Display for AddrParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid node address: {:?}", self.0)
+    }
+}
+
+impl std::error::Error for AddrParseError {}
+
+impl FromStr for NodeAddr {
+    type Err = AddrParseError;
+
+    /// Parse addresses of the form `@n12`, `n12`, or a bare integer `12`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let t = s.strip_prefix('@').unwrap_or(s);
+        let t = t.strip_prefix('n').unwrap_or(t);
+        t.parse::<u32>()
+            .map(NodeAddr)
+            .map_err(|_| AddrParseError(s.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_roundtrip() {
+        let a = NodeAddr(7);
+        assert_eq!(a.to_string(), "@n7");
+        assert_eq!("@n7".parse::<NodeAddr>().unwrap(), a);
+        assert_eq!("n7".parse::<NodeAddr>().unwrap(), a);
+        assert_eq!("7".parse::<NodeAddr>().unwrap(), a);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("@nx".parse::<NodeAddr>().is_err());
+        assert!("".parse::<NodeAddr>().is_err());
+        assert!("node7".parse::<NodeAddr>().is_err());
+    }
+
+    #[test]
+    fn none_sentinel() {
+        assert!(NodeAddr::NONE.is_none());
+        assert!(!NodeAddr(0).is_none());
+        assert_eq!(NodeAddr::NONE.to_string(), "@none");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NodeAddr(1) < NodeAddr(2));
+        assert_eq!(NodeAddr::from(3usize), NodeAddr(3));
+        assert_eq!(NodeAddr::from(3u32).index(), 3);
+    }
+}

@@ -1,0 +1,37 @@
+//! Network substrate for the declarative networking engine.
+//!
+//! This crate stands in for the physical infrastructure used in the paper's
+//! evaluation (100 machines on the Emulab testbed over GT-ITM transit-stub
+//! topologies). It provides:
+//!
+//! * [`NodeAddr`] — network addresses used as NDlog location specifiers.
+//! * [`Topology`] — an undirected, weighted network graph with per-link
+//!   latency, reliability, bandwidth and a random metric.
+//! * [`gtitm`] — a transit-stub topology generator with the paper's
+//!   parameters (4 transit nodes, 3 stubs per transit node, 8 nodes per
+//!   stub, 50 ms / 10 ms / 2 ms latencies, 10 Mbps links).
+//! * [`overlay`] — overlay construction: each overlay node picks `k` random
+//!   neighbors and derives link metrics from the underlying topology.
+//! * [`sim`] — a deterministic discrete-event simulator with per-link FIFO
+//!   delivery (the precondition of Theorem 4) and latency modelling.
+//! * [`stats`] — communication accounting: per-node bandwidth time series,
+//!   aggregate transfer volume and convergence bookkeeping, matching the
+//!   metrics reported in Section 6 of the paper.
+//!
+//! The simulator is single-threaded and deterministic given a seed, which
+//! makes every experiment in `ndlog-bench` repeatable bit-for-bit.
+
+pub mod address;
+pub mod gtitm;
+pub mod message;
+pub mod overlay;
+pub mod sim;
+pub mod stats;
+pub mod topology;
+
+pub use address::NodeAddr;
+pub use message::{Message, Payload};
+pub use overlay::{Overlay, OverlayConfig, OverlayLink};
+pub use sim::{Event, EventKind, SimConfig, SimTime, Simulator};
+pub use stats::{BandwidthSeries, NetStats};
+pub use topology::{LinkMetrics, Topology, TopologyError};

@@ -1,0 +1,404 @@
+//! A deterministic discrete-event network simulator.
+//!
+//! The simulator plays the role of the Emulab testbed in the paper's
+//! evaluation. It models:
+//!
+//! * per-link propagation latency (from [`LinkMetrics::latency_ms`]),
+//! * per-link transmission delay (`bytes * 8 / bandwidth`),
+//! * **FIFO delivery per directed link** — the precondition of Theorem 4
+//!   (distributed eventual consistency). FIFO can be disabled to exercise
+//!   the negative case in tests,
+//! * timers, used by the engine for periodic aggregate-selection flushes,
+//!   message-sharing delays, soft-state refresh and update bursts.
+//!
+//! The simulator is a passive priority queue of events: the driver (the
+//! distributed engine in `ndlog-core`) schedules messages and timers and
+//! pops events in timestamp order. Time is in integer microseconds, so
+//! event ordering is exact and runs are reproducible.
+//!
+//! [`LinkMetrics::latency_ms`]: crate::topology::LinkMetrics::latency_ms
+
+use crate::address::NodeAddr;
+use crate::message::Message;
+use crate::stats::NetStats;
+use crate::topology::Topology;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Simulation time in microseconds since the start of the run.
+pub type SimTime = u64;
+
+/// Convert milliseconds to [`SimTime`] microseconds.
+pub fn ms(milliseconds: f64) -> SimTime {
+    (milliseconds * 1000.0).round() as SimTime
+}
+
+/// Convert a [`SimTime`] to seconds (for reporting).
+pub fn to_seconds(t: SimTime) -> f64 {
+    t as f64 / 1_000_000.0
+}
+
+/// What a popped event contains.
+#[derive(Debug, Clone)]
+pub enum EventKind<P> {
+    /// A message arriving at `message.to`.
+    Delivery(Message<P>),
+    /// A timer registered by the driver firing at a node. The `token`
+    /// disambiguates different timer purposes.
+    Timer { node: NodeAddr, token: u64 },
+}
+
+/// An event popped from the simulator.
+#[derive(Debug, Clone)]
+pub struct Event<P> {
+    /// The time at which the event occurs.
+    pub time: SimTime,
+    /// The event itself.
+    pub kind: EventKind<P>,
+}
+
+/// Configuration of the simulator.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Enforce FIFO ordering per directed link (default true). Disabling it
+    /// models a network that can reorder messages, which breaks the
+    /// precondition of Theorem 4.
+    pub fifo_links: bool,
+    /// If set, messages between nodes that are *not* linked in the overlay
+    /// are rejected with a panic. Link-restricted NDlog programs never do
+    /// this; catching it is a correctness check on the engine.
+    pub enforce_link_restriction: bool,
+    /// Fixed per-message protocol overhead in bytes (headers), added to the
+    /// payload size for both delay and bandwidth accounting.
+    pub header_bytes: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            fifo_links: true,
+            enforce_link_restriction: true,
+            header_bytes: 28,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct QueuedEvent<P> {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind<P>,
+}
+
+impl<P> PartialEq for QueuedEvent<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<P> Eq for QueuedEvent<P> {}
+impl<P> PartialOrd for QueuedEvent<P> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<P> Ord for QueuedEvent<P> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// The discrete-event simulator.
+///
+/// `P` is the message payload type (the engine uses a batch of tuple
+/// deltas).
+pub struct Simulator<P> {
+    config: SimConfig,
+    topology: Topology,
+    queue: BinaryHeap<Reverse<QueuedEvent<P>>>,
+    /// Earliest time the next message on a directed link may arrive, used to
+    /// enforce FIFO.
+    link_clock: HashMap<(NodeAddr, NodeAddr), SimTime>,
+    now: SimTime,
+    seq: u64,
+    stats: NetStats,
+    dropped: u64,
+}
+
+impl<P: Clone> Simulator<P> {
+    /// Create a simulator over an overlay/underlay graph. Message latency is
+    /// taken from `topology`'s link metrics.
+    pub fn new(topology: Topology, config: SimConfig) -> Self {
+        Simulator {
+            config,
+            topology,
+            queue: BinaryHeap::new(),
+            link_clock: HashMap::new(),
+            now: 0,
+            seq: 0,
+            stats: NetStats::new(),
+            dropped: 0,
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The graph messages travel over.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Mutable access to the graph (used by dynamic-network experiments to
+    /// change link costs mid-run).
+    pub fn topology_mut(&mut self) -> &mut Topology {
+        &mut self.topology
+    }
+
+    /// Accumulated traffic statistics.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Number of messages dropped because they were sent over a missing
+    /// link while `enforce_link_restriction` was disabled.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of events still queued.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn push(&mut self, time: SimTime, kind: EventKind<P>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(QueuedEvent { time, seq, kind }));
+    }
+
+    /// Send a message from `message.from` to `message.to` at the current
+    /// simulation time. Returns the scheduled delivery time, or `None` if
+    /// the message was dropped (no such link and enforcement disabled).
+    pub fn send(&mut self, message: Message<P>) -> Option<SimTime> {
+        let Message { from, to, bytes, .. } = message;
+        let wire_bytes = bytes + self.config.header_bytes;
+        let Some(metrics) = self.topology.link(from, to).copied() else {
+            if self.config.enforce_link_restriction {
+                panic!(
+                    "message sent over non-existent link {from} -> {to}: \
+                     link-restriction violated by the engine"
+                );
+            }
+            self.dropped += 1;
+            return None;
+        };
+        let propagation = ms(metrics.latency_ms);
+        let transmission =
+            ((wire_bytes as f64 * 8.0 / metrics.bandwidth_bps) * 1_000_000.0).round() as SimTime;
+        let mut arrival = self.now + propagation + transmission;
+        if self.config.fifo_links {
+            let clock = self.link_clock.entry((from, to)).or_insert(0);
+            if arrival < *clock {
+                arrival = *clock;
+            }
+            // Strictly increasing so two messages on a link never tie.
+            *clock = arrival + 1;
+        }
+        self.stats.record_send(self.now, from, wire_bytes);
+        self.push(arrival, EventKind::Delivery(message));
+        Some(arrival)
+    }
+
+    /// Schedule a timer to fire at absolute time `at` on `node`.
+    pub fn schedule_timer(&mut self, at: SimTime, node: NodeAddr, token: u64) {
+        let at = at.max(self.now);
+        self.push(at, EventKind::Timer { node, token });
+    }
+
+    /// Schedule a timer to fire `delay` after the current time.
+    pub fn schedule_timer_in(&mut self, delay: SimTime, node: NodeAddr, token: u64) {
+        self.push(self.now + delay, EventKind::Timer { node, token });
+    }
+
+    /// Pop the next event, advancing simulation time. Returns `None` when
+    /// the simulation has quiesced (no events remain).
+    pub fn next_event(&mut self) -> Option<Event<P>> {
+        let Reverse(ev) = self.queue.pop()?;
+        debug_assert!(ev.time >= self.now, "time must be monotonic");
+        self.now = ev.time;
+        Some(Event {
+            time: ev.time,
+            kind: ev.kind,
+        })
+    }
+
+    /// Peek at the timestamp of the next event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.queue.peek().map(|Reverse(e)| e.time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::LinkMetrics;
+
+    fn two_node_topology(latency_ms: f64) -> Topology {
+        let mut t = Topology::with_nodes(2);
+        t.add_link(
+            NodeAddr(0),
+            NodeAddr(1),
+            LinkMetrics {
+                latency_ms,
+                reliability: 1.0,
+                random: 1.0,
+                bandwidth_bps: 8_000_000.0, // 1 byte per microsecond
+            },
+        )
+        .unwrap();
+        t
+    }
+
+    #[test]
+    fn delivery_includes_propagation_and_transmission() {
+        let mut sim: Simulator<u32> = Simulator::new(
+            two_node_topology(10.0),
+            SimConfig {
+                header_bytes: 0,
+                ..Default::default()
+            },
+        );
+        // 1000 bytes at 8 Mbps = 1 ms transmission; 10 ms propagation.
+        let at = sim
+            .send(Message::new(NodeAddr(0), NodeAddr(1), 1000, 7))
+            .unwrap();
+        assert_eq!(at, ms(11.0));
+        let ev = sim.next_event().unwrap();
+        assert_eq!(ev.time, ms(11.0));
+        match ev.kind {
+            EventKind::Delivery(m) => assert_eq!(m.payload, 7),
+            _ => panic!("expected delivery"),
+        }
+        assert_eq!(sim.now(), ms(11.0));
+    }
+
+    #[test]
+    fn fifo_ordering_is_preserved_per_link() {
+        let mut sim: Simulator<u32> = Simulator::new(two_node_topology(5.0), SimConfig::default());
+        // Send a large message then a small one; without FIFO the small one
+        // would overtake because its transmission delay is smaller... here
+        // both have the same delay, so instead verify monotone arrival times
+        // and in-order payloads.
+        for i in 0..10 {
+            sim.send(Message::new(NodeAddr(0), NodeAddr(1), 100, i));
+        }
+        let mut last = 0;
+        let mut payloads = Vec::new();
+        while let Some(ev) = sim.next_event() {
+            assert!(ev.time >= last);
+            last = ev.time;
+            if let EventKind::Delivery(m) = ev.kind {
+                payloads.push(m.payload);
+            }
+        }
+        assert_eq!(payloads, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fifo_prevents_overtaking_of_large_messages() {
+        // First message is huge (long transmission), second is tiny. With
+        // FIFO the tiny one must not arrive before the huge one.
+        let mut sim: Simulator<&'static str> = Simulator::new(
+            two_node_topology(1.0),
+            SimConfig {
+                header_bytes: 0,
+                ..Default::default()
+            },
+        );
+        let t_big = sim
+            .send(Message::new(NodeAddr(0), NodeAddr(1), 1_000_000, "big"))
+            .unwrap();
+        let t_small = sim
+            .send(Message::new(NodeAddr(0), NodeAddr(1), 1, "small"))
+            .unwrap();
+        assert!(t_small > t_big, "FIFO must prevent overtaking");
+
+        // Same scenario without FIFO: the small message may overtake.
+        let mut sim2: Simulator<&'static str> = Simulator::new(
+            two_node_topology(1.0),
+            SimConfig {
+                fifo_links: false,
+                header_bytes: 0,
+                ..Default::default()
+            },
+        );
+        let t_big = sim2
+            .send(Message::new(NodeAddr(0), NodeAddr(1), 1_000_000, "big"))
+            .unwrap();
+        let t_small = sim2
+            .send(Message::new(NodeAddr(0), NodeAddr(1), 1, "small"))
+            .unwrap();
+        assert!(t_small < t_big, "without FIFO the small message overtakes");
+    }
+
+    #[test]
+    #[should_panic(expected = "link-restriction violated")]
+    fn sending_over_missing_link_panics_when_enforced() {
+        let mut sim: Simulator<u32> =
+            Simulator::new(Topology::with_nodes(3), SimConfig::default());
+        sim.send(Message::new(NodeAddr(0), NodeAddr(2), 10, 1));
+    }
+
+    #[test]
+    fn sending_over_missing_link_drops_when_not_enforced() {
+        let mut sim: Simulator<u32> = Simulator::new(
+            Topology::with_nodes(3),
+            SimConfig {
+                enforce_link_restriction: false,
+                ..Default::default()
+            },
+        );
+        assert!(sim
+            .send(Message::new(NodeAddr(0), NodeAddr(2), 10, 1))
+            .is_none());
+        assert_eq!(sim.dropped(), 1);
+    }
+
+    #[test]
+    fn timers_fire_in_order_with_messages() {
+        let mut sim: Simulator<u32> = Simulator::new(two_node_topology(5.0), SimConfig::default());
+        sim.schedule_timer(ms(2.0), NodeAddr(0), 42);
+        sim.send(Message::new(NodeAddr(0), NodeAddr(1), 10, 9));
+        sim.schedule_timer(ms(100.0), NodeAddr(1), 43);
+
+        let e1 = sim.next_event().unwrap();
+        assert!(matches!(e1.kind, EventKind::Timer { token: 42, .. }));
+        let e2 = sim.next_event().unwrap();
+        assert!(matches!(e2.kind, EventKind::Delivery(_)));
+        let e3 = sim.next_event().unwrap();
+        assert!(matches!(e3.kind, EventKind::Timer { token: 43, .. }));
+        assert!(sim.next_event().is_none());
+    }
+
+    #[test]
+    fn stats_account_for_header_bytes() {
+        let mut sim: Simulator<u32> = Simulator::new(
+            two_node_topology(1.0),
+            SimConfig {
+                header_bytes: 28,
+                ..Default::default()
+            },
+        );
+        sim.send(Message::new(NodeAddr(0), NodeAddr(1), 100, 0));
+        assert_eq!(sim.stats().total_bytes(), 128);
+        assert_eq!(sim.stats().message_count(), 1);
+    }
+
+    #[test]
+    fn time_units_convert() {
+        assert_eq!(ms(1.5), 1500);
+        assert!((to_seconds(2_000_000) - 2.0).abs() < 1e-12);
+    }
+}

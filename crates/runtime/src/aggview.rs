@@ -1,0 +1,503 @@
+//! Incremental maintenance of aggregate rules.
+//!
+//! Rules with aggregate heads, such as SP3
+//!
+//! ```text
+//! sp3 spCost(@S,@D,min<C>) :- path(@S,@D,@Z,P,C).
+//! ```
+//!
+//! are not executed as join strands; instead they are maintained as
+//! incremental aggregate views, following the techniques of Ramakrishnan et
+//! al. for incremental evaluation of queries with aggregation (Section 3.3
+//! and Section 4 of the paper). Each group keeps an ordered multiset of its
+//! input values so that
+//!
+//! * an insertion updates the aggregate in O(log n), and
+//! * a deletion re-derives the aggregate in O(log n) time and O(n) space —
+//!   the complexity quoted in the paper for min/max re-evaluation,
+//!
+//! emitting a deletion of the old aggregate tuple and an insertion of the
+//! new one whenever the value actually changes (which is what lets the
+//! downstream `shortestPath` rule react to improvements and retractions).
+//!
+//! Extra body atoms (e.g. the `magicDst(@D)` literal in rule SP3-SD) act as
+//! *guards*: a source delta only feeds the aggregate when the guard atoms
+//! have matches in the local store. Guards are intended for static "magic"
+//! tables seeded before execution; retroactive changes to guard relations
+//! do not replay previously-skipped source tuples.
+
+use crate::expr::Bindings;
+use crate::store::Store;
+use crate::strand::bind_atom;
+use crate::tuple::{Sign, Tuple, TupleDelta};
+use ndlog_lang::{AggFunc, Atom, Literal, Rule, Term, Value};
+use std::collections::BTreeMap;
+
+/// How each head field of the aggregate rule is produced.
+#[derive(Debug, Clone, PartialEq)]
+enum HeadField {
+    /// Copied from this column of the source relation (a group-by field).
+    Group(usize),
+    /// The aggregate value itself.
+    AggValue,
+    /// A constant.
+    Const(Value),
+}
+
+/// An incrementally maintained aggregate view.
+#[derive(Debug, Clone)]
+pub struct AggregateView {
+    rule_label: String,
+    head_relation: String,
+    source_relation: String,
+    func: AggFunc,
+    value_col: usize,
+    group_cols: Vec<usize>,
+    head_template: Vec<HeadField>,
+    source_atom: Atom,
+    guards: Vec<Atom>,
+    groups: BTreeMap<Vec<Value>, GroupState>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct GroupState {
+    /// value -> multiplicity.
+    multiset: BTreeMap<Value, usize>,
+    /// Total number of contributing tuples.
+    total: usize,
+    /// The head tuple currently derived for this group, if any.
+    current: Option<Tuple>,
+}
+
+impl GroupState {
+    fn aggregate(&self, func: AggFunc) -> Option<Value> {
+        if self.total == 0 {
+            return None;
+        }
+        match func {
+            AggFunc::Min => self.multiset.keys().next().cloned(),
+            AggFunc::Max => self.multiset.keys().next_back().cloned(),
+            AggFunc::Count => Some(Value::Int(self.total as i64)),
+            AggFunc::Sum => {
+                let mut sum = 0.0;
+                for (v, n) in &self.multiset {
+                    sum += v.as_f64().unwrap_or(0.0) * *n as f64;
+                }
+                Some(Value::Float(sum))
+            }
+        }
+    }
+}
+
+impl AggregateView {
+    /// Build a view from an aggregate rule. Returns an error message when
+    /// the rule does not have the supported shape (exactly one aggregate in
+    /// the head, a unique source atom providing the aggregated variable,
+    /// only predicate guards — no assignments or filters).
+    pub fn from_rule(rule: &Rule) -> Result<AggregateView, String> {
+        let agg_positions = rule.head.aggregate_positions();
+        if agg_positions.len() != 1 {
+            return Err(format!(
+                "rule {}: aggregate views require exactly one aggregate head argument",
+                rule.label
+            ));
+        }
+        let Term::Agg(agg) = &rule.head.args[agg_positions[0]] else {
+            unreachable!("position came from aggregate_positions");
+        };
+        if rule
+            .body
+            .iter()
+            .any(|l| !matches!(l, Literal::Atom(_)))
+        {
+            return Err(format!(
+                "rule {}: aggregate rules may not contain assignments or filters",
+                rule.label
+            ));
+        }
+        let body_atoms: Vec<&Atom> = rule.body_atoms().collect();
+        let providers: Vec<&Atom> = body_atoms
+            .iter()
+            .copied()
+            .filter(|a| a.args.iter().any(|t| t.var_name() == Some(agg.var.as_str())))
+            .collect();
+        if providers.len() != 1 {
+            return Err(format!(
+                "rule {}: the aggregated variable must be provided by exactly one body atom",
+                rule.label
+            ));
+        }
+        let source = providers[0].clone();
+        let guards: Vec<Atom> = body_atoms
+            .into_iter()
+            .filter(|a| a.name != source.name || **a != source)
+            .cloned()
+            .collect();
+        let col_of = |var: &str| -> Option<usize> {
+            source.args.iter().position(|t| t.var_name() == Some(var))
+        };
+        let value_col = col_of(&agg.var)
+            .ok_or_else(|| format!("rule {}: aggregated variable not in source atom", rule.label))?;
+
+        let mut head_template = Vec::with_capacity(rule.head.arity());
+        let mut group_cols = Vec::new();
+        for term in &rule.head.args {
+            match term {
+                Term::Agg(_) => head_template.push(HeadField::AggValue),
+                Term::Const(c) => head_template.push(HeadField::Const(c.clone())),
+                Term::Var(v) => {
+                    let col = col_of(&v.name).ok_or_else(|| {
+                        format!(
+                            "rule {}: head variable {} not found in the source atom",
+                            rule.label, v.name
+                        )
+                    })?;
+                    group_cols.push(col);
+                    head_template.push(HeadField::Group(col));
+                }
+            }
+        }
+        Ok(AggregateView {
+            rule_label: rule.label.clone(),
+            head_relation: rule.head.name.clone(),
+            source_relation: source.name.clone(),
+            func: agg.func,
+            value_col,
+            group_cols,
+            head_template,
+            source_atom: source,
+            guards,
+            groups: BTreeMap::new(),
+        })
+    }
+
+    /// The relation whose deltas feed this view.
+    pub fn source_relation(&self) -> &str {
+        &self.source_relation
+    }
+
+    /// The relation this view derives.
+    pub fn head_relation(&self) -> &str {
+        &self.head_relation
+    }
+
+    /// The label of the originating rule.
+    pub fn rule_label(&self) -> &str {
+        &self.rule_label
+    }
+
+    /// The aggregate function.
+    pub fn func(&self) -> AggFunc {
+        self.func
+    }
+
+    /// Number of currently non-empty groups.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Current aggregate value for the group a source tuple belongs to.
+    pub fn current_for(&self, source_tuple: &Tuple) -> Option<Value> {
+        let key = source_tuple.project(&self.group_cols);
+        self.groups.get(&key).and_then(|g| g.aggregate(self.func))
+    }
+
+    fn head_tuple(&self, key: &[Value], agg_value: &Value) -> Tuple {
+        // `key` holds the group values in `group_cols` order; map source
+        // column -> value for template instantiation.
+        let mut by_col: BTreeMap<usize, &Value> = BTreeMap::new();
+        for (col, val) in self.group_cols.iter().zip(key.iter()) {
+            by_col.insert(*col, val);
+        }
+        let values = self
+            .head_template
+            .iter()
+            .map(|f| match f {
+                HeadField::Group(col) => (*by_col.get(col).expect("group value present")).clone(),
+                HeadField::AggValue => agg_value.clone(),
+                HeadField::Const(c) => c.clone(),
+            })
+            .collect();
+        Tuple::new(values)
+    }
+
+    fn guards_satisfied(&self, store: &Store, source_tuple: &Tuple) -> bool {
+        if self.guards.is_empty() {
+            return true;
+        }
+        let mut env = Bindings::new();
+        if !bind_atom(&self.source_atom, source_tuple, &mut env) {
+            return false;
+        }
+        self.guards.iter().all(|guard| {
+            let Some(relation) = store.relation(&guard.name) else {
+                return false;
+            };
+            let bound: Vec<(usize, Value)> = guard
+                .args
+                .iter()
+                .enumerate()
+                .filter_map(|(i, t)| match t {
+                    Term::Const(c) => Some((i, c.clone())),
+                    Term::Var(v) => env.get(&v.name).map(|val| (i, val.clone())),
+                    Term::Agg(_) => None,
+                })
+                .collect();
+            relation.scan_match(bound, u64::MAX).next().is_some()
+        })
+    }
+
+    /// Apply a source delta, returning the head deltas to propagate.
+    pub fn apply(&mut self, store: &Store, delta: &TupleDelta) -> Vec<TupleDelta> {
+        if delta.relation != self.source_relation {
+            return Vec::new();
+        }
+        if !self.guards_satisfied(store, &delta.tuple) {
+            return Vec::new();
+        }
+        let Some(value) = delta.tuple.get(self.value_col).cloned() else {
+            return Vec::new();
+        };
+        let key = delta.tuple.project(&self.group_cols);
+        let group = self.groups.entry(key.clone()).or_default();
+
+        match delta.sign {
+            Sign::Insert => {
+                *group.multiset.entry(value).or_insert(0) += 1;
+                group.total += 1;
+            }
+            Sign::Delete => {
+                match group.multiset.get_mut(&value) {
+                    Some(n) if *n > 1 => {
+                        *n -= 1;
+                        group.total -= 1;
+                    }
+                    Some(_) => {
+                        group.multiset.remove(&value);
+                        group.total -= 1;
+                    }
+                    // Deleting a value we never saw (e.g. its insertion was
+                    // pruned by an aggregate selection): ignore.
+                    None => return Vec::new(),
+                }
+            }
+        }
+
+        let new_value = group.aggregate(self.func);
+        let old_head = group.current.clone();
+        let new_head = new_value.map(|v| self.head_tuple(&key, &v));
+
+        let mut out = Vec::new();
+        if old_head == new_head {
+            return out;
+        }
+        if let Some(old) = old_head {
+            out.push(TupleDelta::delete(self.head_relation.clone(), old));
+        }
+        if let Some(new) = new_head.clone() {
+            out.push(TupleDelta::insert(self.head_relation.clone(), new));
+        }
+        // Update (or drop) the group state.
+        if let Some(g) = self.groups.get_mut(&key) {
+            if g.total == 0 {
+                self.groups.remove(&key);
+            } else {
+                g.current = new_head;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndlog_lang::parse_program;
+
+    fn view(src: &str) -> AggregateView {
+        let p = parse_program(src).unwrap();
+        AggregateView::from_rule(&p.rules[0]).unwrap()
+    }
+
+    fn sp_cost_view() -> AggregateView {
+        view("sp3 spCost(@S,@D,min<C>) :- path(@S,@D,@Z,P,C).")
+    }
+
+    fn path(s: u32, d: u32, z: u32, c: f64) -> Tuple {
+        Tuple::new(vec![
+            Value::addr(s),
+            Value::addr(d),
+            Value::addr(z),
+            Value::list(vec![Value::addr(s), Value::addr(d)]),
+            Value::Float(c),
+        ])
+    }
+
+    #[test]
+    fn min_improves_and_emits_replacement() {
+        let mut v = sp_cost_view();
+        let store = Store::new();
+        let out = v.apply(&store, &TupleDelta::insert("path", path(0, 1, 1, 5.0)));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].sign, Sign::Insert);
+        assert_eq!(out[0].relation, "spCost");
+        assert_eq!(out[0].tuple.get(2), Some(&Value::Float(5.0)));
+
+        // A worse path does not change the aggregate.
+        let out = v.apply(&store, &TupleDelta::insert("path", path(0, 1, 2, 9.0)));
+        assert!(out.is_empty());
+
+        // A better path retracts the old aggregate and asserts the new one.
+        let out = v.apply(&store, &TupleDelta::insert("path", path(0, 1, 3, 2.0)));
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].sign, Sign::Delete);
+        assert_eq!(out[0].tuple.get(2), Some(&Value::Float(5.0)));
+        assert_eq!(out[1].sign, Sign::Insert);
+        assert_eq!(out[1].tuple.get(2), Some(&Value::Float(2.0)));
+        assert_eq!(v.group_count(), 1);
+        assert_eq!(v.current_for(&path(0, 1, 1, 0.0)), Some(Value::Float(2.0)));
+    }
+
+    #[test]
+    fn deletion_rederives_from_remaining_inputs() {
+        let mut v = sp_cost_view();
+        let store = Store::new();
+        v.apply(&store, &TupleDelta::insert("path", path(0, 1, 1, 5.0)));
+        v.apply(&store, &TupleDelta::insert("path", path(0, 1, 2, 2.0)));
+        // Deleting the best path falls back to the next best (O(log n)).
+        let out = v.apply(&store, &TupleDelta::delete("path", path(0, 1, 2, 2.0)));
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[1].tuple.get(2), Some(&Value::Float(5.0)));
+        // Deleting the last input retracts the aggregate entirely.
+        let out = v.apply(&store, &TupleDelta::delete("path", path(0, 1, 1, 5.0)));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].sign, Sign::Delete);
+        assert_eq!(v.group_count(), 0);
+    }
+
+    #[test]
+    fn duplicate_values_are_multiset_counted() {
+        let mut v = sp_cost_view();
+        let store = Store::new();
+        v.apply(&store, &TupleDelta::insert("path", path(0, 1, 1, 3.0)));
+        v.apply(&store, &TupleDelta::insert("path", path(0, 1, 2, 3.0)));
+        // Removing one of the two cost-3 paths keeps the aggregate at 3.
+        let out = v.apply(&store, &TupleDelta::delete("path", path(0, 1, 1, 3.0)));
+        assert!(out.is_empty());
+        let out = v.apply(&store, &TupleDelta::delete("path", path(0, 1, 2, 3.0)));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].sign, Sign::Delete);
+    }
+
+    #[test]
+    fn groups_are_independent() {
+        let mut v = sp_cost_view();
+        let store = Store::new();
+        let a = v.apply(&store, &TupleDelta::insert("path", path(0, 1, 1, 5.0)));
+        let b = v.apply(&store, &TupleDelta::insert("path", path(0, 2, 1, 7.0)));
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+        assert_eq!(v.group_count(), 2);
+        assert_eq!(b[0].tuple.get(1), Some(&Value::addr(2u32)));
+    }
+
+    #[test]
+    fn deleting_unseen_value_is_ignored() {
+        let mut v = sp_cost_view();
+        let store = Store::new();
+        v.apply(&store, &TupleDelta::insert("path", path(0, 1, 1, 5.0)));
+        let out = v.apply(&store, &TupleDelta::delete("path", path(0, 1, 9, 4.0)));
+        assert!(out.is_empty());
+        assert_eq!(v.current_for(&path(0, 1, 1, 0.0)), Some(Value::Float(5.0)));
+    }
+
+    #[test]
+    fn max_count_and_sum_aggregates() {
+        let store = Store::new();
+        let mut vmax = view("m best(@S, max<C>) :- obs(@S, C).");
+        let obs = |s: u32, c: i64| Tuple::new(vec![Value::addr(s), Value::Int(c)]);
+        vmax.apply(&store, &TupleDelta::insert("obs", obs(0, 3)));
+        let out = vmax.apply(&store, &TupleDelta::insert("obs", obs(0, 9)));
+        assert_eq!(out[1].tuple.get(1), Some(&Value::Int(9)));
+
+        let mut vcount = view("c deg(@S, count<D>) :- edge(@S, @D).");
+        let edge = |s: u32, d: u32| Tuple::new(vec![Value::addr(s), Value::addr(d)]);
+        vcount.apply(&store, &TupleDelta::insert("edge", edge(0, 1)));
+        let out = vcount.apply(&store, &TupleDelta::insert("edge", edge(0, 2)));
+        assert_eq!(out[1].tuple.get(1), Some(&Value::Int(2)));
+
+        let mut vsum = view("s total(@S, sum<C>) :- obs(@S, C).");
+        vsum.apply(&store, &TupleDelta::insert("obs", obs(0, 3)));
+        let out = vsum.apply(&store, &TupleDelta::insert("obs", obs(0, 4)));
+        assert_eq!(out[1].tuple.get(1), Some(&Value::Float(7.0)));
+    }
+
+    #[test]
+    fn guard_atoms_filter_source_deltas() {
+        let p = parse_program(
+            "sd3 spCost(@D,@S,min<C>) :- magicDst(@D), pathDst(@D,@S,@Z,P,C).",
+        )
+        .unwrap();
+        let mut v = AggregateView::from_rule(&p.rules[0]).unwrap();
+        assert_eq!(v.source_relation(), "pathDst");
+
+        let mut store = Store::new();
+        let pd = |d: u32, s: u32, c: f64| {
+            Tuple::new(vec![
+                Value::addr(d),
+                Value::addr(s),
+                Value::addr(s),
+                Value::nil(),
+                Value::Float(c),
+            ])
+        };
+        // No magicDst entry: the delta is filtered out.
+        assert!(v
+            .apply(&store, &TupleDelta::insert("pathDst", pd(1, 0, 4.0)))
+            .is_empty());
+        // Seed the magic table for destination 1 and retry.
+        store.apply(&TupleDelta::insert(
+            "magicDst",
+            Tuple::new(vec![Value::addr(1u32)]),
+        ));
+        let out = v.apply(&store, &TupleDelta::insert("pathDst", pd(1, 0, 4.0)));
+        assert_eq!(out.len(), 1);
+        // A different destination still has no magic entry.
+        assert!(v
+            .apply(&store, &TupleDelta::insert("pathDst", pd(2, 0, 4.0)))
+            .is_empty());
+    }
+
+    #[test]
+    fn malformed_rules_are_rejected() {
+        let reject = |src: &str| {
+            let p = parse_program(src).unwrap();
+            AggregateView::from_rule(&p.rules[0])
+        };
+        assert!(reject("a x(@S, C) :- p(@S, C).").is_err(), "no aggregate");
+        assert!(
+            reject("a x(@S, min<C>, max<C>) :- p(@S, C).").is_err(),
+            "two aggregates"
+        );
+        assert!(
+            reject("a x(@S, min<C>) :- p(@S, C), q(@S, C).").is_err(),
+            "ambiguous provider"
+        );
+        assert!(
+            reject("a x(@S, min<C>) :- p(@S, C), C < 5.").is_err(),
+            "filters not allowed"
+        );
+        assert!(
+            reject("a x(@S, D, min<C>) :- p(@S, C).").is_err(),
+            "head variable missing from source"
+        );
+    }
+
+    #[test]
+    fn other_relations_are_ignored() {
+        let mut v = sp_cost_view();
+        let store = Store::new();
+        let out = v.apply(&store, &TupleDelta::insert("link", path(0, 1, 1, 5.0)));
+        assert!(out.is_empty());
+    }
+}

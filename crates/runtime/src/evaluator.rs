@@ -1,0 +1,538 @@
+//! Centralized evaluation strategies: SN, BSN and PSN (Section 3).
+//!
+//! The [`Evaluator`] runs a complete NDlog program on a single node,
+//! ignoring locations (every relation is local). It exists for three
+//! purposes:
+//!
+//! 1. as the reference implementation against which the distributed engine
+//!    is checked (Theorem 1: PSN computes the same fixpoint as SN);
+//! 2. to compare the three evaluation strategies of Section 3 — classic
+//!    **semi-naive** (Algorithm 1), **buffered semi-naive** (which may
+//!    defer any buffered tuple to a later local iteration) and **pipelined
+//!    semi-naive** (Algorithm 3, one tuple at a time with timestamp-guarded
+//!    joins) — including the duplicate-inference bookkeeping of Theorem 2;
+//! 3. to exercise incremental updates (insertions, deletions, updates of
+//!    base tuples) against a quiesced store, the centralized half of the
+//!    eventual-consistency argument (Theorem 3).
+
+use crate::aggview::AggregateView;
+use crate::expr::EvalError;
+use crate::store::Store;
+use crate::strand::CompiledStrand;
+use crate::tuple::{Tuple, TupleDelta};
+use ndlog_lang::seminaive::delta_rewrite_full;
+use ndlog_lang::{Program, Rule};
+use std::collections::VecDeque;
+
+/// Which evaluation strategy to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Classic semi-naive evaluation (Algorithm 1): complete iterations,
+    /// each consuming every delta buffered by the previous iteration.
+    SemiNaive,
+    /// Buffered semi-naive: like SN, but a local iteration may flush only
+    /// part of the buffer (here: at most `batch` tuples), deferring the
+    /// rest to a future iteration. Produces the same fixpoint.
+    Buffered {
+        /// Maximum number of buffered tuples flushed per iteration.
+        batch: usize,
+    },
+    /// Pipelined semi-naive evaluation (Algorithm 3): one tuple at a time,
+    /// joins restricted to same-or-older timestamps.
+    Pipelined,
+}
+
+/// Statistics of an evaluation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Number of iterations (SN/BSN) or processed tuples (PSN).
+    pub iterations: usize,
+    /// Strand firings that produced at least one derivation.
+    pub derivations: usize,
+    /// Derivations whose tuple was already stored (the duplicate
+    /// inferences that Theorem 2 is about minimizing).
+    pub redundant_derivations: usize,
+    /// Total deltas enqueued for processing.
+    pub tuples_processed: usize,
+}
+
+/// A single-node NDlog evaluator.
+pub struct Evaluator {
+    store: Store,
+    strands: Vec<CompiledStrand>,
+    views: Vec<AggregateView>,
+    /// Facts declared in the program, loaded at construction.
+    base_facts: Vec<TupleDelta>,
+}
+
+impl Evaluator {
+    /// Build an evaluator for a program. Aggregate-headed rules become
+    /// incremental views; every other rule becomes a set of strands.
+    pub fn new(program: &Program) -> Result<Self, String> {
+        let (agg_rules, plain_rules): (Vec<Rule>, Vec<Rule>) = program
+            .rules
+            .iter()
+            .cloned()
+            .partition(|r| r.head.has_aggregate());
+
+        let mut plain_program = program.clone();
+        plain_program.rules = plain_rules;
+        let strands = delta_rewrite_full(&plain_program)
+            .into_iter()
+            .map(CompiledStrand::new)
+            .collect();
+
+        let mut views = Vec::new();
+        for rule in &agg_rules {
+            views.push(AggregateView::from_rule(rule)?);
+        }
+
+        let store = Store::for_program(program);
+        let base_facts = program
+            .rules
+            .iter()
+            .filter(|r| r.is_fact())
+            .map(|r| {
+                let tuple = crate::strand::project_head(&r.head, &Default::default())
+                    .map_err(|e| format!("fact {} is not ground: {e}", r.label))?;
+                Ok(TupleDelta::insert(r.head.name.clone(), tuple))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+
+        Ok(Evaluator {
+            store,
+            strands,
+            views,
+            base_facts,
+        })
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// Mutable access to the store (e.g. to pre-load base tuples).
+    pub fn store_mut(&mut self) -> &mut Store {
+        &mut self.store
+    }
+
+    /// The compiled strands (useful for inspection in tests).
+    pub fn strands(&self) -> &[CompiledStrand] {
+        &self.strands
+    }
+
+    /// All tuples of a relation.
+    pub fn results(&self, relation: &str) -> Vec<Tuple> {
+        self.store.tuples(relation)
+    }
+
+    /// Insert a base fact (does not run evaluation).
+    ///
+    /// Returns the deltas that still need processing; they are queued
+    /// internally by [`Evaluator::run`] / [`Evaluator::update`], so callers
+    /// normally ignore the return value.
+    pub fn insert_fact(&mut self, relation: &str, tuple: Tuple) {
+        self.base_facts
+            .push(TupleDelta::insert(relation.to_string(), tuple));
+    }
+
+    /// Run the program to fixpoint from the currently loaded base facts.
+    pub fn run(&mut self, strategy: Strategy) -> Result<EvalStats, EvalError> {
+        let pending = std::mem::take(&mut self.base_facts);
+        self.process(pending, strategy)
+    }
+
+    /// Apply an external update (insertion or deletion of a base tuple) to
+    /// a quiesced store and run incremental maintenance to fixpoint using
+    /// PSN — the centralized update handling of Section 4.1.
+    pub fn update(&mut self, delta: TupleDelta) -> Result<EvalStats, EvalError> {
+        self.process(vec![delta], Strategy::Pipelined)
+    }
+
+    /// Core driver shared by all strategies.
+    fn process(
+        &mut self,
+        external: Vec<TupleDelta>,
+        strategy: Strategy,
+    ) -> Result<EvalStats, EvalError> {
+        let mut stats = EvalStats::default();
+        // The work queue holds deltas that have been applied to the store
+        // (and therefore have a timestamp) but whose strands have not fired.
+        let mut queue: VecDeque<(TupleDelta, u64)> = VecDeque::new();
+        for delta in external {
+            self.ingest(delta, &mut queue, &mut stats);
+        }
+
+        match strategy {
+            Strategy::Pipelined => {
+                while let Some((delta, seq)) = queue.pop_front() {
+                    stats.iterations += 1;
+                    self.fire_all(&delta, seq, &mut queue, &mut stats)?;
+                }
+            }
+            Strategy::SemiNaive | Strategy::Buffered { .. } => {
+                let batch = match strategy {
+                    Strategy::Buffered { batch } => batch.max(1),
+                    _ => usize::MAX,
+                };
+                while !queue.is_empty() {
+                    stats.iterations += 1;
+                    // Joins during this iteration may only see tuples that
+                    // existed when the iteration started: that is the
+                    // old/new separation of Algorithm 1.
+                    let iteration_seq = self.store.current_seq();
+                    let take = queue.len().min(batch);
+                    let this_round: Vec<_> = queue.drain(..take).collect();
+                    for (delta, _) in this_round {
+                        self.fire_all(&delta, iteration_seq, &mut queue, &mut stats)?;
+                    }
+                }
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Fire every strand triggered by `delta` and ingest the derivations.
+    fn fire_all(
+        &mut self,
+        delta: &TupleDelta,
+        seq_limit: u64,
+        queue: &mut VecDeque<(TupleDelta, u64)>,
+        stats: &mut EvalStats,
+    ) -> Result<(), EvalError> {
+        // Collect derivations first: strands borrow the store immutably.
+        let mut derived = Vec::new();
+        for strand in &self.strands {
+            if strand.trigger_relation() != delta.relation {
+                continue;
+            }
+            derived.extend(strand.fire(&self.store, delta, seq_limit)?);
+        }
+        for derivation in derived {
+            stats.derivations += 1;
+            self.ingest(derivation.delta, queue, stats);
+        }
+        Ok(())
+    }
+
+    /// Apply a delta to the store, feed aggregate views, and enqueue
+    /// whatever actually changed.
+    fn ingest(
+        &mut self,
+        delta: TupleDelta,
+        queue: &mut VecDeque<(TupleDelta, u64)>,
+        stats: &mut EvalStats,
+    ) {
+        let effect = self.store.apply(&delta);
+        if effect.propagate.is_empty() {
+            // Duplicate derivation or stale deletion: absorbed by the count
+            // algorithm, nothing to propagate.
+            if delta.sign == crate::tuple::Sign::Insert {
+                stats.redundant_derivations += 1;
+            }
+            return;
+        }
+        for prop in effect.propagate {
+            stats.tuples_processed += 1;
+            // Aggregate views react to every real change of their source.
+            let mut view_outputs = Vec::new();
+            for view in &mut self.views {
+                if view.source_relation() == prop.relation {
+                    view_outputs.extend(view.apply(&self.store, &prop));
+                }
+            }
+            queue.push_back((prop, effect.seq));
+            for out in view_outputs {
+                self.ingest(out, queue, stats);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::Sign;
+    use ndlog_lang::{parse_program, programs, Value};
+    use ndlog_net::NodeAddr;
+    use std::collections::BTreeSet;
+
+    fn addr(i: u32) -> Value {
+        Value::addr(i)
+    }
+
+    fn link(s: u32, d: u32, c: f64) -> Tuple {
+        Tuple::new(vec![addr(s), addr(d), Value::Float(c)])
+    }
+
+    /// Load the bidirectional links of a small diamond network:
+    ///   0 -5- 1, 0 -1- 2, 2 -1- 1, 1 -1- 3   (Figure 2's shape).
+    fn load_figure2_links(eval: &mut Evaluator, relation: &str) {
+        let edges = [(0, 1, 5.0), (0, 2, 1.0), (2, 1, 1.0), (1, 3, 1.0)];
+        for (a, b, c) in edges {
+            eval.insert_fact(relation, link(a, b, c));
+            eval.insert_fact(relation, link(b, a, c));
+        }
+    }
+
+    fn shortest_path_results(strategy: Strategy) -> (Vec<Tuple>, EvalStats) {
+        let program = programs::shortest_path("");
+        let mut eval = Evaluator::new(&program).unwrap();
+        load_figure2_links(&mut eval, "link");
+        let stats = eval.run(strategy).unwrap();
+        (eval.results("shortestPath"), stats)
+    }
+
+    #[test]
+    fn shortest_paths_match_dijkstra_shape() {
+        let (results, stats) = shortest_path_results(Strategy::Pipelined);
+        assert!(stats.derivations > 0);
+        // 4 nodes, all pairs reachable -> 12 shortest paths.
+        assert_eq!(results.len(), 12);
+        // Check a few known costs: 0 -> 1 goes via 2 with cost 2 (not the
+        // direct 5-cost link), 0 -> 3 costs 3.
+        let cost = |s: u32, d: u32| -> f64 {
+            results
+                .iter()
+                .find(|t| t.get(0) == Some(&addr(s)) && t.get(1) == Some(&addr(d)))
+                .and_then(|t| t.get(3))
+                .and_then(Value::as_f64)
+                .unwrap()
+        };
+        assert_eq!(cost(0, 1), 2.0);
+        assert_eq!(cost(0, 2), 1.0);
+        assert_eq!(cost(0, 3), 3.0);
+        assert_eq!(cost(3, 0), 3.0, "symmetric because links are bidirectional");
+        // The winning path vector for 0 -> 1 is [0, 2, 1].
+        let path01 = results
+            .iter()
+            .find(|t| t.get(0) == Some(&addr(0)) && t.get(1) == Some(&addr(1)))
+            .unwrap();
+        assert_eq!(
+            path01.get(2),
+            Some(&Value::list(vec![addr(0), addr(2), addr(1)]))
+        );
+    }
+
+    #[test]
+    fn theorem1_all_strategies_agree() {
+        let (psn, _) = shortest_path_results(Strategy::Pipelined);
+        let (sn, _) = shortest_path_results(Strategy::SemiNaive);
+        let (bsn1, _) = shortest_path_results(Strategy::Buffered { batch: 1 });
+        let (bsn3, _) = shortest_path_results(Strategy::Buffered { batch: 3 });
+        let as_set = |v: &[Tuple]| v.iter().cloned().collect::<BTreeSet<_>>();
+        assert_eq!(as_set(&psn), as_set(&sn));
+        assert_eq!(as_set(&psn), as_set(&bsn1));
+        assert_eq!(as_set(&psn), as_set(&bsn3));
+    }
+
+    #[test]
+    fn theorem2_psn_has_no_redundant_derivations_on_a_line() {
+        // On a directed line 0 -> 1 -> 2 -> 3 every reachability fact has a
+        // unique derivation, so a strategy with no repeated inferences must
+        // report zero redundant derivations.
+        let program = parse_program(
+            r#"
+            rc1 reach(@S,@D) :- #edge(@S,@D).
+            rc2 reach(@S,@D) :- #edge(@S,@Z), reach(@Z,@D).
+            "#,
+        )
+        .unwrap();
+        let mut eval = Evaluator::new(&program).unwrap();
+        for i in 0..3u32 {
+            eval.insert_fact("edge", Tuple::new(vec![addr(i), addr(i + 1)]));
+        }
+        let stats = eval.run(Strategy::Pipelined).unwrap();
+        assert_eq!(eval.results("reach").len(), 6);
+        assert_eq!(stats.redundant_derivations, 0);
+    }
+
+    #[test]
+    fn reachability_on_cycle_terminates() {
+        let program = programs::reachability("");
+        let mut eval = Evaluator::new(&program).unwrap();
+        // Directed triangle 0 -> 1 -> 2 -> 0.
+        for (a, b) in [(0u32, 1u32), (1, 2), (2, 0)] {
+            eval.insert_fact("link", link(a, b, 1.0));
+        }
+        eval.run(Strategy::Pipelined).unwrap();
+        // All ordered pairs including self-loops through the cycle.
+        assert_eq!(eval.results("reachable").len(), 9);
+    }
+
+    #[test]
+    fn facts_in_program_text_are_loaded() {
+        let program = parse_program(
+            r#"
+            f1 link(@n0, @n1, 1).
+            f2 link(@n1, @n2, 1).
+            rc1 reach(@S,@D) :- #link(@S,@D,C).
+            rc2 reach(@S,@D) :- #link(@S,@Z,C), reach(@Z,@D).
+            "#,
+        )
+        .unwrap();
+        let mut eval = Evaluator::new(&program).unwrap();
+        eval.run(Strategy::SemiNaive).unwrap();
+        assert_eq!(eval.results("reach").len(), 3);
+    }
+
+    #[test]
+    fn incremental_insertion_matches_from_scratch() {
+        // Theorem 3 flavour: run, then insert a new link incrementally; the
+        // result must equal running from scratch with all links present.
+        let program = programs::shortest_path("");
+        let mut incremental = Evaluator::new(&program).unwrap();
+        load_figure2_links(&mut incremental, "link");
+        incremental.run(Strategy::Pipelined).unwrap();
+        // New links 3 - 4 appear after the initial fixpoint.
+        incremental
+            .update(TupleDelta::insert("link", link(3, 4, 1.0)))
+            .unwrap();
+        incremental
+            .update(TupleDelta::insert("link", link(4, 3, 1.0)))
+            .unwrap();
+
+        let mut scratch = Evaluator::new(&program).unwrap();
+        load_figure2_links(&mut scratch, "link");
+        scratch.insert_fact("link", link(3, 4, 1.0));
+        scratch.insert_fact("link", link(4, 3, 1.0));
+        scratch.run(Strategy::Pipelined).unwrap();
+
+        let a: BTreeSet<_> = incremental.results("shortestPath").into_iter().collect();
+        let b: BTreeSet<_> = scratch.results("shortestPath").into_iter().collect();
+        assert_eq!(a, b);
+        // 5 nodes all-pairs.
+        assert_eq!(a.len(), 20);
+    }
+
+    #[test]
+    fn incremental_deletion_matches_from_scratch() {
+        let program = programs::shortest_path("");
+        let mut incremental = Evaluator::new(&program).unwrap();
+        load_figure2_links(&mut incremental, "link");
+        incremental.run(Strategy::Pipelined).unwrap();
+        // Delete the cheap 0 - 2 links: 0 -> 1 must revert to the direct
+        // cost-5 link.
+        incremental
+            .update(TupleDelta::delete("link", link(0, 2, 1.0)))
+            .unwrap();
+        incremental
+            .update(TupleDelta::delete("link", link(2, 0, 1.0)))
+            .unwrap();
+
+        let mut scratch = Evaluator::new(&program).unwrap();
+        for (a, b, c) in [(0, 1, 5.0), (2, 1, 1.0), (1, 3, 1.0)] {
+            scratch.insert_fact("link", link(a, b, c));
+            scratch.insert_fact("link", link(b, a, c));
+        }
+        scratch.run(Strategy::Pipelined).unwrap();
+
+        let a: BTreeSet<_> = incremental.results("shortestPath").into_iter().collect();
+        let b: BTreeSet<_> = scratch.results("shortestPath").into_iter().collect();
+        assert_eq!(a, b);
+        let cost01 = a
+            .iter()
+            .find(|t| t.get(0) == Some(&addr(0)) && t.get(1) == Some(&addr(1)))
+            .and_then(|t| t.get(3))
+            .and_then(Value::as_f64)
+            .unwrap();
+        assert_eq!(cost01, 5.0);
+    }
+
+    #[test]
+    fn update_is_delete_then_insert() {
+        // Section 4: an update to a base tuple is a deletion followed by an
+        // insertion. Updating link(0,1) from cost 5 to cost 1 changes the
+        // shortest path 0 -> 1 to the direct link.
+        let program = programs::shortest_path("");
+        let mut eval = Evaluator::new(&program).unwrap();
+        load_figure2_links(&mut eval, "link");
+        eval.run(Strategy::Pipelined).unwrap();
+        eval.update(TupleDelta::delete("link", link(0, 1, 5.0))).unwrap();
+        eval.update(TupleDelta::insert("link", link(0, 1, 0.5))).unwrap();
+        let results = eval.results("shortestPath");
+        let best01 = results
+            .iter()
+            .find(|t| t.get(0) == Some(&addr(0)) && t.get(1) == Some(&addr(1)))
+            .unwrap();
+        assert_eq!(best01.get(3), Some(&Value::Float(0.5)));
+        assert_eq!(best01.get(2), Some(&Value::list(vec![addr(0), addr(1)])));
+    }
+
+    #[test]
+    fn distance_vector_program_runs() {
+        let program = programs::distance_vector("", 8);
+        let mut eval = Evaluator::new(&program).unwrap();
+        load_figure2_links(&mut eval, "link");
+        eval.run(Strategy::Pipelined).unwrap();
+        let best = eval.results("bestRoute");
+        // 12 proper all-pairs routes plus 4 self-routes (the program bounds
+        // recursion by hop count rather than a path-vector cycle check, so
+        // round trips like 0 -> 1 -> 0 are legitimate derivations).
+        assert_eq!(best.len(), 16);
+        // bestRoute(0, 1, nexthop=2, cost=2): next hop goes through node 2.
+        let b01 = best
+            .iter()
+            .find(|t| t.get(0) == Some(&addr(0)) && t.get(1) == Some(&addr(1)))
+            .unwrap();
+        assert_eq!(b01.get(2), Some(&addr(2)));
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let (_, stats) = shortest_path_results(Strategy::SemiNaive);
+        assert!(stats.iterations >= 2);
+        assert!(stats.tuples_processed > 0);
+        assert!(stats.derivations >= stats.redundant_derivations);
+        let (_, psn_stats) = shortest_path_results(Strategy::Pipelined);
+        assert!(psn_stats.iterations == psn_stats.tuples_processed);
+    }
+
+    #[test]
+    fn ungrounded_fact_is_rejected() {
+        let program = parse_program("f link(@n0, X, 1).").unwrap();
+        assert!(Evaluator::new(&program).is_err());
+    }
+
+    #[test]
+    fn deletion_of_shared_subpath_cascades() {
+        // Figure 6's scenario: deleting a link removes every path derived
+        // from it, transitively.
+        let program = programs::reachability("");
+        let mut eval = Evaluator::new(&program).unwrap();
+        for (a, b) in [(0u32, 1u32), (1, 2), (2, 3)] {
+            eval.insert_fact("link", link(a, b, 1.0));
+        }
+        eval.run(Strategy::Pipelined).unwrap();
+        assert_eq!(eval.results("reachable").len(), 6);
+        eval.update(TupleDelta::delete("link", link(1, 2, 1.0))).unwrap();
+        let left: BTreeSet<_> = eval
+            .results("reachable")
+            .into_iter()
+            .map(|t| (t.get(0).unwrap().as_addr().unwrap(), t.get(1).unwrap().as_addr().unwrap()))
+            .collect();
+        let expect: BTreeSet<_> = [(0u32, 1u32), (2, 3)]
+            .into_iter()
+            .map(|(a, b)| (NodeAddr(a), NodeAddr(b)))
+            .collect();
+        assert_eq!(left, expect);
+    }
+
+    #[test]
+    fn deletions_emit_sign_delete_downstream() {
+        let program = programs::reachability("");
+        let mut eval = Evaluator::new(&program).unwrap();
+        eval.insert_fact("link", link(0, 1, 1.0));
+        eval.run(Strategy::Pipelined).unwrap();
+        let stats = eval
+            .update(TupleDelta {
+                relation: "link".into(),
+                tuple: link(0, 1, 1.0),
+                sign: Sign::Delete,
+            })
+            .unwrap();
+        assert!(stats.tuples_processed >= 2);
+        assert!(eval.results("reachable").is_empty());
+    }
+}

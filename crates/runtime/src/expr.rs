@@ -1,0 +1,373 @@
+//! Expression evaluation: variable bindings, arithmetic, comparisons and
+//! the builtin `f_*` functions used by NDlog programs.
+//!
+//! The builtins cover what the paper's programs need — path-vector
+//! construction and inspection (`f_cons`, `f_append`, `f_concat`,
+//! `f_member`, `f_size`, `f_first`, `f_last`) — plus a handful of numeric
+//! helpers.
+
+use ndlog_lang::{BinOp, Expr, Value};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Variable bindings accumulated while evaluating a rule body.
+pub type Bindings = BTreeMap<String, Value>;
+
+/// Errors raised while evaluating expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// A referenced variable is not bound.
+    UnboundVariable(String),
+    /// An operator was applied to operands of the wrong type.
+    TypeMismatch {
+        /// What was being evaluated.
+        context: String,
+    },
+    /// An unknown builtin function was called.
+    UnknownFunction(String),
+    /// A builtin was called with the wrong number of arguments.
+    WrongArity {
+        /// Function name.
+        function: String,
+        /// Expected argument count.
+        expected: usize,
+        /// Actual argument count.
+        found: usize,
+    },
+    /// Division by zero.
+    DivisionByZero,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnboundVariable(v) => write!(f, "unbound variable {v}"),
+            EvalError::TypeMismatch { context } => write!(f, "type mismatch in {context}"),
+            EvalError::UnknownFunction(n) => write!(f, "unknown function {n}"),
+            EvalError::WrongArity {
+                function,
+                expected,
+                found,
+            } => write!(f, "{function} expects {expected} arguments, got {found}"),
+            EvalError::DivisionByZero => write!(f, "division by zero"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Evaluate an expression under the given bindings.
+pub fn eval(expr: &Expr, bindings: &Bindings) -> Result<Value, EvalError> {
+    match expr {
+        Expr::Const(v) => Ok(v.clone()),
+        Expr::Var(name) => bindings
+            .get(name)
+            .cloned()
+            .ok_or_else(|| EvalError::UnboundVariable(name.clone())),
+        Expr::Binary(op, l, r) => {
+            let lv = eval(l, bindings)?;
+            let rv = eval(r, bindings)?;
+            eval_binop(*op, &lv, &rv)
+        }
+        Expr::Call(name, args) => {
+            let mut vals = Vec::with_capacity(args.len());
+            for a in args {
+                vals.push(eval(a, bindings)?);
+            }
+            eval_builtin(name, &vals)
+        }
+    }
+}
+
+/// Evaluate an expression and coerce the result to a boolean (used for
+/// filter literals). Numbers are truthy when non-zero, matching the paper's
+/// `f_member(P, S) = 0` idiom.
+pub fn eval_bool(expr: &Expr, bindings: &Bindings) -> Result<bool, EvalError> {
+    match eval(expr, bindings)? {
+        Value::Bool(b) => Ok(b),
+        Value::Int(i) => Ok(i != 0),
+        Value::Float(f) => Ok(f != 0.0),
+        _ => Err(EvalError::TypeMismatch {
+            context: format!("boolean filter `{expr}`"),
+        }),
+    }
+}
+
+fn eval_binop(op: BinOp, l: &Value, r: &Value) -> Result<Value, EvalError> {
+    use BinOp::*;
+    match op {
+        Add | Sub | Mul | Div => {
+            let (a, b) = numeric_pair(op, l, r)?;
+            let result = match op {
+                Add => a + b,
+                Sub => a - b,
+                Mul => a * b,
+                Div => {
+                    if b == 0.0 {
+                        return Err(EvalError::DivisionByZero);
+                    }
+                    a / b
+                }
+                _ => unreachable!(),
+            };
+            // Preserve integer typing when both operands were integers and
+            // the result is integral.
+            if matches!((l, r), (Value::Int(_), Value::Int(_))) && result.fract() == 0.0 {
+                Ok(Value::Int(result as i64))
+            } else {
+                Ok(Value::Float(result))
+            }
+        }
+        Eq => Ok(Value::Bool(l == r)),
+        Ne => Ok(Value::Bool(l != r)),
+        Lt => Ok(Value::Bool(l < r)),
+        Le => Ok(Value::Bool(l <= r)),
+        Gt => Ok(Value::Bool(l > r)),
+        Ge => Ok(Value::Bool(l >= r)),
+        And | Or => {
+            let (Value::Bool(a), Value::Bool(b)) = (l, r) else {
+                return Err(EvalError::TypeMismatch {
+                    context: format!("logical operator {}", op.symbol()),
+                });
+            };
+            Ok(Value::Bool(if op == And { *a && *b } else { *a || *b }))
+        }
+    }
+}
+
+fn numeric_pair(op: BinOp, l: &Value, r: &Value) -> Result<(f64, f64), EvalError> {
+    match (l.as_f64(), r.as_f64()) {
+        (Some(a), Some(b)) => Ok((a, b)),
+        _ => Err(EvalError::TypeMismatch {
+            context: format!("arithmetic operator {}", op.symbol()),
+        }),
+    }
+}
+
+/// Evaluate a builtin function. Builtin names may be written with or
+/// without the `f_` prefix.
+pub fn eval_builtin(name: &str, args: &[Value]) -> Result<Value, EvalError> {
+    let short = name.strip_prefix("f_").unwrap_or(name);
+    let arity = |expected: usize| -> Result<(), EvalError> {
+        if args.len() == expected {
+            Ok(())
+        } else {
+            Err(EvalError::WrongArity {
+                function: name.to_string(),
+                expected,
+                found: args.len(),
+            })
+        }
+    };
+    let as_list = |v: &Value| -> Result<Vec<Value>, EvalError> {
+        v.as_list().map(<[Value]>::to_vec).ok_or(EvalError::TypeMismatch {
+            context: format!("{name} expects a list argument"),
+        })
+    };
+    match short {
+        // f_cons(x, list) -> [x | list]
+        "cons" | "concatPath" => {
+            arity(2)?;
+            let mut out = vec![args[0].clone()];
+            out.extend(as_list(&args[1])?);
+            Ok(Value::list(out))
+        }
+        // f_append(list, x) -> list ++ [x]
+        "append" => {
+            arity(2)?;
+            let mut out = as_list(&args[0])?;
+            out.push(args[1].clone());
+            Ok(Value::list(out))
+        }
+        // f_concat(list, list) -> list ++ list
+        "concat" => {
+            arity(2)?;
+            let mut out = as_list(&args[0])?;
+            out.extend(as_list(&args[1])?);
+            Ok(Value::list(out))
+        }
+        // f_member(list, x) -> 1 if x in list else 0
+        "member" => {
+            arity(2)?;
+            let list = as_list(&args[0])?;
+            Ok(Value::Int(i64::from(list.contains(&args[1]))))
+        }
+        // f_size(list) -> length
+        "size" => {
+            arity(1)?;
+            Ok(Value::Int(as_list(&args[0])?.len() as i64))
+        }
+        // f_first(list) / f_last(list)
+        "first" => {
+            arity(1)?;
+            as_list(&args[0])?
+                .first()
+                .cloned()
+                .ok_or(EvalError::TypeMismatch {
+                    context: "f_first of empty list".into(),
+                })
+        }
+        "last" => {
+            arity(1)?;
+            as_list(&args[0])?
+                .last()
+                .cloned()
+                .ok_or(EvalError::TypeMismatch {
+                    context: "f_last of empty list".into(),
+                })
+        }
+        // f_min(a, b) / f_max(a, b) on scalars
+        "min" => {
+            arity(2)?;
+            Ok(if args[0] <= args[1] {
+                args[0].clone()
+            } else {
+                args[1].clone()
+            })
+        }
+        "max" => {
+            arity(2)?;
+            Ok(if args[0] >= args[1] {
+                args[0].clone()
+            } else {
+                args[1].clone()
+            })
+        }
+        _ => Err(EvalError::UnknownFunction(name.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndlog_lang::Expr;
+
+    fn bind(pairs: &[(&str, Value)]) -> Bindings {
+        pairs.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()
+    }
+
+    #[test]
+    fn arithmetic_preserves_integer_type() {
+        let b = bind(&[("A", Value::Int(2)), ("B", Value::Int(3))]);
+        let e = Expr::bin(BinOp::Add, Expr::var("A"), Expr::var("B"));
+        assert_eq!(eval(&e, &b).unwrap(), Value::Int(5));
+        let e = Expr::bin(BinOp::Add, Expr::var("A"), Expr::Const(Value::Float(0.5)));
+        assert_eq!(eval(&e, &b).unwrap(), Value::Float(2.5));
+        let e = Expr::bin(BinOp::Div, Expr::var("B"), Expr::var("A"));
+        assert_eq!(eval(&e, &b).unwrap(), Value::Float(1.5));
+    }
+
+    #[test]
+    fn division_by_zero_errors() {
+        let e = Expr::bin(BinOp::Div, Expr::val(1i64), Expr::val(0i64));
+        assert_eq!(eval(&e, &Bindings::new()), Err(EvalError::DivisionByZero));
+    }
+
+    #[test]
+    fn comparisons_and_booleans() {
+        let b = bind(&[("C", Value::Float(3.0))]);
+        let lt = Expr::bin(BinOp::Lt, Expr::var("C"), Expr::val(5i64));
+        assert_eq!(eval(&lt, &b).unwrap(), Value::Bool(true));
+        assert!(eval_bool(&lt, &b).unwrap());
+        let and = Expr::bin(BinOp::And, lt.clone(), Expr::Const(Value::Bool(false)));
+        assert_eq!(eval(&and, &b).unwrap(), Value::Bool(false));
+        let or = Expr::bin(BinOp::Or, Expr::Const(Value::Bool(false)), lt);
+        assert_eq!(eval(&or, &b).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn numeric_truthiness_for_filters() {
+        // f_member(...) == 0 style: integers are truthy when non-zero.
+        assert!(eval_bool(&Expr::val(1i64), &Bindings::new()).unwrap());
+        assert!(!eval_bool(&Expr::val(0i64), &Bindings::new()).unwrap());
+        assert!(eval_bool(&Expr::Const(Value::str("x")), &Bindings::new()).is_err());
+    }
+
+    #[test]
+    fn unbound_variable_reported() {
+        assert_eq!(
+            eval(&Expr::var("X"), &Bindings::new()),
+            Err(EvalError::UnboundVariable("X".into()))
+        );
+    }
+
+    #[test]
+    fn path_vector_builtins() {
+        let a0 = Value::addr(0u32);
+        let a1 = Value::addr(1u32);
+        let a2 = Value::addr(2u32);
+        // f_cons(a0, f_cons(a1, nil)) = [a0, a1]
+        let l = eval_builtin("f_cons", &[a1.clone(), Value::nil()]).unwrap();
+        let l = eval_builtin("f_cons", &[a0.clone(), l]).unwrap();
+        assert_eq!(l, Value::list(vec![a0.clone(), a1.clone()]));
+        // append / concat
+        let l2 = eval_builtin("f_append", &[l.clone(), a2.clone()]).unwrap();
+        assert_eq!(l2.as_list().unwrap().len(), 3);
+        let l3 = eval_builtin("f_concat", &[l.clone(), l.clone()]).unwrap();
+        assert_eq!(l3.as_list().unwrap().len(), 4);
+        // member / size / first / last
+        assert_eq!(eval_builtin("f_member", &[l.clone(), a1.clone()]).unwrap(), Value::Int(1));
+        assert_eq!(eval_builtin("f_member", &[l.clone(), a2.clone()]).unwrap(), Value::Int(0));
+        assert_eq!(eval_builtin("f_size", &[l.clone()]).unwrap(), Value::Int(2));
+        assert_eq!(eval_builtin("f_first", &[l.clone()]).unwrap(), a0);
+        assert_eq!(eval_builtin("f_last", &[l]).unwrap(), a1);
+    }
+
+    #[test]
+    fn concat_path_alias() {
+        // The paper's f_concatPath behaves like cons of the new hop onto
+        // the existing path vector.
+        let l = eval_builtin("f_concatPath", &[Value::addr(5u32), Value::nil()]).unwrap();
+        assert_eq!(l, Value::list(vec![Value::addr(5u32)]));
+    }
+
+    #[test]
+    fn scalar_min_max() {
+        assert_eq!(
+            eval_builtin("f_min", &[Value::Int(3), Value::Float(2.5)]).unwrap(),
+            Value::Float(2.5)
+        );
+        assert_eq!(
+            eval_builtin("f_max", &[Value::Int(3), Value::Float(2.5)]).unwrap(),
+            Value::Int(3)
+        );
+    }
+
+    #[test]
+    fn builtin_errors() {
+        assert!(matches!(
+            eval_builtin("f_nonsense", &[]),
+            Err(EvalError::UnknownFunction(_))
+        ));
+        assert!(matches!(
+            eval_builtin("f_size", &[Value::Int(1), Value::Int(2)]),
+            Err(EvalError::WrongArity { .. })
+        ));
+        assert!(matches!(
+            eval_builtin("f_size", &[Value::Int(1)]),
+            Err(EvalError::TypeMismatch { .. })
+        ));
+        assert!(matches!(
+            eval_builtin("f_first", &[Value::nil()]),
+            Err(EvalError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn nested_call_evaluation() {
+        let b = bind(&[
+            ("S", Value::addr(1u32)),
+            ("P2", Value::list(vec![Value::addr(2u32), Value::addr(3u32)])),
+        ]);
+        let e = Expr::call("f_cons", vec![Expr::var("S"), Expr::var("P2")]);
+        let v = eval(&e, &b).unwrap();
+        assert_eq!(v.as_list().unwrap().len(), 3);
+        assert_eq!(v.as_list().unwrap()[0], Value::addr(1u32));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(EvalError::UnboundVariable("X".into()).to_string().contains("X"));
+        assert!(EvalError::DivisionByZero.to_string().contains("zero"));
+    }
+}

@@ -1,0 +1,40 @@
+//! Single-node NDlog evaluation machinery.
+//!
+//! This crate implements everything a node needs to evaluate a (localized)
+//! NDlog program over its local state:
+//!
+//! * [`tuple`] — tuples and signed tuple deltas;
+//! * [`expr`] — expression evaluation and the builtin `f_*` functions
+//!   (path-vector construction, membership tests, arithmetic);
+//! * [`relation`] — stored relations with primary keys, derivation counts
+//!   (the count algorithm for deletions), per-tuple timestamps and optional
+//!   soft-state TTLs;
+//! * [`store`] — a node's collection of relations, built from a program's
+//!   `materialize` declarations;
+//! * [`strand`] — compiled rule strands (the unit of execution in P2's
+//!   dataflow, Figures 3 and 5) and their firing logic;
+//! * [`aggview`] — incremental maintenance of aggregate rules
+//!   (`min<C>`-style heads) with O(log n) deletion handling;
+//! * [`evaluator`] — the three centralized evaluation strategies of
+//!   Section 3: semi-naive (SN, Algorithm 1), buffered semi-naive (BSN) and
+//!   pipelined semi-naive (PSN, Algorithm 3), with derivation statistics
+//!   used to validate Theorems 1 and 2.
+//!
+//! The distributed engine (`ndlog-core`) composes these pieces per node and
+//! adds the network, optimizations and update handling.
+
+pub mod aggview;
+pub mod evaluator;
+pub mod expr;
+pub mod relation;
+pub mod store;
+pub mod strand;
+pub mod tuple;
+
+pub use aggview::AggregateView;
+pub use evaluator::{EvalStats, Evaluator, Strategy};
+pub use expr::{Bindings, EvalError};
+pub use relation::{InsertOutcome, Relation, RelationSchema};
+pub use store::Store;
+pub use strand::{CompiledStrand, Derivation};
+pub use tuple::{Sign, Tuple, TupleDelta};

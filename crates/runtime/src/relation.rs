@@ -1,0 +1,393 @@
+//! Stored relations: primary keys, derivation counts, timestamps and
+//! soft-state lifetimes.
+//!
+//! Each relation follows the paper's data model (Section 2): it has a
+//! primary key (defaulting to the full set of attributes) and stores one
+//! tuple per key. Three pieces of bookkeeping ride along with each tuple:
+//!
+//! * a **derivation count** — the count algorithm of Gupta et al. used for
+//!   incremental deletions (Section 4): duplicate derivations increment the
+//!   count, deletions decrement it, and the tuple disappears only when the
+//!   count reaches zero;
+//! * a **timestamp** (local sequence number) — assigned on first insertion
+//!   and used by pipelined semi-naive joins to match only "same or older"
+//!   tuples (Section 3.3.2), which prevents repeated inferences;
+//! * an optional **expiry time** for soft-state tables (Section 4.2):
+//!   tuples must be refreshed before their TTL elapses or they are deleted.
+
+use crate::tuple::Tuple;
+use ndlog_lang::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Schema of a stored relation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RelationSchema {
+    /// Relation name.
+    pub name: String,
+    /// Primary-key column indexes; empty means "all columns".
+    pub key_columns: Vec<usize>,
+    /// Soft-state TTL in microseconds; `None` = hard state.
+    pub ttl_micros: Option<u64>,
+}
+
+impl RelationSchema {
+    /// A hard-state relation keyed on all columns.
+    pub fn new(name: impl Into<String>) -> Self {
+        RelationSchema {
+            name: name.into(),
+            key_columns: Vec::new(),
+            ttl_micros: None,
+        }
+    }
+
+    /// Set the primary-key columns.
+    pub fn with_keys(mut self, keys: Vec<usize>) -> Self {
+        self.key_columns = keys;
+        self
+    }
+
+    /// Set a soft-state TTL (seconds).
+    pub fn with_ttl_seconds(mut self, seconds: f64) -> Self {
+        self.ttl_micros = Some((seconds * 1_000_000.0) as u64);
+        self
+    }
+
+    /// The primary key of a tuple under this schema.
+    pub fn key_of(&self, tuple: &Tuple) -> Vec<Value> {
+        if self.key_columns.is_empty() {
+            tuple.values().to_vec()
+        } else {
+            tuple.project(&self.key_columns)
+        }
+    }
+}
+
+/// A stored tuple with its bookkeeping.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StoredTuple {
+    /// The tuple itself.
+    pub tuple: Tuple,
+    /// Number of outstanding derivations (count algorithm).
+    pub count: u64,
+    /// Local timestamp: the store-wide sequence number assigned when the
+    /// tuple was first inserted.
+    pub seq: u64,
+    /// Absolute expiry time in microseconds (soft state only).
+    pub expires_at: Option<u64>,
+}
+
+/// Result of inserting a tuple.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InsertOutcome {
+    /// The tuple is new: propagate an insertion delta.
+    New,
+    /// An identical tuple already exists: its derivation count was
+    /// incremented, nothing to propagate.
+    Duplicate,
+    /// A different tuple with the same primary key existed and was
+    /// replaced (P2's key-update semantics): propagate a deletion of the
+    /// returned old tuple and an insertion of the new one.
+    Replaced(Tuple),
+}
+
+/// Result of deleting a tuple.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeleteOutcome {
+    /// The last derivation was removed: propagate a deletion delta.
+    Removed,
+    /// Other derivations remain; nothing to propagate.
+    Decremented,
+    /// No matching tuple was stored (or the stored tuple differs).
+    NotFound,
+}
+
+/// A stored relation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Relation {
+    schema: RelationSchema,
+    tuples: BTreeMap<Vec<Value>, StoredTuple>,
+}
+
+impl Relation {
+    /// Create an empty relation.
+    pub fn new(schema: RelationSchema) -> Self {
+        Relation {
+            schema,
+            tuples: BTreeMap::new(),
+        }
+    }
+
+    /// The relation's schema.
+    pub fn schema(&self) -> &RelationSchema {
+        &self.schema
+    }
+
+    /// Number of stored tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Whether an identical tuple is stored.
+    pub fn contains(&self, tuple: &Tuple) -> bool {
+        self.tuples
+            .get(&self.schema.key_of(tuple))
+            .is_some_and(|s| &s.tuple == tuple)
+    }
+
+    /// The stored tuple with the same primary key as `tuple`, if any.
+    pub fn get_by_key_of(&self, tuple: &Tuple) -> Option<&StoredTuple> {
+        self.tuples.get(&self.schema.key_of(tuple))
+    }
+
+    /// Look up by an explicit key.
+    pub fn get(&self, key: &[Value]) -> Option<&StoredTuple> {
+        self.tuples.get(key)
+    }
+
+    /// Iterate over stored tuples in key order (deterministic).
+    pub fn iter(&self) -> impl Iterator<Item = &StoredTuple> {
+        self.tuples.values()
+    }
+
+    /// Iterate over tuples matching equality constraints on the given
+    /// columns, visible at or before `seq_limit`.
+    pub fn scan_match(
+        &self,
+        bound: Vec<(usize, Value)>,
+        seq_limit: u64,
+    ) -> impl Iterator<Item = &StoredTuple> + '_ {
+        self.tuples.values().filter(move |s| {
+            s.seq <= seq_limit
+                && bound
+                    .iter()
+                    .all(|(col, val)| s.tuple.get(*col) == Some(val))
+        })
+    }
+
+    /// Insert a tuple (first derivation or an additional derivation).
+    ///
+    /// `seq` is the timestamp to assign if the tuple is new; `expires_at`
+    /// the absolute expiry time for soft-state relations (ignored for hard
+    /// state). Re-inserting an identical tuple refreshes its expiry —
+    /// exactly the soft-state refresh behaviour of Section 4.2.
+    pub fn insert(&mut self, tuple: Tuple, seq: u64, now_micros: u64) -> InsertOutcome {
+        let key = self.schema.key_of(&tuple);
+        let expires_at = self.schema.ttl_micros.map(|ttl| now_micros + ttl);
+        match self.tuples.get_mut(&key) {
+            None => {
+                self.tuples.insert(
+                    key,
+                    StoredTuple {
+                        tuple,
+                        count: 1,
+                        seq,
+                        expires_at,
+                    },
+                );
+                InsertOutcome::New
+            }
+            Some(existing) if existing.tuple == tuple => {
+                existing.count += 1;
+                if expires_at.is_some() {
+                    existing.expires_at = expires_at;
+                }
+                InsertOutcome::Duplicate
+            }
+            Some(existing) => {
+                let old = existing.tuple.clone();
+                *existing = StoredTuple {
+                    tuple,
+                    count: 1,
+                    seq,
+                    expires_at,
+                };
+                InsertOutcome::Replaced(old)
+            }
+        }
+    }
+
+    /// Delete (one derivation of) a tuple.
+    pub fn delete(&mut self, tuple: &Tuple) -> DeleteOutcome {
+        let key = self.schema.key_of(tuple);
+        match self.tuples.get_mut(&key) {
+            Some(existing) if &existing.tuple == tuple => {
+                if existing.count > 1 {
+                    existing.count -= 1;
+                    DeleteOutcome::Decremented
+                } else {
+                    self.tuples.remove(&key);
+                    DeleteOutcome::Removed
+                }
+            }
+            _ => DeleteOutcome::NotFound,
+        }
+    }
+
+    /// Remove a tuple outright regardless of its derivation count (used
+    /// when a primary-key replacement cascades).
+    pub fn remove(&mut self, tuple: &Tuple) -> bool {
+        let key = self.schema.key_of(tuple);
+        match self.tuples.get(&key) {
+            Some(existing) if &existing.tuple == tuple => {
+                self.tuples.remove(&key);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Remove all tuples whose soft-state lifetime has elapsed, returning
+    /// them.
+    pub fn expire(&mut self, now_micros: u64) -> Vec<Tuple> {
+        let expired: Vec<Vec<Value>> = self
+            .tuples
+            .iter()
+            .filter(|(_, s)| s.expires_at.is_some_and(|t| t <= now_micros))
+            .map(|(k, _)| k.clone())
+            .collect();
+        expired
+            .into_iter()
+            .filter_map(|k| self.tuples.remove(&k))
+            .map(|s| s.tuple)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndlog_lang::Value;
+
+    fn t(vals: &[i64]) -> Tuple {
+        Tuple::new(vals.iter().map(|&v| Value::Int(v)).collect())
+    }
+
+    fn keyed_relation() -> Relation {
+        Relation::new(RelationSchema::new("r").with_keys(vec![0]))
+    }
+
+    #[test]
+    fn insert_and_contains() {
+        let mut r = keyed_relation();
+        assert_eq!(r.insert(t(&[1, 10]), 1, 0), InsertOutcome::New);
+        assert!(r.contains(&t(&[1, 10])));
+        assert!(!r.contains(&t(&[1, 11])));
+        assert_eq!(r.len(), 1);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn duplicate_increments_count() {
+        let mut r = keyed_relation();
+        r.insert(t(&[1, 10]), 1, 0);
+        assert_eq!(r.insert(t(&[1, 10]), 2, 0), InsertOutcome::Duplicate);
+        let stored = r.get_by_key_of(&t(&[1, 10])).unwrap();
+        assert_eq!(stored.count, 2);
+        assert_eq!(stored.seq, 1, "timestamp keeps the first derivation's value");
+    }
+
+    #[test]
+    fn replacement_returns_old_tuple() {
+        let mut r = keyed_relation();
+        r.insert(t(&[1, 10]), 1, 0);
+        match r.insert(t(&[1, 20]), 2, 0) {
+            InsertOutcome::Replaced(old) => assert_eq!(old, t(&[1, 10])),
+            other => panic!("expected replacement, got {other:?}"),
+        }
+        assert!(r.contains(&t(&[1, 20])));
+        assert!(!r.contains(&t(&[1, 10])));
+    }
+
+    #[test]
+    fn count_algorithm_deletion() {
+        let mut r = keyed_relation();
+        r.insert(t(&[1, 10]), 1, 0);
+        r.insert(t(&[1, 10]), 2, 0);
+        assert_eq!(r.delete(&t(&[1, 10])), DeleteOutcome::Decremented);
+        assert!(r.contains(&t(&[1, 10])));
+        assert_eq!(r.delete(&t(&[1, 10])), DeleteOutcome::Removed);
+        assert!(!r.contains(&t(&[1, 10])));
+        assert_eq!(r.delete(&t(&[1, 10])), DeleteOutcome::NotFound);
+    }
+
+    #[test]
+    fn stale_deletion_is_ignored() {
+        let mut r = keyed_relation();
+        r.insert(t(&[1, 10]), 1, 0);
+        // Deleting a tuple with the same key but a different value does not
+        // affect the stored tuple.
+        assert_eq!(r.delete(&t(&[1, 99])), DeleteOutcome::NotFound);
+        assert!(r.contains(&t(&[1, 10])));
+    }
+
+    #[test]
+    fn remove_ignores_count() {
+        let mut r = keyed_relation();
+        r.insert(t(&[1, 10]), 1, 0);
+        r.insert(t(&[1, 10]), 2, 0);
+        assert!(r.remove(&t(&[1, 10])));
+        assert!(r.is_empty());
+        assert!(!r.remove(&t(&[1, 10])));
+    }
+
+    #[test]
+    fn default_key_is_all_columns() {
+        let mut r = Relation::new(RelationSchema::new("r"));
+        r.insert(t(&[1, 10]), 1, 0);
+        r.insert(t(&[1, 20]), 2, 0);
+        assert_eq!(r.len(), 2, "different tuples coexist without a declared key");
+    }
+
+    #[test]
+    fn scan_match_respects_bindings_and_seq() {
+        let mut r = Relation::new(RelationSchema::new("r"));
+        r.insert(t(&[1, 10]), 1, 0);
+        r.insert(t(&[1, 20]), 2, 0);
+        r.insert(t(&[2, 30]), 3, 0);
+        let bound = vec![(0usize, Value::Int(1))];
+        let hits: Vec<_> = r.scan_match(bound.clone(), u64::MAX).collect();
+        assert_eq!(hits.len(), 2);
+        let hits: Vec<_> = r.scan_match(bound, 1).collect();
+        assert_eq!(hits.len(), 1, "seq limit hides newer tuples");
+        let unbound: Vec<_> = r.scan_match(vec![], u64::MAX).collect();
+        assert_eq!(unbound.len(), 3);
+    }
+
+    #[test]
+    fn soft_state_expiry_and_refresh() {
+        let mut r = Relation::new(RelationSchema::new("r").with_ttl_seconds(1.0));
+        r.insert(t(&[1, 10]), 1, 0);
+        r.insert(t(&[2, 20]), 2, 500_000);
+        // Refresh tuple 1 at t=800ms: its lifetime now extends to 1.8s.
+        assert_eq!(r.insert(t(&[1, 10]), 3, 800_000), InsertOutcome::Duplicate);
+        let expired = r.expire(1_200_000);
+        assert!(expired.is_empty(), "both tuples are still alive");
+        let expired = r.expire(1_600_000);
+        assert_eq!(expired, vec![t(&[2, 20])], "unrefreshed tuple expires");
+        assert!(r.contains(&t(&[1, 10])));
+        let expired = r.expire(2_000_000);
+        assert_eq!(expired.len(), 1);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn hard_state_never_expires() {
+        let mut r = keyed_relation();
+        r.insert(t(&[1, 10]), 1, 0);
+        assert!(r.expire(u64::MAX).is_empty());
+    }
+
+    #[test]
+    fn schema_key_projection() {
+        let s = RelationSchema::new("r").with_keys(vec![1]);
+        assert_eq!(s.key_of(&t(&[7, 8])), vec![Value::Int(8)]);
+        let s = RelationSchema::new("r");
+        assert_eq!(s.key_of(&t(&[7, 8])).len(), 2);
+    }
+}

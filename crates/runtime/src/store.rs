@@ -1,0 +1,283 @@
+//! A node's table store: the collection of relations a (localized) NDlog
+//! program reads and writes at one network node.
+
+use crate::relation::{DeleteOutcome, InsertOutcome, Relation, RelationSchema};
+use crate::tuple::{Sign, Tuple, TupleDelta};
+use ndlog_lang::Program;
+use std::collections::BTreeMap;
+
+/// A collection of named relations plus the node-local timestamp counter
+/// used by pipelined semi-naive evaluation.
+#[derive(Debug, Clone, Default)]
+pub struct Store {
+    relations: BTreeMap<String, Relation>,
+    next_seq: u64,
+    now_micros: u64,
+}
+
+/// The effect of applying a delta to the store: the deltas that should be
+/// propagated further (possibly empty), plus the timestamp assigned to the
+/// applied tuple (used as the join visibility limit when firing strands).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApplyEffect {
+    /// Deltas to propagate (e.g. a primary-key replacement propagates a
+    /// deletion of the old tuple and an insertion of the new one).
+    pub propagate: Vec<TupleDelta>,
+    /// The timestamp of the applied tuple.
+    pub seq: u64,
+}
+
+impl Store {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build a store with a relation for every table declaration and every
+    /// relation mentioned by the program (derived relations default to
+    /// all-columns primary keys).
+    pub fn for_program(program: &Program) -> Self {
+        let mut store = Store::new();
+        store.add_program(program);
+        store
+    }
+
+    /// Add the relations of a program to an existing store (used when one
+    /// node runs several concurrent queries). Existing relations keep their
+    /// schemas.
+    pub fn add_program(&mut self, program: &Program) {
+        for decl in &program.tables {
+            if self.relations.contains_key(&decl.name) {
+                continue;
+            }
+            let mut schema =
+                RelationSchema::new(decl.name.clone()).with_keys(decl.key_columns.clone());
+            if let Some(ttl) = decl.ttl_seconds {
+                schema = schema.with_ttl_seconds(ttl);
+            }
+            self.ensure(schema);
+        }
+        let mut names: Vec<String> = Vec::new();
+        for rule in &program.rules {
+            names.push(rule.head.name.clone());
+            for a in rule.body_atoms() {
+                names.push(a.name.clone());
+            }
+        }
+        for name in names {
+            if !self.relations.contains_key(&name) {
+                self.ensure(RelationSchema::new(name));
+            }
+        }
+    }
+
+    /// Ensure a relation with the given schema exists (no-op if present).
+    pub fn ensure(&mut self, schema: RelationSchema) -> &mut Relation {
+        self.relations
+            .entry(schema.name.clone())
+            .or_insert_with(|| Relation::new(schema))
+    }
+
+    /// The relation with this name, if any.
+    pub fn relation(&self, name: &str) -> Option<&Relation> {
+        self.relations.get(name)
+    }
+
+    /// Mutable access to a relation.
+    pub fn relation_mut(&mut self, name: &str) -> Option<&mut Relation> {
+        self.relations.get_mut(name)
+    }
+
+    /// Names of all relations, in sorted order.
+    pub fn relation_names(&self) -> impl Iterator<Item = &str> {
+        self.relations.keys().map(String::as_str)
+    }
+
+    /// Total number of stored tuples across relations.
+    pub fn total_tuples(&self) -> usize {
+        self.relations.values().map(Relation::len).sum()
+    }
+
+    /// Current logical time (microseconds), used for soft-state expiry.
+    pub fn now_micros(&self) -> u64 {
+        self.now_micros
+    }
+
+    /// Advance the store's logical clock (monotonic).
+    pub fn set_time(&mut self, now_micros: u64) {
+        self.now_micros = self.now_micros.max(now_micros);
+    }
+
+    /// The most recently assigned timestamp.
+    pub fn current_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    fn fresh_seq(&mut self) -> u64 {
+        self.next_seq += 1;
+        self.next_seq
+    }
+
+    /// Apply a signed delta to the store, creating the relation on demand.
+    ///
+    /// Returns the deltas to propagate further (empty for duplicate
+    /// derivations and stale deletions — that is how the count algorithm
+    /// suppresses redundant downstream work) plus the timestamp to use as
+    /// the join visibility limit when firing strands off this delta.
+    pub fn apply(&mut self, delta: &TupleDelta) -> ApplyEffect {
+        let now = self.now_micros;
+        let seq = self.fresh_seq();
+        let relation = self
+            .relations
+            .entry(delta.relation.clone())
+            .or_insert_with(|| Relation::new(RelationSchema::new(delta.relation.clone())));
+        match delta.sign {
+            Sign::Insert => match relation.insert(delta.tuple.clone(), seq, now) {
+                InsertOutcome::New => ApplyEffect {
+                    propagate: vec![delta.clone()],
+                    seq,
+                },
+                InsertOutcome::Duplicate => ApplyEffect {
+                    propagate: Vec::new(),
+                    seq,
+                },
+                InsertOutcome::Replaced(old) => ApplyEffect {
+                    propagate: vec![
+                        TupleDelta::delete(delta.relation.clone(), old),
+                        delta.clone(),
+                    ],
+                    seq,
+                },
+            },
+            Sign::Delete => match relation.delete(&delta.tuple) {
+                DeleteOutcome::Removed => ApplyEffect {
+                    propagate: vec![delta.clone()],
+                    seq,
+                },
+                DeleteOutcome::Decremented | DeleteOutcome::NotFound => ApplyEffect {
+                    propagate: Vec::new(),
+                    seq,
+                },
+            },
+        }
+    }
+
+    /// Expire soft-state tuples across all relations, returning the
+    /// corresponding deletion deltas (to be propagated like any other
+    /// deletion).
+    pub fn expire(&mut self, now_micros: u64) -> Vec<TupleDelta> {
+        self.set_time(now_micros);
+        let mut out = Vec::new();
+        for (name, rel) in &mut self.relations {
+            for tuple in rel.expire(now_micros) {
+                out.push(TupleDelta::delete(name.clone(), tuple));
+            }
+        }
+        out
+    }
+
+    /// All tuples of a relation (empty if the relation does not exist),
+    /// in deterministic key order.
+    pub fn tuples(&self, relation: &str) -> Vec<Tuple> {
+        self.relations
+            .get(relation)
+            .map(|r| r.iter().map(|s| s.tuple.clone()).collect())
+            .unwrap_or_default()
+    }
+
+    /// Number of tuples in a relation (0 if absent).
+    pub fn count(&self, relation: &str) -> usize {
+        self.relations.get(relation).map_or(0, Relation::len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndlog_lang::{programs, Value};
+
+    fn t(vals: &[i64]) -> Tuple {
+        Tuple::new(vals.iter().map(|&v| Value::Int(v)).collect())
+    }
+
+    #[test]
+    fn for_program_creates_all_relations() {
+        let p = programs::shortest_path("");
+        let store = Store::for_program(&p);
+        for name in ["link", "path", "spCost", "shortestPath"] {
+            assert!(store.relation(name).is_some(), "missing {name}");
+        }
+        // Declared keys are honoured.
+        assert_eq!(
+            store.relation("path").unwrap().schema().key_columns,
+            vec![0, 1, 3]
+        );
+    }
+
+    #[test]
+    fn apply_insert_then_duplicate_then_delete() {
+        let mut store = Store::new();
+        let d = TupleDelta::insert("r", t(&[1, 2]));
+        let e1 = store.apply(&d);
+        assert_eq!(e1.propagate, vec![d.clone()]);
+        let e2 = store.apply(&d);
+        assert!(e2.propagate.is_empty(), "duplicate derivation is absorbed");
+        assert!(e2.seq > e1.seq);
+
+        let del = TupleDelta::delete("r", t(&[1, 2]));
+        let e3 = store.apply(&del);
+        assert!(e3.propagate.is_empty(), "count drops from 2 to 1");
+        let e4 = store.apply(&del);
+        assert_eq!(e4.propagate, vec![del.clone()]);
+        assert_eq!(store.count("r"), 0);
+    }
+
+    #[test]
+    fn apply_replacement_emits_delete_and_insert() {
+        let mut store = Store::new();
+        store.ensure(RelationSchema::new("best").with_keys(vec![0]));
+        store.apply(&TupleDelta::insert("best", t(&[1, 10])));
+        let effect = store.apply(&TupleDelta::insert("best", t(&[1, 5])));
+        assert_eq!(effect.propagate.len(), 2);
+        assert_eq!(effect.propagate[0], TupleDelta::delete("best", t(&[1, 10])));
+        assert_eq!(effect.propagate[1], TupleDelta::insert("best", t(&[1, 5])));
+        assert_eq!(store.tuples("best"), vec![t(&[1, 5])]);
+    }
+
+    #[test]
+    fn deleting_missing_tuple_is_silent() {
+        let mut store = Store::new();
+        let e = store.apply(&TupleDelta::delete("r", t(&[9])));
+        assert!(e.propagate.is_empty());
+    }
+
+    #[test]
+    fn expiry_produces_deletion_deltas() {
+        let mut store = Store::new();
+        store.ensure(RelationSchema::new("soft").with_ttl_seconds(1.0));
+        store.apply(&TupleDelta::insert("soft", t(&[1])));
+        store.apply(&TupleDelta::insert("hard", t(&[2])));
+        let deltas = store.expire(2_000_000);
+        assert_eq!(deltas, vec![TupleDelta::delete("soft", t(&[1]))]);
+        assert_eq!(store.count("soft"), 0);
+        assert_eq!(store.count("hard"), 1);
+    }
+
+    #[test]
+    fn clock_is_monotonic() {
+        let mut store = Store::new();
+        store.set_time(100);
+        store.set_time(50);
+        assert_eq!(store.now_micros(), 100);
+    }
+
+    #[test]
+    fn relation_names_sorted() {
+        let mut store = Store::new();
+        store.ensure(RelationSchema::new("zeta"));
+        store.ensure(RelationSchema::new("alpha"));
+        let names: Vec<_> = store.relation_names().collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
+        assert_eq!(store.total_tuples(), 0);
+    }
+}

@@ -1,0 +1,466 @@
+//! Rule strands: compiled delta rules and their firing logic.
+//!
+//! A strand corresponds to one box-chain in P2's dataflow (Figures 3 and 5
+//! of the paper): it is triggered by a delta of one body predicate, joins
+//! the delta against the locally stored tables of the other body
+//! predicates, evaluates assignments and filters, and emits derivations of
+//! the head — each tagged with the network location (the head's location
+//! specifier) where it must be stored.
+//!
+//! Deletions flow through the same machinery: firing a strand with a
+//! deletion delta derives the deletions of every tuple previously derived
+//! from the deleted tuple (Section 4's incremental deletion), which the
+//! store then reconciles with the count algorithm.
+
+use crate::expr::{eval, eval_bool, Bindings, EvalError};
+use crate::store::Store;
+use crate::tuple::{Tuple, TupleDelta};
+use ndlog_lang::seminaive::DeltaRule;
+use ndlog_lang::{Atom, Literal, Term, Value};
+use ndlog_net::NodeAddr;
+
+/// A derivation produced by firing a strand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Derivation {
+    /// The derived (or un-derived) head tuple.
+    pub delta: TupleDelta,
+    /// Where the head tuple lives: the value of its location specifier.
+    /// `None` when the first head field is not an address (possible in
+    /// plain-Datalog test programs).
+    pub location: Option<NodeAddr>,
+}
+
+/// A compiled rule strand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledStrand {
+    rule: DeltaRule,
+}
+
+impl CompiledStrand {
+    /// Compile a delta rule into a strand.
+    pub fn new(rule: DeltaRule) -> Self {
+        CompiledStrand { rule }
+    }
+
+    /// The strand identifier (e.g. `sp2b-1`).
+    pub fn id(&self) -> &str {
+        &self.rule.strand_id
+    }
+
+    /// The relation whose deltas trigger this strand.
+    pub fn trigger_relation(&self) -> &str {
+        &self.rule.trigger_relation
+    }
+
+    /// The label of the rule this strand implements.
+    pub fn rule_label(&self) -> &str {
+        &self.rule.rule.label
+    }
+
+    /// The head relation this strand derives.
+    pub fn head_relation(&self) -> &str {
+        &self.rule.rule.head.name
+    }
+
+    /// The underlying delta rule.
+    pub fn delta_rule(&self) -> &DeltaRule {
+        &self.rule
+    }
+
+    /// Fire the strand with a trigger delta.
+    ///
+    /// `seq_limit` bounds which stored tuples the joins may see: pipelined
+    /// semi-naive evaluation passes the trigger tuple's timestamp so that
+    /// joins only match "same or older" tuples (Section 3.3.2, the
+    /// book-keeping that guarantees no repeated inferences); the
+    /// unrestricted evaluators pass `u64::MAX`.
+    pub fn fire(
+        &self,
+        store: &Store,
+        trigger: &TupleDelta,
+        seq_limit: u64,
+    ) -> Result<Vec<Derivation>, EvalError> {
+        debug_assert_eq!(trigger.relation, self.rule.trigger_relation);
+        let rule = &self.rule.rule;
+        let Literal::Atom(trigger_atom) = &rule.body[self.rule.trigger] else {
+            return Ok(Vec::new());
+        };
+
+        // Bind the trigger atom against the delta tuple.
+        let mut initial = Bindings::new();
+        if !bind_atom(trigger_atom, &trigger.tuple, &mut initial) {
+            return Ok(Vec::new());
+        }
+
+        // Process the remaining literals in body order.
+        let mut envs = vec![initial];
+        for (idx, literal) in rule.body.iter().enumerate() {
+            if idx == self.rule.trigger {
+                continue;
+            }
+            if envs.is_empty() {
+                return Ok(Vec::new());
+            }
+            match literal {
+                Literal::Atom(atom) => {
+                    envs = join_atom(store, atom, &envs, seq_limit);
+                }
+                Literal::Assign(assign) => {
+                    let mut next = Vec::with_capacity(envs.len());
+                    for mut env in envs {
+                        let value = eval(&assign.expr, &env)?;
+                        match env.get(&assign.var) {
+                            Some(existing) if *existing == value => next.push(env),
+                            Some(_) => {} // bound to a different value: drop
+                            None => {
+                                env.insert(assign.var.clone(), value);
+                                next.push(env);
+                            }
+                        }
+                    }
+                    envs = next;
+                }
+                Literal::Filter(expr) => {
+                    let mut next = Vec::with_capacity(envs.len());
+                    for env in envs {
+                        if eval_bool(expr, &env)? {
+                            next.push(env);
+                        }
+                    }
+                    envs = next;
+                }
+            }
+        }
+
+        // Project the head for every surviving binding.
+        let mut out = Vec::with_capacity(envs.len());
+        for env in envs {
+            let tuple = project_head(&rule.head, &env)?;
+            let location = tuple.location();
+            out.push(Derivation {
+                delta: TupleDelta {
+                    relation: rule.head.name.clone(),
+                    tuple,
+                    sign: trigger.sign,
+                },
+                location,
+            });
+        }
+        Ok(out)
+    }
+}
+
+/// Bind an atom's terms against a concrete tuple, extending `env`.
+/// Returns false if the tuple does not match (wrong arity, constant
+/// mismatch, or inconsistent repeated variables).
+pub fn bind_atom(atom: &Atom, tuple: &Tuple, env: &mut Bindings) -> bool {
+    if atom.arity() != tuple.arity() {
+        return false;
+    }
+    for (term, value) in atom.args.iter().zip(tuple.values()) {
+        match term {
+            Term::Const(c) => {
+                if c != value {
+                    return false;
+                }
+            }
+            Term::Var(v) => match env.get(&v.name) {
+                Some(bound) if bound != value => return false,
+                Some(_) => {}
+                None => {
+                    env.insert(v.name.clone(), value.clone());
+                }
+            },
+            Term::Agg(_) => return false,
+        }
+    }
+    true
+}
+
+/// Join an atom against the store for every environment, producing the
+/// extended environments.
+fn join_atom(store: &Store, atom: &Atom, envs: &[Bindings], seq_limit: u64) -> Vec<Bindings> {
+    let Some(relation) = store.relation(&atom.name) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for env in envs {
+        // Columns already determined by the environment or constants.
+        let bound: Vec<(usize, Value)> = atom
+            .args
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| match t {
+                Term::Const(c) => Some((i, c.clone())),
+                Term::Var(v) => env.get(&v.name).map(|val| (i, val.clone())),
+                Term::Agg(_) => None,
+            })
+            .collect();
+        for candidate in relation.scan_match(bound, seq_limit) {
+            let mut extended = env.clone();
+            if bind_atom(atom, &candidate.tuple, &mut extended) {
+                out.push(extended);
+            }
+        }
+    }
+    out
+}
+
+/// Project a head atom into a tuple under the given bindings.
+pub fn project_head(head: &Atom, env: &Bindings) -> Result<Tuple, EvalError> {
+    let mut values = Vec::with_capacity(head.arity());
+    for term in &head.args {
+        match term {
+            Term::Const(c) => values.push(c.clone()),
+            Term::Var(v) => values.push(
+                env.get(&v.name)
+                    .cloned()
+                    .ok_or_else(|| EvalError::UnboundVariable(v.name.clone()))?,
+            ),
+            Term::Agg(_) => {
+                return Err(EvalError::TypeMismatch {
+                    context: "aggregate heads are maintained by AggregateView, not strands".into(),
+                })
+            }
+        }
+    }
+    Ok(Tuple::new(values))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::RelationSchema;
+    use ndlog_lang::seminaive::delta_rewrite_full;
+    use ndlog_lang::{parse_program, Value};
+
+    fn addr(i: u32) -> Value {
+        Value::addr(i)
+    }
+
+    /// Build a store + strands for a small program.
+    fn setup(src: &str) -> (Store, Vec<CompiledStrand>) {
+        let program = parse_program(src).unwrap();
+        let store = Store::for_program(&program);
+        let strands = delta_rewrite_full(&program)
+            .into_iter()
+            .map(CompiledStrand::new)
+            .collect();
+        (store, strands)
+    }
+
+    const ONE_HOP: &str = r#"
+        sp1 path(@S,@D,@D,P,C) :- #link(@S,@D,C),
+            P := f_cons(S, f_cons(D, nil)).
+    "#;
+
+    #[test]
+    fn one_hop_path_derivation() {
+        let (store, strands) = setup(ONE_HOP);
+        let strand = &strands[0];
+        assert_eq!(strand.trigger_relation(), "link");
+        assert_eq!(strand.head_relation(), "path");
+
+        let link = TupleDelta::insert("link", Tuple::new(vec![addr(0), addr(1), Value::Int(5)]));
+        let derivations = strand.fire(&store, &link, u64::MAX).unwrap();
+        assert_eq!(derivations.len(), 1);
+        let d = &derivations[0];
+        assert_eq!(d.delta.relation, "path");
+        assert_eq!(d.location, Some(NodeAddr(0)));
+        let t = &d.delta.tuple;
+        assert_eq!(t.get(0), Some(&addr(0)));
+        assert_eq!(t.get(1), Some(&addr(1)));
+        assert_eq!(t.get(2), Some(&addr(1)));
+        assert_eq!(t.get(3), Some(&Value::list(vec![addr(0), addr(1)])));
+        assert_eq!(t.get(4), Some(&Value::Int(5)));
+    }
+
+    #[test]
+    fn deletion_trigger_produces_deletion_derivation() {
+        let (store, strands) = setup(ONE_HOP);
+        let link = TupleDelta::delete("link", Tuple::new(vec![addr(0), addr(1), Value::Int(5)]));
+        let derivations = strands[0].fire(&store, &link, u64::MAX).unwrap();
+        assert_eq!(derivations.len(), 1);
+        assert_eq!(derivations[0].delta.sign, crate::tuple::Sign::Delete);
+    }
+
+    const TWO_HOP: &str = r#"
+        sp2 path(@S,@D,@Z,P,C) :- #link(@S,@Z,C1), path(@Z,@D,@Z2,P2,C2),
+            f_member(P2, S) == 0, C := C1 + C2, P := f_cons(S, P2).
+    "#;
+
+    #[test]
+    fn join_against_stored_relation() {
+        let (mut store, strands) = setup(TWO_HOP);
+        // Store a path from node 1 to node 2.
+        let p12 = Tuple::new(vec![
+            addr(1),
+            addr(2),
+            addr(2),
+            Value::list(vec![addr(1), addr(2)]),
+            Value::Int(3),
+        ]);
+        store.apply(&TupleDelta::insert("path", p12));
+
+        // A link 0 -> 1 arrives: the strand triggered by link should derive
+        // the two-hop path 0 -> 2.
+        let link_strand = strands
+            .iter()
+            .find(|s| s.trigger_relation() == "link")
+            .unwrap();
+        let link = TupleDelta::insert("link", Tuple::new(vec![addr(0), addr(1), Value::Int(4)]));
+        let out = link_strand.fire(&store, &link, u64::MAX).unwrap();
+        assert_eq!(out.len(), 1);
+        let t = &out[0].delta.tuple;
+        assert_eq!(t.get(0), Some(&addr(0)));
+        assert_eq!(t.get(1), Some(&addr(2)));
+        assert_eq!(t.get(4), Some(&Value::Int(7)));
+        assert_eq!(
+            t.get(3),
+            Some(&Value::list(vec![addr(0), addr(1), addr(2)]))
+        );
+        assert_eq!(out[0].location, Some(NodeAddr(0)));
+    }
+
+    #[test]
+    fn cycle_filter_prunes_matches() {
+        let (mut store, strands) = setup(TWO_HOP);
+        // Path 1 -> 0 that already contains node 0.
+        let p10 = Tuple::new(vec![
+            addr(1),
+            addr(0),
+            addr(0),
+            Value::list(vec![addr(1), addr(0)]),
+            Value::Int(3),
+        ]);
+        store.apply(&TupleDelta::insert("path", p10));
+        let link_strand = strands
+            .iter()
+            .find(|s| s.trigger_relation() == "link")
+            .unwrap();
+        // link 0 -> 1 would close the cycle 0 -> 1 -> 0; f_member filters it.
+        let link = TupleDelta::insert("link", Tuple::new(vec![addr(0), addr(1), Value::Int(4)]));
+        let out = link_strand.fire(&store, &link, u64::MAX).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn path_trigger_joins_stored_links() {
+        let (mut store, strands) = setup(TWO_HOP);
+        store.apply(&TupleDelta::insert(
+            "link",
+            Tuple::new(vec![addr(0), addr(1), Value::Int(4)]),
+        ));
+        let path_strand = strands
+            .iter()
+            .find(|s| s.trigger_relation() == "path")
+            .unwrap();
+        let p12 = TupleDelta::insert(
+            "path",
+            Tuple::new(vec![
+                addr(1),
+                addr(2),
+                addr(2),
+                Value::list(vec![addr(1), addr(2)]),
+                Value::Int(3),
+            ]),
+        );
+        let out = path_strand.fire(&store, &p12, u64::MAX).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].delta.tuple.get(4), Some(&Value::Int(7)));
+    }
+
+    #[test]
+    fn seq_limit_hides_newer_tuples() {
+        let (mut store, strands) = setup(TWO_HOP);
+        let link_effect = store.apply(&TupleDelta::insert(
+            "link",
+            Tuple::new(vec![addr(0), addr(1), Value::Int(4)]),
+        ));
+        // The path tuple arrives *after* the link.
+        let p12 = TupleDelta::insert(
+            "path",
+            Tuple::new(vec![
+                addr(1),
+                addr(2),
+                addr(2),
+                Value::list(vec![addr(1), addr(2)]),
+                Value::Int(3),
+            ]),
+        );
+        store.apply(&p12);
+
+        let link_strand = strands
+            .iter()
+            .find(|s| s.trigger_relation() == "link")
+            .unwrap();
+        let link = TupleDelta::insert("link", Tuple::new(vec![addr(0), addr(1), Value::Int(4)]));
+        // Firing with the link's own (older) timestamp must not see the
+        // newer path tuple — that derivation belongs to the path-triggered
+        // strand, which is exactly how PSN avoids duplicate inferences.
+        let out = link_strand.fire(&store, &link, link_effect.seq).unwrap();
+        assert!(out.is_empty());
+        let out = link_strand.fire(&store, &link, u64::MAX).unwrap();
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn constant_argument_filters_trigger() {
+        let (store, strands) = setup("r1 hit(@S) :- probe(@S, 7).");
+        let strand = &strands[0];
+        let ok = TupleDelta::insert("probe", Tuple::new(vec![addr(3), Value::Int(7)]));
+        assert_eq!(strand.fire(&store, &ok, u64::MAX).unwrap().len(), 1);
+        let miss = TupleDelta::insert("probe", Tuple::new(vec![addr(3), Value::Int(8)]));
+        assert!(strand.fire(&store, &miss, u64::MAX).unwrap().is_empty());
+        let wrong_arity = TupleDelta::insert("probe", Tuple::new(vec![addr(3)]));
+        assert!(strand.fire(&store, &wrong_arity, u64::MAX).unwrap().is_empty());
+    }
+
+    #[test]
+    fn repeated_variables_enforce_equality() {
+        let (store, strands) = setup("r1 selfloop(@S) :- edge(@S, @S).");
+        let strand = &strands[0];
+        let hit = TupleDelta::insert("edge", Tuple::new(vec![addr(1), addr(1)]));
+        assert_eq!(strand.fire(&store, &hit, u64::MAX).unwrap().len(), 1);
+        let miss = TupleDelta::insert("edge", Tuple::new(vec![addr(1), addr(2)]));
+        assert!(strand.fire(&store, &miss, u64::MAX).unwrap().is_empty());
+    }
+
+    #[test]
+    fn assignment_conflict_drops_binding() {
+        // C is bound by the atom and then re-asserted by an assignment; a
+        // mismatch must drop the derivation, a match must keep it.
+        let (store, strands) = setup("r1 out(@S, C) :- q(@S, C), C := 5.");
+        let strand = &strands[0];
+        let hit = TupleDelta::insert("q", Tuple::new(vec![addr(0), Value::Int(5)]));
+        assert_eq!(strand.fire(&store, &hit, u64::MAX).unwrap().len(), 1);
+        let miss = TupleDelta::insert("q", Tuple::new(vec![addr(0), Value::Int(6)]));
+        assert!(strand.fire(&store, &miss, u64::MAX).unwrap().is_empty());
+    }
+
+    #[test]
+    fn missing_relation_yields_no_matches() {
+        let program = parse_program("r1 out(@S) :- q(@S, C), missing(@S, C).").unwrap();
+        // Build a store *without* the `missing` relation.
+        let mut store = Store::new();
+        store.ensure(RelationSchema::new("q"));
+        let strands: Vec<_> = delta_rewrite_full(&program)
+            .into_iter()
+            .map(CompiledStrand::new)
+            .collect();
+        let strand = strands.iter().find(|s| s.trigger_relation() == "q").unwrap();
+        let d = TupleDelta::insert("q", Tuple::new(vec![addr(0), Value::Int(1)]));
+        assert!(strand.fire(&store, &d, u64::MAX).unwrap().is_empty());
+    }
+
+    #[test]
+    fn unbound_head_variable_is_an_error() {
+        // Bypass validation deliberately to exercise the runtime error path.
+        let (store, strands) = setup("r1 out(@S, X) :- q(@S, C).");
+        let d = TupleDelta::insert("q", Tuple::new(vec![addr(0), Value::Int(1)]));
+        assert!(matches!(
+            strands[0].fire(&store, &d, u64::MAX),
+            Err(EvalError::UnboundVariable(v)) if v == "X"
+        ));
+    }
+}

@@ -1,0 +1,109 @@
+//! Reproduce the walk-through of Figure 2: the shortest-path query on the
+//! 5-node example network, showing which `path` tuples exist after each
+//! "iteration" (paths of increasing hop count), and how the shortest paths
+//! are incrementally replaced when a cheaper path arrives.
+//!
+//! ```text
+//! cargo run --example shortest_paths_figure2
+//! ```
+
+use ndlog_lang::{programs, Value};
+use ndlog_runtime::{Evaluator, Strategy, Tuple};
+
+const NAMES: [&str; 5] = ["a", "b", "c", "d", "e"];
+
+fn name(v: &Value) -> &'static str {
+    v.as_addr().map(|a| NAMES[a.index()]).unwrap_or("?")
+}
+
+fn path_vector(t: &Tuple) -> String {
+    t.get(3)
+        .and_then(Value::as_list)
+        .map(|l| l.iter().map(name).collect::<Vec<_>>().join(","))
+        .unwrap_or_default()
+}
+
+fn main() {
+    // The network of Figure 2: l(a,b,5), l(a,c,1), l(c,b,1), l(b,d,1),
+    // l(e,a,1); links are bidirectional.
+    let program = programs::shortest_path("");
+    let mut eval = Evaluator::new(&program).expect("plan");
+    let edges = [(0u32, 1u32, 5.0), (0, 2, 1.0), (2, 1, 1.0), (1, 3, 1.0), (4, 0, 1.0)];
+    for (a, b, c) in edges {
+        for (s, d) in [(a, b), (b, a)] {
+            eval.insert_fact(
+                "link",
+                Tuple::new(vec![Value::addr(s), Value::addr(d), Value::Float(c)]),
+            );
+        }
+    }
+    eval.run(Strategy::SemiNaive).expect("fixpoint");
+
+    // Group the derived path tuples by hop count — hop count k corresponds
+    // to the k-th iteration of Figure 2.
+    let mut paths = eval.results("path");
+    paths.sort_by_key(|t| {
+        (
+            t.get(3).and_then(Value::as_list).map(|l| l.len()).unwrap_or(0),
+            t.get(0).cloned(),
+            t.get(1).cloned(),
+        )
+    });
+    let max_hops = paths
+        .iter()
+        .map(|t| t.get(3).and_then(Value::as_list).map(|l| l.len()).unwrap_or(0))
+        .max()
+        .unwrap_or(0);
+    for hops in 2..=max_hops {
+        println!("--- iteration {} ({}-hop paths) ---", hops - 1, hops - 1);
+        for t in paths
+            .iter()
+            .filter(|t| t.get(3).and_then(Value::as_list).map(|l| l.len()) == Some(hops))
+        {
+            println!(
+                "  path({}, {}, nextHop={}, [{}], cost={})",
+                name(t.get(0).unwrap()),
+                name(t.get(1).unwrap()),
+                name(t.get(2).unwrap()),
+                path_vector(t),
+                t.get(4).and_then(|v| v.as_f64()).unwrap()
+            );
+        }
+    }
+
+    // Section 2.2's incremental-replacement story: node a first sets its
+    // shortest path to b to the direct link (cost 5), then replaces it with
+    // the 2-hop path via c (cost 2).
+    println!("\n--- final shortest paths from a ---");
+    let mut shortest = eval.results("shortestPath");
+    shortest.sort_by_key(|t| (t.get(0).cloned(), t.get(1).cloned()));
+    for t in shortest.iter().filter(|t| t.get(0) == Some(&Value::addr(0u32))) {
+        println!(
+            "  shortestPath(a, {}, [{}], {})",
+            name(t.get(1).unwrap()),
+            path_vector(&Tuple::new(vec![
+                t.get(0).unwrap().clone(),
+                t.get(1).unwrap().clone(),
+                Value::nil(),
+                t.get(2).unwrap().clone(),
+                t.get(3).unwrap().clone(),
+            ])),
+            t.get(3).and_then(|v| v.as_f64()).unwrap()
+        );
+    }
+
+    let a_to_b = shortest
+        .iter()
+        .find(|t| t.get(0) == Some(&Value::addr(0u32)) && t.get(1) == Some(&Value::addr(1u32)))
+        .expect("a -> b");
+    assert_eq!(a_to_b.get(3), Some(&Value::Float(2.0)));
+    assert_eq!(
+        a_to_b.get(2),
+        Some(&Value::list(vec![
+            Value::addr(0u32),
+            Value::addr(2u32),
+            Value::addr(1u32)
+        ]))
+    );
+    println!("\nok: shortestPath(a,b) = [a,c,b] with cost 2, as in Section 2.2");
+}

@@ -1,0 +1,219 @@
+//! Distributed eventual-consistency tests (Theorem 4 and Section 4.2).
+//!
+//! The distributed engine, running over FIFO links, must reach the same
+//! fixpoint a centralized evaluation over the (final) base data reaches —
+//! both for a static network and across bursts of link-cost updates.
+
+use ndlog_core::consistency::{check_against_centralized, check_location_placement};
+use ndlog_core::{plan, DistributedEngine, EngineConfig, UpdateWorkload};
+use ndlog_lang::{programs, Value};
+use ndlog_net::gtitm::{generate, TransitStubConfig};
+use ndlog_net::overlay::{Overlay, OverlayConfig};
+use ndlog_net::topology::Metric;
+use ndlog_runtime::Tuple;
+use std::collections::BTreeMap;
+
+fn small_overlay() -> Overlay {
+    let ts = generate(&TransitStubConfig::small());
+    Overlay::random_neighbors(&ts.topology, &OverlayConfig::default())
+}
+
+/// A sparser overlay (2 neighbors per node) used by the tests that run
+/// *without* aggregate selections: those materialize every cycle-free path,
+/// which is only tractable on a sparse graph.
+fn sparse_overlay() -> Overlay {
+    // A 6-node underlay (2 transit nodes, one 2-node stub each) keeps the
+    // number of cycle-free paths small enough for an exhaustive,
+    // selection-free comparison even in debug builds.
+    let ts = generate(&TransitStubConfig {
+        transit_nodes: 2,
+        stubs_per_transit: 1,
+        nodes_per_stub: 2,
+        ..TransitStubConfig::paper()
+    });
+    let config = OverlayConfig {
+        neighbors_per_node: 2,
+        seed: 0xc0ffee,
+    };
+    Overlay::random_neighbors(&ts.topology, &config)
+}
+
+fn link(a: ndlog_net::NodeAddr, b: ndlog_net::NodeAddr, c: f64) -> Tuple {
+    Tuple::new(vec![Value::Addr(a), Value::Addr(b), Value::Float(c)])
+}
+
+#[test]
+fn theorem4_static_network_reaches_the_centralized_fixpoint() {
+    let overlay = sparse_overlay();
+    let program = programs::shortest_path("");
+    let query_plan = plan(&program).unwrap();
+    // Aggregate selections off so that every derivable tuple is materialized
+    // and the comparison is exact.
+    let mut engine =
+        DistributedEngine::new(overlay.graph.clone(), &[query_plan], EngineConfig::default())
+            .unwrap();
+    let mut base = Vec::new();
+    // Reliability costs carry per-link random noise, so path costs are
+    // distinct and the tie-free comparison below is exact.
+    for l in overlay.links() {
+        let t = link(l.src, l.dst, l.cost(Metric::Reliability));
+        engine.insert_base(l.src, "link", t.clone()).unwrap();
+        base.push(("link".to_string(), t));
+    }
+    let report = engine.run_to_quiescence().unwrap();
+    assert!(report.quiesced);
+    let count = check_against_centralized(&engine, &program, &base, "shortestPath")
+        .expect("distributed == centralized");
+    let n = overlay.node_count();
+    assert_eq!(count, n * (n - 1));
+    check_location_placement(&engine, "shortestPath").expect("placement invariant");
+    check_location_placement(&engine, "path").expect("placement invariant");
+}
+
+#[test]
+fn theorem4_with_aggregate_selections_costs_match() {
+    // With pruning on, the engine stores fewer path tuples, but the final
+    // shortest-path *costs* still match the centralized fixpoint.
+    let overlay = small_overlay();
+    let program = programs::shortest_path("");
+    let query_plan = plan(&program).unwrap();
+    let mut config = EngineConfig::default();
+    config.node.aggregate_selections = true;
+    let mut engine =
+        DistributedEngine::new(overlay.graph.clone(), &[query_plan], config).unwrap();
+    for l in overlay.links() {
+        engine
+            .insert_base(l.src, "link", link(l.src, l.dst, l.cost(Metric::Latency)))
+            .unwrap();
+    }
+    engine.run_to_quiescence().unwrap();
+
+    for src in overlay.graph.nodes() {
+        let oracle = overlay.graph.shortest_distances(src, Metric::Latency);
+        for (node, tuple) in engine.results("shortestPath") {
+            if node != src {
+                continue;
+            }
+            let dst = tuple.get(1).unwrap().as_addr().unwrap();
+            let cost = tuple.get(3).unwrap().as_f64().unwrap();
+            assert!((cost - oracle[dst.index()]).abs() < 1e-6);
+        }
+    }
+}
+
+#[test]
+fn bursty_updates_converge_to_the_final_state() {
+    // The bursty update model of Section 4: bursts of cost changes followed
+    // by quiescence. After the final burst the distributed state must match
+    // a from-scratch evaluation over the final link costs (run without
+    // aggregate selections so every alternative path is retained and the
+    // comparison is exact — hence the sparse overlay).
+    let overlay = sparse_overlay();
+    let program = programs::shortest_path("");
+    let query_plan = plan(&program).unwrap();
+    let mut engine =
+        DistributedEngine::new(overlay.graph.clone(), &[query_plan], EngineConfig::default())
+            .unwrap();
+    let links = overlay.links();
+    let metric = Metric::Reliability;
+    let mut current: BTreeMap<(ndlog_net::NodeAddr, ndlog_net::NodeAddr), f64> = BTreeMap::new();
+    for l in &links {
+        engine
+            .insert_base(l.src, "link", link(l.src, l.dst, l.cost(metric)))
+            .unwrap();
+        current.insert((l.src, l.dst), l.cost(metric));
+    }
+    engine.run_to_quiescence().unwrap();
+
+    let mut workload = UpdateWorkload::paper(&links, metric, 99);
+    for _ in 0..3 {
+        for update in workload.burst() {
+            engine.apply_link_update("link", &update).unwrap();
+            current.insert((update.a, update.b), update.new_cost);
+            current.insert((update.b, update.a), update.new_cost);
+        }
+        // Quiescence between bursts (the bursty model's assumption).
+        let report = engine.run_to_quiescence().unwrap();
+        assert!(report.quiesced);
+    }
+
+    let base: Vec<(String, Tuple)> = current
+        .iter()
+        .map(|((s, d), c)| ("link".to_string(), link(*s, *d, *c)))
+        .collect();
+    check_against_centralized(&engine, &program, &base, "shortestPath")
+        .expect("eventual consistency after bursts");
+}
+
+#[test]
+fn concurrent_queries_do_not_interfere() {
+    // Three metric queries run concurrently in one engine; each must
+    // produce exactly the same results as running it alone.
+    let overlay = small_overlay();
+    let metrics = [Metric::Latency, Metric::Reliability, Metric::Random];
+    let suffix = |m: Metric| match m {
+        Metric::Latency => "latency",
+        Metric::Reliability => "reliability",
+        Metric::Random => "random",
+        Metric::HopCount => "hops",
+    };
+    let plans: Vec<_> = metrics
+        .iter()
+        .map(|&m| plan(&programs::shortest_path(suffix(m))).unwrap())
+        .collect();
+    let mut config = EngineConfig::default();
+    config.node.aggregate_selections = true;
+    let mut combined =
+        DistributedEngine::new(overlay.graph.clone(), &plans, config.clone()).unwrap();
+    for &m in &metrics {
+        for l in overlay.links() {
+            combined
+                .insert_base(
+                    l.src,
+                    &format!("link_{}", suffix(m)),
+                    link(l.src, l.dst, l.cost(m)),
+                )
+                .unwrap();
+        }
+    }
+    combined.run_to_quiescence().unwrap();
+
+    for &m in &metrics {
+        let single_plan = plan(&programs::shortest_path(suffix(m))).unwrap();
+        let mut single =
+            DistributedEngine::new(overlay.graph.clone(), &[single_plan], config.clone()).unwrap();
+        for l in overlay.links() {
+            single
+                .insert_base(
+                    l.src,
+                    &format!("link_{}", suffix(m)),
+                    link(l.src, l.dst, l.cost(m)),
+                )
+                .unwrap();
+        }
+        single.run_to_quiescence().unwrap();
+        let rel = format!("shortestPath_{}", suffix(m));
+        // Compare (source, destination, cost): equal-cost ties may be won by
+        // different path vectors depending on event interleaving.
+        let project = |engine: &DistributedEngine| {
+            let mut v: Vec<_> = engine
+                .results(&rel)
+                .into_iter()
+                .map(|(_, t)| {
+                    (
+                        t.get(0).unwrap().clone(),
+                        t.get(1).unwrap().clone(),
+                        t.get(3).unwrap().clone(),
+                    )
+                })
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(
+            project(&combined),
+            project(&single),
+            "metric {m} differs between combined and single runs"
+        );
+    }
+}

@@ -1,0 +1,206 @@
+//! Property-based tests (proptest) for the core invariants:
+//!
+//! * **Theorem 1** — SN, BSN and PSN compute the same fixpoint on random
+//!   graphs;
+//! * **Theorem 3** — applying a random sequence of insertions and deletions
+//!   incrementally yields the same state as evaluating the final base data
+//!   from scratch;
+//! * aggregate views always equal a from-scratch recomputation of the
+//!   aggregate over their inputs;
+//! * parsing is stable under pretty-printing (display → parse round-trip);
+//! * link-restricted programs localize to single-site rule bodies.
+
+use ndlog_lang::localize::{is_localized, localize};
+use ndlog_lang::{parse_program, programs, Value};
+use ndlog_runtime::{AggregateView, Evaluator, Strategy as EvalStrategy, Tuple, TupleDelta};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// A random directed edge list over `n` nodes (no self-loops).
+fn edges_strategy(max_nodes: u32, max_edges: usize) -> impl Strategy<Value = Vec<(u32, u32, u8)>> {
+    (2..=max_nodes).prop_flat_map(move |n| {
+        prop::collection::vec(
+            (0..n, 0..n, 1u8..10u8).prop_filter("no self-loops", |(a, b, _)| a != b),
+            1..=max_edges,
+        )
+    })
+}
+
+fn link(a: u32, b: u32, c: f64) -> Tuple {
+    Tuple::new(vec![Value::addr(a), Value::addr(b), Value::Float(c)])
+}
+
+fn run_reachability(edges: &[(u32, u32, u8)], strategy: EvalStrategy) -> BTreeSet<Tuple> {
+    let program = programs::reachability("");
+    let mut eval = Evaluator::new(&program).unwrap();
+    for &(a, b, c) in edges {
+        eval.insert_fact("link", link(a, b, f64::from(c)));
+    }
+    eval.run(strategy).unwrap();
+    eval.results("reachable").into_iter().collect()
+}
+
+/// Oracle: transitive closure by iterated squaring over the edge set.
+fn closure_oracle(edges: &[(u32, u32, u8)]) -> BTreeSet<(u32, u32)> {
+    let mut reach: BTreeSet<(u32, u32)> = edges.iter().map(|&(a, b, _)| (a, b)).collect();
+    loop {
+        let mut next = reach.clone();
+        for &(a, b) in &reach {
+            for &(c, d) in &reach {
+                if b == c {
+                    next.insert((a, d));
+                }
+            }
+        }
+        if next == reach {
+            return reach;
+        }
+        reach = next;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Theorem 1: the three evaluation strategies produce identical result
+    /// sets, and they match an independent transitive-closure oracle.
+    #[test]
+    fn theorem1_strategies_agree_on_random_graphs(edges in edges_strategy(7, 14)) {
+        let psn = run_reachability(&edges, EvalStrategy::Pipelined);
+        let sn = run_reachability(&edges, EvalStrategy::SemiNaive);
+        let bsn = run_reachability(&edges, EvalStrategy::Buffered { batch: 2 });
+        prop_assert_eq!(&psn, &sn);
+        prop_assert_eq!(&psn, &bsn);
+
+        let oracle = closure_oracle(&edges);
+        let computed: BTreeSet<(u32, u32)> = psn
+            .iter()
+            .map(|t| {
+                (
+                    t.get(0).unwrap().as_addr().unwrap().0,
+                    t.get(1).unwrap().as_addr().unwrap().0,
+                )
+            })
+            .collect();
+        prop_assert_eq!(computed, oracle);
+    }
+
+    /// Theorem 3: incremental maintenance of a random update sequence ends
+    /// in the same state as evaluating the final base data from scratch.
+    #[test]
+    fn theorem3_incremental_equals_from_scratch(
+        initial in edges_strategy(6, 10),
+        updates in prop::collection::vec((0u32..6, 0u32..6, 1u8..10u8, prop::bool::ANY), 1..8),
+    ) {
+        let program = programs::reachability("");
+        let mut incremental = Evaluator::new(&program).unwrap();
+        let mut base: BTreeSet<(u32, u32, u8)> = BTreeSet::new();
+        for &(a, b, c) in &initial {
+            if base.insert((a, b, c)) {
+                incremental.insert_fact("link", link(a, b, f64::from(c)));
+            }
+        }
+        incremental.run(EvalStrategy::Pipelined).unwrap();
+
+        for &(a, b, c, insert) in &updates {
+            if a == b {
+                continue;
+            }
+            if insert {
+                if base.insert((a, b, c)) {
+                    incremental.update(TupleDelta::insert("link", link(a, b, f64::from(c)))).unwrap();
+                }
+            } else if base.remove(&(a, b, c)) {
+                incremental.update(TupleDelta::delete("link", link(a, b, f64::from(c)))).unwrap();
+            }
+        }
+
+        let mut scratch = Evaluator::new(&program).unwrap();
+        for &(a, b, c) in &base {
+            scratch.insert_fact("link", link(a, b, f64::from(c)));
+        }
+        scratch.run(EvalStrategy::Pipelined).unwrap();
+
+        let inc: BTreeSet<Tuple> = incremental.results("reachable").into_iter().collect();
+        let scr: BTreeSet<Tuple> = scratch.results("reachable").into_iter().collect();
+        prop_assert_eq!(inc, scr);
+    }
+
+    /// The incremental aggregate view equals a from-scratch recomputation
+    /// over whatever inputs remain after a random insert/delete sequence.
+    #[test]
+    fn aggregate_view_matches_recomputation(
+        ops in prop::collection::vec((0u32..4, 1i64..30, prop::bool::ANY), 1..40),
+    ) {
+        let rule = parse_program("a best(@G, min<C>) :- obs(@G, C).").unwrap().rules[0].clone();
+        let mut view = AggregateView::from_rule(&rule).unwrap();
+        let store = ndlog_runtime::Store::new();
+        let mut live: Vec<(u32, i64)> = Vec::new();
+        for &(g, c, insert) in &ops {
+            let tuple = Tuple::new(vec![Value::addr(g), Value::Int(c)]);
+            if insert {
+                live.push((g, c));
+                view.apply(&store, &TupleDelta::insert("obs", tuple));
+            } else if let Some(pos) = live.iter().position(|&(lg, lc)| lg == g && lc == c) {
+                live.remove(pos);
+                view.apply(&store, &TupleDelta::delete("obs", tuple));
+            } else {
+                // Deleting something never inserted must be a no-op.
+                view.apply(&store, &TupleDelta::delete("obs", tuple));
+            }
+        }
+        for g in 0u32..4 {
+            let expected = live.iter().filter(|&&(lg, _)| lg == g).map(|&(_, c)| c).min();
+            let probe = Tuple::new(vec![Value::addr(g), Value::Int(0)]);
+            let actual = view.current_for(&probe).and_then(|v| v.as_int());
+            prop_assert_eq!(actual, expected);
+        }
+    }
+
+    /// Pretty-printing then re-parsing a program yields the same rules.
+    #[test]
+    fn parser_display_roundtrip(seed in 0u32..4) {
+        let program = match seed {
+            0 => programs::shortest_path(""),
+            1 => programs::shortest_path_magic_dst("m"),
+            2 => programs::shortest_path_source_routing("sd"),
+            _ => programs::distance_vector("dv", 16),
+        };
+        let printed = program.to_string();
+        let reparsed = parse_program(&printed).unwrap();
+        prop_assert_eq!(program.rules, reparsed.rules);
+        prop_assert_eq!(program.queries, reparsed.queries);
+    }
+
+    /// Localization always yields a program whose rule bodies are
+    /// single-site, and preserves the centralized fixpoint.
+    #[test]
+    fn localization_preserves_results(edges in edges_strategy(6, 10)) {
+        let program = programs::shortest_path("");
+        let localized = localize(&program).unwrap();
+        prop_assert!(is_localized(&localized));
+
+        // Compare (source, destination, cost): when two paths tie on cost,
+        // the original and localized programs may legitimately keep
+        // different representative path vectors.
+        let run = |p: &ndlog_lang::Program| -> BTreeSet<(Value, Value, Value)> {
+            let mut eval = Evaluator::new(p).unwrap();
+            for &(a, b, c) in &edges {
+                eval.insert_fact("link", link(a, b, f64::from(c)));
+                eval.insert_fact("link", link(b, a, f64::from(c)));
+            }
+            eval.run(EvalStrategy::Pipelined).unwrap();
+            eval.results("shortestPath")
+                .into_iter()
+                .map(|t| {
+                    (
+                        t.get(0).unwrap().clone(),
+                        t.get(1).unwrap().clone(),
+                        t.get(3).unwrap().clone(),
+                    )
+                })
+                .collect()
+        };
+        prop_assert_eq!(run(&program), run(&localized));
+    }
+}
