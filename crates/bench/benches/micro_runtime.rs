@@ -1,10 +1,11 @@
 //! Micro-benchmarks of the runtime primitives: relation insertion with
-//! primary keys, strand firing (join + project) and incremental aggregate
-//! maintenance.
+//! primary keys, strand firing (join + project), indexed-vs-scan joins at
+//! increasing relation sizes, and incremental aggregate maintenance.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ndlog_lang::seminaive::delta_rewrite_full;
 use ndlog_lang::{parse_program, Value};
+use ndlog_runtime::strand::JoinStats;
 use ndlog_runtime::{AggregateView, CompiledStrand, Store, Tuple, TupleDelta};
 
 fn bench(c: &mut Criterion) {
@@ -51,7 +52,11 @@ fn bench(c: &mut Criterion) {
     }
     let trigger = TupleDelta::insert(
         "link",
-        Tuple::new(vec![Value::addr(0u32), Value::addr(1u32), Value::Float(1.0)]),
+        Tuple::new(vec![
+            Value::addr(0u32),
+            Value::addr(1u32),
+            Value::Float(1.0),
+        ]),
     );
     group.bench_function("strand_fire_join_100_paths", |b| {
         b.iter(|| {
@@ -60,6 +65,70 @@ fn bench(c: &mut Criterion) {
             out.len()
         })
     });
+
+    // Indexed probe vs. residual scan on a bound join, with the stored
+    // `link` relation sized 10^2..10^4: the per-trigger cost of the scan
+    // grows linearly with the relation while the probe stays O(matches).
+    let reach_program = parse_program("rc2 reach(@S,@D) :- #link(@S,@Z,C), reach(@Z,@D).").unwrap();
+    let reach_strands: Vec<CompiledStrand> = delta_rewrite_full(&reach_program)
+        .into_iter()
+        .map(CompiledStrand::new)
+        .collect();
+    let reach_strand = reach_strands
+        .iter()
+        .find(|s| s.trigger_relation() == "reach")
+        .unwrap();
+    for n in [100u32, 1_000, 10_000] {
+        // `link` holds n tuples; the strand triggered by reach(@Z,@D)
+        // probes link(@S,@Z,C) on its Z column, and exactly 10 links point
+        // at node 1 (the probe's match set).
+        let build_store = |indexed: bool| -> Store {
+            let mut store = Store::new();
+            if indexed {
+                store.declare_indexes(reach_strands.iter());
+            }
+            for i in 0..n {
+                let dst = if i % (n / 10) == 0 { 1 } else { 2 + (i % 97) };
+                store.apply(&TupleDelta::insert(
+                    "link",
+                    Tuple::new(vec![
+                        Value::addr(1000 + i),
+                        Value::addr(dst),
+                        Value::Float(1.0),
+                    ]),
+                ));
+            }
+            store
+        };
+        let trigger = TupleDelta::insert(
+            "reach",
+            Tuple::new(vec![Value::addr(1u32), Value::addr(500u32)]),
+        );
+        let indexed_store = build_store(true);
+        let scan_store = build_store(false);
+        group.bench_function(format!("join_link{n}_indexed"), |b| {
+            b.iter(|| {
+                let mut stats = JoinStats::default();
+                let out = reach_strand
+                    .fire_counted(&indexed_store, &trigger, u64::MAX, &mut stats)
+                    .unwrap();
+                assert_eq!(out.len(), 10);
+                assert_eq!(stats.index_probes, 1);
+                out.len()
+            })
+        });
+        group.bench_function(format!("join_link{n}_scan"), |b| {
+            b.iter(|| {
+                let mut stats = JoinStats::default();
+                let out = reach_strand
+                    .fire_counted(&scan_store, &trigger, u64::MAX, &mut stats)
+                    .unwrap();
+                assert_eq!(out.len(), 10);
+                assert_eq!(stats.tuples_examined as u32, n);
+                out.len()
+            })
+        });
+    }
 
     let agg_program = parse_program("sp3 spCost(@S,@D,min<C>) :- path(@S,@D,@Z,P,C).").unwrap();
     group.bench_function("aggregate_view_1000_updates", |b| {

@@ -70,7 +70,9 @@ fn run_figure(figure: &str, scale: Scale) {
             summary(scale);
         }
         "all" => {
-            for f in ["fig7", "fig9", "fig11", "fig12", "fig13", "fig14", "summary"] {
+            for f in [
+                "fig7", "fig9", "fig11", "fig12", "fig13", "fig14", "summary",
+            ] {
                 run_figure(f, scale);
                 println!();
             }
@@ -102,9 +104,7 @@ fn summary(scale: Scale) {
             reduction
         );
     }
-    println!(
-        "\nConvergence order (paper: Hop-Count fastest at 4.4 s, Random slowest at 5.8 s):"
-    );
+    println!("\nConvergence order (paper: Hop-Count fastest at 4.4 s, Random slowest at 5.8 s):");
     for metric in Metric::ALL {
         println!(
             "  {:<14} {:>8.2} s   {:>8.2} MB",
@@ -114,7 +114,9 @@ fn summary(scale: Scale) {
         );
     }
 
-    println!("\nClaim 3: message sharing reduces communication (paper: 34% total, peak 27 -> 16 kBps)");
+    println!(
+        "\nClaim 3: message sharing reduces communication (paper: 34% total, peak 27 -> 16 kBps)"
+    );
     let sharing = message_sharing(scale);
     println!(
         "  No-Share {:.2} MB (peak {:.2} kBps) vs Share {:.2} MB (peak {:.2} kBps): {:.0}% reduction",

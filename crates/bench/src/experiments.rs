@@ -55,6 +55,9 @@ pub struct MetricRun {
     pub pruned: u64,
     /// Messages sent.
     pub messages: usize,
+    /// Aggregate computation overhead across all nodes (probe/scan and
+    /// tuples-examined counters), complementing the communication metrics.
+    pub computation: ndlog_runtime::EvalStats,
 }
 
 /// Results of the aggregate-selections experiment (one run per metric).
@@ -94,6 +97,7 @@ fn run_metric_query(testbed: &Testbed, metric: Metric, periodic: bool) -> Metric
         completion: conv.completion_series(COMPLETION_STEP_S),
         pruned: engine.pruned_total(),
         messages: engine.stats().message_count(),
+        computation: engine.computation_stats(),
     }
 }
 
@@ -134,23 +138,43 @@ impl AggregateSelectionsResult {
         let _ = writeln!(out, "{title}");
         let _ = writeln!(
             out,
-            "{:<14} {:>12} {:>10} {:>12} {:>10} {:>10}",
-            "metric", "converge(s)", "MB", "peak kBps", "messages", "pruned"
+            "{:<14} {:>12} {:>10} {:>12} {:>10} {:>10} {:>10} {:>10} {:>12}",
+            "metric",
+            "converge(s)",
+            "MB",
+            "peak kBps",
+            "messages",
+            "pruned",
+            "probes",
+            "scans",
+            "examined"
         );
         for r in &self.runs {
             let _ = writeln!(
                 out,
-                "{:<14} {:>12.2} {:>10.2} {:>12.2} {:>10} {:>10}",
+                "{:<14} {:>12.2} {:>10.2} {:>12.2} {:>10} {:>10} {:>10} {:>10} {:>12}",
                 r.metric.label(),
                 r.convergence_seconds,
                 r.total_mb,
                 r.peak_kbps,
                 r.messages,
-                r.pruned
+                r.pruned,
+                r.computation.index_probes,
+                r.computation.scans,
+                r.computation.tuples_examined
             );
         }
-        let _ = writeln!(out, "\nPer-node bandwidth (kBps) over time ({}s buckets):", BANDWIDTH_BUCKET_S);
-        let buckets = self.runs.iter().map(|r| r.bandwidth.points.len()).max().unwrap_or(0);
+        let _ = writeln!(
+            out,
+            "\nPer-node bandwidth (kBps) over time ({}s buckets):",
+            BANDWIDTH_BUCKET_S
+        );
+        let buckets = self
+            .runs
+            .iter()
+            .map(|r| r.bandwidth.points.len())
+            .max()
+            .unwrap_or(0);
         let _ = write!(out, "{:<8}", "t(s)");
         for r in &self.runs {
             let _ = write!(out, "{:>14}", r.metric.label());
@@ -165,7 +189,12 @@ impl AggregateSelectionsResult {
             let _ = writeln!(out);
         }
         let _ = writeln!(out, "\n%% of eventual results completed over time:");
-        let steps = self.runs.iter().map(|r| r.completion.len()).max().unwrap_or(0);
+        let steps = self
+            .runs
+            .iter()
+            .map(|r| r.completion.len())
+            .max()
+            .unwrap_or(0);
         let _ = write!(out, "{:<8}", "t(s)");
         for r in &self.runs {
             let _ = write!(out, "{:>14}", r.metric.label());
@@ -175,11 +204,7 @@ impl AggregateSelectionsResult {
             let t = i as f64 * COMPLETION_STEP_S;
             let _ = write!(out, "{:<8.2}", t);
             for r in &self.runs {
-                let v = r
-                    .completion
-                    .get(i)
-                    .map(|(_, c)| *c)
-                    .unwrap_or(1.0);
+                let v = r.completion.get(i).map(|(_, c)| *c).unwrap_or(1.0);
                 let _ = write!(out, "{:>14.3}", v);
             }
             let _ = writeln!(out);
@@ -236,7 +261,10 @@ impl MagicSetsResult {
     /// Render the table (rows = query counts, columns = lines).
     pub fn render(&self) -> String {
         let mut out = String::new();
-        let _ = writeln!(out, "Figure 11: aggregate communication (MB) vs number of queries");
+        let _ = writeln!(
+            out,
+            "Figure 11: aggregate communication (MB) vs number of queries"
+        );
         let _ = write!(out, "{:<10} {:>10}", "queries", "No-MS");
         for line in &self.lines {
             let _ = write!(out, " {:>10}", line.label);
@@ -307,7 +335,9 @@ fn run_magic_query(
         .results("shortestPath")
         .into_iter()
         .find(|(node, t)| {
-            *node == dst && t.get(0) == Some(&Value::Addr(dst)) && t.get(1) == Some(&Value::Addr(src))
+            *node == dst
+                && t.get(0) == Some(&Value::Addr(dst))
+                && t.get(1) == Some(&Value::Addr(src))
         })
         .and_then(|(_, t)| {
             t.get(2).and_then(|v| {
@@ -346,7 +376,10 @@ fn reconstruct_from_cache(
         };
         let prefix: Vec<NodeAddr> = prefix_tuple
             .get(3)
-            .and_then(|v| v.as_list().map(|l| l.iter().filter_map(|x| x.as_addr()).collect()))
+            .and_then(|v| {
+                v.as_list()
+                    .map(|l| l.iter().filter_map(|x| x.as_addr()).collect())
+            })
             .unwrap_or_default();
         let prefix_cost = prefix_tuple
             .get(4)
@@ -382,7 +415,11 @@ pub fn magic_sets(scale: Scale, max_queries: usize, sample_counts: &[usize]) -> 
         config.max_seconds = 120.0;
         let mut engine = testbed.engine(&[plan], config);
         testbed
-            .load_links(&mut engine, &Testbed::link_relation(Metric::HopCount), Metric::HopCount)
+            .load_links(
+                &mut engine,
+                &Testbed::link_relation(Metric::HopCount),
+                Metric::HopCount,
+            )
             .expect("link loading");
         engine.run_to_quiescence().expect("run");
         engine.stats().total_mb()
@@ -399,7 +436,7 @@ pub fn magic_sets(scale: Scale, max_queries: usize, sample_counts: &[usize]) -> 
 
     let mut lines = Vec::new();
     for (label, dst_fraction, caching) in workloads {
-        let mut rng = StdRng::seed_from_u64(0xf16_11);
+        let mut rng = StdRng::seed_from_u64(0xf1611);
         let dst_pool = ((n as f64 * dst_fraction).round() as usize).max(1);
         let mut cache = QueryCache::new();
         let mut cumulative = Vec::with_capacity(max_queries);
@@ -484,7 +521,10 @@ impl SharingResult {
     /// Render the summary and the bandwidth series.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        let _ = writeln!(out, "Figure 12: opportunistic message sharing (300 ms delay)");
+        let _ = writeln!(
+            out,
+            "Figure 12: opportunistic message sharing (300 ms delay)"
+        );
         let _ = writeln!(
             out,
             "No-Share: {:.2} MB, peak {:.2} kBps | Share: {:.2} MB, peak {:.2} kBps | reduction {:.0}%",
@@ -536,7 +576,10 @@ pub fn message_sharing(scale: Scale) -> SharingResult {
     let no_share = merged.per_node_bandwidth_kbps(testbed.node_count(), BANDWIDTH_BUCKET_S);
 
     // Concurrent run with sharing.
-    let plans: Vec<_> = metrics.iter().map(|&m| Testbed::shortest_path_plan(m)).collect();
+    let plans: Vec<_> = metrics
+        .iter()
+        .map(|&m| Testbed::shortest_path_plan(m))
+        .collect();
     let mut config = EngineConfig::default();
     config.node.aggregate_selections = true;
     config.node.sharing_delay = Some(ms(SHARING_DELAY_MS));
@@ -583,6 +626,10 @@ pub struct IncrementalResult {
     pub duration_seconds: f64,
     /// Time the initial computation took to converge (seconds).
     pub initial_convergence_seconds: f64,
+    /// Computation overhead of the initial from-scratch run.
+    pub initial_computation: ndlog_runtime::EvalStats,
+    /// Additional computation overhead across all update bursts.
+    pub burst_computation: ndlog_runtime::EvalStats,
 }
 
 impl IncrementalResult {
@@ -625,9 +672,25 @@ impl IncrementalResult {
             self.peak_ratio() * 100.0,
             self.traffic_ratio() * 100.0
         );
+        let _ = writeln!(
+            out,
+            "computation: initial {} tuples examined ({} probes, {} scans); \
+             bursts added {} examined ({} probes, {} scans)",
+            self.initial_computation.tuples_examined,
+            self.initial_computation.index_probes,
+            self.initial_computation.scans,
+            self.burst_computation.tuples_examined,
+            self.burst_computation.index_probes,
+            self.burst_computation.scans
+        );
         let _ = writeln!(out, "{:<8} {:>14}", "t(s)", "kBps/node");
         for (i, v) in self.bandwidth.points.iter().enumerate() {
-            let _ = writeln!(out, "{:<8.1} {:>14.2}", (i as f64 + 0.5) * self.bandwidth.bucket_seconds, v);
+            let _ = writeln!(
+                out,
+                "{:<8.1} {:>14.2}",
+                (i as f64 + 0.5) * self.bandwidth.bucket_seconds,
+                v
+            );
         }
         out
     }
@@ -659,12 +722,13 @@ pub fn incremental_updates_with_intervals(
         .convergence(&Testbed::shortest_path_relation(metric))
         .convergence_seconds;
     let initial_mb = engine.stats().total_mb();
+    let initial_computation = engine.computation_stats();
     let initial_peak = engine
         .stats()
         .per_node_bandwidth_kbps(testbed.node_count(), 1.0)
         .peak();
 
-    let mut workload = UpdateWorkload::paper(&testbed.links, metric, 0xf16_13);
+    let mut workload = UpdateWorkload::paper(&testbed.links, metric, 0xf1613);
     let mut burst_mb = Vec::new();
     let mut t = engine.now_seconds().max(1.0).ceil();
     let mut interval_idx = 0;
@@ -715,6 +779,8 @@ pub fn incremental_updates_with_intervals(
         bursts: burst_mb.len(),
         duration_seconds: total_seconds,
         initial_convergence_seconds: initial_convergence,
+        initial_computation,
+        burst_computation: engine.computation_stats() - initial_computation,
     }
 }
 
@@ -780,10 +846,7 @@ mod tests {
         for line in &result.lines {
             assert_eq!(line.cumulative_mb.len(), 12);
             // Cumulative traffic is non-decreasing.
-            assert!(line
-                .cumulative_mb
-                .windows(2)
-                .all(|w| w[1] >= w[0] - 1e-12));
+            assert!(line.cumulative_mb.windows(2).all(|w| w[1] >= w[0] - 1e-12));
         }
         // A single magic query is much cheaper than the all-pairs baseline.
         let ms = &result.lines[0];

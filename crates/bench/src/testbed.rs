@@ -161,7 +161,10 @@ mod tests {
 
     #[test]
     fn metric_relations_are_suffixed() {
-        assert_eq!(Testbed::shortest_path_relation(Metric::HopCount), "shortestPath_hops");
+        assert_eq!(
+            Testbed::shortest_path_relation(Metric::HopCount),
+            "shortestPath_hops"
+        );
         assert_eq!(Testbed::link_relation(Metric::Random), "link_random");
     }
 
@@ -172,7 +175,8 @@ mod tests {
         let mut config = EngineConfig::default();
         config.node.aggregate_selections = true;
         let mut engine = tb.engine(&[plan], config);
-        tb.load_links(&mut engine, "link_hops", Metric::HopCount).unwrap();
+        tb.load_links(&mut engine, "link_hops", Metric::HopCount)
+            .unwrap();
         let report = engine.run_to_quiescence().unwrap();
         assert!(report.quiesced);
         // All-pairs results: n * (n - 1).

@@ -1,0 +1,168 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Covers the API subset the bench crate uses — [`Criterion`],
+//! `benchmark_group` / `sample_size` / `bench_function` / `finish`,
+//! [`Bencher::iter`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros — with a simple wall-clock measurement loop instead of
+//! criterion's statistical machinery. Each benchmark runs a short warm-up,
+//! then `sample_size` timed samples, and prints the per-iteration median,
+//! minimum and mean to stdout. Benches therefore still *run* and report
+//! usable relative numbers (the perf-trajectory use case) without any
+//! external dependency.
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding a value (stand-in for
+/// `criterion::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Measurement driver handed to benchmark closures.
+pub struct Bencher {
+    /// Nanoseconds per iteration for each completed measurement call.
+    samples: Vec<f64>,
+    /// Target duration of one `iter` measurement window.
+    window: Duration,
+}
+
+impl Bencher {
+    /// Measure `f`, running it enough times to fill the sampling window,
+    /// and record the mean nanoseconds per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up / calibration: one untimed run.
+        black_box(f());
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.window || iters >= 1 << 20 {
+                self.samples.push(elapsed.as_nanos() as f64 / iters as f64);
+                return;
+            }
+            iters = (iters * 4).min(1 << 20);
+        }
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark (criterion's default is 100;
+    /// this harness defaults to 10 to keep `cargo bench` quick).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Shrink or grow the per-sample measurement window.
+    pub fn measurement_time(&mut self, window: Duration) -> &mut Self {
+        self.criterion.window = window;
+        self
+    }
+
+    /// Run one benchmark and print its summary line.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            window: self.criterion.window,
+        };
+        for _ in 0..self.sample_size {
+            f(&mut bencher);
+        }
+        let mut sorted = bencher.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        if sorted.is_empty() {
+            println!("{}/{id}: no samples recorded", self.name);
+            return self;
+        }
+        let median = sorted[sorted.len() / 2];
+        let min = sorted[0];
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        println!(
+            "{}/{id}: median {} min {} mean {} ({} samples)",
+            self.name,
+            fmt_ns(median),
+            fmt_ns(min),
+            fmt_ns(mean),
+            sorted.len()
+        );
+        self
+    }
+
+    /// End the group (printing is incremental, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Top-level benchmark context.
+pub struct Criterion {
+    window: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            window: Duration::from_millis(20),
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== bench group: {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: 10,
+        }
+    }
+}
+
+/// Define a function that runs the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define `main` for a `harness = false` bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench`/`cargo test` pass harness flags; ignore them.
+            let _ = std::env::args();
+            $($group();)+
+        }
+    };
+}

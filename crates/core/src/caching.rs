@@ -154,7 +154,10 @@ mod tests {
             })
         );
         assert_eq!(cache.lookup(n(2), n(3)).unwrap().cost, 3.0);
-        assert!(cache.lookup(n(3), n(3)).is_none(), "destination itself is not cached");
+        assert!(
+            cache.lookup(n(3), n(3)).is_none(),
+            "destination itself is not cached"
+        );
         assert_eq!(cache.hits(), 2);
         assert_eq!(cache.misses(), 1);
     }

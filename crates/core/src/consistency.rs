@@ -91,7 +91,10 @@ pub fn check_location_placement(
 
 /// Convenience: the set of (source, destination, cost) triples of a
 /// shortest-path style relation, for comparisons in tests and experiments.
-pub fn path_costs(engine: &DistributedEngine, relation: &str) -> BTreeSet<(NodeAddr, NodeAddr, String)> {
+pub fn path_costs(
+    engine: &DistributedEngine,
+    relation: &str,
+) -> BTreeSet<(NodeAddr, NodeAddr, String)> {
     engine
         .results(relation)
         .into_iter()
@@ -150,8 +153,7 @@ mod tests {
     fn distributed_matches_centralized_fixpoint() {
         let (engine, base) = run_diamond(false);
         let program = programs::shortest_path("");
-        let count =
-            check_against_centralized(&engine, &program, &base, "shortestPath").unwrap();
+        let count = check_against_centralized(&engine, &program, &base, "shortestPath").unwrap();
         assert_eq!(count, 12);
     }
 
@@ -159,15 +161,17 @@ mod tests {
     fn distributed_with_selections_still_matches_on_static_network() {
         let (engine, base) = run_diamond(true);
         let program = programs::shortest_path("");
-        let count =
-            check_against_centralized(&engine, &program, &base, "shortestPath").unwrap();
+        let count = check_against_centralized(&engine, &program, &base, "shortestPath").unwrap();
         assert_eq!(count, 12);
     }
 
     #[test]
     fn placement_invariant_holds() {
         let (engine, _) = run_diamond(true);
-        assert_eq!(check_location_placement(&engine, "shortestPath").unwrap(), 12);
+        assert_eq!(
+            check_location_placement(&engine, "shortestPath").unwrap(),
+            12
+        );
         assert!(check_location_placement(&engine, "path").unwrap() > 0);
     }
 

@@ -165,8 +165,10 @@ mod tests {
             let hybrid = hybrid_split(&g, src, dst).unwrap();
             let td = top_down_cost(&g, src, dst).unwrap();
             let bu = bottom_up_cost(&g, src, dst).unwrap();
-            assert!(hybrid.cost <= td.min(bu) + 1,
-                "hybrid {hybrid:?} should be competitive with td {td} / bu {bu}");
+            assert!(
+                hybrid.cost <= td.min(bu) + 1,
+                "hybrid {hybrid:?} should be competitive with td {td} / bu {bu}"
+            );
             let SearchStrategy::Hybrid {
                 source_radius,
                 destination_radius,
@@ -203,7 +205,8 @@ mod tests {
     #[test]
     fn disconnected_nodes_have_no_strategy() {
         let mut g = Topology::with_nodes(3);
-        g.add_link(NodeAddr(0), NodeAddr(1), LinkMetrics::uniform()).unwrap();
+        g.add_link(NodeAddr(0), NodeAddr(1), LinkMetrics::uniform())
+            .unwrap();
         assert!(choose_strategy(&g, NodeAddr(0), NodeAddr(2)).is_none());
         assert!(hybrid_split(&g, NodeAddr(0), NodeAddr(2)).is_none());
         assert!(top_down_cost(&g, NodeAddr(0), NodeAddr(2)).is_none());

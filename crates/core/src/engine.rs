@@ -26,7 +26,7 @@ use ndlog_net::sim::{ms, to_seconds, SimTime};
 use ndlog_net::stats::NetStats;
 use ndlog_net::topology::Topology;
 use ndlog_net::{Message, NodeAddr, SimConfig, Simulator};
-use ndlog_runtime::{EvalError, Sign, Tuple, TupleDelta};
+use ndlog_runtime::{EvalError, EvalStats, Sign, Tuple, TupleDelta};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
@@ -136,11 +136,7 @@ pub struct DistributedEngine {
 impl DistributedEngine {
     /// Build an engine over an overlay graph running the given plans on
     /// every node.
-    pub fn new(
-        graph: Topology,
-        plans: &[QueryPlan],
-        config: EngineConfig,
-    ) -> Result<Self, String> {
+    pub fn new(graph: Topology, plans: &[QueryPlan], config: EngineConfig) -> Result<Self, String> {
         let all_strands: Vec<_> = plans.iter().flat_map(|p| p.strands.clone()).collect();
         let strands = Arc::new(all_strands);
 
@@ -210,6 +206,18 @@ impl DistributedEngine {
         self.nodes.values().map(NodeEngine::pruned).sum()
     }
 
+    /// Aggregate evaluation statistics across all nodes: processed deltas,
+    /// derivations and the probe/scan/tuples-examined counters. This is the
+    /// computation-overhead side of the paper's evaluation, complementing
+    /// [`DistributedEngine::stats`]'s communication accounting.
+    pub fn computation_stats(&self) -> EvalStats {
+        let mut total = EvalStats::default();
+        for node in self.nodes.values() {
+            total += node.eval_stats();
+        }
+        total
+    }
+
     /// Insert a base tuple at a node and process the consequences at the
     /// current simulation time.
     pub fn insert_base(
@@ -241,10 +249,26 @@ impl DistributedEngine {
         let link = |s: NodeAddr, d: NodeAddr, c: f64| {
             Tuple::new(vec![Value::Addr(s), Value::Addr(d), Value::Float(c)])
         };
-        self.delete_base(update.a, relation, link(update.a, update.b, update.old_cost))?;
-        self.insert_base(update.a, relation, link(update.a, update.b, update.new_cost))?;
-        self.delete_base(update.b, relation, link(update.b, update.a, update.old_cost))?;
-        self.insert_base(update.b, relation, link(update.b, update.a, update.new_cost))?;
+        self.delete_base(
+            update.a,
+            relation,
+            link(update.a, update.b, update.old_cost),
+        )?;
+        self.insert_base(
+            update.a,
+            relation,
+            link(update.a, update.b, update.new_cost),
+        )?;
+        self.delete_base(
+            update.b,
+            relation,
+            link(update.b, update.a, update.old_cost),
+        )?;
+        self.insert_base(
+            update.b,
+            relation,
+            link(update.b, update.a, update.new_cost),
+        )?;
         Ok(())
     }
 
@@ -367,10 +391,7 @@ impl DistributedEngine {
 
     /// Total number of stored tuples of a relation across the network.
     pub fn result_count(&self, relation: &str) -> usize {
-        self.nodes
-            .values()
-            .map(|n| n.store().count(relation))
-            .sum()
+        self.nodes.values().map(|n| n.store().count(relation)).sum()
     }
 
     /// Convergence metrics for a tracked relation, derived from the result
@@ -468,9 +489,7 @@ mod tests {
             .results("shortestPath")
             .into_iter()
             .find(|(node, t)| {
-                *node == NodeAddr(s)
-                    && t.get(0) == Some(&addr(s))
-                    && t.get(1) == Some(&addr(d))
+                *node == NodeAddr(s) && t.get(0) == Some(&addr(s)) && t.get(1) == Some(&addr(d))
             })
             .and_then(|(_, t)| t.get(3).and_then(|v| v.as_f64()))
             .unwrap_or(f64::NAN)
@@ -519,7 +538,10 @@ mod tests {
         assert!((conv.completion_at(conv.convergence_seconds) - 1.0).abs() < 1e-9);
         let series = conv.completion_series(0.001);
         assert!(series.len() > 2);
-        assert!(series.windows(2).all(|w| w[0].1 <= w[1].1), "monotone completion");
+        assert!(
+            series.windows(2).all(|w| w[0].1 <= w[1].1),
+            "monotone completion"
+        );
     }
 
     #[test]
@@ -544,15 +566,17 @@ mod tests {
         let report = engine.run_to_quiescence().unwrap();
         assert!(report.quiesced);
         assert_eq!(shortest_cost(&engine, 0, 1), 5.0);
-        assert!(engine.stats().total_bytes() > before, "updates cost bandwidth");
+        assert!(
+            engine.stats().total_bytes() > before,
+            "updates cost bandwidth"
+        );
     }
 
     #[test]
     fn run_until_respects_the_time_limit() {
         let (graph, edges) = diamond();
         let plan = plan(&programs::shortest_path("")).unwrap();
-        let mut engine =
-            DistributedEngine::new(graph, &[plan], EngineConfig::default()).unwrap();
+        let mut engine = DistributedEngine::new(graph, &[plan], EngineConfig::default()).unwrap();
         for (a, b, c) in edges {
             engine
                 .insert_base(NodeAddr(a), "link", link_tuple(a, b, c))
@@ -566,7 +590,11 @@ mod tests {
         assert!(!report.quiesced);
         // Before any message arrives each node only knows 1-hop paths to
         // its direct neighbors: 2 + 3 + 2 + 1 = 8 results in the diamond.
-        assert_eq!(engine.result_count("shortestPath"), 8, "only 1-hop paths so far");
+        assert_eq!(
+            engine.result_count("shortestPath"),
+            8,
+            "only 1-hop paths so far"
+        );
         let report = engine.run_to_quiescence().unwrap();
         assert!(report.quiesced);
         assert_eq!(engine.result_count("shortestPath"), 12);
@@ -589,8 +617,7 @@ mod tests {
                 },
                 ..Default::default()
             };
-            let mut engine =
-                DistributedEngine::new(graph.clone(), &plans, config).unwrap();
+            let mut engine = DistributedEngine::new(graph.clone(), &plans, config).unwrap();
             for metric in ["latency", "reliability", "random"] {
                 let relation = format!("link_{metric}");
                 for &(a, b, c) in &edges {

@@ -28,7 +28,10 @@ use crate::plan::QueryPlan;
 use ndlog_lang::aggsel::AggSelectionSpec;
 use ndlog_net::sim::SimTime;
 use ndlog_net::NodeAddr;
-use ndlog_runtime::{AggregateView, CompiledStrand, EvalError, Sign, Store, Tuple, TupleDelta};
+use ndlog_runtime::strand::{rederive_key, JoinStats};
+use ndlog_runtime::{
+    AggregateView, CompiledStrand, EvalError, EvalStats, Sign, Store, Tuple, TupleDelta,
+};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
 
@@ -89,6 +92,10 @@ pub struct NodeEngine {
     changes: Vec<ResultChange>,
     /// Count of insertions pruned by aggregate selections.
     pruned: u64,
+    /// Cumulative evaluation statistics (probe/scan/tuples-examined
+    /// counters and processed-delta counts) for computation-overhead
+    /// reporting.
+    stats: EvalStats,
 }
 
 impl NodeEngine {
@@ -108,6 +115,15 @@ impl NodeEngine {
             store.add_program(&plan.program);
             for rule in &plan.aggregate_rules {
                 views.push(AggregateView::from_rule(rule)?);
+            }
+        }
+        // Build every secondary index the shared strands' probe plans and
+        // the views' guard checks declare, once per node at construction
+        // time.
+        store.declare_indexes(strands.iter());
+        for view in &views {
+            for (relation, cols) in view.index_requirements() {
+                store.declare_index(&relation, &cols);
             }
         }
         for plan in plans {
@@ -135,6 +151,7 @@ impl NodeEngine {
             held: Vec::new(),
             changes: Vec::new(),
             pruned: 0,
+            stats: EvalStats::default(),
         })
     }
 
@@ -151,6 +168,13 @@ impl NodeEngine {
     /// Number of insertions pruned by aggregate selections so far.
     pub fn pruned(&self) -> u64 {
         self.pruned
+    }
+
+    /// Cumulative evaluation statistics: processed deltas, derivations, and
+    /// the probe/scan/tuples-examined counters that quantify computation
+    /// overhead (the per-node counterpart of the network byte accounting).
+    pub fn eval_stats(&self) -> EvalStats {
+        self.stats
     }
 
     /// Whether the node has unprocessed work queued.
@@ -255,18 +279,43 @@ impl NodeEngine {
         let mut request_flush = false;
 
         while let Some((delta, seq)) = self.queue.pop_front() {
+            let mut joins = JoinStats::default();
             let mut derived = Vec::new();
             for strand in self.strands.iter() {
                 if strand.trigger_relation() != delta.relation {
                     continue;
                 }
-                derived.extend(strand.fire(&self.store, &delta, seq)?);
+                derived.extend(strand.fire_counted(&self.store, &delta, seq, &mut joins)?);
             }
+            // Count normal derivations before appending rederivation
+            // restores, mirroring the centralized evaluator's accounting.
+            self.stats.derivations += derived.len();
+            let mut restored = Vec::new();
+            if delta.sign == Sign::Delete {
+                // Compensate for derivations folded away by primary-key
+                // replacements (see `rederive_key`). Restores repair this
+                // node's vacated key only: a derivation located at another
+                // node was already counted there during the forward pass,
+                // so shipping it would double its count. Keep the ones
+                // this node would have derived locally and drop the rest.
+                restored = rederive_key(&self.store, &self.strands, &delta, seq, &mut joins)?;
+                restored.retain(|r| {
+                    let location = r.tuple.location();
+                    location.is_none() || location == Some(self.addr)
+                });
+            }
+            self.stats.iterations += 1;
+            self.stats.tuples_processed += 1;
+            self.stats.absorb_joins(joins);
             for derivation in derived {
                 match derivation.location {
                     Some(dest) if dest != self.addr => {
                         // Remote derivation: send along the link (or hold).
-                        if self.config.blocked_relations.contains(&derivation.delta.relation) {
+                        if self
+                            .config
+                            .blocked_relations
+                            .contains(&derivation.delta.relation)
+                        {
                             continue;
                         }
                         let hold_for_sharing = self.config.sharing_delay.is_some();
@@ -287,6 +336,12 @@ impl NodeEngine {
                         self.ingest(derivation.delta);
                     }
                 }
+            }
+            // Restores land after the derived deletion cascade, matching
+            // the centralized evaluator's ordering so both engines reach
+            // the same fixpoint in the lossy-replacement edge.
+            for delta in restored {
+                self.ingest(delta);
             }
         }
 
@@ -370,11 +425,7 @@ impl NodeEngine {
 
     fn group_key(&self, delta: &TupleDelta) -> Option<Vec<ndlog_lang::Value>> {
         let sel = self.selection_for(&delta.relation)?;
-        if sel
-            .group_cols
-            .iter()
-            .any(|&c| delta.tuple.get(c).is_none())
-        {
+        if sel.group_cols.iter().any(|&c| delta.tuple.get(c).is_none()) {
             return None;
         }
         Some(delta.tuple.project(&sel.group_cols))
@@ -434,7 +485,10 @@ mod tests {
         node.receive(vec![TupleDelta::insert("path", path(1, 5.0))]);
         node.process().unwrap();
         assert_eq!(node.store().count("path"), 1);
-        assert_eq!(node.current_best("path", &path(1, 5.0)), Some(Value::Float(5.0)));
+        assert_eq!(
+            node.current_best("path", &path(1, 5.0)),
+            Some(Value::Float(5.0))
+        );
         // A worse path for the same (S, D) group is pruned entirely.
         node.receive(vec![TupleDelta::insert("path", path(2, 7.0))]);
         node.process().unwrap();
@@ -444,7 +498,10 @@ mod tests {
         node.receive(vec![TupleDelta::insert("path", path(3, 2.0))]);
         node.process().unwrap();
         assert_eq!(node.store().count("path"), 2);
-        assert_eq!(node.current_best("path", &path(1, 0.0)), Some(Value::Float(2.0)));
+        assert_eq!(
+            node.current_best("path", &path(1, 0.0)),
+            Some(Value::Float(2.0))
+        );
         // The shortestPath result reflects the best cost.
         let sp = node.store().tuples("shortestPath");
         assert_eq!(sp.len(), 1);
@@ -503,7 +560,10 @@ mod tests {
         // tuple for node 0.
         node.receive(vec![
             TupleDelta::insert("link", link(1, 0, 1.0)),
-            TupleDelta::insert("path_sp2_xd", Tuple::new(vec![addr(1), addr(0), Value::Float(1.0)])),
+            TupleDelta::insert(
+                "path_sp2_xd",
+                Tuple::new(vec![addr(1), addr(0), Value::Float(1.0)]),
+            ),
         ]);
         node.process().unwrap();
         // Two successively better paths to 9 (via different next hops, so no

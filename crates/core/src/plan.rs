@@ -41,7 +41,11 @@ impl QueryPlan {
     /// Relations named in `query ...` statements: the result relations a
     /// caller usually wants to track for convergence.
     pub fn query_relations(&self) -> Vec<String> {
-        self.program.queries.iter().map(|q| q.name.clone()).collect()
+        self.program
+            .queries
+            .iter()
+            .map(|q| q.name.clone())
+            .collect()
     }
 
     /// Primary-key columns declared for a relation (empty when keyed on all

@@ -83,7 +83,11 @@ mod tests {
                 Value::addr(0u32),
                 Value::addr(9u32),
                 Value::addr(3u32),
-                Value::list(vec![Value::addr(0u32), Value::addr(3u32), Value::addr(9u32)]),
+                Value::list(vec![
+                    Value::addr(0u32),
+                    Value::addr(3u32),
+                    Value::addr(9u32),
+                ]),
                 Value::Float(cost),
             ]),
         )
@@ -101,7 +105,11 @@ mod tests {
         assert!(combined < plain);
         // The shared prefix (two addresses + next hop + 3-element path
         // vector) is paid once instead of three times.
-        assert!(saving(&deltas) > plain / 3, "saving {} vs plain {plain}", saving(&deltas));
+        assert!(
+            saving(&deltas) > plain / 3,
+            "saving {} vs plain {plain}",
+            saving(&deltas)
+        );
     }
 
     #[test]
@@ -113,7 +121,11 @@ mod tests {
                 Value::addr(1u32),
                 Value::addr(8u32),
                 Value::addr(2u32),
-                Value::list(vec![Value::addr(1u32), Value::addr(2u32), Value::addr(8u32)]),
+                Value::list(vec![
+                    Value::addr(1u32),
+                    Value::addr(2u32),
+                    Value::addr(8u32),
+                ]),
                 Value::Float(5.0),
             ]),
         );

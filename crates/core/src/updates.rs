@@ -46,7 +46,13 @@ impl UpdateWorkload {
     /// Build a workload over the overlay's links, reading the initial costs
     /// from the chosen metric. `fraction` of links change by up to
     /// `magnitude` (relative) per burst.
-    pub fn new(links: &[OverlayLink], metric: Metric, fraction: f64, magnitude: f64, seed: u64) -> Self {
+    pub fn new(
+        links: &[OverlayLink],
+        metric: Metric,
+        fraction: f64,
+        magnitude: f64,
+        seed: u64,
+    ) -> Self {
         let mut costs = BTreeMap::new();
         for l in links {
             let key = canonical(l.src, l.dst);

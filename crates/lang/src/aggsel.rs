@@ -88,7 +88,11 @@ pub fn infer_aggregate_selections(program: &Program) -> Vec<AggSelectionSpec> {
         };
         let providers: Vec<_> = body_atoms
             .iter()
-            .filter(|a| a.args.iter().any(|t| t.var_name() == Some(agg_var.as_str())))
+            .filter(|a| {
+                a.args
+                    .iter()
+                    .any(|t| t.var_name() == Some(agg_var.as_str()))
+            })
             .collect();
         if providers.len() != 1 {
             continue;
@@ -149,10 +153,7 @@ mod tests {
 
     #[test]
     fn infers_min_selection_from_shortest_path() {
-        let p = parse_program(
-            "sp3 spCost(@S,@D,min<C>) :- path(@S,@D,@Z,P,C).",
-        )
-        .unwrap();
+        let p = parse_program("sp3 spCost(@S,@D,min<C>) :- path(@S,@D,@Z,P,C).").unwrap();
         let sels = infer_aggregate_selections(&p);
         assert_eq!(sels.len(), 1);
         let s = &sels[0];
@@ -189,10 +190,8 @@ mod tests {
     #[test]
     fn extra_filter_atoms_do_not_block_inference() {
         // The paper's SP3-SD shape: a magic filter plus the aggregate source.
-        let p = parse_program(
-            "sd3 spCost(@D,@S,min<C>) :- magicDst(@D), pathDst(@D,@S,@Z,P,C).",
-        )
-        .unwrap();
+        let p = parse_program("sd3 spCost(@D,@S,min<C>) :- magicDst(@D), pathDst(@D,@S,@Z,P,C).")
+            .unwrap();
         let sels = infer_aggregate_selections(&p);
         assert_eq!(sels.len(), 1);
         assert_eq!(sels[0].relation, "pathDst");
@@ -218,7 +217,10 @@ mod tests {
         };
         assert!(min.is_better(1.0, 2.0));
         assert!(!min.is_better(2.0, 2.0));
-        let max = AggSelectionSpec { func: AggFunc::Max, ..min.clone() };
+        let max = AggSelectionSpec {
+            func: AggFunc::Max,
+            ..min.clone()
+        };
         assert!(max.is_better(3.0, 2.0));
         assert!(!max.is_better(2.0, 2.0));
     }

@@ -205,7 +205,14 @@ impl BinOp {
     pub fn is_comparison(&self) -> bool {
         matches!(
             self,
-            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::And | BinOp::Or
+            BinOp::Eq
+                | BinOp::Ne
+                | BinOp::Lt
+                | BinOp::Le
+                | BinOp::Gt
+                | BinOp::Ge
+                | BinOp::And
+                | BinOp::Or
         )
     }
 }
@@ -422,9 +429,7 @@ impl Rule {
 
     /// Non-predicate literals (assignments and filters), in order.
     pub fn constraints(&self) -> impl Iterator<Item = &Literal> {
-        self.body
-            .iter()
-            .filter(|l| !matches!(l, Literal::Atom(_)))
+        self.body.iter().filter(|l| !matches!(l, Literal::Atom(_)))
     }
 
     /// Whether the rule is **local** (Definition 3): every predicate,
@@ -761,7 +766,10 @@ mod tests {
             ],
         );
         assert!(local.is_local());
-        assert!(!sp2_rule().is_local(), "sp2 joins relations at different locations");
+        assert!(
+            !sp2_rule().is_local(),
+            "sp2 joins relations at different locations"
+        );
     }
 
     #[test]

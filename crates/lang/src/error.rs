@@ -26,7 +26,11 @@ impl ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at {}:{}: {}", self.line, self.column, self.message)
+        write!(
+            f,
+            "parse error at {}:{}: {}",
+            self.line, self.column, self.message
+        )
     }
 }
 
@@ -99,7 +103,10 @@ impl fmt::Display for ValidationError {
                 "rule {rule}: head variable {variable} is not bound in the body"
             ),
             ValidationError::MisplacedAggregate { rule } => {
-                write!(f, "rule {rule}: aggregates may only appear in head arguments")
+                write!(
+                    f,
+                    "rule {rule}: aggregates may only appear in head arguments"
+                )
             }
         }
     }

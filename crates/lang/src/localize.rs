@@ -106,7 +106,10 @@ pub fn localize_rule(rule: &Rule) -> Result<Vec<Rule>, LangError> {
     }
 
     let head_loc = rule.head.location().cloned().ok_or_else(|| {
-        LangError::Rewrite(format!("rule {}: head has no location specifier", rule.label))
+        LangError::Rewrite(format!(
+            "rule {}: head has no location specifier",
+            rule.label
+        ))
     })?;
     if head_loc != src_term && head_loc != dst_term {
         return Err(LangError::Rewrite(format!(
@@ -134,7 +137,9 @@ pub fn localize_rule(rule: &Rule) -> Result<Vec<Rule>, LangError> {
     let dst_var = dst_term.var_name().map(str::to_string);
     let carried: Vec<String> = src_bound
         .intersection(&needed)
-        .filter(|v| Some(v.as_str()) != src_var.as_deref() && Some(v.as_str()) != dst_var.as_deref())
+        .filter(|v| {
+            Some(v.as_str()) != src_var.as_deref() && Some(v.as_str()) != dst_var.as_deref()
+        })
         .cloned()
         .collect();
 
@@ -237,7 +242,10 @@ mod tests {
         assert_eq!(b.head.name, "path");
         // Head at @S (link source) so a reverse link literal is added.
         let first = b.body_atoms().next().unwrap();
-        assert!(first.link, "reverse link literal added for backward shipping");
+        assert!(
+            first.link,
+            "reverse link literal added for backward shipping"
+        );
         assert_eq!(first.location_var(), Some("Z"));
         // Constraints moved to rule B.
         assert_eq!(b.constraints().count(), 2);
@@ -252,7 +260,11 @@ mod tests {
         assert!(is_localized(&localized));
         assert_eq!(localized.rules.len(), 5);
         // The rewritten program still passes the NDlog constraints.
-        assert!(validate(&localized).is_empty(), "{:?}", validate(&localized));
+        assert!(
+            validate(&localized).is_empty(),
+            "{:?}",
+            validate(&localized)
+        );
     }
 
     #[test]

@@ -134,7 +134,12 @@ impl Parser {
         self.expect(&TokenKind::LParen)?;
         let name = match self.advance().kind {
             TokenKind::Ident(s) => s,
-            other => return Err(self.error(format!("expected relation name, found {}", other.describe()))),
+            other => {
+                return Err(self.error(format!(
+                    "expected relation name, found {}",
+                    other.describe()
+                )))
+            }
         };
         let mut decl = TableDecl {
             name,
@@ -324,9 +329,14 @@ impl Parser {
                         return Ok(Term::agg(func, var));
                     }
                 }
-                Err(self.error(format!("unexpected identifier `{id}` in predicate argument")))
+                Err(self.error(format!(
+                    "unexpected identifier `{id}` in predicate argument"
+                )))
             }
-            other => Err(self.error(format!("unexpected {} in predicate argument", other.describe()))),
+            other => Err(self.error(format!(
+                "unexpected {} in predicate argument",
+                other.describe()
+            ))),
         }
     }
 
@@ -361,10 +371,7 @@ impl Parser {
         match self.peek_kind().clone() {
             // Assignment: Var := expr  or  Var = expr.
             TokenKind::Var(name)
-                if matches!(
-                    self.peek_ahead(1),
-                    TokenKind::Assign | TokenKind::EqSign
-                ) =>
+                if matches!(self.peek_ahead(1), TokenKind::Assign | TokenKind::EqSign) =>
             {
                 self.advance();
                 self.advance();
@@ -671,8 +678,13 @@ mod tests {
         assert!(err.line >= 1);
 
         assert!(parse_program("p(@S) :- .").is_err());
-        assert!(parse_program("p(@S) :- 42abc.").is_err() || parse_program("p(@S) :- f_x(.").is_err());
-        assert!(parse_program("materialize(p, keys(0)).").is_err(), "key columns are 1-based");
+        assert!(
+            parse_program("p(@S) :- 42abc.").is_err() || parse_program("p(@S) :- f_x(.").is_err()
+        );
+        assert!(
+            parse_program("materialize(p, keys(0)).").is_err(),
+            "key columns are 1-based"
+        );
     }
 
     #[test]

@@ -135,7 +135,14 @@ pub fn shortest_path_source_routing(suffix: &str) -> Program {
         query {sp}(@D,@S,P,C).
         "#,
         link = r.link,
-        pathdst = format!("pathDst{}", if suffix.is_empty() { String::new() } else { format!("_{suffix}") }),
+        pathdst = format!(
+            "pathDst{}",
+            if suffix.is_empty() {
+                String::new()
+            } else {
+                format!("_{suffix}")
+            }
+        ),
         spc = r.sp_cost,
         sp = r.shortest_path,
         msrc = r.magic_src,
@@ -228,7 +235,11 @@ mod tests {
         assert!(errs.is_empty(), "{errs:?}");
         let localized = localize(p).expect("localizes");
         assert!(is_localized(&localized));
-        assert!(validate(&localized).is_empty(), "{:?}", validate(&localized));
+        assert!(
+            validate(&localized).is_empty(),
+            "{:?}",
+            validate(&localized)
+        );
     }
 
     #[test]
@@ -241,9 +252,7 @@ mod tests {
     fn magic_dst_variant_is_valid() {
         assert_valid(&shortest_path_magic_dst("hops"));
         let p = shortest_path_magic_dst("hops");
-        assert!(p.rules[0]
-            .body_atoms()
-            .any(|a| a.name == "magicDst_hops"));
+        assert!(p.rules[0].body_atoms().any(|a| a.name == "magicDst_hops"));
     }
 
     #[test]
@@ -279,9 +288,17 @@ mod tests {
 
     #[test]
     fn aggregate_selection_is_inferrable_from_programs() {
-        for p in [shortest_path(""), shortest_path_magic_dst(""), shortest_path_source_routing("")] {
+        for p in [
+            shortest_path(""),
+            shortest_path_magic_dst(""),
+            shortest_path_source_routing(""),
+        ] {
             let sels = infer_aggregate_selections(&p);
-            assert_eq!(sels.len(), 1, "each variant exposes exactly one min selection");
+            assert_eq!(
+                sels.len(),
+                1,
+                "each variant exposes exactly one min selection"
+            );
         }
     }
 

@@ -159,7 +159,10 @@ mod tests {
     #[test]
     fn older_only_marks_left_recursive_predicates() {
         // Non-linear rule: two recursive predicates.
-        let p = parse_program("t reach(@S,@D) :- reach(@S,@Z), reach2(@Z,@D). t2 reach2(@S,@D) :- reach(@S,@D).").unwrap();
+        let p = parse_program(
+            "t reach(@S,@D) :- reach(@S,@Z), reach2(@Z,@D). t2 reach2(@S,@D) :- reach(@S,@D).",
+        )
+        .unwrap();
         let strands = delta_rewrite_recursive(&p);
         let triggered_by_second: Vec<_> = strands
             .iter()

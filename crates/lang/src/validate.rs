@@ -55,18 +55,16 @@ pub fn validate_strict(program: &Program) -> Result<(), crate::error::LangError>
 }
 
 fn check_location_specificity(rule: &Rule, errors: &mut Vec<ValidationError>) {
-    let mut check_atom = |atom: &crate::ast::Atom| {
-        match atom.location() {
-            None => errors.push(ValidationError::EmptyPredicate {
-                rule: rule.label.clone(),
-                predicate: atom.name.clone(),
-            }),
-            Some(loc) if !loc.is_address() => errors.push(ValidationError::MissingLocationSpecifier {
-                rule: rule.label.clone(),
-                predicate: atom.name.clone(),
-            }),
-            _ => {}
-        }
+    let mut check_atom = |atom: &crate::ast::Atom| match atom.location() {
+        None => errors.push(ValidationError::EmptyPredicate {
+            rule: rule.label.clone(),
+            predicate: atom.name.clone(),
+        }),
+        Some(loc) if !loc.is_address() => errors.push(ValidationError::MissingLocationSpecifier {
+            rule: rule.label.clone(),
+            predicate: atom.name.clone(),
+        }),
+        _ => {}
     };
     check_atom(&rule.head);
     for a in rule.body_atoms() {
@@ -128,7 +126,7 @@ fn check_link_restriction(rule: &Rule, errors: &mut Vec<ValidationError>) {
             return;
         }
         match atom.location() {
-            Some(loc) if endpoints.iter().any(|e| *e == loc) => {}
+            Some(loc) if endpoints.contains(&loc) => {}
             Some(loc) => offenders.push(format!("{}@{}", atom.name, loc)),
             None => offenders.push(atom.name.clone()),
         }
@@ -198,20 +196,18 @@ fn check_arities(
     arities: &mut BTreeMap<String, usize>,
     errors: &mut Vec<ValidationError>,
 ) {
-    let mut check = |name: &str, arity: usize| {
-        match arities.get(name) {
-            Some(&expected) if expected != arity => {
-                errors.push(ValidationError::ArityMismatch {
-                    predicate: name.to_string(),
-                    expected,
-                    found: arity,
-                    rule: rule.label.clone(),
-                });
-            }
-            Some(_) => {}
-            None => {
-                arities.insert(name.to_string(), arity);
-            }
+    let mut check = |name: &str, arity: usize| match arities.get(name) {
+        Some(&expected) if expected != arity => {
+            errors.push(ValidationError::ArityMismatch {
+                predicate: name.to_string(),
+                expected,
+                found: arity,
+                rule: rule.label.clone(),
+            });
+        }
+        Some(_) => {}
+        None => {
+            arities.insert(name.to_string(), arity);
         }
     };
     check(&rule.head.name, rule.head.arity());
@@ -266,10 +262,11 @@ mod tests {
     #[test]
     fn derived_link_relation_rejected() {
         let errs = errors_of("a link(@S, @D, C) :- path(@S, @D, C).");
-        assert!(errs.is_empty(), "link only counts as a link relation when used with #");
-        let errs = errors_of(
-            "a link(@S,@D,C) :- path(@S,@D,C). b reach(@S,@D) :- #link(@S,@D,C).",
+        assert!(
+            errs.is_empty(),
+            "link only counts as a link relation when used with #"
         );
+        let errs = errors_of("a link(@S,@D,C) :- path(@S,@D,C). b reach(@S,@D) :- #link(@S,@D,C).");
         assert!(errs
             .iter()
             .any(|e| matches!(e, ValidationError::DerivedLinkRelation { predicate, .. } if predicate == "link")));
@@ -291,8 +288,7 @@ mod tests {
 
     #[test]
     fn non_local_rule_with_two_link_literals() {
-        let errs =
-            errors_of("a p(@S, C) :- #link(@S, @D, C), #link(@D, @E, C2), q(@D, C).");
+        let errs = errors_of("a p(@S, C) :- #link(@S, @D, C), #link(@D, @E, C2), q(@D, C).");
         assert!(errs
             .iter()
             .any(|e| matches!(e, ValidationError::NotLinkRestricted { reason, .. } if reason.contains("exactly one"))));
@@ -346,9 +342,9 @@ mod tests {
     #[test]
     fn arity_mismatch_detected() {
         let errs = errors_of("a p(@S, C) :- q(@S, C). b r(@S) :- q(@S, C, D).");
-        assert!(errs
-            .iter()
-            .any(|e| matches!(e, ValidationError::ArityMismatch { predicate, .. } if predicate == "q")));
+        assert!(errs.iter().any(
+            |e| matches!(e, ValidationError::ArityMismatch { predicate, .. } if predicate == "q")
+        ));
     }
 
     #[test]

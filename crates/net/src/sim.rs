@@ -182,7 +182,9 @@ impl<P: Clone> Simulator<P> {
     /// simulation time. Returns the scheduled delivery time, or `None` if
     /// the message was dropped (no such link and enforcement disabled).
     pub fn send(&mut self, message: Message<P>) -> Option<SimTime> {
-        let Message { from, to, bytes, .. } = message;
+        let Message {
+            from, to, bytes, ..
+        } = message;
         let wire_bytes = bytes + self.config.header_bytes;
         let Some(metrics) = self.topology.link(from, to).copied() else {
             if self.config.enforce_link_restriction {
@@ -346,8 +348,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "link-restriction violated")]
     fn sending_over_missing_link_panics_when_enforced() {
-        let mut sim: Simulator<u32> =
-            Simulator::new(Topology::with_nodes(3), SimConfig::default());
+        let mut sim: Simulator<u32> = Simulator::new(Topology::with_nodes(3), SimConfig::default());
         sim.send(Message::new(NodeAddr(0), NodeAddr(2), 10, 1));
     }
 

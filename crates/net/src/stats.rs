@@ -51,6 +51,9 @@ pub struct NetStats {
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 struct SendRecord {
     time: SimTime,
+    /// Sending node; recorded for per-node breakdowns even though the
+    /// current reports only aggregate over time.
+    #[allow(dead_code)]
     node: NodeAddr,
     bytes: u64,
 }

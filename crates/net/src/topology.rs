@@ -405,7 +405,10 @@ mod tests {
         assert_eq!(t.node_count(), 3);
         assert_eq!(t.link_count(), 3);
         assert!(t.has_link(NodeAddr(0), NodeAddr(1)));
-        assert!(t.has_link(NodeAddr(1), NodeAddr(0)), "links are bidirectional");
+        assert!(
+            t.has_link(NodeAddr(1), NodeAddr(0)),
+            "links are bidirectional"
+        );
         assert_eq!(t.degree(NodeAddr(0)), 2);
         assert!(t.is_connected());
     }
@@ -435,7 +438,10 @@ mod tests {
         t.remove_link(NodeAddr(0), NodeAddr(1)).unwrap();
         assert!(!t.has_link(NodeAddr(0), NodeAddr(1)));
         assert_eq!(t.degree(NodeAddr(0)), 1);
-        assert!(t.is_connected(), "triangle minus one edge is still connected");
+        assert!(
+            t.is_connected(),
+            "triangle minus one edge is still connected"
+        );
         assert!(t.remove_link(NodeAddr(0), NodeAddr(1)).is_err());
     }
 

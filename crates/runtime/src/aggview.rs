@@ -105,11 +105,7 @@ impl AggregateView {
         let Term::Agg(agg) = &rule.head.args[agg_positions[0]] else {
             unreachable!("position came from aggregate_positions");
         };
-        if rule
-            .body
-            .iter()
-            .any(|l| !matches!(l, Literal::Atom(_)))
-        {
+        if rule.body.iter().any(|l| !matches!(l, Literal::Atom(_))) {
             return Err(format!(
                 "rule {}: aggregate rules may not contain assignments or filters",
                 rule.label
@@ -119,7 +115,11 @@ impl AggregateView {
         let providers: Vec<&Atom> = body_atoms
             .iter()
             .copied()
-            .filter(|a| a.args.iter().any(|t| t.var_name() == Some(agg.var.as_str())))
+            .filter(|a| {
+                a.args
+                    .iter()
+                    .any(|t| t.var_name() == Some(agg.var.as_str()))
+            })
             .collect();
         if providers.len() != 1 {
             return Err(format!(
@@ -136,8 +136,12 @@ impl AggregateView {
         let col_of = |var: &str| -> Option<usize> {
             source.args.iter().position(|t| t.var_name() == Some(var))
         };
-        let value_col = col_of(&agg.var)
-            .ok_or_else(|| format!("rule {}: aggregated variable not in source atom", rule.label))?;
+        let value_col = col_of(&agg.var).ok_or_else(|| {
+            format!(
+                "rule {}: aggregated variable not in source atom",
+                rule.label
+            )
+        })?;
 
         let mut head_template = Vec::with_capacity(rule.head.arity());
         let mut group_cols = Vec::new();
@@ -221,6 +225,35 @@ impl AggregateView {
         Tuple::new(values)
     }
 
+    /// The (relation, bound-column signature) every guard atom checks:
+    /// constants plus the columns whose variables the source atom binds.
+    /// Declared up front (like strand probe plans) so guard checks run as
+    /// index probes instead of relation scans.
+    pub fn index_requirements(&self) -> Vec<(String, Vec<usize>)> {
+        let mut source_vars: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
+        for term in &self.source_atom.args {
+            if let Term::Var(v) = term {
+                source_vars.insert(v.name.as_str());
+            }
+        }
+        self.guards
+            .iter()
+            .filter_map(|guard| {
+                let cols: Vec<usize> = guard
+                    .args
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, t)| match t {
+                        Term::Const(_) => Some(i),
+                        Term::Var(v) if source_vars.contains(v.name.as_str()) => Some(i),
+                        _ => None,
+                    })
+                    .collect();
+                (!cols.is_empty()).then(|| (guard.name.clone(), cols))
+            })
+            .collect()
+    }
+
     fn guards_satisfied(&self, store: &Store, source_tuple: &Tuple) -> bool {
         if self.guards.is_empty() {
             return true;
@@ -233,17 +266,24 @@ impl AggregateView {
             let Some(relation) = store.relation(&guard.name) else {
                 return false;
             };
-            let bound: Vec<(usize, Value)> = guard
-                .args
-                .iter()
-                .enumerate()
-                .filter_map(|(i, t)| match t {
-                    Term::Const(c) => Some((i, c.clone())),
-                    Term::Var(v) => env.get(&v.name).map(|val| (i, val.clone())),
-                    Term::Agg(_) => None,
-                })
-                .collect();
-            relation.scan_match(bound, u64::MAX).next().is_some()
+            let mut cols = Vec::new();
+            let mut vals = Vec::new();
+            for (i, t) in guard.args.iter().enumerate() {
+                match t {
+                    Term::Const(c) => {
+                        cols.push(i);
+                        vals.push(c.clone());
+                    }
+                    Term::Var(v) => {
+                        if let Some(val) = env.get(&v.name) {
+                            cols.push(i);
+                            vals.push(val.clone());
+                        }
+                    }
+                    Term::Agg(_) => {}
+                }
+            }
+            relation.contains_match(&cols, &vals, u64::MAX)
         })
     }
 
@@ -434,10 +474,8 @@ mod tests {
 
     #[test]
     fn guard_atoms_filter_source_deltas() {
-        let p = parse_program(
-            "sd3 spCost(@D,@S,min<C>) :- magicDst(@D), pathDst(@D,@S,@Z,P,C).",
-        )
-        .unwrap();
+        let p = parse_program("sd3 spCost(@D,@S,min<C>) :- magicDst(@D), pathDst(@D,@S,@Z,P,C).")
+            .unwrap();
         let mut v = AggregateView::from_rule(&p.rules[0]).unwrap();
         assert_eq!(v.source_relation(), "pathDst");
 

@@ -54,6 +54,56 @@ pub struct EvalStats {
     pub redundant_derivations: usize,
     /// Total deltas enqueued for processing.
     pub tuples_processed: usize,
+    /// Joins answered by a secondary-index probe.
+    pub index_probes: usize,
+    /// Joins that fell back to scanning a relation.
+    pub scans: usize,
+    /// Stored tuples examined across all joins — the computation-overhead
+    /// counterpart of the paper's communication metrics. With probe plans
+    /// this grows with the number of matches, not with relation sizes.
+    pub tuples_examined: usize,
+}
+
+impl EvalStats {
+    /// Fold join-level counters into the run statistics.
+    pub fn absorb_joins(&mut self, joins: crate::strand::JoinStats) {
+        self.index_probes += joins.index_probes;
+        self.scans += joins.scans;
+        self.tuples_examined += joins.tuples_examined;
+    }
+}
+
+impl std::ops::AddAssign for EvalStats {
+    fn add_assign(&mut self, other: EvalStats) {
+        self.iterations += other.iterations;
+        self.derivations += other.derivations;
+        self.redundant_derivations += other.redundant_derivations;
+        self.tuples_processed += other.tuples_processed;
+        self.index_probes += other.index_probes;
+        self.scans += other.scans;
+        self.tuples_examined += other.tuples_examined;
+    }
+}
+
+/// The counter-wise difference of two cumulative snapshots (e.g. "work
+/// attributable to the update bursts" = after − before). Saturates at zero.
+impl std::ops::Sub for EvalStats {
+    type Output = EvalStats;
+    fn sub(self, earlier: EvalStats) -> EvalStats {
+        EvalStats {
+            iterations: self.iterations.saturating_sub(earlier.iterations),
+            derivations: self.derivations.saturating_sub(earlier.derivations),
+            redundant_derivations: self
+                .redundant_derivations
+                .saturating_sub(earlier.redundant_derivations),
+            tuples_processed: self
+                .tuples_processed
+                .saturating_sub(earlier.tuples_processed),
+            index_probes: self.index_probes.saturating_sub(earlier.index_probes),
+            scans: self.scans.saturating_sub(earlier.scans),
+            tuples_examined: self.tuples_examined.saturating_sub(earlier.tuples_examined),
+        }
+    }
 }
 
 /// A single-node NDlog evaluator.
@@ -77,7 +127,7 @@ impl Evaluator {
 
         let mut plain_program = program.clone();
         plain_program.rules = plain_rules;
-        let strands = delta_rewrite_full(&plain_program)
+        let strands: Vec<CompiledStrand> = delta_rewrite_full(&plain_program)
             .into_iter()
             .map(CompiledStrand::new)
             .collect();
@@ -87,7 +137,16 @@ impl Evaluator {
             views.push(AggregateView::from_rule(rule)?);
         }
 
-        let store = Store::for_program(program);
+        let mut store = Store::for_program(program);
+        // Build every secondary index the compiled probe plans and the
+        // aggregate views' guard checks need, once, before any tuple
+        // arrives.
+        store.declare_indexes(&strands);
+        for view in &views {
+            for (relation, cols) in view.index_requirements() {
+                store.declare_index(&relation, &cols);
+            }
+        }
         let base_facts = program
             .rules
             .iter()
@@ -168,7 +227,7 @@ impl Evaluator {
             Strategy::Pipelined => {
                 while let Some((delta, seq)) = queue.pop_front() {
                     stats.iterations += 1;
-                    self.fire_all(&delta, seq, &mut queue, &mut stats)?;
+                    self.fire_all(&delta, seq, seq, &mut queue, &mut stats)?;
                 }
             }
             Strategy::SemiNaive | Strategy::Buffered { .. } => {
@@ -180,12 +239,15 @@ impl Evaluator {
                     stats.iterations += 1;
                     // Joins during this iteration may only see tuples that
                     // existed when the iteration started: that is the
-                    // old/new separation of Algorithm 1.
+                    // old/new separation of Algorithm 1. Rederivation,
+                    // however, must use each delta's own apply timestamp —
+                    // under the wider iteration limit, inserts queued in
+                    // the same round would be visible and double-counted.
                     let iteration_seq = self.store.current_seq();
                     let take = queue.len().min(batch);
                     let this_round: Vec<_> = queue.drain(..take).collect();
-                    for (delta, _) in this_round {
-                        self.fire_all(&delta, iteration_seq, &mut queue, &mut stats)?;
+                    for (delta, apply_seq) in this_round {
+                        self.fire_all(&delta, iteration_seq, apply_seq, &mut queue, &mut stats)?;
                     }
                 }
             }
@@ -194,24 +256,43 @@ impl Evaluator {
     }
 
     /// Fire every strand triggered by `delta` and ingest the derivations.
+    /// Deletions additionally run the rederivation compensation for keyed
+    /// relations whose counts have been made lossy by replacements (see
+    /// [`crate::strand::rederive_key`]).
     fn fire_all(
         &mut self,
         delta: &TupleDelta,
         seq_limit: u64,
+        rederive_seq: u64,
         queue: &mut VecDeque<(TupleDelta, u64)>,
         stats: &mut EvalStats,
     ) -> Result<(), EvalError> {
+        let mut joins = crate::strand::JoinStats::default();
         // Collect derivations first: strands borrow the store immutably.
         let mut derived = Vec::new();
         for strand in &self.strands {
             if strand.trigger_relation() != delta.relation {
                 continue;
             }
-            derived.extend(strand.fire(&self.store, delta, seq_limit)?);
+            derived.extend(strand.fire_counted(&self.store, delta, seq_limit, &mut joins)?);
         }
+        let mut restored = Vec::new();
+        if delta.sign == crate::tuple::Sign::Delete {
+            restored = crate::strand::rederive_key(
+                &self.store,
+                &self.strands,
+                delta,
+                rederive_seq,
+                &mut joins,
+            )?;
+        }
+        stats.absorb_joins(joins);
         for derivation in derived {
             stats.derivations += 1;
             self.ingest(derivation.delta, queue, stats);
+        }
+        for delta in restored {
+            self.ingest(delta, queue, stats);
         }
         Ok(())
     }
@@ -449,8 +530,10 @@ mod tests {
         let mut eval = Evaluator::new(&program).unwrap();
         load_figure2_links(&mut eval, "link");
         eval.run(Strategy::Pipelined).unwrap();
-        eval.update(TupleDelta::delete("link", link(0, 1, 5.0))).unwrap();
-        eval.update(TupleDelta::insert("link", link(0, 1, 0.5))).unwrap();
+        eval.update(TupleDelta::delete("link", link(0, 1, 5.0)))
+            .unwrap();
+        eval.update(TupleDelta::insert("link", link(0, 1, 0.5)))
+            .unwrap();
         let results = eval.results("shortestPath");
         let best01 = results
             .iter()
@@ -490,6 +573,155 @@ mod tests {
     }
 
     #[test]
+    fn bound_joins_examine_o_matches_not_o_n() {
+        // A 1000-tuple `big` relation joined on a bound column: the probe
+        // plan must examine only the matching tuples, not the whole
+        // relation per trigger.
+        let program = parse_program(
+            r#"
+            j1 out(@S, V) :- probe(@S), big(@S, V).
+            "#,
+        )
+        .unwrap();
+        let mut eval = Evaluator::new(&program).unwrap();
+        // 1000 tuples spread over 100 groups: 10 matches per group.
+        for i in 0..1000u32 {
+            eval.insert_fact(
+                "big",
+                Tuple::new(vec![addr(i % 100), Value::Int(i64::from(i))]),
+            );
+        }
+        eval.run(Strategy::Pipelined).unwrap();
+
+        let stats = eval
+            .update(TupleDelta::insert("probe", Tuple::new(vec![addr(7)])))
+            .unwrap();
+        assert_eq!(eval.results("out").len(), 10);
+        assert!(stats.index_probes >= 1, "the bound join must probe");
+        assert!(
+            stats.tuples_examined <= 30,
+            "examined {} tuples for 10 matches on a 1000-tuple relation — \
+             the join scanned instead of probing",
+            stats.tuples_examined
+        );
+        // The strand triggered by `big` insertions joins `probe` (bound on
+        // @S) the other way; nothing in this program ever needs a full scan.
+        assert_eq!(stats.scans, 0, "no join should fall back to scanning");
+    }
+
+    #[test]
+    fn rederivation_does_not_double_count() {
+        // Regression: rederivation must not count a derivation that an
+        // applied-but-unfired queued insert will also produce. Both `t`
+        // and `out` are keyed so replacements make their counts lossy;
+        // after all base tuples are deleted, nothing may survive.
+        let program = parse_program(
+            r#"
+            materialize(t, keys(1)).
+            materialize(out, keys(1)).
+            a t(@S, C) :- p(@S, C).
+            b t(@S, C) :- q(@S, C).
+            c out(@S, C) :- t(@S, C).
+            d out(@S, C) :- r(@S, C).
+            "#,
+        )
+        .unwrap();
+        let mut eval = Evaluator::new(&program).unwrap();
+        let fact = |v: i64| Tuple::new(vec![addr(1), Value::Int(v)]);
+        eval.insert_fact("p", fact(5));
+        eval.run(Strategy::Pipelined).unwrap();
+        // Make `out` lossy (r(1,9) replaces out(1,5), then dies).
+        eval.update(TupleDelta::insert("r", fact(9))).unwrap();
+        eval.update(TupleDelta::delete("r", fact(9))).unwrap();
+        // Make `t` lossy (q(1,7) replaces t(1,5), then dies): the deletion
+        // cascade restores t(1,5) and out(1,5) exactly once each.
+        eval.update(TupleDelta::insert("q", fact(7))).unwrap();
+        eval.update(TupleDelta::delete("q", fact(7))).unwrap();
+        assert_eq!(eval.results("t"), vec![fact(5)]);
+        assert_eq!(eval.results("out"), vec![fact(5)]);
+        // With the last base tuple gone, every derived tuple must go too.
+        eval.update(TupleDelta::delete("p", fact(5))).unwrap();
+        assert!(eval.results("t").is_empty());
+        assert!(
+            eval.results("out").is_empty(),
+            "a double-counted rederivation left a stale underivable tuple"
+        );
+    }
+
+    #[test]
+    fn rederivation_agrees_across_strategies_on_lossy_workload() {
+        // The double-count program again, but with every fact loaded up
+        // front so the replacement/rederivation churn happens *during* the
+        // initial run under each strategy (SN and BSN fire with the wider
+        // iteration visibility limit; rederivation must still use each
+        // delta's own apply timestamp). All strategies must agree, and a
+        // full teardown must leave nothing behind.
+        let src = r#"
+            materialize(t, keys(1)).
+            materialize(out, keys(1)).
+            a t(@S, C) :- p(@S, C).
+            b t(@S, C) :- q(@S, C).
+            c out(@S, C) :- t(@S, C).
+            d out(@S, C) :- r(@S, C).
+            "#;
+        let fact = |v: i64| Tuple::new(vec![addr(1), Value::Int(v)]);
+        let run = |strategy: Strategy| -> (Vec<Tuple>, Vec<Tuple>) {
+            let program = parse_program(src).unwrap();
+            let mut eval = Evaluator::new(&program).unwrap();
+            eval.insert_fact("p", fact(5));
+            eval.insert_fact("q", fact(7));
+            eval.insert_fact("r", fact(9));
+            eval.run(strategy).unwrap();
+            // Tear everything down incrementally (updates are PSN).
+            eval.update(TupleDelta::delete("r", fact(9))).unwrap();
+            eval.update(TupleDelta::delete("q", fact(7))).unwrap();
+            eval.update(TupleDelta::delete("p", fact(5))).unwrap();
+            (eval.results("t"), eval.results("out"))
+        };
+        for strategy in [
+            Strategy::Pipelined,
+            Strategy::SemiNaive,
+            Strategy::Buffered { batch: 1 },
+            Strategy::Buffered { batch: 2 },
+        ] {
+            let (t, out) = run(strategy);
+            assert!(t.is_empty(), "{strategy:?} left stale t tuples: {t:?}");
+            assert!(
+                out.is_empty(),
+                "{strategy:?} left stale out tuples: {out:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn evaluator_declares_indexes_up_front() {
+        let program = programs::shortest_path("");
+        let eval = Evaluator::new(&program).unwrap();
+        // Every non-trigger body atom with bound columns got its signature
+        // declared before any tuple arrived.
+        let mut declared = 0usize;
+        for name in eval
+            .store()
+            .relation_names()
+            .map(str::to_string)
+            .collect::<Vec<_>>()
+        {
+            declared += eval
+                .store()
+                .relation(&name)
+                .unwrap()
+                .index_signatures()
+                .count();
+        }
+        assert!(declared > 0, "shortest-path joins require indexes");
+        let link = eval.store().relation("link").unwrap();
+        assert!(
+            link.index_signatures().next().is_some(),
+            "path-triggered strands probe link on its source column"
+        );
+    }
+
+    #[test]
     fn ungrounded_fact_is_rejected() {
         let program = parse_program("f link(@n0, X, 1).").unwrap();
         assert!(Evaluator::new(&program).is_err());
@@ -506,11 +738,17 @@ mod tests {
         }
         eval.run(Strategy::Pipelined).unwrap();
         assert_eq!(eval.results("reachable").len(), 6);
-        eval.update(TupleDelta::delete("link", link(1, 2, 1.0))).unwrap();
+        eval.update(TupleDelta::delete("link", link(1, 2, 1.0)))
+            .unwrap();
         let left: BTreeSet<_> = eval
             .results("reachable")
             .into_iter()
-            .map(|t| (t.get(0).unwrap().as_addr().unwrap(), t.get(1).unwrap().as_addr().unwrap()))
+            .map(|t| {
+                (
+                    t.get(0).unwrap().as_addr().unwrap(),
+                    t.get(1).unwrap().as_addr().unwrap(),
+                )
+            })
             .collect();
         let expect: BTreeSet<_> = [(0u32, 1u32), (2, 3)]
             .into_iter()

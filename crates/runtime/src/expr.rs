@@ -160,9 +160,11 @@ pub fn eval_builtin(name: &str, args: &[Value]) -> Result<Value, EvalError> {
         }
     };
     let as_list = |v: &Value| -> Result<Vec<Value>, EvalError> {
-        v.as_list().map(<[Value]>::to_vec).ok_or(EvalError::TypeMismatch {
-            context: format!("{name} expects a list argument"),
-        })
+        v.as_list()
+            .map(<[Value]>::to_vec)
+            .ok_or(EvalError::TypeMismatch {
+                context: format!("{name} expects a list argument"),
+            })
     };
     match short {
         // f_cons(x, list) -> [x | list]
@@ -243,7 +245,10 @@ mod tests {
     use ndlog_lang::Expr;
 
     fn bind(pairs: &[(&str, Value)]) -> Bindings {
-        pairs.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect()
     }
 
     #[test]
@@ -306,10 +311,22 @@ mod tests {
         let l3 = eval_builtin("f_concat", &[l.clone(), l.clone()]).unwrap();
         assert_eq!(l3.as_list().unwrap().len(), 4);
         // member / size / first / last
-        assert_eq!(eval_builtin("f_member", &[l.clone(), a1.clone()]).unwrap(), Value::Int(1));
-        assert_eq!(eval_builtin("f_member", &[l.clone(), a2.clone()]).unwrap(), Value::Int(0));
-        assert_eq!(eval_builtin("f_size", &[l.clone()]).unwrap(), Value::Int(2));
-        assert_eq!(eval_builtin("f_first", &[l.clone()]).unwrap(), a0);
+        assert_eq!(
+            eval_builtin("f_member", &[l.clone(), a1.clone()]).unwrap(),
+            Value::Int(1)
+        );
+        assert_eq!(
+            eval_builtin("f_member", &[l.clone(), a2.clone()]).unwrap(),
+            Value::Int(0)
+        );
+        assert_eq!(
+            eval_builtin("f_size", std::slice::from_ref(&l)).unwrap(),
+            Value::Int(2)
+        );
+        assert_eq!(
+            eval_builtin("f_first", std::slice::from_ref(&l)).unwrap(),
+            a0
+        );
         assert_eq!(eval_builtin("f_last", &[l]).unwrap(), a1);
     }
 
@@ -357,7 +374,10 @@ mod tests {
     fn nested_call_evaluation() {
         let b = bind(&[
             ("S", Value::addr(1u32)),
-            ("P2", Value::list(vec![Value::addr(2u32), Value::addr(3u32)])),
+            (
+                "P2",
+                Value::list(vec![Value::addr(2u32), Value::addr(3u32)]),
+            ),
         ]);
         let e = Expr::call("f_cons", vec![Expr::var("S"), Expr::var("P2")]);
         let v = eval(&e, &b).unwrap();
@@ -367,7 +387,9 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(EvalError::UnboundVariable("X".into()).to_string().contains("X"));
+        assert!(EvalError::UnboundVariable("X".into())
+            .to_string()
+            .contains("X"));
         assert!(EvalError::DivisionByZero.to_string().contains("zero"));
     }
 }

@@ -1,0 +1,213 @@
+//! Secondary hash indexes over stored relations.
+//!
+//! The P2 dataflow fires a rule strand once per arriving delta and joins it
+//! against the *stored* tables of the other body predicates. Without
+//! indexes every such join is a full scan — O(|relation|) work per binding
+//! environment — which makes per-delta work quadratic-ish on the hot path
+//! of every experiment. This module provides the storage half of the fix
+//! (the compilation half is [`crate::strand::ProbePlan`]):
+//!
+//! * an [`IndexSignature`] names a set of columns that a join binds to
+//!   concrete values (a *bound-column signature*, the same notion index-
+//!   driven homomorphism search uses for conceptual-graph matching);
+//! * a [`SecondaryIndex`] maps each distinct projection of a relation onto
+//!   that signature to the **primary keys** of the tuples carrying it, so a
+//!   probe touches exactly the matching tuples;
+//! * [`crate::relation::Relation`] maintains its indexes incrementally on
+//!   insert, key-replacement, deletion and soft-state expiry, and answers
+//!   [`crate::relation::Relation::probe`] in O(matches).
+//!
+//! Indexes are declared once per program (the evaluator and the per-node
+//! engines collect every compiled strand's signatures up front), never
+//! per join. Primary keys — not whole tuples — are stored in the buckets,
+//! kept in a `BTreeSet` so probe results iterate in deterministic key
+//! order, which keeps simulation runs bit-for-bit reproducible.
+
+use ndlog_lang::Value;
+use std::collections::{BTreeSet, HashMap};
+
+/// Join-level counters accumulated while firing strands: how many joins
+/// went through an index probe vs. a scan, and how many stored tuples were
+/// examined in total. `tuples_examined` is the paper's computation-overhead
+/// proxy: with indexes it is proportional to the number of matches rather
+/// than the relation size.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JoinStats {
+    /// Joins answered by an index probe.
+    pub index_probes: usize,
+    /// Joins that fell back to scanning the relation (no bound columns, or
+    /// no index declared for the signature).
+    pub scans: usize,
+    /// Stored tuples examined across all probes and scans.
+    pub tuples_examined: usize,
+}
+
+impl std::ops::AddAssign for JoinStats {
+    fn add_assign(&mut self, other: JoinStats) {
+        self.index_probes += other.index_probes;
+        self.scans += other.scans;
+        self.tuples_examined += other.tuples_examined;
+    }
+}
+
+/// A normalized (sorted, deduplicated) set of bound columns identifying an
+/// index.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IndexSignature(Vec<usize>);
+
+impl IndexSignature {
+    /// Normalize an arbitrary column list into a signature.
+    pub fn new(cols: &[usize]) -> Self {
+        let mut cols = cols.to_vec();
+        cols.sort_unstable();
+        cols.dedup();
+        IndexSignature(cols)
+    }
+
+    /// The sorted column indexes.
+    pub fn columns(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Whether the signature binds no columns (a degenerate "index"
+    /// equivalent to a full scan; never materialized).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+/// A hash index from a bound-column projection to the primary keys of the
+/// tuples carrying it.
+#[derive(Debug, Clone)]
+pub struct SecondaryIndex {
+    signature: IndexSignature,
+    buckets: HashMap<Vec<Value>, BTreeSet<Vec<Value>>>,
+    /// Total number of (projection, primary-key) entries, for accounting.
+    entries: usize,
+}
+
+impl SecondaryIndex {
+    /// An empty index over the given signature.
+    pub fn new(signature: IndexSignature) -> Self {
+        SecondaryIndex {
+            signature,
+            buckets: HashMap::new(),
+            entries: 0,
+        }
+    }
+
+    /// The signature this index serves.
+    pub fn signature(&self) -> &IndexSignature {
+        &self.signature
+    }
+
+    /// Number of (projection, primary-key) entries currently indexed.
+    pub fn len(&self) -> usize {
+        self.entries
+    }
+
+    /// Whether the index holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Register a stored tuple's projection under its primary key.
+    pub fn add(&mut self, projection: Vec<Value>, primary_key: Vec<Value>) {
+        if self
+            .buckets
+            .entry(projection)
+            .or_default()
+            .insert(primary_key)
+        {
+            self.entries += 1;
+        }
+    }
+
+    /// Remove a stored tuple's projection entry. Returns whether an entry
+    /// was actually removed (false indicates the index was already
+    /// consistent, e.g. a stale-deletion no-op).
+    pub fn remove(&mut self, projection: &[Value], primary_key: &[Value]) -> bool {
+        let Some(bucket) = self.buckets.get_mut(projection) else {
+            return false;
+        };
+        let removed = bucket.remove(primary_key);
+        if removed {
+            self.entries -= 1;
+            if bucket.is_empty() {
+                self.buckets.remove(projection);
+            }
+        }
+        removed
+    }
+
+    /// The primary keys whose tuples project to `key_values`, in
+    /// deterministic (sorted) order. Empty when no tuple matches.
+    pub fn probe(&self, key_values: &[Value]) -> impl Iterator<Item = &Vec<Value>> + '_ {
+        self.buckets
+            .get(key_values)
+            .into_iter()
+            .flat_map(|bucket| bucket.iter())
+    }
+
+    /// Number of distinct projections (buckets).
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Number of primary keys filed under one projection (0 when absent):
+    /// the tuples a probe on `key_values` examines.
+    pub fn bucket_size(&self, key_values: &[Value]) -> usize {
+        self.buckets.get(key_values).map_or(0, BTreeSet::len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vals(xs: &[i64]) -> Vec<Value> {
+        xs.iter().map(|&x| Value::Int(x)).collect()
+    }
+
+    #[test]
+    fn signature_normalizes() {
+        let sig = IndexSignature::new(&[2, 0, 2, 1]);
+        assert_eq!(sig.columns(), &[0, 1, 2]);
+        assert!(!sig.is_empty());
+        assert!(IndexSignature::new(&[]).is_empty());
+        assert_eq!(IndexSignature::new(&[1, 0]), IndexSignature::new(&[0, 1]));
+    }
+
+    #[test]
+    fn add_probe_remove_roundtrip() {
+        let mut idx = SecondaryIndex::new(IndexSignature::new(&[0]));
+        idx.add(vals(&[1]), vals(&[1, 10]));
+        idx.add(vals(&[1]), vals(&[1, 20]));
+        idx.add(vals(&[2]), vals(&[2, 30]));
+        assert_eq!(idx.len(), 3);
+        assert_eq!(idx.bucket_count(), 2);
+
+        let hits: Vec<_> = idx.probe(&vals(&[1])).collect();
+        assert_eq!(hits, vec![&vals(&[1, 10]), &vals(&[1, 20])]);
+        assert_eq!(idx.probe(&vals(&[9])).count(), 0);
+
+        assert!(idx.remove(&vals(&[1]), &vals(&[1, 10])));
+        assert!(
+            !idx.remove(&vals(&[1]), &vals(&[1, 10])),
+            "double remove is a no-op"
+        );
+        assert_eq!(idx.probe(&vals(&[1])).count(), 1);
+        assert!(idx.remove(&vals(&[1]), &vals(&[1, 20])));
+        assert_eq!(idx.bucket_count(), 1, "empty buckets are dropped");
+        assert!(idx.remove(&vals(&[2]), &vals(&[2, 30])));
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn duplicate_add_is_idempotent() {
+        let mut idx = SecondaryIndex::new(IndexSignature::new(&[1]));
+        idx.add(vals(&[5]), vals(&[0]));
+        idx.add(vals(&[5]), vals(&[0]));
+        assert_eq!(idx.len(), 1);
+    }
+}

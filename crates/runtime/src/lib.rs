@@ -9,6 +9,9 @@
 //! * [`relation`] — stored relations with primary keys, derivation counts
 //!   (the count algorithm for deletions), per-tuple timestamps and optional
 //!   soft-state TTLs;
+//! * [`index`] — secondary hash indexes over bound-column signatures,
+//!   maintained incrementally so joins probe in O(matches) instead of
+//!   scanning;
 //! * [`store`] — a node's collection of relations, built from a program's
 //!   `materialize` declarations;
 //! * [`strand`] — compiled rule strands (the unit of execution in P2's
@@ -26,6 +29,7 @@
 pub mod aggview;
 pub mod evaluator;
 pub mod expr;
+pub mod index;
 pub mod relation;
 pub mod store;
 pub mod strand;
@@ -34,7 +38,8 @@ pub mod tuple;
 pub use aggview::AggregateView;
 pub use evaluator::{EvalStats, Evaluator, Strategy};
 pub use expr::{Bindings, EvalError};
+pub use index::{IndexSignature, SecondaryIndex};
 pub use relation::{InsertOutcome, Relation, RelationSchema};
 pub use store::Store;
-pub use strand::{CompiledStrand, Derivation};
+pub use strand::{ColumnSource, CompiledStrand, Derivation, JoinStats, ProbePlan};
 pub use tuple::{Sign, Tuple, TupleDelta};

@@ -14,7 +14,15 @@
 //!   tuples (Section 3.3.2), which prevents repeated inferences;
 //! * an optional **expiry time** for soft-state tables (Section 4.2):
 //!   tuples must be refreshed before their TTL elapses or they are deleted.
+//!
+//! Relations additionally maintain **secondary hash indexes** (declared
+//! once per program from the compiled strands' bound-column signatures, see
+//! [`crate::index`]): every mutation — insertion, key replacement, deletion,
+//! expiry — updates the indexes incrementally, and
+//! [`Relation::probe`] answers an equality lookup in O(matches) instead of
+//! the O(|relation|) of [`Relation::scan_match`].
 
+use crate::index::{IndexSignature, JoinStats, SecondaryIndex};
 use crate::tuple::Tuple;
 use ndlog_lang::Value;
 use serde::{Deserialize, Serialize};
@@ -107,6 +115,17 @@ pub enum DeleteOutcome {
 pub struct Relation {
     schema: RelationSchema,
     tuples: BTreeMap<Vec<Value>, StoredTuple>,
+    /// Secondary indexes, one per declared bound-column signature.
+    /// Derivable state: skipped by serialization; the engine re-declares
+    /// every signature at construction time.
+    #[serde(skip)]
+    indexes: Vec<SecondaryIndex>,
+    /// Derivation counts folded away by primary-key replacements. While
+    /// this is zero the count algorithm is exact; once it is positive a
+    /// deletion may leave a key underivable even though alternative
+    /// derivations exist, and the evaluator compensates with rederivation
+    /// (see `strand::rederive_key`).
+    lossy_replacements: u64,
 }
 
 impl Relation {
@@ -115,6 +134,8 @@ impl Relation {
         Relation {
             schema,
             tuples: BTreeMap::new(),
+            indexes: Vec::new(),
+            lossy_replacements: 0,
         }
     }
 
@@ -157,17 +178,152 @@ impl Relation {
 
     /// Iterate over tuples matching equality constraints on the given
     /// columns, visible at or before `seq_limit`.
-    pub fn scan_match(
-        &self,
-        bound: Vec<(usize, Value)>,
+    ///
+    /// This is the residual full-scan path; joins with bound columns should
+    /// go through [`Relation::probe`] instead.
+    pub fn scan_match<'r, 'b>(
+        &'r self,
+        bound: &'b [(usize, Value)],
         seq_limit: u64,
-    ) -> impl Iterator<Item = &StoredTuple> + '_ {
+    ) -> impl Iterator<Item = &'r StoredTuple> + use<'r, 'b> {
         self.tuples.values().filter(move |s| {
             s.seq <= seq_limit
                 && bound
                     .iter()
                     .all(|(col, val)| s.tuple.get(*col) == Some(val))
         })
+    }
+
+    /// Ensure a secondary index exists for the given bound-column
+    /// signature, backfilling it from the stored tuples. Returns true if a
+    /// new index was built. Empty signatures (no bound columns) and
+    /// duplicates are ignored.
+    pub fn ensure_index(&mut self, cols: &[usize]) -> bool {
+        let signature = IndexSignature::new(cols);
+        if signature.is_empty() || self.indexes.iter().any(|i| i.signature() == &signature) {
+            return false;
+        }
+        let mut index = SecondaryIndex::new(signature);
+        for (key, stored) in &self.tuples {
+            if let Some(projection) = project_checked(&stored.tuple, index.signature().columns()) {
+                index.add(projection, key.clone());
+            }
+        }
+        self.indexes.push(index);
+        true
+    }
+
+    /// The bound-column signatures this relation is indexed on.
+    pub fn index_signatures(&self) -> impl Iterator<Item = &IndexSignature> {
+        self.indexes.iter().map(SecondaryIndex::signature)
+    }
+
+    /// Probe the index on `cols` (which must be sorted and deduplicated,
+    /// with `key` holding the bound values in the same order) for tuples
+    /// visible at or before `seq_limit`, in deterministic primary-key
+    /// order.
+    ///
+    /// Returns `None` when no index with that signature exists — the
+    /// caller falls back to [`Relation::scan_match`].
+    pub fn probe<'r, 'b>(
+        &'r self,
+        cols: &[usize],
+        key: &'b [Value],
+        seq_limit: u64,
+    ) -> Option<impl Iterator<Item = &'r StoredTuple> + use<'r, 'b>> {
+        debug_assert!(
+            cols.windows(2).all(|w| w[0] < w[1]),
+            "probe columns must be sorted"
+        );
+        let index = self
+            .indexes
+            .iter()
+            .find(|i| i.signature().columns() == cols)?;
+        Some(index.probe(key).filter_map(move |primary_key| {
+            self.tuples
+                .get(primary_key.as_slice())
+                .filter(|s| s.seq <= seq_limit)
+        }))
+    }
+
+    /// The single access-path chooser behind every join: probe the index
+    /// on `cols` (sorted, with `key` holding the bound values in the same
+    /// order) when it exists, otherwise fall back to an equivalent
+    /// residual scan — `cols` may be empty for a genuine full scan. The
+    /// chosen path and the tuples examined are recorded in `stats` up
+    /// front; iteration is lazy.
+    pub fn lookup<'r, 'b>(
+        &'r self,
+        cols: &'b [usize],
+        key: &'b [Value],
+        seq_limit: u64,
+        stats: &mut JoinStats,
+    ) -> impl Iterator<Item = &'r StoredTuple> + use<'r, 'b> {
+        let index = if cols.is_empty() {
+            None
+        } else {
+            self.indexes
+                .iter()
+                .find(|i| i.signature().columns() == cols)
+        };
+        match index {
+            Some(index) => {
+                stats.index_probes += 1;
+                stats.tuples_examined += index.bucket_size(key);
+                AccessPath::Probe(index.probe(key).filter_map(move |primary_key| {
+                    self.tuples
+                        .get(primary_key.as_slice())
+                        .filter(|s| s.seq <= seq_limit)
+                }))
+            }
+            None => {
+                stats.scans += 1;
+                stats.tuples_examined += self.len();
+                let bound: Vec<(usize, Value)> =
+                    cols.iter().copied().zip(key.iter().cloned()).collect();
+                AccessPath::Scan(self.tuples.values().filter(move |s| {
+                    s.seq <= seq_limit
+                        && bound
+                            .iter()
+                            .all(|(col, val)| s.tuple.get(*col) == Some(val))
+                }))
+            }
+        }
+    }
+
+    /// Existence variant of [`Relation::lookup`]: whether any tuple visible
+    /// at or before `seq_limit` matches the equality constraints, via an
+    /// index probe when the signature is declared.
+    pub fn contains_match(&self, cols: &[usize], key: &[Value], seq_limit: u64) -> bool {
+        self.lookup(cols, key, seq_limit, &mut JoinStats::default())
+            .next()
+            .is_some()
+    }
+
+    /// Derivation counts lost to primary-key replacements so far (see the
+    /// field documentation).
+    pub fn lossy_replacements(&self) -> u64 {
+        self.lossy_replacements
+    }
+
+    /// Register a newly stored tuple in every index.
+    fn index_add(&mut self, key: &[Value], tuple: &Tuple) {
+        for index in &mut self.indexes {
+            if let Some(projection) = project_checked(tuple, index.signature().columns()) {
+                index.add(projection, key.to_vec());
+            }
+        }
+    }
+
+    /// Remove a no-longer-stored tuple from every index.
+    fn index_remove(&mut self, key: &[Value], tuple: &Tuple) {
+        let mut projection = Vec::new();
+        for index in &mut self.indexes {
+            projection.clear();
+            if tuple.project_into(index.signature().columns(), &mut projection) {
+                index.remove(&projection, key);
+            }
+        }
     }
 
     /// Insert a tuple (first derivation or an additional derivation).
@@ -179,8 +335,36 @@ impl Relation {
     pub fn insert(&mut self, tuple: Tuple, seq: u64, now_micros: u64) -> InsertOutcome {
         let key = self.schema.key_of(&tuple);
         let expires_at = self.schema.ttl_micros.map(|ttl| now_micros + ttl);
-        match self.tuples.get_mut(&key) {
+        // Single keyed lookup; tuple clones below are cheap (Arc bump).
+        let replaced = match self.tuples.get_mut(&key) {
+            Some(existing) if existing.tuple == tuple => {
+                // Duplicate derivation: count bump and soft-state refresh,
+                // indexes untouched.
+                existing.count += 1;
+                if expires_at.is_some() {
+                    existing.expires_at = expires_at;
+                }
+                return InsertOutcome::Duplicate;
+            }
+            Some(existing) => {
+                // Primary-key replacement, in place.
+                self.lossy_replacements += existing.count;
+                let old = std::mem::replace(&mut existing.tuple, tuple.clone());
+                existing.count = 1;
+                existing.seq = seq;
+                existing.expires_at = expires_at;
+                Some(old)
+            }
+            None => None,
+        };
+        match replaced {
+            Some(old) => {
+                self.index_remove(&key, &old);
+                self.index_add(&key, &tuple);
+                InsertOutcome::Replaced(old)
+            }
             None => {
+                self.index_add(&key, &tuple);
                 self.tuples.insert(
                     key,
                     StoredTuple {
@@ -192,30 +376,13 @@ impl Relation {
                 );
                 InsertOutcome::New
             }
-            Some(existing) if existing.tuple == tuple => {
-                existing.count += 1;
-                if expires_at.is_some() {
-                    existing.expires_at = expires_at;
-                }
-                InsertOutcome::Duplicate
-            }
-            Some(existing) => {
-                let old = existing.tuple.clone();
-                *existing = StoredTuple {
-                    tuple,
-                    count: 1,
-                    seq,
-                    expires_at,
-                };
-                InsertOutcome::Replaced(old)
-            }
         }
     }
 
     /// Delete (one derivation of) a tuple.
     pub fn delete(&mut self, tuple: &Tuple) -> DeleteOutcome {
         let key = self.schema.key_of(tuple);
-        match self.tuples.get_mut(&key) {
+        let outcome = match self.tuples.get_mut(&key) {
             Some(existing) if &existing.tuple == tuple => {
                 if existing.count > 1 {
                     existing.count -= 1;
@@ -226,7 +393,11 @@ impl Relation {
                 }
             }
             _ => DeleteOutcome::NotFound,
+        };
+        if outcome == DeleteOutcome::Removed {
+            self.index_remove(&key, tuple);
         }
+        outcome
     }
 
     /// Remove a tuple outright regardless of its derivation count (used
@@ -236,6 +407,7 @@ impl Relation {
         match self.tuples.get(&key) {
             Some(existing) if &existing.tuple == tuple => {
                 self.tuples.remove(&key);
+                self.index_remove(&key, tuple);
                 true
             }
             _ => false,
@@ -251,12 +423,46 @@ impl Relation {
             .filter(|(_, s)| s.expires_at.is_some_and(|t| t <= now_micros))
             .map(|(k, _)| k.clone())
             .collect();
-        expired
-            .into_iter()
-            .filter_map(|k| self.tuples.remove(&k))
-            .map(|s| s.tuple)
-            .collect()
+        let mut out = Vec::with_capacity(expired.len());
+        for key in expired {
+            if let Some(stored) = self.tuples.remove(&key) {
+                self.index_remove(&key, &stored.tuple);
+                out.push(stored.tuple);
+            }
+        }
+        out
     }
+}
+
+/// Two-armed iterator behind [`Relation::lookup`]: an index probe or a
+/// residual scan, chosen once per lookup.
+enum AccessPath<P, S> {
+    Probe(P),
+    Scan(S),
+}
+
+impl<'r, P, S> Iterator for AccessPath<P, S>
+where
+    P: Iterator<Item = &'r StoredTuple>,
+    S: Iterator<Item = &'r StoredTuple>,
+{
+    type Item = &'r StoredTuple;
+    fn next(&mut self) -> Option<&'r StoredTuple> {
+        match self {
+            AccessPath::Probe(p) => p.next(),
+            AccessPath::Scan(s) => s.next(),
+        }
+    }
+}
+
+/// Project a tuple onto index columns, returning `None` if any column is
+/// out of range (possible when heterogeneous arities share a relation
+/// name in hand-built test stores; such tuples simply stay unindexed and
+/// unreachable by probes on that signature).
+fn project_checked(tuple: &Tuple, cols: &[usize]) -> Option<Vec<Value>> {
+    cols.iter()
+        .map(|&c| tuple.get(c).cloned())
+        .collect::<Option<Vec<Value>>>()
 }
 
 #[cfg(test)]
@@ -289,7 +495,10 @@ mod tests {
         assert_eq!(r.insert(t(&[1, 10]), 2, 0), InsertOutcome::Duplicate);
         let stored = r.get_by_key_of(&t(&[1, 10])).unwrap();
         assert_eq!(stored.count, 2);
-        assert_eq!(stored.seq, 1, "timestamp keeps the first derivation's value");
+        assert_eq!(
+            stored.seq, 1,
+            "timestamp keeps the first derivation's value"
+        );
     }
 
     #[test]
@@ -341,7 +550,11 @@ mod tests {
         let mut r = Relation::new(RelationSchema::new("r"));
         r.insert(t(&[1, 10]), 1, 0);
         r.insert(t(&[1, 20]), 2, 0);
-        assert_eq!(r.len(), 2, "different tuples coexist without a declared key");
+        assert_eq!(
+            r.len(),
+            2,
+            "different tuples coexist without a declared key"
+        );
     }
 
     #[test]
@@ -351,11 +564,11 @@ mod tests {
         r.insert(t(&[1, 20]), 2, 0);
         r.insert(t(&[2, 30]), 3, 0);
         let bound = vec![(0usize, Value::Int(1))];
-        let hits: Vec<_> = r.scan_match(bound.clone(), u64::MAX).collect();
+        let hits: Vec<_> = r.scan_match(&bound, u64::MAX).collect();
         assert_eq!(hits.len(), 2);
-        let hits: Vec<_> = r.scan_match(bound, 1).collect();
+        let hits: Vec<_> = r.scan_match(&bound, 1).collect();
         assert_eq!(hits.len(), 1, "seq limit hides newer tuples");
-        let unbound: Vec<_> = r.scan_match(vec![], u64::MAX).collect();
+        let unbound: Vec<_> = r.scan_match(&[], u64::MAX).collect();
         assert_eq!(unbound.len(), 3);
     }
 
@@ -381,6 +594,121 @@ mod tests {
         let mut r = keyed_relation();
         r.insert(t(&[1, 10]), 1, 0);
         assert!(r.expire(u64::MAX).is_empty());
+    }
+
+    fn probed(r: &Relation, cols: &[usize], key: &[i64], seq_limit: u64) -> Vec<Tuple> {
+        let key: Vec<Value> = key.iter().map(|&v| Value::Int(v)).collect();
+        r.probe(cols, &key, seq_limit)
+            .expect("index exists")
+            .map(|s| s.tuple.clone())
+            .collect()
+    }
+
+    #[test]
+    fn index_probe_matches_scan() {
+        let mut r = Relation::new(RelationSchema::new("r"));
+        r.ensure_index(&[1]);
+        for i in 0..10 {
+            r.insert(t(&[i, i % 3]), i as u64 + 1, 0);
+        }
+        let bound = vec![(1usize, Value::Int(2))];
+        let scanned: Vec<Tuple> = r
+            .scan_match(&bound, u64::MAX)
+            .map(|s| s.tuple.clone())
+            .collect();
+        assert_eq!(probed(&r, &[1], &[2], u64::MAX), scanned);
+        assert_eq!(scanned.len(), 3);
+        // Probes respect the PSN visibility limit like scans do.
+        assert_eq!(probed(&r, &[1], &[2], 3).len(), 1);
+        // Missing signature returns None so callers can fall back.
+        assert!(r.probe(&[0], &[Value::Int(1)], u64::MAX).is_none());
+    }
+
+    #[test]
+    fn index_backfills_existing_tuples() {
+        let mut r = Relation::new(RelationSchema::new("r"));
+        r.insert(t(&[1, 7]), 1, 0);
+        r.insert(t(&[2, 7]), 2, 0);
+        assert!(r.ensure_index(&[1]));
+        assert!(!r.ensure_index(&[1]), "duplicate declaration is a no-op");
+        assert!(
+            !r.ensure_index(&[]),
+            "empty signature is never materialized"
+        );
+        assert_eq!(probed(&r, &[1], &[7], u64::MAX).len(), 2);
+        assert_eq!(r.index_signatures().count(), 1);
+    }
+
+    #[test]
+    fn index_maintained_under_delete_and_count() {
+        let mut r = Relation::new(RelationSchema::new("r"));
+        r.ensure_index(&[0]);
+        r.insert(t(&[1, 10]), 1, 0);
+        r.insert(t(&[1, 10]), 2, 0); // count = 2
+        r.delete(&t(&[1, 10]));
+        assert_eq!(
+            probed(&r, &[0], &[1], u64::MAX).len(),
+            1,
+            "decrement keeps the entry"
+        );
+        r.delete(&t(&[1, 10]));
+        assert!(
+            probed(&r, &[0], &[1], u64::MAX).is_empty(),
+            "removal drops it"
+        );
+    }
+
+    #[test]
+    fn index_maintained_under_replacement() {
+        let mut r = keyed_relation();
+        r.ensure_index(&[1]);
+        r.insert(t(&[1, 10]), 1, 0);
+        assert_eq!(probed(&r, &[1], &[10], u64::MAX).len(), 1);
+        r.insert(t(&[1, 20]), 2, 0); // replaces under key 1
+        assert!(
+            probed(&r, &[1], &[10], u64::MAX).is_empty(),
+            "old projection entry is gone"
+        );
+        assert_eq!(probed(&r, &[1], &[20], u64::MAX), vec![t(&[1, 20])]);
+        assert_eq!(r.lossy_replacements(), 1);
+    }
+
+    #[test]
+    fn index_maintained_under_expiry_and_ttl_refresh() {
+        let mut r = Relation::new(RelationSchema::new("r").with_ttl_seconds(1.0));
+        r.ensure_index(&[0]);
+        r.insert(t(&[1, 10]), 1, 0);
+        r.insert(t(&[2, 20]), 2, 0);
+        // Refresh tuple 1 at t=0.8s: the duplicate insert must not leave a
+        // second (stale) index entry behind.
+        r.insert(t(&[1, 10]), 3, 800_000);
+        assert_eq!(probed(&r, &[0], &[1], u64::MAX).len(), 1);
+        // Tuple 2 expires at 1.0s; its index entries must go with it.
+        r.expire(1_500_000);
+        assert!(
+            probed(&r, &[0], &[2], u64::MAX).is_empty(),
+            "no stale entry"
+        );
+        assert_eq!(
+            probed(&r, &[0], &[1], u64::MAX).len(),
+            1,
+            "refreshed survives"
+        );
+        r.expire(2_000_000);
+        assert!(probed(&r, &[0], &[1], u64::MAX).is_empty());
+    }
+
+    #[test]
+    fn index_ignores_short_tuples() {
+        // Heterogeneous arities sharing a relation: tuples lacking the
+        // indexed column are unreachable by probes, matching scan_match.
+        let mut r = Relation::new(RelationSchema::new("r"));
+        r.ensure_index(&[2]);
+        r.insert(t(&[1]), 1, 0);
+        r.insert(t(&[1, 2, 3]), 2, 0);
+        assert_eq!(probed(&r, &[2], &[3], u64::MAX), vec![t(&[1, 2, 3])]);
+        r.remove(&t(&[1]));
+        assert_eq!(r.len(), 1);
     }
 
     #[test]

@@ -78,6 +78,40 @@ impl Store {
             .or_insert_with(|| Relation::new(schema))
     }
 
+    /// Declare a secondary index on a relation (creating the relation with
+    /// a default schema if needed). Called once per program with every
+    /// bound-column signature the compiled strands probe, so the indexes
+    /// exist before any tuple arrives and are maintained incrementally
+    /// from then on.
+    pub fn declare_index(&mut self, relation: &str, cols: &[usize]) {
+        self.ensure(RelationSchema::new(relation))
+            .ensure_index(cols);
+    }
+
+    /// Declare every index a set of compiled strands requires: the join
+    /// probe plans' signatures, plus the trigger-side signatures the
+    /// rederivation compensation probes for strands whose head relation
+    /// has a proper primary key.
+    pub fn declare_indexes<'a>(
+        &mut self,
+        strands: impl IntoIterator<Item = &'a crate::strand::CompiledStrand>,
+    ) {
+        for strand in strands {
+            for (relation, cols) in strand.index_requirements() {
+                self.declare_index(&relation, &cols);
+            }
+            let head_keys = self
+                .relation(strand.head_relation())
+                .map(|r| r.schema().key_columns.clone())
+                .unwrap_or_default();
+            if !head_keys.is_empty() {
+                if let Some((relation, cols)) = strand.rederive_requirement(&head_keys) {
+                    self.declare_index(&relation, &cols);
+                }
+            }
+        }
+    }
+
     /// The relation with this name, if any.
     pub fn relation(&self, name: &str) -> Option<&Relation> {
         self.relations.get(name)

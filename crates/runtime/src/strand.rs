@@ -11,13 +11,29 @@
 //! deletion delta derives the deletions of every tuple previously derived
 //! from the deleted tuple (Section 4's incremental deletion), which the
 //! store then reconciles with the count algorithm.
+//!
+//! # Probe plans
+//!
+//! Joining an atom used to mean scanning its whole relation once per
+//! binding environment. Compilation now analyzes, per body atom, which of
+//! its columns are already bound when the join runs — constants, variables
+//! bound by the trigger atom, by earlier atoms, or by earlier assignments —
+//! and records the result as a fixed [`ProbePlan`]. At runtime the plan
+//! resolves its bound columns against the environment and probes the
+//! relation's secondary index for that signature (see [`crate::index`]),
+//! touching only the matching tuples; the full scan survives solely as the
+//! fallback for atoms with no bound columns (a genuine cross product) or
+//! relations without the declared index. [`CompiledStrand::index_requirements`]
+//! exposes every signature a strand needs so stores build each index once
+//! per program, not per join.
 
 use crate::expr::{eval, eval_bool, Bindings, EvalError};
 use crate::store::Store;
-use crate::tuple::{Tuple, TupleDelta};
+use crate::tuple::{Sign, Tuple, TupleDelta};
 use ndlog_lang::seminaive::DeltaRule;
 use ndlog_lang::{Atom, Literal, Term, Value};
 use ndlog_net::NodeAddr;
+use std::collections::BTreeSet;
 
 /// A derivation produced by firing a strand.
 #[derive(Debug, Clone, PartialEq)]
@@ -30,16 +46,100 @@ pub struct Derivation {
     pub location: Option<NodeAddr>,
 }
 
+/// How one bound column of a probe obtains its value at runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnSource {
+    /// The atom carries a constant in this column.
+    Const(Value),
+    /// The column's variable is bound by the environment (trigger atom,
+    /// an earlier atom, or an earlier assignment).
+    Var(String),
+}
+
+/// A precompiled access path for one body atom: the columns that are
+/// provably bound when the join runs, and how to resolve each one.
+///
+/// `cols` is sorted ascending and `sources` is parallel to it, so the
+/// resolved values line up with the relation's index on the same
+/// signature.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProbePlan {
+    /// Sorted bound-column indexes (the index signature to probe).
+    pub cols: Vec<usize>,
+    /// Value source per bound column, parallel to `cols`.
+    pub sources: Vec<ColumnSource>,
+}
+
+pub use crate::index::JoinStats;
+
 /// A compiled rule strand.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CompiledStrand {
     rule: DeltaRule,
+    /// Per body literal: the probe plan for non-trigger atoms with at least
+    /// one bound column, `None` for the trigger, non-atom literals and
+    /// genuinely unbound atoms.
+    plans: Vec<Option<ProbePlan>>,
 }
 
 impl CompiledStrand {
-    /// Compile a delta rule into a strand.
+    /// Compile a delta rule into a strand, deriving a probe plan for every
+    /// non-trigger body atom.
     pub fn new(rule: DeltaRule) -> Self {
-        CompiledStrand { rule }
+        let plans = compile_probe_plans(&rule);
+        CompiledStrand { rule, plans }
+    }
+
+    /// The probe plans, parallel to the rule's body literals (useful for
+    /// inspection in tests and planners).
+    pub fn probe_plans(&self) -> &[Option<ProbePlan>] {
+        &self.plans
+    }
+
+    /// Every (relation, bound-column signature) this strand probes. Stores
+    /// declare these up front so each index is built once per program.
+    pub fn index_requirements(&self) -> Vec<(String, Vec<usize>)> {
+        let mut out = Vec::new();
+        for (idx, plan) in self.plans.iter().enumerate() {
+            let (Some(plan), Some(Literal::Atom(atom))) = (plan, self.rule.rule.body.get(idx))
+            else {
+                continue;
+            };
+            out.push((atom.name.clone(), plan.cols.clone()));
+        }
+        out
+    }
+
+    /// The (trigger relation, bound-column signature) that `rederive_key`
+    /// probes when this strand's head relation is keyed on
+    /// `head_key_columns`: the trigger-atom columns whose variables are
+    /// pinned by the head's key. `None` when the key binds no trigger
+    /// column (rederivation then falls back to a scan).
+    pub fn rederive_requirement(&self, head_key_columns: &[usize]) -> Option<(String, Vec<usize>)> {
+        let head = &self.rule.rule.head;
+        let mut key_vars: BTreeSet<&str> = BTreeSet::new();
+        for &col in head_key_columns {
+            if let Some(Term::Var(v)) = head.args.get(col) {
+                key_vars.insert(v.name.as_str());
+            }
+        }
+        let Some(Literal::Atom(trigger_atom)) = self.rule.rule.body.get(self.rule.trigger) else {
+            return None;
+        };
+        let cols: Vec<usize> = trigger_atom
+            .args
+            .iter()
+            .enumerate()
+            .filter_map(|(i, term)| match term {
+                Term::Var(v) if key_vars.contains(v.name.as_str()) => Some(i),
+                _ => None,
+            })
+            .collect();
+        if cols.is_empty() {
+            None
+        } else {
+            Some((self.rule.trigger_relation.clone(), cols))
+        }
     }
 
     /// The strand identifier (e.g. `sp2b-1`).
@@ -80,6 +180,19 @@ impl CompiledStrand {
         trigger: &TupleDelta,
         seq_limit: u64,
     ) -> Result<Vec<Derivation>, EvalError> {
+        let mut stats = JoinStats::default();
+        self.fire_counted(store, trigger, seq_limit, &mut stats)
+    }
+
+    /// [`CompiledStrand::fire`] with join accounting: probe/scan/examined
+    /// counters are accumulated into `stats`.
+    pub fn fire_counted(
+        &self,
+        store: &Store,
+        trigger: &TupleDelta,
+        seq_limit: u64,
+        stats: &mut JoinStats,
+    ) -> Result<Vec<Derivation>, EvalError> {
         debug_assert_eq!(trigger.relation, self.rule.trigger_relation);
         let rule = &self.rule.rule;
         let Literal::Atom(trigger_atom) = &rule.body[self.rule.trigger] else {
@@ -103,7 +216,14 @@ impl CompiledStrand {
             }
             match literal {
                 Literal::Atom(atom) => {
-                    envs = join_atom(store, atom, &envs, seq_limit);
+                    envs = probe_atom(
+                        store,
+                        atom,
+                        self.plans[idx].as_ref(),
+                        &envs,
+                        seq_limit,
+                        stats,
+                    );
                 }
                 Literal::Assign(assign) => {
                     let mut next = Vec::with_capacity(envs.len());
@@ -177,26 +297,112 @@ pub fn bind_atom(atom: &Atom, tuple: &Tuple, env: &mut Bindings) -> bool {
     true
 }
 
+/// Compile the probe plans for a delta rule: walk the body in firing order
+/// tracking which variables are bound, and record the bound columns of
+/// every non-trigger atom.
+fn compile_probe_plans(rule: &DeltaRule) -> Vec<Option<ProbePlan>> {
+    let body = &rule.rule.body;
+    let mut plans: Vec<Option<ProbePlan>> = vec![None; body.len()];
+    let mut bound: BTreeSet<String> = BTreeSet::new();
+    if let Some(Literal::Atom(trigger_atom)) = body.get(rule.trigger) {
+        collect_vars(trigger_atom, &mut bound);
+    }
+    for (idx, literal) in body.iter().enumerate() {
+        if idx == rule.trigger {
+            continue;
+        }
+        match literal {
+            Literal::Atom(atom) => {
+                let mut cols = Vec::new();
+                let mut sources = Vec::new();
+                for (i, term) in atom.args.iter().enumerate() {
+                    match term {
+                        Term::Const(c) => {
+                            cols.push(i);
+                            sources.push(ColumnSource::Const(c.clone()));
+                        }
+                        Term::Var(v) if bound.contains(&v.name) => {
+                            cols.push(i);
+                            sources.push(ColumnSource::Var(v.name.clone()));
+                        }
+                        // Unbound variables (including the first occurrence
+                        // of a variable repeated within this atom) and
+                        // aggregate terms are matched residually by
+                        // `bind_atom`.
+                        Term::Var(_) | Term::Agg(_) => {}
+                    }
+                }
+                if !cols.is_empty() {
+                    plans[idx] = Some(ProbePlan { cols, sources });
+                }
+                collect_vars(atom, &mut bound);
+            }
+            Literal::Assign(assign) => {
+                bound.insert(assign.var.clone());
+            }
+            Literal::Filter(_) => {}
+        }
+    }
+    plans
+}
+
+/// Add every variable an atom mentions to `bound`.
+fn collect_vars(atom: &Atom, bound: &mut BTreeSet<String>) {
+    for term in &atom.args {
+        if let Term::Var(v) = term {
+            bound.insert(v.name.clone());
+        }
+    }
+}
+
 /// Join an atom against the store for every environment, producing the
-/// extended environments.
-fn join_atom(store: &Store, atom: &Atom, envs: &[Bindings], seq_limit: u64) -> Vec<Bindings> {
+/// extended environments. Uses the precompiled probe plan (index probe on
+/// the bound-column signature) when available, falling back to a residual
+/// scan otherwise.
+fn probe_atom(
+    store: &Store,
+    atom: &Atom,
+    plan: Option<&ProbePlan>,
+    envs: &[Bindings],
+    seq_limit: u64,
+    stats: &mut JoinStats,
+) -> Vec<Bindings> {
     let Some(relation) = store.relation(&atom.name) else {
         return Vec::new();
     };
     let mut out = Vec::new();
+    let mut key: Vec<Value> = Vec::new();
     for env in envs {
-        // Columns already determined by the environment or constants.
-        let bound: Vec<(usize, Value)> = atom
-            .args
-            .iter()
-            .enumerate()
-            .filter_map(|(i, t)| match t {
-                Term::Const(c) => Some((i, c.clone())),
-                Term::Var(v) => env.get(&v.name).map(|val| (i, val.clone())),
-                Term::Agg(_) => None,
-            })
-            .collect();
-        for candidate in relation.scan_match(bound, seq_limit) {
+        let resolved = match plan {
+            Some(plan) => {
+                key.clear();
+                plan.sources.iter().all(|source| match source {
+                    ColumnSource::Const(c) => {
+                        key.push(c.clone());
+                        true
+                    }
+                    ColumnSource::Var(name) => match env.get(name) {
+                        Some(v) => {
+                            key.push(v.clone());
+                            true
+                        }
+                        None => false,
+                    },
+                })
+            }
+            None => false,
+        };
+        // With a resolved plan, probe (or residual-scan) on its bound
+        // columns; otherwise — no bound columns, or an unresolvable plan,
+        // which compilation rules out — fall back to a full scan, with
+        // `bind_atom` enforcing all residual constraints either way.
+        let cols: &[usize] = if resolved {
+            &plan.expect("resolved implies a plan").cols
+        } else {
+            key.clear();
+            &[]
+        };
+        for candidate in relation.lookup(cols, &key, seq_limit, stats) {
             let mut extended = env.clone();
             if bind_atom(atom, &candidate.tuple, &mut extended) {
                 out.push(extended);
@@ -204,6 +410,128 @@ fn join_atom(store: &Store, atom: &Atom, envs: &[Bindings], seq_limit: u64) -> V
         }
     }
     out
+}
+
+/// Re-derive a just-vacated primary key of a keyed, strand-derived
+/// relation.
+///
+/// P2's key-update semantics make the count algorithm lossy: when a tuple
+/// replaces another under the same primary key, the old tuple's derivation
+/// counts are folded away, so a later deletion can leave the key empty even
+/// though alternative derivations still hold (e.g. two equal-cost shortest
+/// paths where the survivor of a replacement is subsequently deleted). The
+/// evaluators compensate: after a deletion removes a tuple from a relation
+/// that (a) has a proper primary key, (b) has experienced at least one
+/// lossy replacement and (c) is derived by strands, they call this function
+/// to recompute the key's surviving derivations from the stored tables.
+///
+/// One strand per rule suffices (every derivation of a rule is reproduced
+/// by firing any one of its strands with each stored trigger tuple), and
+/// the vacated key restricts the work twice over: the head's key columns
+/// bind trigger-atom variables, so only trigger tuples matching those
+/// bindings are refired — through an index probe when the signature is
+/// declared (see [`CompiledStrand::rederive_requirement`]) — and the joins
+/// inside each firing run through the normal probe plans.
+///
+/// `seq_limit` must be the visibility limit the caller used when firing
+/// the deletion (the delta's processing timestamp). It excludes tuples
+/// that are already applied to the store but whose own strand firings are
+/// still queued: those pending firings will produce their derivations
+/// themselves, and counting them here too would inflate derivation counts
+/// and leave stale tuples behind after later deletions.
+pub fn rederive_key(
+    store: &Store,
+    strands: &[CompiledStrand],
+    deleted: &TupleDelta,
+    seq_limit: u64,
+    stats: &mut JoinStats,
+) -> Result<Vec<TupleDelta>, EvalError> {
+    debug_assert_eq!(deleted.sign, Sign::Delete);
+    let Some(relation) = store.relation(&deleted.relation) else {
+        return Ok(Vec::new());
+    };
+    let key_cols = relation.schema().key_columns.clone();
+    if key_cols.is_empty() || relation.lossy_replacements() == 0 {
+        return Ok(Vec::new());
+    }
+    let key = relation.schema().key_of(&deleted.tuple);
+    if relation.get(&key).is_some() {
+        // The key is still occupied (e.g. the deletion half of a
+        // replacement): nothing to restore.
+        return Ok(Vec::new());
+    }
+    let mut out = Vec::new();
+    let mut rules_seen: BTreeSet<&str> = BTreeSet::new();
+    for strand in strands {
+        if strand.head_relation() != deleted.relation || !rules_seen.insert(strand.rule_label()) {
+            continue;
+        }
+        let rule = &strand.delta_rule().rule;
+        let Some(Literal::Atom(trigger_atom)) = rule.body.get(strand.delta_rule().trigger) else {
+            continue;
+        };
+        // The head's key columns pin down variable values (and rule out
+        // rules whose constant head columns cannot produce this key).
+        let mut bound_vars: std::collections::BTreeMap<&str, &Value> =
+            std::collections::BTreeMap::new();
+        let mut feasible = true;
+        for (pos, &col) in key_cols.iter().enumerate() {
+            match rule.head.args.get(col) {
+                Some(Term::Const(c)) if c != &key[pos] => {
+                    feasible = false;
+                    break;
+                }
+                Some(Term::Var(v)) => match bound_vars.get(v.name.as_str()) {
+                    Some(existing) if *existing != &key[pos] => {
+                        feasible = false;
+                        break;
+                    }
+                    _ => {
+                        bound_vars.insert(v.name.as_str(), &key[pos]);
+                    }
+                },
+                _ => {}
+            }
+        }
+        if !feasible {
+            continue;
+        }
+        let Some(trigger_relation) = store.relation(strand.trigger_relation()) else {
+            continue;
+        };
+        // The key-bound trigger columns come from the same helper the
+        // store used to declare the rederivation index, so the probed
+        // signature always matches the declared one.
+        let cols = strand
+            .rederive_requirement(&key_cols)
+            .map(|(_, cols)| cols)
+            .unwrap_or_default();
+        let vals: Vec<Value> = cols
+            .iter()
+            .filter_map(|&i| match trigger_atom.args.get(i) {
+                Some(Term::Var(v)) => bound_vars.get(v.name.as_str()).map(|&val| val.clone()),
+                _ => None,
+            })
+            .collect();
+        debug_assert_eq!(
+            cols.len(),
+            vals.len(),
+            "requirement columns are key-var columns"
+        );
+        let candidates: Vec<Tuple> = trigger_relation
+            .lookup(&cols, &vals, seq_limit, stats)
+            .map(|s| s.tuple.clone())
+            .collect();
+        for tuple in candidates {
+            let trigger = TupleDelta::insert(strand.trigger_relation().to_string(), tuple);
+            for derivation in strand.fire_counted(store, &trigger, seq_limit, stats)? {
+                if relation.schema().key_of(&derivation.delta.tuple) == key {
+                    out.push(derivation.delta);
+                }
+            }
+        }
+    }
+    Ok(out)
 }
 
 /// Project a head atom into a tuple under the given bindings.
@@ -413,7 +741,10 @@ mod tests {
         let miss = TupleDelta::insert("probe", Tuple::new(vec![addr(3), Value::Int(8)]));
         assert!(strand.fire(&store, &miss, u64::MAX).unwrap().is_empty());
         let wrong_arity = TupleDelta::insert("probe", Tuple::new(vec![addr(3)]));
-        assert!(strand.fire(&store, &wrong_arity, u64::MAX).unwrap().is_empty());
+        assert!(strand
+            .fire(&store, &wrong_arity, u64::MAX)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -439,6 +770,94 @@ mod tests {
     }
 
     #[test]
+    fn probe_plans_capture_bound_columns() {
+        let (_, strands) = setup(TWO_HOP);
+        let link_strand = strands
+            .iter()
+            .find(|s| s.trigger_relation() == "link")
+            .unwrap();
+        // Triggered by #link(@S,@Z,C1): the path(@Z,@D,@Z2,P2,C2) atom has
+        // exactly its first column bound (Z), everything else free.
+        let reqs = link_strand.index_requirements();
+        assert_eq!(reqs, vec![("path".to_string(), vec![0])]);
+        let plan = link_strand
+            .probe_plans()
+            .iter()
+            .flatten()
+            .next()
+            .expect("the path atom has a plan");
+        assert_eq!(plan.cols, vec![0]);
+        assert_eq!(plan.sources, vec![ColumnSource::Var("Z".to_string())]);
+
+        // Triggered by path, the #link(@S,@Z,C1) atom has column 1 bound.
+        let path_strand = strands
+            .iter()
+            .find(|s| s.trigger_relation() == "path")
+            .unwrap();
+        assert_eq!(
+            path_strand.index_requirements(),
+            vec![("link".to_string(), vec![1])]
+        );
+    }
+
+    #[test]
+    fn probe_plans_include_constants_and_assigned_vars() {
+        let (_, strands) = setup("r1 out(@S) :- q(@S, X), Y := X + 1, w(@S, Y, 7).");
+        let q_strand = strands
+            .iter()
+            .find(|s| s.trigger_relation() == "q")
+            .unwrap();
+        let reqs = q_strand.index_requirements();
+        // w's columns: 0 (S, bound by trigger), 1 (Y, bound by the
+        // assignment), 2 (the constant 7).
+        assert_eq!(reqs, vec![("w".to_string(), vec![0, 1, 2])]);
+    }
+
+    #[test]
+    fn probed_join_matches_scan_results() {
+        // The same join fired with and without the index declared must
+        // produce identical derivations (the index is purely an access
+        // path).
+        let (mut store, strands) = setup(TWO_HOP);
+        for d in 2..30u32 {
+            store.apply(&TupleDelta::insert(
+                "path",
+                Tuple::new(vec![
+                    addr(1),
+                    addr(d),
+                    addr(d),
+                    Value::list(vec![addr(1), addr(d)]),
+                    Value::Int(3),
+                ]),
+            ));
+        }
+        let link_strand = strands
+            .iter()
+            .find(|s| s.trigger_relation() == "link")
+            .unwrap();
+        let link = TupleDelta::insert("link", Tuple::new(vec![addr(0), addr(1), Value::Int(4)]));
+
+        let mut scan_stats = JoinStats::default();
+        let scanned = link_strand
+            .fire_counted(&store, &link, u64::MAX, &mut scan_stats)
+            .unwrap();
+        assert!(scan_stats.scans > 0 && scan_stats.index_probes == 0);
+
+        store.declare_indexes(strands.iter());
+        let mut probe_stats = JoinStats::default();
+        let probed = link_strand
+            .fire_counted(&store, &link, u64::MAX, &mut probe_stats)
+            .unwrap();
+        assert_eq!(scanned, probed);
+        assert_eq!(probed.len(), 28);
+        assert!(probe_stats.index_probes > 0 && probe_stats.scans == 0);
+        assert!(
+            probe_stats.tuples_examined <= scan_stats.tuples_examined,
+            "probing must not examine more than scanning"
+        );
+    }
+
+    #[test]
     fn missing_relation_yields_no_matches() {
         let program = parse_program("r1 out(@S) :- q(@S, C), missing(@S, C).").unwrap();
         // Build a store *without* the `missing` relation.
@@ -448,7 +867,10 @@ mod tests {
             .into_iter()
             .map(CompiledStrand::new)
             .collect();
-        let strand = strands.iter().find(|s| s.trigger_relation() == "q").unwrap();
+        let strand = strands
+            .iter()
+            .find(|s| s.trigger_relation() == "q")
+            .unwrap();
         let d = TupleDelta::insert("q", Tuple::new(vec![addr(0), Value::Int(1)]));
         assert!(strand.fire(&store, &d, u64::MAX).unwrap().is_empty());
     }

@@ -38,17 +38,30 @@ fn main() {
     // 2. Parse and validate against the NDlog constraints (Definition 6).
     let program = parse_program(source).expect("the program parses");
     let violations = validate(&program);
-    assert!(violations.is_empty(), "NDlog constraints violated: {violations:?}");
+    assert!(
+        violations.is_empty(),
+        "NDlog constraints violated: {violations:?}"
+    );
 
     // 3. Plan: localization (Algorithm 2), semi-naive strands, aggregate
     //    views and aggregate selections.
     let plan = plan(&program).expect("the program plans");
-    println!("planned {} rule strands, {} aggregate view(s)", plan.strands.len(), plan.aggregate_rules.len());
+    println!(
+        "planned {} rule strands, {} aggregate view(s)",
+        plan.strands.len(),
+        plan.aggregate_rules.len()
+    );
 
     // 4. Build the network of Figure 2: a-b (5), a-c (1), c-b (1), b-d (1),
     //    e-a (1). Addresses: a=0, b=1, c=2, d=3, e=4.
     let mut graph = Topology::with_nodes(5);
-    let edges = [(0u32, 1u32, 5.0), (0, 2, 1.0), (2, 1, 1.0), (1, 3, 1.0), (4, 0, 1.0)];
+    let edges = [
+        (0u32, 1u32, 5.0),
+        (0, 2, 1.0),
+        (2, 1, 1.0),
+        (1, 3, 1.0),
+        (4, 0, 1.0),
+    ];
     for &(a, b, _) in &edges {
         graph
             .add_link(NodeAddr(a), NodeAddr(b), LinkMetrics::uniform())

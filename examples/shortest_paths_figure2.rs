@@ -28,7 +28,13 @@ fn main() {
     // l(e,a,1); links are bidirectional.
     let program = programs::shortest_path("");
     let mut eval = Evaluator::new(&program).expect("plan");
-    let edges = [(0u32, 1u32, 5.0), (0, 2, 1.0), (2, 1, 1.0), (1, 3, 1.0), (4, 0, 1.0)];
+    let edges = [
+        (0u32, 1u32, 5.0),
+        (0, 2, 1.0),
+        (2, 1, 1.0),
+        (1, 3, 1.0),
+        (4, 0, 1.0),
+    ];
     for (a, b, c) in edges {
         for (s, d) in [(a, b), (b, a)] {
             eval.insert_fact(
@@ -44,14 +50,22 @@ fn main() {
     let mut paths = eval.results("path");
     paths.sort_by_key(|t| {
         (
-            t.get(3).and_then(Value::as_list).map(|l| l.len()).unwrap_or(0),
+            t.get(3)
+                .and_then(Value::as_list)
+                .map(|l| l.len())
+                .unwrap_or(0),
             t.get(0).cloned(),
             t.get(1).cloned(),
         )
     });
     let max_hops = paths
         .iter()
-        .map(|t| t.get(3).and_then(Value::as_list).map(|l| l.len()).unwrap_or(0))
+        .map(|t| {
+            t.get(3)
+                .and_then(Value::as_list)
+                .map(|l| l.len())
+                .unwrap_or(0)
+        })
         .max()
         .unwrap_or(0);
     for hops in 2..=max_hops {
@@ -77,7 +91,10 @@ fn main() {
     println!("\n--- final shortest paths from a ---");
     let mut shortest = eval.results("shortestPath");
     shortest.sort_by_key(|t| (t.get(0).cloned(), t.get(1).cloned()));
-    for t in shortest.iter().filter(|t| t.get(0) == Some(&Value::addr(0u32))) {
+    for t in shortest
+        .iter()
+        .filter(|t| t.get(0) == Some(&Value::addr(0u32)))
+    {
         println!(
             "  shortestPath(a, {}, [{}], {})",
             name(t.get(1).unwrap()),

@@ -49,9 +49,12 @@ fn theorem4_static_network_reaches_the_centralized_fixpoint() {
     let query_plan = plan(&program).unwrap();
     // Aggregate selections off so that every derivable tuple is materialized
     // and the comparison is exact.
-    let mut engine =
-        DistributedEngine::new(overlay.graph.clone(), &[query_plan], EngineConfig::default())
-            .unwrap();
+    let mut engine = DistributedEngine::new(
+        overlay.graph.clone(),
+        &[query_plan],
+        EngineConfig::default(),
+    )
+    .unwrap();
     let mut base = Vec::new();
     // Reliability costs carry per-link random noise, so path costs are
     // distinct and the tie-free comparison below is exact.
@@ -79,8 +82,7 @@ fn theorem4_with_aggregate_selections_costs_match() {
     let query_plan = plan(&program).unwrap();
     let mut config = EngineConfig::default();
     config.node.aggregate_selections = true;
-    let mut engine =
-        DistributedEngine::new(overlay.graph.clone(), &[query_plan], config).unwrap();
+    let mut engine = DistributedEngine::new(overlay.graph.clone(), &[query_plan], config).unwrap();
     for l in overlay.links() {
         engine
             .insert_base(l.src, "link", link(l.src, l.dst, l.cost(Metric::Latency)))
@@ -111,9 +113,12 @@ fn bursty_updates_converge_to_the_final_state() {
     let overlay = sparse_overlay();
     let program = programs::shortest_path("");
     let query_plan = plan(&program).unwrap();
-    let mut engine =
-        DistributedEngine::new(overlay.graph.clone(), &[query_plan], EngineConfig::default())
-            .unwrap();
+    let mut engine = DistributedEngine::new(
+        overlay.graph.clone(),
+        &[query_plan],
+        EngineConfig::default(),
+    )
+    .unwrap();
     let links = overlay.links();
     let metric = Metric::Reliability;
     let mut current: BTreeMap<(ndlog_net::NodeAddr, ndlog_net::NodeAddr), f64> = BTreeMap::new();

@@ -87,9 +87,12 @@ fn reachability_program_reaches_every_node() {
     let overlay = small_overlay();
     let n = overlay.node_count();
     let query_plan = plan(&programs::reachability("")).unwrap();
-    let mut engine =
-        DistributedEngine::new(overlay.graph.clone(), &[query_plan], EngineConfig::default())
-            .unwrap();
+    let mut engine = DistributedEngine::new(
+        overlay.graph.clone(),
+        &[query_plan],
+        EngineConfig::default(),
+    )
+    .unwrap();
     load_links(&mut engine, &overlay, "link", Metric::HopCount);
     engine.run_to_quiescence().unwrap();
     // The overlay is connected, so every ordered pair (including loops via
@@ -112,9 +115,12 @@ fn hand_written_program_runs_distributed() {
     let query_plan = plan(&program).unwrap();
 
     let overlay = small_overlay();
-    let mut engine =
-        DistributedEngine::new(overlay.graph.clone(), &[query_plan], EngineConfig::default())
-            .unwrap();
+    let mut engine = DistributedEngine::new(
+        overlay.graph.clone(),
+        &[query_plan],
+        EngineConfig::default(),
+    )
+    .unwrap();
     load_links(&mut engine, &overlay, "link", Metric::HopCount);
     engine.run_to_quiescence().unwrap();
 
@@ -138,9 +144,12 @@ fn centralized_and_distributed_agree_on_the_same_overlay() {
     let overlay = sparse_overlay();
     let program = programs::shortest_path("");
     let query_plan = plan(&program).unwrap();
-    let mut engine =
-        DistributedEngine::new(overlay.graph.clone(), &[query_plan], EngineConfig::default())
-            .unwrap();
+    let mut engine = DistributedEngine::new(
+        overlay.graph.clone(),
+        &[query_plan],
+        EngineConfig::default(),
+    )
+    .unwrap();
     load_links(&mut engine, &overlay, "link", Metric::Reliability);
 
     let mut evaluator = Evaluator::new(&program).unwrap();

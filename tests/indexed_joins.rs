@@ -1,0 +1,200 @@
+//! Workspace-level tests for the indexed storage layer and compiled probe
+//! plans:
+//!
+//! * joins with bound columns run as index probes end to end — the
+//!   distributed engine's computation counters show tuples-examined
+//!   proportional to matches, not relation sizes;
+//! * the rederivation compensation for P2's lossy primary-key replacement
+//!   semantics (a regression test for a fixpoint divergence between the
+//!   original and localized shortest-path programs);
+//! * evaluator fixpoints are identical with and without the index layer
+//!   (the index is an access path, never a semantics change).
+
+use ndlog_core::{plan, DistributedEngine, EngineConfig};
+use ndlog_lang::localize::localize;
+use ndlog_lang::{parse_program, programs, Value};
+use ndlog_net::topology::{LinkMetrics, Topology};
+use ndlog_net::NodeAddr;
+use ndlog_runtime::{Evaluator, Strategy, Tuple, TupleDelta};
+use std::collections::BTreeSet;
+
+fn addr(i: u32) -> Value {
+    Value::addr(i)
+}
+
+fn link(a: u32, b: u32, c: f64) -> Tuple {
+    Tuple::new(vec![addr(a), addr(b), Value::Float(c)])
+}
+
+/// A line topology 0 - 1 - ... - (n-1) with uniform links.
+fn line(n: usize) -> Topology {
+    let mut t = Topology::with_nodes(n);
+    for i in 0..n - 1 {
+        t.add_link(
+            NodeAddr(i as u32),
+            NodeAddr(i as u32 + 1),
+            LinkMetrics {
+                latency_ms: 2.0,
+                reliability: 1.0,
+                random: 1.0,
+                bandwidth_bps: 10_000_000.0,
+            },
+        )
+        .unwrap();
+    }
+    t
+}
+
+#[test]
+fn distributed_joins_probe_instead_of_scanning() {
+    let n = 8;
+    let graph = line(n);
+    let plan = plan(&programs::shortest_path("")).unwrap();
+    let mut engine = DistributedEngine::new(graph, &[plan], EngineConfig::default()).unwrap();
+    for i in 0..n as u32 - 1 {
+        engine
+            .insert_base(NodeAddr(i), "link", link(i, i + 1, 1.0))
+            .unwrap();
+        engine
+            .insert_base(NodeAddr(i + 1), "link", link(i + 1, i, 1.0))
+            .unwrap();
+    }
+    engine.run_to_quiescence().unwrap();
+    assert_eq!(engine.result_count("shortestPath"), n * (n - 1));
+
+    let stats = engine.computation_stats();
+    assert!(stats.index_probes > 0, "joins must go through index probes");
+    assert!(
+        stats.index_probes > stats.scans * 10,
+        "probes {} should dominate scans {}",
+        stats.index_probes,
+        stats.scans
+    );
+    // Every examined tuple was reached through a probe bucket or a rare
+    // residual scan; the total must stay far below the quadratic
+    // every-delta-scans-every-path regime.
+    assert!(
+        stats.tuples_examined < stats.tuples_processed * n * n,
+        "examined {} vs processed {}",
+        stats.tuples_examined,
+        stats.tuples_processed
+    );
+}
+
+#[test]
+fn rederivation_restores_tied_shortest_paths() {
+    // Regression: with links 0-2:9, 1-3:7, 2-4 (7 then 2 then 4), 3-4
+    // (3 then 2), 0-3:5, the path 0-3-4-2 transiently ties the direct
+    // 0-2 link at cost 9. The tie's survivor under primary-key replacement
+    // is then deleted by a link-cost update, which used to lose the
+    // shortestPath(0,2) result entirely in the non-localized program.
+    let edges: Vec<(u32, u32, u8)> = vec![
+        (1, 3, 7),
+        (0, 2, 9),
+        (2, 4, 7),
+        (2, 4, 2),
+        (3, 4, 3),
+        (4, 3, 2),
+        (4, 2, 4),
+        (3, 0, 5),
+    ];
+    let program = programs::shortest_path("");
+    let localized = localize(&program).unwrap();
+    let run = |p: &ndlog_lang::Program| -> BTreeSet<(Value, Value, Value)> {
+        let mut eval = Evaluator::new(p).unwrap();
+        for &(a, b, c) in &edges {
+            eval.insert_fact("link", link(a, b, f64::from(c)));
+            eval.insert_fact("link", link(b, a, f64::from(c)));
+        }
+        eval.run(Strategy::Pipelined).unwrap();
+        eval.results("shortestPath")
+            .into_iter()
+            .map(|t| {
+                (
+                    t.get(0).unwrap().clone(),
+                    t.get(1).unwrap().clone(),
+                    t.get(3).unwrap().clone(),
+                )
+            })
+            .collect()
+    };
+    let original = run(&program);
+    let localized_results = run(&localized);
+    assert!(
+        original.contains(&(addr(0), addr(2), Value::Float(9.0))),
+        "the direct 0-2 path must be rederived after its tied rival dies"
+    );
+    assert_eq!(original, localized_results);
+}
+
+#[test]
+fn index_layer_is_a_pure_access_path() {
+    // Incremental deletions through the probe plans must still converge to
+    // the same fixpoint as evaluating the final base data from scratch
+    // (the seed's Theorem 3 check, now with index accounting), and the
+    // incremental run must actually use the indexes.
+    //
+    // Known remaining edge (the DRed follow-on recorded in ROADMAP.md):
+    // incremental updates are only guaranteed for PSN. With an SN/BSN
+    // *initial* run followed by PSN updates, a deletion cascade can join a
+    // derived tuple against an aggregate that the cascade has already
+    // moved past the tuple's value (e.g. `shortestPath :- spCost, path`
+    // where spCost advances before the matching path deletion fires),
+    // missing the retraction and stranding a stale tuple. A full
+    // over-delete/re-derive (DRed) pass would close it; the rederivation
+    // compensation here only covers derivations lost to primary-key
+    // replacements.
+    let program = programs::shortest_path("");
+    let edges = [(0u32, 1u32, 5.0), (0, 2, 1.0), (2, 1, 1.0), (1, 3, 1.0)];
+
+    let mut incremental = Evaluator::new(&program).unwrap();
+    for (a, b, c) in edges {
+        incremental.insert_fact("link", link(a, b, c));
+        incremental.insert_fact("link", link(b, a, c));
+    }
+    incremental.run(Strategy::Pipelined).unwrap();
+    let del1 = incremental
+        .update(TupleDelta::delete("link", link(0, 2, 1.0)))
+        .unwrap();
+    let del2 = incremental
+        .update(TupleDelta::delete("link", link(2, 0, 1.0)))
+        .unwrap();
+    assert!(
+        del1.index_probes + del2.index_probes > 0,
+        "deletion cascades must join through index probes"
+    );
+
+    let mut scratch = Evaluator::new(&program).unwrap();
+    for (a, b, c) in [(0u32, 1u32, 5.0), (2, 1, 1.0), (1, 3, 1.0)] {
+        scratch.insert_fact("link", link(a, b, c));
+        scratch.insert_fact("link", link(b, a, c));
+    }
+    scratch.run(Strategy::Pipelined).unwrap();
+
+    let a: BTreeSet<Tuple> = incremental.results("shortestPath").into_iter().collect();
+    let b: BTreeSet<Tuple> = scratch.results("shortestPath").into_iter().collect();
+    assert_eq!(a, b);
+    assert_eq!(a.len(), 12);
+}
+
+#[test]
+fn unbound_join_still_works_via_scan_fallback() {
+    // A genuine cross product has no bound columns, hence no probe plan:
+    // the scan fallback must still produce the right answers and be
+    // visible in the stats.
+    let program = parse_program(
+        r#"
+        c1 pairs(@A, @B) :- left(@A), right(@B).
+        "#,
+    )
+    .unwrap();
+    let mut eval = Evaluator::new(&program).unwrap();
+    for i in 0..4u32 {
+        eval.insert_fact("left", Tuple::new(vec![addr(i)]));
+        eval.insert_fact("right", Tuple::new(vec![addr(i + 100)]));
+    }
+    let stats = eval.run(Strategy::Pipelined).unwrap();
+    assert_eq!(eval.results("pairs").len(), 16);
+    assert!(stats.scans > 0, "cross products scan by design");
+    assert_eq!(stats.index_probes, 0);
+}
