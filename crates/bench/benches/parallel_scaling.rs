@@ -1,0 +1,67 @@
+//! Scaling bench for the parallel epoch executor: the same distributed
+//! shortest-path run at 1 / 2 / 4 executor threads, plus the end-to-end
+//! scaling experiment that also verifies bit-for-bit identity.
+//!
+//! The per-thread-count numbers are the perf trajectory for the executor:
+//! compare the `quiescence_*_threads` medians across commits to see the
+//! speedup, and run `experiments scaling large --json` for the full
+//! ≥256-node measurement (too slow for the default bench loop).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ndlog_bench::experiments::parallel_scaling;
+use ndlog_bench::{Scale, Testbed};
+use ndlog_core::EngineConfig;
+use ndlog_net::topology::Metric;
+
+fn quiescence_run(testbed: &Testbed, threads: usize) -> usize {
+    let metric = Metric::HopCount;
+    let plan = Testbed::shortest_path_plan(metric);
+    let mut config = EngineConfig::default();
+    config.node.aggregate_selections = true;
+    config.parallelism = threads;
+    let mut engine = testbed.engine(&[plan], config);
+    testbed
+        .load_links(&mut engine, &Testbed::link_relation(metric), metric)
+        .expect("link loading");
+    let report = engine.run_to_quiescence().expect("run");
+    assert!(report.quiesced);
+    report.messages
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_scaling");
+    group.sample_size(10);
+
+    let testbed = Testbed::new(Scale::Small);
+    let mut baseline_messages = None;
+    for threads in [1usize, 2, 4] {
+        let tb = testbed.clone();
+        let mut messages = None;
+        group.bench_function(format!("quiescence_{threads}_threads"), |b| {
+            b.iter(|| {
+                let m = quiescence_run(&tb, threads);
+                messages = Some(m);
+                m
+            })
+        });
+        // The workload is deterministic: every thread count must send
+        // exactly the same messages.
+        if let Some(base) = baseline_messages {
+            assert_eq!(messages.unwrap(), base, "thread count changed the run");
+        } else {
+            baseline_messages = messages;
+        }
+    }
+
+    group.bench_function("scaling_experiment_small", |b| {
+        b.iter(|| {
+            let result = parallel_scaling(Scale::Small, &[2]);
+            assert!(result.runs.iter().all(|r| r.identical));
+            result.runs.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,37 +1,125 @@
 //! Command-line driver that regenerates the paper's figures.
 //!
 //! ```text
-//! cargo run --release -p ndlog-bench --bin experiments -- <figure> [scale]
+//! cargo run --release -p ndlog-bench --bin experiments -- <figure> [scale] [--threads N] [--json PATH]
 //!
-//! <figure>  fig7 | fig8 | fig9 | fig10 | fig11 | fig12 | fig13 | fig14 | summary | all
-//! [scale]   paper (default, 100 nodes) | small (14 nodes)
+//! <figure>    fig7 | fig8 | fig9 | fig10 | fig11 | fig12 | fig13 | fig14 |
+//!             scaling | summary | all
+//! [scale]     paper (default, 100 nodes) | small (14 nodes) | large (264 nodes)
+//! --threads N maximum executor thread count for the `scaling` figure
+//!             (measures 1..=N in powers of two; default 4)
+//! --json PATH write the scaling report as machine-readable JSON
+//!             (the `BENCH_parallel_scaling.json` format)
 //! ```
 //!
 //! Figures 7/8 and 9/10 come from the same runs, so either name prints both
-//! series.
+//! series. `scaling` runs the shortest-path workload once per thread count
+//! on the parallel epoch executor and reports wall-clock speedups plus a
+//! bit-for-bit identity check against the sequential baseline.
 
 use ndlog_bench::experiments::{
     aggregate_selections, incremental_updates, incremental_updates_interleaved, magic_sets,
-    message_sharing, periodic_aggregate_selections,
+    message_sharing, parallel_scaling, periodic_aggregate_selections,
 };
 use ndlog_bench::Scale;
 use ndlog_net::topology::Metric;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|summary|all> [paper|small]"
+        "usage: experiments <fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|scaling|summary|all> \
+         [paper|small|large] [--threads N] [--json PATH]"
     );
     std::process::exit(2);
 }
 
+/// Parsed command line.
+struct Options {
+    figure: String,
+    scale: Scale,
+    /// Maximum executor thread count for the scaling figure.
+    threads: usize,
+    /// Where to write the scaling JSON report, if anywhere.
+    json: Option<String>,
+}
+
+fn parse_args(args: &[String]) -> Options {
+    let mut positional = Vec::new();
+    let mut threads = None;
+    let mut json = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--threads" => {
+                threads = Some(
+                    iter.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n >= 1)
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--json" => {
+                json = Some(iter.next().cloned().unwrap_or_else(|| usage()));
+            }
+            _ if arg.starts_with("--") => usage(),
+            _ => positional.push(arg.clone()),
+        }
+    }
+    let figure = positional.first().cloned().unwrap_or_else(|| usage());
+    let scale = match positional.get(1) {
+        None => Scale::Paper,
+        Some(s) => Scale::parse(s).unwrap_or_else(|| usage()),
+    };
+    if positional.len() > 2 {
+        usage();
+    }
+    // --threads / --json only drive the scaling figure (also reached via
+    // "all"); rejecting them elsewhere beats silently ignoring them.
+    if figure != "scaling" && figure != "all" && (threads.is_some() || json.is_some()) {
+        eprintln!("--threads/--json apply only to the `scaling` (or `all`) figure");
+        usage();
+    }
+    Options {
+        figure,
+        scale,
+        threads: threads.unwrap_or(4),
+        json,
+    }
+}
+
+/// Thread counts measured by the scaling figure: powers of two up to (and
+/// including) `max`.
+fn thread_ladder(max: usize) -> Vec<usize> {
+    let mut counts = vec![1];
+    let mut n = 2;
+    while n < max {
+        counts.push(n);
+        n *= 2;
+    }
+    if max > 1 {
+        counts.push(max);
+    }
+    counts
+}
+
+fn run_scaling(options: &Options) {
+    let counts = thread_ladder(options.threads);
+    let result = parallel_scaling(options.scale, &counts);
+    println!("{}", result.render());
+    if let Some(path) = &options.json {
+        std::fs::write(path, result.to_json()).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("wrote {path}");
+    }
+}
+
 fn magic_query_counts(scale: Scale) -> (usize, Vec<usize>) {
     match scale {
-        Scale::Paper => (200, vec![25, 50, 75, 100, 125, 150, 175, 200]),
+        Scale::Paper | Scale::Large => (200, vec![25, 50, 75, 100, 125, 150, 175, 200]),
         Scale::Small => (12, vec![4, 8, 12]),
     }
 }
 
-fn run_figure(figure: &str, scale: Scale) {
+fn run_figure(figure: &str, options: &Options) {
+    let scale = options.scale;
     match figure {
         "fig7" | "fig8" => {
             println!("{}", aggregate_selections(scale).render());
@@ -66,14 +154,17 @@ fn run_figure(figure: &str, scale: Scale) {
                     .render("Figure 14: interleaved 2 s / 8 s update bursts (Random metric)")
             );
         }
+        "scaling" => {
+            run_scaling(options);
+        }
         "summary" => {
             summary(scale);
         }
         "all" => {
             for f in [
-                "fig7", "fig9", "fig11", "fig12", "fig13", "fig14", "summary",
+                "fig7", "fig9", "fig11", "fig12", "fig13", "fig14", "scaling", "summary",
             ] {
-                run_figure(f, scale);
+                run_figure(f, options);
                 println!();
             }
         }
@@ -141,11 +232,7 @@ fn summary(scale: Scale) {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let figure = args.get(1).map(String::as_str).unwrap_or_else(|| usage());
-    let scale = match args.get(2).map(String::as_str) {
-        None => Scale::Paper,
-        Some(s) => Scale::parse(s).unwrap_or_else(|| usage()),
-    };
-    run_figure(figure, scale);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = parse_args(&args);
+    run_figure(&options.figure.clone(), &options);
 }

@@ -784,10 +784,201 @@ pub fn incremental_updates_with_intervals(
     }
 }
 
+// ---------------------------------------------------------------------------
+// Parallel scaling: the epoch executor across thread counts.
+// ---------------------------------------------------------------------------
+
+/// One parallel-scaling measurement: the same workload at one executor
+/// thread count.
+#[derive(Debug, Clone)]
+pub struct ScalingRun {
+    /// Executor threads (1 = the sequential event loop).
+    pub threads: usize,
+    /// Wall-clock time of the run, in seconds.
+    pub wall_seconds: f64,
+    /// Simulated time at quiescence, in seconds.
+    pub sim_seconds: f64,
+    /// Messages sent (must be identical across thread counts).
+    pub messages: usize,
+    /// Megabytes sent (must be identical across thread counts).
+    pub total_mb: f64,
+    /// Whether the run quiesced before the time cap — a `false` here means
+    /// the workload was truncated and the wall/speedup numbers are not a
+    /// convergence measurement.
+    pub quiesced: bool,
+    /// Whether this run's stores, statistics and message trace were
+    /// bit-for-bit identical to the 1-thread baseline.
+    pub identical: bool,
+}
+
+/// Results of the parallel-scaling experiment.
+#[derive(Debug, Clone)]
+pub struct ParallelScalingResult {
+    /// Scale label (for reports).
+    pub scale: Scale,
+    /// Number of overlay nodes.
+    pub nodes: usize,
+    /// CPUs available to this process — wall-clock speedup is bounded by
+    /// this, so a reader can tell a 1-core CI measurement (which only
+    /// demonstrates that epoch overhead is negligible) from a real
+    /// multicore one.
+    pub cpus: usize,
+    /// One run per thread count, 1 first.
+    pub runs: Vec<ScalingRun>,
+}
+
+impl ParallelScalingResult {
+    /// Wall-clock speedup of the run at `threads` over the 1-thread run.
+    pub fn speedup(&self, threads: usize) -> f64 {
+        let base = self.runs.iter().find(|r| r.threads == 1);
+        let run = self.runs.iter().find(|r| r.threads == threads);
+        match (base, run) {
+            (Some(b), Some(r)) if r.wall_seconds > 0.0 => b.wall_seconds / r.wall_seconds,
+            _ => 0.0,
+        }
+    }
+
+    /// Render the scaling table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "Parallel epoch executor scaling ({} nodes, shortest-path/Hop-Count to quiescence)",
+            self.nodes
+        );
+        let max_threads = self.runs.iter().map(|r| r.threads).max().unwrap_or(1);
+        if self.cpus < max_threads {
+            let _ = writeln!(
+                out,
+                "note: only {} CPU(s) available — wall-clock speedup is capped by the host, \
+                 not the executor",
+                self.cpus
+            );
+        }
+        if self.runs.iter().any(|r| !r.quiesced) {
+            let _ = writeln!(
+                out,
+                "WARNING: some runs hit the time cap before quiescing — wall/speedup numbers \
+                 are truncated, not convergence measurements"
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{:<8} {:>12} {:>10} {:>10} {:>10} {:>10}",
+            "threads", "wall (s)", "speedup", "messages", "MB", "identical"
+        );
+        for r in &self.runs {
+            let _ = writeln!(
+                out,
+                "{:<8} {:>12.3} {:>9.2}x {:>10} {:>10.2} {:>10}",
+                r.threads,
+                r.wall_seconds,
+                self.speedup(r.threads),
+                r.messages,
+                r.total_mb,
+                r.identical
+            );
+        }
+        out
+    }
+
+    /// Serialize as a machine-readable JSON report (the
+    /// `BENCH_parallel_scaling.json` format: topology size, threads, wall
+    /// time, messages and derived speedups).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"bench\": \"parallel_scaling\",");
+        let _ = writeln!(out, "  \"scale\": \"{}\",", self.scale.label());
+        let _ = writeln!(out, "  \"nodes\": {},", self.nodes);
+        let _ = writeln!(out, "  \"cpus\": {},", self.cpus);
+        let _ = writeln!(out, "  \"runs\": [");
+        for (i, r) in self.runs.iter().enumerate() {
+            let comma = if i + 1 < self.runs.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{\"threads\": {}, \"wall_seconds\": {:.6}, \"sim_seconds\": {:.6}, \
+                 \"messages\": {}, \"total_mb\": {:.6}, \"speedup\": {:.4}, \
+                 \"quiesced\": {}, \"identical\": {}}}{comma}",
+                r.threads,
+                r.wall_seconds,
+                r.sim_seconds,
+                r.messages,
+                r.total_mb,
+                self.speedup(r.threads),
+                r.quiesced,
+                r.identical
+            );
+        }
+        let _ = writeln!(out, "  ]");
+        let _ = writeln!(out, "}}");
+        out
+    }
+}
+
+/// Run the Hop-Count shortest-path workload to quiescence once per thread
+/// count, measuring wall-clock time and verifying that every parallel run
+/// is bit-for-bit identical to the sequential baseline.
+pub fn parallel_scaling(scale: Scale, thread_counts: &[usize]) -> ParallelScalingResult {
+    let testbed = Testbed::new(scale);
+    let metric = Metric::HopCount;
+
+    let execute = |threads: usize| {
+        let plan = Testbed::shortest_path_plan(metric);
+        let mut config = EngineConfig::default();
+        config.node.aggregate_selections = true;
+        config.max_seconds = 300.0;
+        config.parallelism = threads;
+        let mut engine = testbed.engine(&[plan], config);
+        testbed
+            .load_links(&mut engine, &Testbed::link_relation(metric), metric)
+            .expect("link loading");
+        let start = std::time::Instant::now();
+        let report = engine.run_to_quiescence().expect("run");
+        (engine, report, start.elapsed().as_secs_f64())
+    };
+
+    let mut counts: Vec<usize> = thread_counts.to_vec();
+    if !counts.contains(&1) {
+        counts.insert(0, 1);
+    }
+    counts.sort_unstable();
+    counts.dedup();
+
+    let mut baseline: Option<ndlog_core::DistributedEngine> = None;
+    let mut runs = Vec::new();
+    for &threads in &counts {
+        let (engine, report, wall) = execute(threads);
+        let identical = match &baseline {
+            None => true,
+            Some(base) => ndlog_core::consistency::check_bitwise_identical(base, &engine).is_ok(),
+        };
+        runs.push(ScalingRun {
+            threads,
+            wall_seconds: wall,
+            sim_seconds: report.seconds,
+            messages: report.messages,
+            total_mb: report.total_mb,
+            quiesced: report.quiesced,
+            identical,
+        });
+        if threads == 1 {
+            baseline = Some(engine);
+        }
+    }
+
+    ParallelScalingResult {
+        scale,
+        nodes: testbed.node_count(),
+        cpus: std::thread::available_parallelism().map_or(1, usize::from),
+        runs,
+    }
+}
+
 /// Figure 13: bursts every 10 s for 250 s.
 pub fn incremental_updates(scale: Scale) -> IncrementalResult {
     let total = match scale {
-        Scale::Paper => 250.0,
+        Scale::Paper | Scale::Large => 250.0,
         Scale::Small => 60.0,
     };
     incremental_updates_with_intervals(scale, &[10.0], total)
@@ -796,7 +987,7 @@ pub fn incremental_updates(scale: Scale) -> IncrementalResult {
 /// Figure 14: interleaved 2 s and 8 s bursts for 250 s.
 pub fn incremental_updates_interleaved(scale: Scale) -> IncrementalResult {
     let total = match scale {
-        Scale::Paper => 250.0,
+        Scale::Paper | Scale::Large => 250.0,
         Scale::Small => 60.0,
     };
     incremental_updates_with_intervals(scale, &[2.0, 8.0], total)
@@ -866,6 +1057,24 @@ mod tests {
         assert!(result.share_mb < result.no_share_mb);
         assert!(result.reduction() > 0.0);
         assert!(!result.render().is_empty());
+    }
+
+    #[test]
+    fn small_scale_parallel_scaling_is_identical() {
+        let result = parallel_scaling(Scale::Small, &[2, 4]);
+        assert_eq!(result.nodes, 14);
+        assert_eq!(result.runs.len(), 3, "a 1-thread baseline is always run");
+        assert!(result.runs.iter().all(|r| r.identical));
+        assert!(result.runs.iter().all(|r| r.quiesced));
+        let messages: Vec<usize> = result.runs.iter().map(|r| r.messages).collect();
+        assert!(
+            messages.windows(2).all(|w| w[0] == w[1]),
+            "message counts must not depend on the thread count"
+        );
+        assert!(!result.render().is_empty());
+        let json = result.to_json();
+        assert!(json.contains("\"bench\": \"parallel_scaling\""));
+        assert!(json.contains("\"threads\": 4"));
     }
 
     #[test]

@@ -22,6 +22,10 @@ pub enum Scale {
     Paper,
     /// A 14-node setup for tests and Criterion benches.
     Small,
+    /// A 264-node setup (8 transit nodes, 4 stubs per transit, 8 nodes per
+    /// stub) used by the parallel-scaling bench, where per-epoch work must
+    /// be large enough to amortize thread dispatch.
+    Large,
 }
 
 impl Scale {
@@ -30,6 +34,12 @@ impl Scale {
         match self {
             Scale::Paper => TransitStubConfig::paper(),
             Scale::Small => TransitStubConfig::small(),
+            Scale::Large => TransitStubConfig {
+                transit_nodes: 8,
+                stubs_per_transit: 4,
+                nodes_per_stub: 8,
+                ..TransitStubConfig::paper()
+            },
         }
     }
 
@@ -38,7 +48,17 @@ impl Scale {
         match s {
             "paper" | "full" | "100" => Some(Scale::Paper),
             "small" | "test" => Some(Scale::Small),
+            "large" | "264" => Some(Scale::Large),
             _ => None,
+        }
+    }
+
+    /// A lowercase label for reports and JSON output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scale::Paper => "paper",
+            Scale::Small => "small",
+            Scale::Large => "large",
         }
     }
 }
@@ -156,7 +176,14 @@ mod tests {
     fn scale_parsing() {
         assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
         assert_eq!(Scale::parse("small"), Some(Scale::Small));
+        assert_eq!(Scale::parse("large"), Some(Scale::Large));
         assert_eq!(Scale::parse("bogus"), None);
+        assert_eq!(Scale::Large.label(), "large");
+    }
+
+    #[test]
+    fn large_testbed_has_at_least_256_nodes() {
+        assert!(Scale::Large.transit_stub().total_nodes() >= 256);
     }
 
     #[test]

@@ -64,6 +64,83 @@ pub fn check_against_centralized(
     ))
 }
 
+/// Check that two engines reached *bit-for-bit identical* states: same
+/// nodes, same stores (every relation's tuples with their derivation
+/// counts, timestamps and expiry times), same per-node evaluation
+/// statistics, same network statistics (the full per-send message trace)
+/// and same result logs.
+///
+/// This is the oracle of the parallel-executor determinism tests: an
+/// engine run with `parallelism = N` must pass against the same scenario
+/// run sequentially. It is intentionally much stricter than
+/// [`check_against_centralized`], which only compares result sets.
+pub fn check_bitwise_identical(a: &DistributedEngine, b: &DistributedEngine) -> Result<(), String> {
+    let a_nodes: Vec<NodeAddr> = a.nodes().map(|(addr, _)| addr).collect();
+    let b_nodes: Vec<NodeAddr> = b.nodes().map(|(addr, _)| addr).collect();
+    if a_nodes != b_nodes {
+        return Err(format!(
+            "node sets differ: {} vs {} nodes",
+            a_nodes.len(),
+            b_nodes.len()
+        ));
+    }
+    for ((addr, node_a), (_, node_b)) in a.nodes().zip(b.nodes()) {
+        if node_a.eval_stats() != node_b.eval_stats() {
+            return Err(format!(
+                "evaluation statistics differ at node {addr}: {:?} vs {:?}",
+                node_a.eval_stats(),
+                node_b.eval_stats()
+            ));
+        }
+        let store_a = node_a.store();
+        let store_b = node_b.store();
+        if store_a.current_seq() != store_b.current_seq() {
+            return Err(format!(
+                "store timestamp counters differ at node {addr}: {} vs {}",
+                store_a.current_seq(),
+                store_b.current_seq()
+            ));
+        }
+        let names_a: Vec<&str> = store_a.relation_names().collect();
+        let names_b: Vec<&str> = store_b.relation_names().collect();
+        if names_a != names_b {
+            return Err(format!("relation sets differ at node {addr}"));
+        }
+        for name in names_a {
+            let rel_a = store_a.relation(name).expect("listed relation");
+            let rel_b = store_b.relation(name).expect("listed relation");
+            let tuples_a: Vec<_> = rel_a.iter().collect();
+            let tuples_b: Vec<_> = rel_b.iter().collect();
+            if tuples_a != tuples_b {
+                return Err(format!(
+                    "relation {name} differs at node {addr}: {} vs {} tuples \
+                     (or mismatched counts/timestamps/expiries)",
+                    tuples_a.len(),
+                    tuples_b.len()
+                ));
+            }
+        }
+    }
+    if a.stats() != b.stats() {
+        return Err(format!(
+            "network statistics differ: {} msgs / {} bytes vs {} msgs / {} bytes \
+             (or a reordered send trace)",
+            a.stats().message_count(),
+            a.stats().total_bytes(),
+            b.stats().message_count(),
+            b.stats().total_bytes()
+        ));
+    }
+    if a.result_log() != b.result_log() {
+        return Err(format!(
+            "result logs differ: {} vs {} records",
+            a.result_log().len(),
+            b.result_log().len()
+        ));
+    }
+    Ok(())
+}
+
 /// Check that every result tuple is stored at the node named by its
 /// location specifier — the invariant that NDlog data placement is honored.
 pub fn check_location_placement(

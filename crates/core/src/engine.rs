@@ -16,7 +16,15 @@
 //! with its simulation timestamp, from which it derives the paper's two
 //! evaluation metrics: *convergence time* (time until all results reach
 //! their final value) and *% results over time* (Figures 8 and 10).
+//!
+//! With [`EngineConfig::parallelism`] ≥ 2 the event loop switches from
+//! one-event-at-a-time to *epochs*: batches of events within a
+//! conservative lookahead window are evaluated concurrently by the
+//! [`crate::exec`] subsystem and their effects merged back in `(time,
+//! seq)` order, producing bit-for-bit the same stores, statistics and
+//! message trace as the sequential loop.
 
+use crate::exec::{EpochExecutor, NodeAction, NodeTask};
 use crate::node::{NodeConfig, NodeEngine, ResultChange};
 use crate::plan::QueryPlan;
 use crate::sharing;
@@ -45,6 +53,11 @@ pub struct EngineConfig {
     /// Relations whose propagation is blocked at specific nodes (used by
     /// the query-result caching experiment).
     pub blocked_propagation: BTreeMap<String, BTreeSet<NodeAddr>>,
+    /// Number of executor threads (default 1 = the classic sequential
+    /// event loop). Any value ≥ 2 shards the simulated nodes across that
+    /// many OS threads per epoch; results are bit-for-bit identical to a
+    /// sequential run (see [`crate::exec`]).
+    pub parallelism: usize,
 }
 
 impl Default for EngineConfig {
@@ -54,6 +67,7 @@ impl Default for EngineConfig {
             sim: SimConfig::default(),
             max_seconds: 600.0,
             blocked_propagation: BTreeMap::new(),
+            parallelism: 1,
         }
     }
 }
@@ -131,6 +145,8 @@ pub struct DistributedEngine {
     flush_pending: BTreeSet<NodeAddr>,
     sharing_enabled: bool,
     max_seconds: f64,
+    /// Present iff parallelism ≥ 2; drives the epoch-parallel event loop.
+    executor: Option<EpochExecutor>,
 }
 
 impl DistributedEngine {
@@ -173,7 +189,21 @@ impl DistributedEngine {
             flush_pending: BTreeSet::new(),
             sharing_enabled: config.node.sharing_delay.is_some(),
             max_seconds: config.max_seconds,
+            executor: (config.parallelism >= 2).then(|| EpochExecutor::new(config.parallelism)),
         })
+    }
+
+    /// The number of executor threads in effect (1 = sequential loop).
+    pub fn parallelism(&self) -> usize {
+        self.executor.as_ref().map_or(1, EpochExecutor::threads)
+    }
+
+    /// Change the number of executor threads. `threads <= 1` restores the
+    /// sequential event loop; `threads >= 2` shards nodes across that many
+    /// OS threads per epoch. Safe to flip between runs — results are
+    /// bit-for-bit identical either way.
+    pub fn set_parallelism(&mut self, threads: usize) {
+        self.executor = (threads >= 2).then(|| EpochExecutor::new(threads));
     }
 
     /// Current simulation time in seconds.
@@ -194,6 +224,12 @@ impl DistributedEngine {
     /// A node's engine (panics on unknown address).
     pub fn node(&self, addr: NodeAddr) -> &NodeEngine {
         &self.nodes[&addr]
+    }
+
+    /// All nodes with their engines, in address order (for inspection and
+    /// whole-network comparisons).
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeAddr, &NodeEngine)> {
+        self.nodes.iter().map(|(addr, node)| (*addr, node))
     }
 
     /// The raw result log.
@@ -282,24 +318,58 @@ impl DistributedEngine {
     }
 
     /// Process a node to its local fixpoint and ship its outbound batches.
+    ///
+    /// Mirrors `exec::executor::run_shard` exactly (clock advance, then
+    /// soft-state expiry, then processing) — the two must stay in lockstep
+    /// for parallel runs to be bit-identical to sequential ones.
     fn process_node(&mut self, addr: NodeAddr) -> Result<(), EvalError> {
         let now = self.sim.now();
         let output = {
             let node = self.nodes.get_mut(&addr).expect("known node");
             node.set_time(now);
+            node.expire_soft_state(now);
             node.process()?
         };
-        self.record_changes(addr, now, output.changes);
-        for (dest, deltas) in output.outbound {
-            self.send_batch(addr, dest, deltas);
+        self.apply_effects(
+            addr,
+            now,
+            output.changes,
+            output.outbound,
+            output.request_flush,
+            false,
+        );
+        Ok(())
+    }
+
+    /// Apply one event's externally visible effects to the engine-side
+    /// state: pending-flush bookkeeping, result recording, outbound sends
+    /// and flush-timer scheduling. This is the *single* implementation
+    /// shared by the sequential event loop (via [`Self::process_node`] and
+    /// the flush-timer arm) and the epoch replay, so the two execution
+    /// modes cannot drift apart and break the bit-for-bit determinism
+    /// contract.
+    fn apply_effects(
+        &mut self,
+        node: NodeAddr,
+        time: SimTime,
+        changes: Vec<ResultChange>,
+        sends: impl IntoIterator<Item = (NodeAddr, Vec<TupleDelta>)>,
+        request_flush: bool,
+        was_flush: bool,
+    ) {
+        if was_flush {
+            self.flush_pending.remove(&node);
         }
-        if output.request_flush && !self.flush_pending.contains(&addr) {
-            if let Some(interval) = self.nodes[&addr].flush_interval() {
-                self.sim.schedule_timer_in(interval, addr, FLUSH_TOKEN);
-                self.flush_pending.insert(addr);
+        self.record_changes(node, time, changes);
+        for (dest, deltas) in sends {
+            self.send_batch(node, dest, deltas);
+        }
+        if request_flush && !self.flush_pending.contains(&node) {
+            if let Some(interval) = self.nodes[&node].flush_interval() {
+                self.sim.schedule_timer_in(interval, node, FLUSH_TOKEN);
+                self.flush_pending.insert(node);
             }
         }
-        Ok(())
     }
 
     fn record_changes(&mut self, node: NodeAddr, time: SimTime, changes: Vec<ResultChange>) {
@@ -328,7 +398,14 @@ impl DistributedEngine {
 
     /// Process events until the simulation time exceeds `seconds` or the
     /// network quiesces. Returns a report of the run so far.
+    ///
+    /// With [`EngineConfig::parallelism`] ≥ 2 this drains the simulator in
+    /// epochs and evaluates them on the worker pool; otherwise it is the
+    /// classic one-event-at-a-time loop. Both produce identical results.
     pub fn run_until(&mut self, seconds: f64) -> Result<RunReport, EvalError> {
+        if self.executor.is_some() {
+            return self.run_until_epochs(seconds);
+        }
         let limit = ms(seconds * 1000.0);
         let mut quiesced = true;
         while let Some(next) = self.sim.peek_time() {
@@ -347,13 +424,81 @@ impl DistributedEngine {
                     self.process_node(to)?;
                 }
                 ndlog_net::EventKind::Timer { node, token } if token == FLUSH_TOKEN => {
-                    self.flush_pending.remove(&node);
                     let flushed = self.nodes.get_mut(&node).expect("known node").flush();
-                    for (dest, deltas) in flushed {
-                        self.send_batch(node, dest, deltas);
-                    }
+                    let now = self.sim.now();
+                    self.apply_effects(node, now, Vec::new(), flushed, false, true);
                 }
                 ndlog_net::EventKind::Timer { .. } => {}
+            }
+        }
+        Ok(self.report(quiesced))
+    }
+
+    /// The conservative lookahead window for epoch draining: no larger
+    /// than the minimum link propagation delay (a message sent inside the
+    /// window cannot arrive inside it) nor than the nodes' flush interval
+    /// (a flush timer scheduled inside the window cannot fire inside it).
+    /// Falls back to single-timestamp epochs (window 1) when either bound
+    /// degenerates.
+    fn epoch_window(&self) -> SimTime {
+        let mut window = self.sim.min_link_delay().unwrap_or(1);
+        for node in self.nodes.values() {
+            if let Some(interval) = node.flush_interval() {
+                window = window.min(interval);
+            }
+        }
+        window.max(1)
+    }
+
+    /// The epoch-parallel twin of the sequential `run_until` loop: drain
+    /// an epoch, evaluate it concurrently, replay the merged outcomes in
+    /// `(time, seq)` order (see [`crate::exec`] for the full contract).
+    fn run_until_epochs(&mut self, seconds: f64) -> Result<RunReport, EvalError> {
+        let limit = ms(seconds * 1000.0);
+        let window = self.epoch_window();
+        let mut quiesced = true;
+        while let Some(next) = self.sim.peek_time() {
+            if next > limit {
+                quiesced = false;
+                break;
+            }
+            let mut tasks = Vec::new();
+            for event in self.sim.drain_epoch(window, limit) {
+                match event.kind {
+                    ndlog_net::EventKind::Delivery(message) => tasks.push(NodeTask {
+                        time: event.time,
+                        seq: event.seq,
+                        node: message.to,
+                        action: NodeAction::Deliver(message.payload),
+                    }),
+                    ndlog_net::EventKind::Timer { node, token } if token == FLUSH_TOKEN => tasks
+                        .push(NodeTask {
+                            time: event.time,
+                            seq: event.seq,
+                            node,
+                            action: NodeAction::Flush,
+                        }),
+                    ndlog_net::EventKind::Timer { .. } => {}
+                }
+            }
+            let executor = self.executor.as_ref().expect("epoch mode has an executor");
+            let result = executor.run_epoch(&mut self.nodes, tasks);
+            for outcome in result.outcomes {
+                self.sim.advance_to(outcome.time);
+                self.apply_effects(
+                    outcome.node,
+                    outcome.time,
+                    outcome.changes,
+                    outcome.sends,
+                    outcome.request_flush,
+                    outcome.was_flush,
+                );
+            }
+            if let Some(error) = result.error {
+                // The effects preceding the failing event were replayed
+                // above, matching the sequential loop's state at its first
+                // error (see `exec::executor::EpochResult`).
+                return Err(error);
             }
         }
         Ok(self.report(quiesced))
@@ -640,6 +785,119 @@ mod tests {
             with < without,
             "sharing must reduce bytes: {with} vs {without}"
         );
+    }
+
+    fn build_parallel_engine(aggregate_selections: bool, threads: usize) -> DistributedEngine {
+        let (graph, edges) = diamond();
+        let plan = plan(&programs::shortest_path("")).unwrap();
+        let config = EngineConfig {
+            node: NodeConfig {
+                aggregate_selections,
+                ..Default::default()
+            },
+            parallelism: threads,
+            ..Default::default()
+        };
+        let mut engine = DistributedEngine::new(graph, &[plan], config).unwrap();
+        for (a, b, c) in edges {
+            engine
+                .insert_base(NodeAddr(a), "link", link_tuple(a, b, c))
+                .unwrap();
+            engine
+                .insert_base(NodeAddr(b), "link", link_tuple(b, a, c))
+                .unwrap();
+        }
+        engine
+    }
+
+    #[test]
+    fn parallel_run_is_bitwise_identical_to_sequential() {
+        let mut sequential = build_parallel_engine(true, 1);
+        assert_eq!(sequential.parallelism(), 1);
+        let seq_report = sequential.run_to_quiescence().unwrap();
+        for threads in [2, 4] {
+            let mut parallel = build_parallel_engine(true, threads);
+            assert_eq!(parallel.parallelism(), threads);
+            let par_report = parallel.run_to_quiescence().unwrap();
+            assert_eq!(
+                par_report, seq_report,
+                "reports differ at {threads} threads"
+            );
+            crate::consistency::check_bitwise_identical(&sequential, &parallel)
+                .unwrap_or_else(|e| panic!("{threads} threads: {e}"));
+        }
+    }
+
+    #[test]
+    fn parallel_run_with_flush_timers_matches_sequential() {
+        // Sharing delays exercise the flush-timer half of the epoch
+        // executor (held outbound tuples, Flush tasks, pending-flush
+        // bookkeeping).
+        let (graph, edges) = diamond();
+        let build = |threads: usize| {
+            let plan = plan(&programs::shortest_path("")).unwrap();
+            let config = EngineConfig {
+                node: NodeConfig {
+                    aggregate_selections: true,
+                    sharing_delay: Some(ms(300.0)),
+                    ..Default::default()
+                },
+                parallelism: threads,
+                ..Default::default()
+            };
+            let mut engine = DistributedEngine::new(graph.clone(), &[plan], config).unwrap();
+            for &(a, b, c) in &edges {
+                engine
+                    .insert_base(NodeAddr(a), "link", link_tuple(a, b, c))
+                    .unwrap();
+                engine
+                    .insert_base(NodeAddr(b), "link", link_tuple(b, a, c))
+                    .unwrap();
+            }
+            engine.run_to_quiescence().unwrap();
+            engine
+        };
+        let sequential = build(1);
+        let parallel = build(3);
+        crate::consistency::check_bitwise_identical(&sequential, &parallel).unwrap();
+    }
+
+    #[test]
+    fn parallel_engine_handles_updates_and_reruns() {
+        let run = |threads: usize| {
+            let mut engine = build_parallel_engine(true, threads);
+            engine.run_to_quiescence().unwrap();
+            engine
+                .apply_link_update(
+                    "link",
+                    &LinkUpdate {
+                        a: NodeAddr(0),
+                        b: NodeAddr(2),
+                        old_cost: 1.0,
+                        new_cost: 10.0,
+                    },
+                )
+                .unwrap();
+            engine.run_to_quiescence().unwrap();
+            engine
+        };
+        let sequential = run(1);
+        let parallel = run(4);
+        assert_eq!(shortest_cost(&parallel, 0, 1), 5.0);
+        crate::consistency::check_bitwise_identical(&sequential, &parallel).unwrap();
+    }
+
+    #[test]
+    fn set_parallelism_flips_between_runs() {
+        let mut engine = build_parallel_engine(true, 1);
+        engine.run_until(0.001).unwrap();
+        engine.set_parallelism(4);
+        assert_eq!(engine.parallelism(), 4);
+        let report = engine.run_to_quiescence().unwrap();
+        assert!(report.quiesced);
+        assert_eq!(engine.result_count("shortestPath"), 12);
+        engine.set_parallelism(1);
+        assert_eq!(engine.parallelism(), 1);
     }
 
     #[test]

@@ -1,0 +1,473 @@
+//! The epoch executor: concurrent per-node evaluation with a deterministic
+//! merge.
+//!
+//! # Execution model
+//!
+//! One epoch = one batch of simulator events drained by
+//! [`ndlog_net::Simulator::drain_epoch`]: all events sharing the next
+//! timestamp, or within a conservative lookahead window no larger than the
+//! minimum link propagation delay. Within such a window no event can
+//! causally affect a *different* node's events (a message sent inside the
+//! window arrives after it), so the executor may evaluate each node's
+//! events concurrently as long as every node sees *its own* events in
+//! `(time, seq)` order.
+//!
+//! [`EpochExecutor::run_epoch`] does exactly that:
+//!
+//! 1. group the epoch's [`NodeTask`]s by destination node, preserving
+//!    order;
+//! 2. partition the active nodes round-robin into one shard per worker
+//!    ([`crate::exec::shard`]) and dispatch the shards onto the reusable
+//!    [`WorkerPool`];
+//! 3. each worker runs the sequential engine's per-event recipe for its
+//!    nodes — `receive` → `set_time` → `expire_soft_state` → `process` for
+//!    deliveries, `flush` for flush timers — recording one
+//!    [`EpochOutcome`] per task *without* touching any shared state;
+//! 4. merge: concatenate the shards' outcomes and sort by the unique
+//!    `(time, seq)` key of the triggering event.
+//!
+//! # Determinism contract
+//!
+//! The merged outcome sequence is exactly the sequence of
+//! (result-recording, send, timer-scheduling) effects the sequential event
+//! loop produces, because (a) per node, events are evaluated in the same
+//! order with the same store clock, and (b) across nodes, effects are
+//! replayed in the same global order the sequential loop would have
+//! emitted them. The driver replays the merged outcomes into the simulator
+//! in order, advancing simulated time to each outcome's timestamp first,
+//! so message sequence numbers, FIFO link clocks, traffic statistics and
+//! the result log are all byte-for-byte identical to a single-threaded
+//! run — `threads = N` is observationally equivalent to `threads = 1`.
+//!
+//! On an evaluation error the guarantee is narrower (see [`EpochResult`]):
+//! the error surfaced is the one the sequential loop would have hit first,
+//! and every effect strictly preceding the failing event is still replayed;
+//! state beyond that point is unspecified in both modes.
+
+use crate::exec::shard::plan_shards;
+use crate::exec::worker::WorkerPool;
+use crate::node::{NodeEngine, ResultChange};
+use ndlog_net::sim::SimTime;
+use ndlog_net::NodeAddr;
+use ndlog_runtime::{EvalError, TupleDelta};
+use std::collections::BTreeMap;
+
+/// What an epoch event asks a node to do.
+#[derive(Debug)]
+pub enum NodeAction {
+    /// A message delivery: ingest the payload and process to a local
+    /// fixpoint.
+    Deliver(Vec<TupleDelta>),
+    /// A flush timer: release the node's held outbound tuples.
+    Flush,
+}
+
+/// One epoch event routed to a node, keyed by the simulator's `(time, seq)`
+/// so its effects can be merged back into the sequential order.
+#[derive(Debug)]
+pub struct NodeTask {
+    /// Simulation time of the event.
+    pub time: SimTime,
+    /// The simulator queue sequence number (unique tie-breaker).
+    pub seq: u64,
+    /// The node the event targets.
+    pub node: NodeAddr,
+    /// What to do at the node.
+    pub action: NodeAction,
+}
+
+/// The externally visible effects of one [`NodeTask`], to be replayed into
+/// the simulator in merged `(time, seq)` order.
+#[derive(Debug)]
+pub struct EpochOutcome {
+    /// Simulation time of the triggering event.
+    pub time: SimTime,
+    /// Sequence number of the triggering event.
+    pub seq: u64,
+    /// The node the event ran at.
+    pub node: NodeAddr,
+    /// Changes to tracked relations (for the result log).
+    pub changes: Vec<ResultChange>,
+    /// Outbound batches in ascending destination order — the order the
+    /// sequential loop sends them in.
+    pub sends: Vec<(NodeAddr, Vec<TupleDelta>)>,
+    /// Whether the node buffered outbound tuples and wants a flush timer.
+    pub request_flush: bool,
+    /// Whether this outcome came from a flush timer (the driver clears its
+    /// pending-flush flag before replaying the sends).
+    pub was_flush: bool,
+}
+
+/// An evaluation error tagged with the `(time, seq)` of the event that
+/// raised it, so concurrent failures resolve to the one the sequential
+/// loop would have hit first.
+struct FailedAt {
+    time: SimTime,
+    seq: u64,
+    error: EvalError,
+}
+
+/// What one epoch produced: the merged outcomes to replay, and the first
+/// evaluation error (by event order) if any task failed.
+///
+/// On error, `outcomes` still contains every outcome whose `(time, seq)`
+/// strictly precedes the failing event — the driver replays them before
+/// surfacing the error, so the result log, message trace and statistics up
+/// to the failure point match the sequential engine's. (Node-local store
+/// mutations from events *concurrent with* the failure may have happened
+/// anyway; like the sequential engine's state after a mid-run error, the
+/// post-error state is not specified beyond that.)
+pub struct EpochResult {
+    /// Replayable outcomes in `(time, seq)` order (truncated to the events
+    /// before the error when `error` is set).
+    pub outcomes: Vec<EpochOutcome>,
+    /// The earliest evaluation error, if any task failed.
+    pub error: Option<EvalError>,
+}
+
+/// The parallel epoch executor: a worker pool plus the dispatch/merge
+/// logic. Construction is cheap relative to a run; the pool threads live
+/// for the executor's lifetime.
+pub struct EpochExecutor {
+    pool: Option<WorkerPool>,
+    threads: usize,
+}
+
+impl EpochExecutor {
+    /// An executor with `threads`-way parallelism: the calling thread
+    /// counts as one lane and a pool of `threads - 1` workers supplies the
+    /// rest. `threads <= 1` runs epochs inline on the caller's thread (no
+    /// pool), which exercises the same group/dispatch/merge path and is
+    /// useful for differential testing.
+    pub fn new(threads: usize) -> EpochExecutor {
+        let threads = threads.max(1);
+        EpochExecutor {
+            pool: (threads > 1).then(|| WorkerPool::new(threads - 1)),
+            threads,
+        }
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Evaluate one epoch of tasks against the nodes, concurrently, and
+    /// return the merged outcomes in `(time, seq)` order (see the module
+    /// docs for the determinism contract and [`EpochResult`] for the
+    /// error-path guarantees).
+    pub fn run_epoch(
+        &self,
+        nodes: &mut BTreeMap<NodeAddr, NodeEngine>,
+        tasks: Vec<NodeTask>,
+    ) -> EpochResult {
+        if tasks.is_empty() {
+            return EpochResult {
+                outcomes: Vec::new(),
+                error: None,
+            };
+        }
+        // Group per node, preserving (time, seq) order within each node.
+        let mut by_node: BTreeMap<NodeAddr, Vec<NodeTask>> = BTreeMap::new();
+        for task in tasks {
+            by_node.entry(task.node).or_default().push(task);
+        }
+        let shards = plan_shards(by_node.keys().copied(), self.threads);
+
+        // Hand each shard disjoint `&mut NodeEngine`s in one pass over the
+        // node map.
+        let mut shard_of: BTreeMap<NodeAddr, usize> = BTreeMap::new();
+        for (idx, shard) in shards.iter().enumerate() {
+            for &addr in shard {
+                shard_of.insert(addr, idx);
+            }
+        }
+        let mut work: Vec<Vec<(&mut NodeEngine, Vec<NodeTask>)>> =
+            (0..shards.len()).map(|_| Vec::new()).collect();
+        for (addr, engine) in nodes.iter_mut() {
+            if let Some(tasks) = by_node.remove(addr) {
+                work[shard_of[addr]].push((engine, tasks));
+            }
+        }
+        // Fail identically to the sequential loop's "delivery to known
+        // node" panic instead of silently dropping the event.
+        assert!(
+            by_node.is_empty(),
+            "epoch event for unknown node {:?}",
+            by_node.keys().next()
+        );
+
+        let mut results: Vec<(Vec<EpochOutcome>, Option<FailedAt>)> =
+            (0..work.len()).map(|_| (Vec::new(), None)).collect();
+        match &self.pool {
+            Some(pool) => {
+                let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = work
+                    .into_iter()
+                    .zip(results.iter_mut())
+                    .map(|(shard_work, slot)| {
+                        let job: Box<dyn FnOnce() + Send + '_> =
+                            Box::new(move || *slot = run_shard(shard_work));
+                        job
+                    })
+                    .collect();
+                pool.scope(jobs);
+            }
+            None => {
+                for (shard_work, slot) in work.into_iter().zip(results.iter_mut()) {
+                    *slot = run_shard(shard_work);
+                }
+            }
+        }
+
+        // Deterministic merge: interleave all shards' outcomes back into
+        // global (time, seq) order. With failures, surface the earliest
+        // error by event order — the one the sequential loop would have hit
+        // first — and keep only the outcomes that precede it, so the driver
+        // replays exactly the effects the sequential loop would have
+        // applied before failing.
+        let mut outcomes = Vec::new();
+        let mut first_error: Option<FailedAt> = None;
+        for (shard_outcomes, shard_error) in results {
+            outcomes.extend(shard_outcomes);
+            if let Some(failed) = shard_error {
+                match &first_error {
+                    Some(existing)
+                        if (existing.time, existing.seq) <= (failed.time, failed.seq) => {}
+                    _ => first_error = Some(failed),
+                }
+            }
+        }
+        outcomes.sort_unstable_by_key(|o| (o.time, o.seq));
+        if let Some(failed) = &first_error {
+            outcomes.retain(|o| (o.time, o.seq) < (failed.time, failed.seq));
+        }
+        EpochResult {
+            outcomes,
+            error: first_error.map(|f| f.error),
+        }
+    }
+}
+
+/// Evaluate one shard's nodes sequentially, mirroring the sequential
+/// engine's per-event recipe exactly. A task error stops that *node* (its
+/// remaining tasks are skipped, as the sequential loop would never reach
+/// them) but not the shard: other nodes still run, and the earliest
+/// failure by `(time, seq)` is reported alongside the collected outcomes.
+fn run_shard(
+    shard_work: Vec<(&mut NodeEngine, Vec<NodeTask>)>,
+) -> (Vec<EpochOutcome>, Option<FailedAt>) {
+    let mut outcomes = Vec::new();
+    let mut first_error: Option<FailedAt> = None;
+    for (node, tasks) in shard_work {
+        for task in tasks {
+            debug_assert_eq!(task.node, node.addr());
+            match task.action {
+                NodeAction::Deliver(payload) => {
+                    node.receive(payload);
+                    node.set_time(task.time);
+                    node.expire_soft_state(task.time);
+                    match node.process() {
+                        Ok(output) => outcomes.push(EpochOutcome {
+                            time: task.time,
+                            seq: task.seq,
+                            node: task.node,
+                            changes: output.changes,
+                            sends: output.outbound.into_iter().collect(),
+                            request_flush: output.request_flush,
+                            was_flush: false,
+                        }),
+                        Err(error) => {
+                            let failed = FailedAt {
+                                time: task.time,
+                                seq: task.seq,
+                                error,
+                            };
+                            match &first_error {
+                                Some(existing)
+                                    if (existing.time, existing.seq)
+                                        <= (failed.time, failed.seq) => {}
+                                _ => first_error = Some(failed),
+                            }
+                            break;
+                        }
+                    }
+                }
+                NodeAction::Flush => {
+                    let flushed = node.flush();
+                    outcomes.push(EpochOutcome {
+                        time: task.time,
+                        seq: task.seq,
+                        node: task.node,
+                        changes: Vec::new(),
+                        sends: flushed.into_iter().collect(),
+                        request_flush: false,
+                        was_flush: true,
+                    });
+                }
+            }
+        }
+    }
+    (outcomes, first_error)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeConfig;
+    use crate::plan::plan;
+    use ndlog_lang::{programs, Value};
+    use ndlog_runtime::Tuple;
+    use std::sync::Arc;
+
+    fn make_nodes(count: u32) -> BTreeMap<NodeAddr, NodeEngine> {
+        let plan = plan(&programs::shortest_path("")).unwrap();
+        let strands = Arc::new(plan.strands.clone());
+        (0..count)
+            .map(|i| {
+                let engine = NodeEngine::new(
+                    NodeAddr(i),
+                    std::slice::from_ref(&plan),
+                    Arc::clone(&strands),
+                    NodeConfig::default(),
+                )
+                .unwrap();
+                (NodeAddr(i), engine)
+            })
+            .collect()
+    }
+
+    fn link(s: u32, d: u32, c: f64) -> TupleDelta {
+        TupleDelta::insert(
+            "link",
+            Tuple::new(vec![Value::addr(s), Value::addr(d), Value::Float(c)]),
+        )
+    }
+
+    fn deliveries(count: u32) -> Vec<NodeTask> {
+        (0..count)
+            .map(|i| NodeTask {
+                time: 1000 + (i as u64 % 3),
+                seq: i as u64,
+                node: NodeAddr(i),
+                action: NodeAction::Deliver(vec![link(i, (i + 1) % count, 1.0)]),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn outcomes_are_merged_in_time_seq_order() {
+        for threads in [1, 2, 4] {
+            let executor = EpochExecutor::new(threads);
+            let mut nodes = make_nodes(8);
+            let result = executor.run_epoch(&mut nodes, deliveries(8));
+            assert!(result.error.is_none());
+            let outcomes = result.outcomes;
+            assert_eq!(outcomes.len(), 8);
+            assert!(
+                outcomes
+                    .windows(2)
+                    .all(|w| (w[0].time, w[0].seq) < (w[1].time, w[1].seq)),
+                "merge must restore the global (time, seq) order"
+            );
+            // Every delivery derived a one-hop path locally and a transfer
+            // tuple for the neighbor.
+            for (addr, node) in &nodes {
+                assert_eq!(node.store().count("path"), 1, "node {addr}");
+            }
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_node_state_or_outcomes() {
+        let run = |threads: usize| {
+            let executor = EpochExecutor::new(threads);
+            let mut nodes = make_nodes(6);
+            let result = executor.run_epoch(&mut nodes, deliveries(6));
+            assert!(result.error.is_none());
+            let effects: Vec<_> = result
+                .outcomes
+                .iter()
+                .map(|o| (o.time, o.seq, o.node, o.sends.clone(), o.request_flush))
+                .collect();
+            let stores: Vec<_> = nodes
+                .values()
+                .map(|n| (n.store().tuples("path"), n.eval_stats()))
+                .collect();
+            (effects, stores)
+        };
+        let baseline = run(1);
+        assert_eq!(run(2), baseline);
+        assert_eq!(run(4), baseline);
+    }
+
+    #[test]
+    fn empty_epoch_is_a_no_op() {
+        let executor = EpochExecutor::new(2);
+        let mut nodes = make_nodes(2);
+        let result = executor.run_epoch(&mut nodes, Vec::new());
+        assert!(result.outcomes.is_empty() && result.error.is_none());
+    }
+
+    #[test]
+    fn earliest_error_wins_and_preceding_effects_survive() {
+        // A strand with an unbound head variable errors when fired
+        // (validation is bypassed by compiling the strand directly).
+        let program = ndlog_lang::parse_program("r1 out(@S, X) :- q(@S, C).").unwrap();
+        let strands: Arc<Vec<ndlog_runtime::CompiledStrand>> = Arc::new(
+            ndlog_lang::seminaive::delta_rewrite_full(&program)
+                .into_iter()
+                .map(ndlog_runtime::CompiledStrand::new)
+                .collect(),
+        );
+        for threads in [1, 2, 4] {
+            let executor = EpochExecutor::new(threads);
+            let mut nodes: BTreeMap<NodeAddr, NodeEngine> = (0..2u32)
+                .map(|i| {
+                    let engine = NodeEngine::new(
+                        NodeAddr(i),
+                        &[],
+                        Arc::clone(&strands),
+                        NodeConfig::default(),
+                    )
+                    .unwrap();
+                    (NodeAddr(i), engine)
+                })
+                .collect();
+            let tasks = vec![
+                NodeTask {
+                    time: 1,
+                    seq: 0,
+                    node: NodeAddr(0),
+                    action: NodeAction::Deliver(vec![TupleDelta::insert(
+                        "unrelated",
+                        Tuple::new(vec![Value::addr(0u32)]),
+                    )]),
+                },
+                NodeTask {
+                    time: 2,
+                    seq: 1,
+                    node: NodeAddr(1),
+                    action: NodeAction::Deliver(vec![TupleDelta::insert(
+                        "q",
+                        Tuple::new(vec![Value::addr(1u32), Value::Int(5)]),
+                    )]),
+                },
+            ];
+            let result = executor.run_epoch(&mut nodes, tasks);
+            assert!(result.error.is_some(), "firing the bad strand must error");
+            assert_eq!(
+                result.outcomes.len(),
+                1,
+                "the outcome preceding the error survives ({threads} threads)"
+            );
+            assert_eq!(result.outcomes[0].node, NodeAddr(0));
+        }
+    }
+
+    #[test]
+    fn inline_and_pooled_executors_report_threads() {
+        assert_eq!(EpochExecutor::new(0).threads(), 1);
+        assert_eq!(EpochExecutor::new(1).threads(), 1);
+        assert_eq!(EpochExecutor::new(3).threads(), 3);
+    }
+}

@@ -1,0 +1,31 @@
+//! Parallel epoch execution: deterministic multi-threaded evaluation of
+//! the distributed engine.
+//!
+//! The per-node engines are fully state-partitioned — each
+//! [`crate::node::NodeEngine`] owns its store and talks to the rest of the
+//! network only through simulator messages — which is precisely the
+//! precondition for *conservative* parallel discrete-event simulation.
+//! This module is the layer between the simulator and the per-node
+//! evaluators that exploits it:
+//!
+//! | module | role |
+//! |---|---|
+//! | [`worker`] | reusable pool of long-lived `std` worker threads with scoped dispatch |
+//! | [`shard`] | round-robin partitioning of an epoch's active nodes across workers |
+//! | [`executor`] | per-epoch dispatch and the deterministic `(time, seq)` merge |
+//!
+//! The engine drives it: [`crate::engine::DistributedEngine::run_until`]
+//! drains the simulator in epochs ([`ndlog_net::Simulator::drain_epoch`]),
+//! hands each epoch to the [`executor::EpochExecutor`], and replays the
+//! merged outcomes — result records, outbound batches, flush timers — back
+//! into the simulator in the exact order the sequential loop would have
+//! produced them. A run with `parallelism = N` is therefore bit-for-bit
+//! identical to `parallelism = 1`: same stores, same statistics, same
+//! message trace (see the determinism contract in [`executor`]).
+
+pub mod executor;
+pub mod shard;
+pub mod worker;
+
+pub use executor::{EpochExecutor, EpochOutcome, EpochResult, NodeAction, NodeTask};
+pub use worker::WorkerPool;

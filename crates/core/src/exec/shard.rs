@@ -1,0 +1,64 @@
+//! Node → shard partitioning for the epoch executor.
+//!
+//! Node state is fully partitioned — every [`crate::node::NodeEngine`] owns
+//! its store and interacts with the rest of the network only through
+//! simulator messages — so any assignment of nodes to workers is *correct*;
+//! the partitioner only affects load balance. Because the deterministic
+//! merge in [`crate::exec::executor`] re-orders all epoch effects by their
+//! `(time, seq)` key afterwards, the shard layout is free to chase balance
+//! without ever influencing results.
+//!
+//! The strategy is round-robin over the epoch's *active* nodes (the nodes
+//! that actually have events this epoch), in ascending address order:
+//! active node `i` goes to shard `i % shards`. This spreads hot spots that
+//! are adjacent in address space — e.g. a stub subnet converging together —
+//! across all workers, unlike a static `addr % shards` map which can load
+//! one worker with an entire busy subnet while others idle.
+
+use ndlog_net::NodeAddr;
+
+/// Assign `active` nodes (must be in ascending address order, as produced
+/// by iterating a `BTreeMap`) to `shards` round-robin shards. Empty shards
+/// are possible when there are fewer active nodes than shards.
+pub fn plan_shards(
+    active: impl IntoIterator<Item = NodeAddr>,
+    shards: usize,
+) -> Vec<Vec<NodeAddr>> {
+    let shards = shards.max(1);
+    let mut out: Vec<Vec<NodeAddr>> = (0..shards).map(|_| Vec::new()).collect();
+    for (i, node) in active.into_iter().enumerate() {
+        out[i % shards].push(node);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addrs(ids: &[u32]) -> Vec<NodeAddr> {
+        ids.iter().map(|&i| NodeAddr(i)).collect()
+    }
+
+    #[test]
+    fn round_robin_balances_counts() {
+        let shards = plan_shards(addrs(&[0, 1, 2, 3, 4, 5, 6]), 3);
+        assert_eq!(shards.len(), 3);
+        assert_eq!(shards[0], addrs(&[0, 3, 6]));
+        assert_eq!(shards[1], addrs(&[1, 4]));
+        assert_eq!(shards[2], addrs(&[2, 5]));
+    }
+
+    #[test]
+    fn fewer_nodes_than_shards_leaves_empty_shards() {
+        let shards = plan_shards(addrs(&[7]), 4);
+        assert_eq!(shards[0], addrs(&[7]));
+        assert!(shards[1..].iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        let shards = plan_shards(addrs(&[1, 2]), 0);
+        assert_eq!(shards, vec![addrs(&[1, 2])]);
+    }
+}

@@ -1,0 +1,250 @@
+//! A reusable pool of OS worker threads with a scoped-dispatch API.
+//!
+//! The epoch executor dispatches one job per shard per epoch — typically
+//! thousands of small batches over a run — so spawning fresh threads per
+//! epoch would dominate the work. [`WorkerPool`] keeps `std` threads alive
+//! for the lifetime of the pool and hands them closures that may borrow
+//! from the caller's stack, like [`std::thread::scope`] does, by blocking
+//! in [`WorkerPool::scope`] until every dispatched job has finished.
+//!
+//! No external dependencies: jobs travel over [`std::sync::mpsc`]
+//! channels, and completion is tracked with a per-call acknowledgement
+//! channel.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+
+/// A job plus the acknowledgement sender for the `scope` call that
+/// dispatched it.
+struct Shuttle {
+    job: Box<dyn FnOnce() + Send + 'static>,
+    done: Sender<()>,
+}
+
+/// A fixed-size pool of long-lived worker threads.
+///
+/// Jobs are dispatched with [`WorkerPool::scope`], which accepts closures
+/// borrowing non-`'static` data and blocks until all of them have run — the
+/// pool equivalent of [`std::thread::scope`], without the per-call thread
+/// spawns.
+pub struct WorkerPool {
+    senders: Vec<Sender<Shuttle>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawn `threads` workers (at least one).
+    pub fn new(threads: usize) -> WorkerPool {
+        let threads = threads.max(1);
+        let mut senders = Vec::with_capacity(threads);
+        let mut handles = Vec::with_capacity(threads);
+        for i in 0..threads {
+            let (tx, rx): (Sender<Shuttle>, Receiver<Shuttle>) = channel();
+            let handle = std::thread::Builder::new()
+                .name(format!("ndlog-exec-{i}"))
+                .spawn(move || {
+                    while let Ok(Shuttle { job, done }) = rx.recv() {
+                        // Calling the boxed FnOnce consumes it, so every
+                        // borrow the closure captured is gone before the
+                        // acknowledgement is sent (see the safety argument
+                        // in `scope`).
+                        job();
+                        let _ = done.send(());
+                    }
+                })
+                .expect("spawning an executor worker thread");
+            senders.push(tx);
+            handles.push(handle);
+        }
+        WorkerPool { senders, handles }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Run `jobs` across the pool *and* the calling thread, blocking until
+    /// all of them have completed: the first job runs on the caller (so a
+    /// pool of `N` workers serves `N + 1`-way parallelism without the
+    /// caller idling in `recv`), the rest are dealt to the workers
+    /// round-robin. Jobs may borrow from the caller's stack; the borrow
+    /// checker sees them leave through this call, and the call does not
+    /// return until the borrows are dead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a job panicked — the caller's inline job or a worker's
+    /// (this run's or a previous run's). The panic is raised only once no
+    /// job is executing anymore, so the borrowed data is never observed by
+    /// a worker after `scope` unwinds.
+    pub fn scope<'env>(&self, jobs: Vec<Box<dyn FnOnce() + Send + 'env>>) {
+        let mut jobs = jobs.into_iter();
+        let Some(inline_job) = jobs.next() else {
+            return;
+        };
+        let expected = jobs.len();
+        let (done_tx, done_rx) = channel();
+        let mut dispatch_failed = false;
+        for (i, job) in jobs.enumerate() {
+            // SAFETY: the only way a `'env` borrow escapes this function is
+            // inside `job`, and we do not return (or unwind) until every
+            // job is finished with it:
+            //
+            // * a job that ran to completion was consumed by the `FnOnce`
+            //   call before its `done` acknowledgement was sent;
+            // * a job that never ran (its worker died first, or dispatch
+            //   stopped after a failed send) is dropped inside the channel
+            //   or by the send error / iterator drop, releasing the
+            //   captured borrows without using them;
+            // * a job that panicked was consumed by the unwinding call.
+            //
+            // The acknowledgement loop below returns only after `expected`
+            // acks — or after *every* `done` sender is gone, and a job
+            // still executing keeps its `done` sender alive. Crucially,
+            // nothing between dispatch and that loop can unwind (a failed
+            // send only sets a flag), so no worker can touch `'env` data
+            // once `scope` returns or panics.
+            let job: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(job) };
+            let sent = self.senders[i % self.senders.len()].send(Shuttle {
+                job,
+                done: done_tx.clone(),
+            });
+            if sent.is_err() {
+                // The target worker died (a previous job panicked). Do NOT
+                // unwind here: jobs already dispatched to live workers may
+                // be running. Stop dispatching — the undelivered job and
+                // the rest of the iterator are dropped unexecuted — drain
+                // the acknowledgements below, and panic only then.
+                dispatch_failed = true;
+                break;
+            }
+        }
+        drop(done_tx);
+        // Work alongside the pool: the first job runs here. A panic in it
+        // must not unwind past the acknowledgement loop while workers may
+        // still hold `'env` borrows, so it is caught and re-raised after
+        // the loop.
+        let inline_result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(inline_job));
+        let mut completed = 0;
+        let mut worker_died = false;
+        while completed < expected {
+            match done_rx.recv() {
+                Ok(()) => completed += 1,
+                Err(_) => {
+                    // Every `done` sender is gone: all remaining jobs were
+                    // consumed or dropped, none is still running.
+                    worker_died = true;
+                    break;
+                }
+            }
+        }
+        if let Err(panic) = inline_result {
+            std::panic::resume_unwind(panic);
+        }
+        if worker_died || dispatch_failed {
+            panic!("executor worker thread panicked");
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the job channels ends the worker loops.
+        self.senders.clear();
+        for handle in self.handles.drain(..) {
+            // A worker that panicked already aborted its loop; surfacing
+            // the panic again while unwinding would abort the process, so
+            // ignore join errors during drop.
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jobs_borrow_and_mutate_disjoint_slots() {
+        let pool = WorkerPool::new(4);
+        let mut slots = vec![0u64; 16];
+        let mut jobs: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
+        for (i, slot) in slots.iter_mut().enumerate() {
+            jobs.push(Box::new(move || {
+                *slot = (i as u64 + 1) * 10;
+            }));
+        }
+        pool.scope(jobs);
+        let expect: Vec<u64> = (1..=16).map(|i| i * 10).collect();
+        assert_eq!(slots, expect);
+    }
+
+    #[test]
+    fn pool_is_reusable_across_scopes() {
+        let pool = WorkerPool::new(2);
+        assert_eq!(pool.threads(), 2);
+        let mut total = 0u64;
+        for round in 0..50u64 {
+            let mut partial = [0u64; 3];
+            {
+                let mut jobs: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
+                for slot in partial.iter_mut() {
+                    jobs.push(Box::new(move || *slot = round));
+                }
+                pool.scope(jobs);
+            }
+            total += partial.iter().sum::<u64>();
+        }
+        assert_eq!(total, 3 * (0..50).sum::<u64>());
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        let mut hit = false;
+        pool.scope(vec![Box::new(|| hit = true)]);
+        assert!(hit);
+    }
+
+    #[test]
+    fn empty_scope_is_a_no_op() {
+        let pool = WorkerPool::new(2);
+        pool.scope(Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn inline_job_panic_is_propagated() {
+        // The first job runs on the calling thread; its panic payload
+        // surfaces unchanged.
+        let pool = WorkerPool::new(1);
+        pool.scope(vec![Box::new(|| panic!("boom"))]);
+    }
+
+    #[test]
+    #[should_panic(expected = "executor worker thread panicked")]
+    fn worker_panic_is_propagated() {
+        let pool = WorkerPool::new(1);
+        pool.scope(vec![Box::new(|| {}), Box::new(|| panic!("boom"))]);
+    }
+
+    #[test]
+    fn scope_after_worker_death_fails_cleanly() {
+        // A caller that catches the worker-death panic and reuses the pool
+        // must get another clean panic — never a mid-dispatch unwind while
+        // jobs still borrow the caller's stack.
+        let pool = WorkerPool::new(1);
+        let first = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.scope(vec![Box::new(|| {}), Box::new(|| panic!("boom"))]);
+        }));
+        assert!(first.is_err());
+        let mut inline_ran = false;
+        let second = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.scope(vec![Box::new(|| inline_ran = true), Box::new(|| {})]);
+        }));
+        assert!(second.is_err(), "the dead worker must surface as a panic");
+        assert!(inline_ran, "the inline job still ran to completion first");
+    }
+}

@@ -13,6 +13,7 @@
 //! | [`plan`] | the query planner: program → [`plan::QueryPlan`] |
 //! | [`node`] | a single node's engine: store, strands, views, PSN queue, aggregate selections, outbound buffering |
 //! | [`engine`] | the distributed executor: event loop, messaging, convergence/result tracking |
+//! | [`exec`] | parallel epoch executor: worker pool, node sharding, deterministic merge |
 //! | [`sharing`] | opportunistic message sharing (Section 5.2) |
 //! | [`caching`] | query-result caching support for magic queries (Section 5.2) |
 //! | [`updates`] | bursty update workloads (Section 4 / Section 6.5) |
@@ -23,12 +24,14 @@ pub mod caching;
 pub mod consistency;
 pub mod costmodel;
 pub mod engine;
+pub mod exec;
 pub mod node;
 pub mod plan;
 pub mod sharing;
 pub mod updates;
 
 pub use engine::{ConvergenceReport, DistributedEngine, EngineConfig, RunReport};
+pub use exec::EpochExecutor;
 pub use node::{NodeConfig, NodeEngine};
 pub use plan::{plan, QueryPlan};
 pub use updates::{LinkUpdate, UpdateWorkload};

@@ -18,8 +18,17 @@
 //!   aggregate transfer volume and convergence bookkeeping, matching the
 //!   metrics reported in Section 6 of the paper.
 //!
-//! The simulator is single-threaded and deterministic given a seed, which
-//! makes every experiment in `ndlog-bench` repeatable bit-for-bit.
+//! The simulator is deterministic given a seed, which makes every
+//! experiment in `ndlog-bench` repeatable bit-for-bit. Events can be
+//! consumed one at a time ([`sim::Simulator::next_event`]) or drained in
+//! *epochs* ([`sim::Simulator::drain_epoch`]): all events sharing the next
+//! timestamp, or within a conservative lookahead window bounded by the
+//! minimum link propagation delay ([`sim::Simulator::min_link_delay`]).
+//! Epochs are what the parallel executor in `ndlog-core::exec` shards
+//! across worker threads; each drained event carries its `(time, seq)` key
+//! so concurrently computed effects can be merged back into exactly the
+//! sequential order, keeping multi-threaded runs bit-for-bit identical to
+//! single-threaded ones.
 
 pub mod address;
 pub mod gtitm;
@@ -32,6 +41,6 @@ pub mod topology;
 pub use address::NodeAddr;
 pub use message::{Message, Payload};
 pub use overlay::{Overlay, OverlayConfig, OverlayLink};
-pub use sim::{Event, EventKind, SimConfig, SimTime, Simulator};
+pub use sim::{Event, EventKind, SimConfig, SimTime, Simulator, TimedEvent};
 pub use stats::{BandwidthSeries, NetStats};
 pub use topology::{LinkMetrics, Topology, TopologyError};

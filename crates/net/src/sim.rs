@@ -57,6 +57,22 @@ pub struct Event<P> {
     pub kind: EventKind<P>,
 }
 
+/// An event drained as part of an epoch, carrying its queue sequence
+/// number. `(time, seq)` is a unique, totally ordered key that reproduces
+/// exactly the order [`Simulator::next_event`] would have popped the event
+/// in — parallel drivers use it to merge concurrently computed effects back
+/// into the sequential order (see `ndlog_core::exec`).
+#[derive(Debug, Clone)]
+pub struct TimedEvent<P> {
+    /// The time at which the event occurs.
+    pub time: SimTime,
+    /// The simulator-wide sequence number assigned when the event was
+    /// scheduled (the tie-breaker for events sharing a timestamp).
+    pub seq: u64,
+    /// The event itself.
+    pub kind: EventKind<P>,
+}
+
 /// Configuration of the simulator.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -240,6 +256,68 @@ impl<P: Clone> Simulator<P> {
     pub fn peek_time(&self) -> Option<SimTime> {
         self.queue.peek().map(|Reverse(e)| e.time)
     }
+
+    /// Drain an *epoch*: every queued event whose timestamp falls in the
+    /// half-open window `[t0, t0 + window)` — where `t0` is the earliest
+    /// queued timestamp — and is not past `limit`. Events are returned in
+    /// exactly the `(time, seq)` order [`Simulator::next_event`] would have
+    /// popped them, and simulation time advances to `t0`.
+    ///
+    /// A `window` of `0` or `1` yields single-timestamp epochs (all events
+    /// sharing the next timestamp). Larger windows implement conservative
+    /// lookahead: as long as `window` does not exceed the minimum delay of
+    /// any event the drained events can generate (for messages, the minimum
+    /// link propagation delay — see [`Simulator::min_link_delay`]), every
+    /// event *caused by* this epoch lands at or after the window end, so
+    /// per-node event orderings are unaffected by the batching. Events the
+    /// epoch generates at the drained timestamps (possible only with
+    /// zero-latency links) carry higher sequence numbers than everything
+    /// drained here and are therefore picked up by a later epoch in the
+    /// same relative order the sequential loop would have processed them.
+    pub fn drain_epoch(&mut self, window: SimTime, limit: SimTime) -> Vec<TimedEvent<P>> {
+        let mut out = Vec::new();
+        let Some(t0) = self.peek_time() else {
+            return out;
+        };
+        if t0 > limit {
+            return out;
+        }
+        let end = t0.saturating_add(window.max(1));
+        while let Some(Reverse(head)) = self.queue.peek() {
+            if head.time >= end || head.time > limit {
+                break;
+            }
+            let Reverse(ev) = self.queue.pop().expect("peeked event exists");
+            out.push(TimedEvent {
+                time: ev.time,
+                seq: ev.seq,
+                kind: ev.kind,
+            });
+        }
+        debug_assert!(t0 >= self.now, "time must be monotonic");
+        self.now = t0;
+        out
+    }
+
+    /// Advance simulation time to `t` (monotonic; earlier times are
+    /// ignored). Drivers replaying the effects of a drained epoch call this
+    /// with each event's timestamp before re-injecting its sends and
+    /// timers, so arrival times and statistics are computed exactly as the
+    /// sequential loop would have.
+    pub fn advance_to(&mut self, t: SimTime) {
+        self.now = self.now.max(t);
+    }
+
+    /// The minimum propagation delay over all links, in microseconds — the
+    /// safe conservative lookahead for [`Simulator::drain_epoch`]: a
+    /// message sent at time `t` can arrive no earlier than `t` plus this
+    /// delay. `None` when the topology has no links.
+    pub fn min_link_delay(&self) -> Option<SimTime> {
+        self.topology
+            .links()
+            .map(|(_, _, m)| ms(m.latency_ms))
+            .min()
+    }
 }
 
 #[cfg(test)]
@@ -401,5 +479,91 @@ mod tests {
     fn time_units_convert() {
         assert_eq!(ms(1.5), 1500);
         assert!((to_seconds(2_000_000) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drain_epoch_matches_next_event_order() {
+        // Two identical simulators: one drained in epochs, one popped one
+        // event at a time. The concatenated epochs must reproduce the
+        // sequential pop order exactly.
+        let build = || {
+            let mut sim: Simulator<u32> =
+                Simulator::new(two_node_topology(5.0), SimConfig::default());
+            sim.schedule_timer(ms(2.0), NodeAddr(0), 7);
+            sim.schedule_timer(ms(2.0), NodeAddr(1), 8);
+            for i in 0..4 {
+                sim.send(Message::new(NodeAddr(0), NodeAddr(1), 100, i));
+            }
+            sim.schedule_timer(ms(9.0), NodeAddr(0), 9);
+            sim
+        };
+        let mut sequential = build();
+        let mut popped = Vec::new();
+        while let Some(ev) = sequential.next_event() {
+            popped.push(ev.time);
+        }
+
+        let mut epochal = build();
+        let mut drained = Vec::new();
+        let mut epochs = 0;
+        while epochal.peek_time().is_some() {
+            let epoch = epochal.drain_epoch(ms(5.0), SimTime::MAX);
+            assert!(!epoch.is_empty(), "an epoch always drains something");
+            assert!(
+                epoch
+                    .windows(2)
+                    .all(|w| (w[0].time, w[0].seq) < (w[1].time, w[1].seq)),
+                "epoch events are (time, seq)-ordered"
+            );
+            drained.extend(epoch.iter().map(|e| e.time));
+            epochs += 1;
+        }
+        assert_eq!(drained, popped);
+        assert!(epochs >= 2, "the window must not swallow the whole run");
+        assert_eq!(epochal.pending(), 0);
+    }
+
+    #[test]
+    fn drain_epoch_respects_window_and_limit() {
+        let mut sim: Simulator<u32> = Simulator::new(two_node_topology(5.0), SimConfig::default());
+        sim.schedule_timer(ms(1.0), NodeAddr(0), 1);
+        sim.schedule_timer(ms(1.0), NodeAddr(1), 2);
+        sim.schedule_timer(ms(3.0), NodeAddr(0), 3);
+        sim.schedule_timer(ms(10.0), NodeAddr(0), 4);
+
+        // Single-timestamp epoch: only the two t=1 ms events.
+        let epoch = sim.drain_epoch(1, SimTime::MAX);
+        assert_eq!(epoch.len(), 2);
+        assert_eq!(sim.now(), ms(1.0));
+
+        // A 5 ms window takes t=3 ms but leaves t=10 ms for later.
+        let epoch = sim.drain_epoch(ms(5.0), SimTime::MAX);
+        assert_eq!(epoch.len(), 1);
+        assert_eq!(epoch[0].time, ms(3.0));
+
+        // The limit caps the drain even within the window.
+        let epoch = sim.drain_epoch(ms(50.0), ms(8.0));
+        assert!(epoch.is_empty(), "next event is past the limit");
+        let epoch = sim.drain_epoch(ms(50.0), ms(10.0));
+        assert_eq!(epoch.len(), 1);
+        assert_eq!(sim.now(), ms(10.0));
+        assert!(sim.drain_epoch(1, SimTime::MAX).is_empty());
+    }
+
+    #[test]
+    fn advance_to_is_monotonic() {
+        let mut sim: Simulator<u32> = Simulator::new(two_node_topology(5.0), SimConfig::default());
+        sim.advance_to(ms(4.0));
+        assert_eq!(sim.now(), ms(4.0));
+        sim.advance_to(ms(2.0));
+        assert_eq!(sim.now(), ms(4.0), "earlier times are ignored");
+    }
+
+    #[test]
+    fn min_link_delay_is_the_lookahead_bound() {
+        let sim: Simulator<u32> = Simulator::new(two_node_topology(5.0), SimConfig::default());
+        assert_eq!(sim.min_link_delay(), Some(ms(5.0)));
+        let empty: Simulator<u32> = Simulator::new(Topology::with_nodes(3), SimConfig::default());
+        assert_eq!(empty.min_link_delay(), None);
     }
 }

@@ -41,14 +41,19 @@ impl BandwidthSeries {
 }
 
 /// Accumulated traffic statistics for a simulation run.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+///
+/// `PartialEq` compares the full per-send trace (time, sender and bytes of
+/// every message, in send order), which is how the determinism tests prove
+/// a parallel epoch run produced a byte-identical message trace to the
+/// sequential engine.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct NetStats {
     sends: Vec<SendRecord>,
     total_bytes: u64,
     per_node_bytes: HashMap<NodeAddr, u64>,
 }
 
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 struct SendRecord {
     time: SimTime,
     /// Sending node; recorded for per-node breakdowns even though the

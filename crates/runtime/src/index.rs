@@ -74,6 +74,16 @@ impl IndexSignature {
     pub fn is_empty(&self) -> bool {
         self.0.is_empty()
     }
+
+    /// Whether every column of this signature appears in `cols` (which
+    /// must be sorted ascending): an index on this signature can serve a
+    /// lookup binding `cols`, with the leftover columns checked residually.
+    pub fn is_covered_by(&self, cols: &[usize]) -> bool {
+        // Both sides are sorted ascending, so a single forward pass over
+        // `cols` suffices.
+        let mut cols = cols.iter();
+        self.0.iter().all(|&col| cols.by_ref().any(|&c| c == col))
+    }
 }
 
 /// A hash index from a bound-column projection to the primary keys of the
@@ -147,6 +157,13 @@ impl SecondaryIndex {
             .get(key_values)
             .into_iter()
             .flat_map(|bucket| bucket.iter())
+    }
+
+    /// The bucket for one projection, if any — the eager form of
+    /// [`SecondaryIndex::probe`], used when the caller needs an iterator
+    /// that borrows only the index (not the probe key).
+    pub fn bucket(&self, key_values: &[Value]) -> Option<&BTreeSet<Vec<Value>>> {
+        self.buckets.get(key_values)
     }
 
     /// Number of distinct projections (buckets).

@@ -20,7 +20,11 @@
 //! [`crate::index`]): every mutation — insertion, key replacement, deletion,
 //! expiry — updates the indexes incrementally, and
 //! [`Relation::probe`] answers an equality lookup in O(matches) instead of
-//! the O(|relation|) of [`Relation::scan_match`].
+//! the O(|relation|) of [`Relation::scan_match`]. When several declared
+//! signatures can serve a lookup, [`Relation::lookup`] makes a cost-based
+//! choice: the candidate binding the most columns wins, with the smallest
+//! bucket estimate breaking ties, and any leftover bound columns enforced
+//! residually.
 
 use crate::index::{IndexSignature, JoinStats, SecondaryIndex};
 use crate::tuple::Tuple;
@@ -246,11 +250,78 @@ impl Relation {
         }))
     }
 
-    /// The single access-path chooser behind every join: probe the index
-    /// on `cols` (sorted, with `key` holding the bound values in the same
-    /// order) when it exists, otherwise fall back to an equivalent
-    /// residual scan — `cols` may be empty for a genuine full scan. The
-    /// chosen path and the tuples examined are recorded in `stats` up
+    /// Choose the cheapest declared index that can serve an equality
+    /// lookup on `cols`/`key`: among the indexes whose signature is a
+    /// subset of the bound columns, pick the most selective one — most
+    /// bound columns first, smallest bucket (estimated matches) as the
+    /// tie-breaker. Returns the index together with the probe key
+    /// projected onto its signature. Ties resolve to the earliest declared
+    /// index, so the choice is deterministic across engines.
+    ///
+    /// This runs once per join environment, so the common case — one
+    /// finalist, usually an exact signature match — is kept allocation-
+    /// light: losing candidates are rejected on signature length alone,
+    /// and probe keys are projected (and bucket sizes hashed) only for the
+    /// finalists with the longest covered signature.
+    fn best_index(&self, cols: &[usize], key: &[Value]) -> Option<(&SecondaryIndex, Vec<Value>)> {
+        // Pass 1 (no allocation): the longest covered signature length and
+        // how many candidates reach it.
+        let mut max_len = 0;
+        let mut finalists = 0;
+        for index in &self.indexes {
+            let sig = index.signature();
+            let len = sig.columns().len();
+            if len < max_len || !sig.is_covered_by(cols) {
+                continue;
+            }
+            if len > max_len {
+                max_len = len;
+                finalists = 1;
+            } else {
+                finalists += 1;
+            }
+        }
+        if max_len == 0 {
+            return None;
+        }
+        // Pass 2: project probe keys for the finalists only; with several,
+        // the smallest bucket wins (first declared wins ties).
+        let mut best: Option<(&SecondaryIndex, Vec<Value>, usize)> = None;
+        for index in &self.indexes {
+            let sig = index.signature();
+            if sig.columns().len() != max_len || !sig.is_covered_by(cols) {
+                continue;
+            }
+            let subkey: Vec<Value> = sig
+                .columns()
+                .iter()
+                .map(|c| {
+                    let pos = cols.binary_search(c).expect("covered signature");
+                    key[pos].clone()
+                })
+                .collect();
+            if finalists == 1 {
+                return Some((index, subkey));
+            }
+            let bucket = index.bucket_size(&subkey);
+            match &best {
+                Some((_, _, current_bucket)) if *current_bucket <= bucket => {}
+                _ => best = Some((index, subkey, bucket)),
+            }
+        }
+        best.map(|(index, subkey, _)| (index, subkey))
+    }
+
+    /// The single access-path chooser behind every join: a *cost-based*
+    /// choice among the declared indexes. Any index whose signature is a
+    /// subset of `cols` (sorted, with `key` holding the bound values in
+    /// the same order) can serve the lookup; the most selective candidate
+    /// wins (most bound columns, then smallest bucket estimate — see
+    /// [`Relation::best_index`]), with the signature-leftover columns
+    /// checked residually on each probed tuple. Only when no index covers
+    /// any bound column does the lookup fall back to an equivalent
+    /// residual scan — `cols` may be empty for a genuine cross product.
+    /// The chosen path and the tuples examined are recorded in `stats` up
     /// front; iteration is lazy.
     pub fn lookup<'r, 'b>(
         &'r self,
@@ -262,18 +333,28 @@ impl Relation {
         let index = if cols.is_empty() {
             None
         } else {
-            self.indexes
-                .iter()
-                .find(|i| i.signature().columns() == cols)
+            self.best_index(cols, key)
         };
         match index {
-            Some(index) => {
+            Some((index, subkey)) => {
+                let bucket = index.bucket(&subkey);
                 stats.index_probes += 1;
-                stats.tuples_examined += index.bucket_size(key);
-                AccessPath::Probe(index.probe(key).filter_map(move |primary_key| {
-                    self.tuples
-                        .get(primary_key.as_slice())
-                        .filter(|s| s.seq <= seq_limit)
+                stats.tuples_examined += bucket.map_or(0, |b| b.len());
+                // Bound columns the chosen signature does not cover are
+                // enforced residually (empty for an exact-signature match).
+                let residual: Vec<(usize, Value)> = cols
+                    .iter()
+                    .copied()
+                    .zip(key.iter().cloned())
+                    .filter(|(c, _)| !index.signature().columns().contains(c))
+                    .collect();
+                AccessPath::Probe(bucket.into_iter().flatten().filter_map(move |primary_key| {
+                    self.tuples.get(primary_key.as_slice()).filter(|s| {
+                        s.seq <= seq_limit
+                            && residual
+                                .iter()
+                                .all(|(col, val)| s.tuple.get(*col) == Some(val))
+                    })
                 }))
             }
             None => {
@@ -696,6 +777,80 @@ mod tests {
         );
         r.expire(2_000_000);
         assert!(probed(&r, &[0], &[1], u64::MAX).is_empty());
+    }
+
+    fn lookup_all(r: &Relation, cols: &[usize], key: &[i64], stats: &mut JoinStats) -> Vec<Tuple> {
+        let key: Vec<Value> = key.iter().map(|&v| Value::Int(v)).collect();
+        r.lookup(cols, &key, u64::MAX, stats)
+            .map(|s| s.tuple.clone())
+            .collect()
+    }
+
+    #[test]
+    fn subset_index_serves_wider_bindings() {
+        // Only [0] is indexed, but the lookup binds columns 0 and 1: the
+        // access path must still be a probe (with column 1 checked
+        // residually), not a full scan.
+        let mut r = Relation::new(RelationSchema::new("r"));
+        r.ensure_index(&[0]);
+        for i in 0..20 {
+            r.insert(t(&[i % 4, i % 2, i]), i as u64 + 1, 0);
+        }
+        let mut stats = JoinStats::default();
+        let hits = lookup_all(&r, &[0, 1], &[1, 1], &mut stats);
+        assert_eq!(stats.index_probes, 1);
+        assert_eq!(stats.scans, 0);
+        assert_eq!(stats.tuples_examined, 5, "the [0]-bucket for value 1");
+        let bound = vec![(0usize, Value::Int(1)), (1usize, Value::Int(1))];
+        let scanned: Vec<Tuple> = r
+            .scan_match(&bound, u64::MAX)
+            .map(|s| s.tuple.clone())
+            .collect();
+        assert_eq!(hits, scanned, "residual filtering matches the scan");
+        assert!(!hits.is_empty());
+    }
+
+    #[test]
+    fn most_selective_candidate_wins() {
+        // Two single-column candidates: column 0 is highly skewed (one big
+        // bucket), column 1 is nearly unique. The cost-based choice must
+        // probe the column-1 index — the smaller bucket.
+        let mut r = Relation::new(RelationSchema::new("r"));
+        r.ensure_index(&[0]);
+        r.ensure_index(&[1]);
+        for i in 0..50 {
+            r.insert(t(&[0, i, i * 10]), i as u64 + 1, 0);
+        }
+        let mut stats = JoinStats::default();
+        let hits = lookup_all(&r, &[0, 1], &[0, 7], &mut stats);
+        assert_eq!(hits, vec![t(&[0, 7, 70])]);
+        assert_eq!(stats.index_probes, 1);
+        assert_eq!(
+            stats.tuples_examined, 1,
+            "the unique column-1 bucket, not the 50-tuple column-0 bucket"
+        );
+
+        // And a composite index beats both single-column candidates.
+        r.ensure_index(&[0, 1]);
+        let mut stats = JoinStats::default();
+        let hits = lookup_all(&r, &[0, 1], &[0, 7], &mut stats);
+        assert_eq!(hits, vec![t(&[0, 7, 70])]);
+        assert_eq!(stats.tuples_examined, 1);
+    }
+
+    #[test]
+    fn unindexed_bound_columns_still_scan() {
+        let mut r = Relation::new(RelationSchema::new("r"));
+        r.ensure_index(&[2]);
+        for i in 0..10 {
+            r.insert(t(&[i, i, i]), i as u64 + 1, 0);
+        }
+        // The lookup binds only columns the index does not cover.
+        let mut stats = JoinStats::default();
+        let hits = lookup_all(&r, &[0], &[3], &mut stats);
+        assert_eq!(hits, vec![t(&[3, 3, 3])]);
+        assert_eq!(stats.scans, 1);
+        assert_eq!(stats.index_probes, 0);
     }
 
     #[test]

@@ -1,10 +1,17 @@
-//! Distributed eventual-consistency tests (Theorem 4 and Section 4.2).
+//! Distributed eventual-consistency tests (Theorem 4 and Section 4.2),
+//! plus the determinism property of the parallel epoch executor.
 //!
 //! The distributed engine, running over FIFO links, must reach the same
 //! fixpoint a centralized evaluation over the (final) base data reaches —
-//! both for a static network and across bursts of link-cost updates.
+//! both for a static network and across bursts of link-cost updates. And a
+//! run sharded over N executor threads must be *bit-for-bit identical* to
+//! the sequential run: same stores (tuples, derivation counts,
+//! timestamps), same network statistics (the full message trace), same
+//! per-node evaluation statistics, same result log.
 
-use ndlog_core::consistency::{check_against_centralized, check_location_placement};
+use ndlog_core::consistency::{
+    check_against_centralized, check_bitwise_identical, check_location_placement,
+};
 use ndlog_core::{plan, DistributedEngine, EngineConfig, UpdateWorkload};
 use ndlog_lang::{programs, Value};
 use ndlog_net::gtitm::{generate, TransitStubConfig};
@@ -148,6 +155,74 @@ fn bursty_updates_converge_to_the_final_state() {
         .collect();
     check_against_centralized(&engine, &program, &base, "shortestPath")
         .expect("eventual consistency after bursts");
+}
+
+/// Determinism property of the parallel epoch executor: across seeds ×
+/// topologies, evaluating with 1, 2 and 4 executor threads produces final
+/// stores, network statistics (`NetStats`, i.e. the full message trace)
+/// and per-node evaluation statistics (`EvalStats`) that are bit-for-bit
+/// identical to the sequential engine's — including through an update
+/// burst, which exercises deletions and rederivation.
+#[test]
+fn parallel_execution_is_deterministic_across_seeds_and_topologies() {
+    // (name, transit-stub shape, overlay neighbors) — a denser and a
+    // sparser topology, regenerated per seed.
+    let topologies: [(&str, TransitStubConfig, usize); 2] = [
+        ("small", TransitStubConfig::small(), 4),
+        (
+            "sparse",
+            TransitStubConfig {
+                transit_nodes: 2,
+                stubs_per_transit: 1,
+                nodes_per_stub: 3,
+                ..TransitStubConfig::paper()
+            },
+            2,
+        ),
+    ];
+    for (name, ts_config, neighbors) in topologies {
+        for seed in [0xc0ffee_u64, 1, 42] {
+            let ts = generate(&ts_config);
+            let overlay_config = OverlayConfig {
+                neighbors_per_node: neighbors,
+                seed,
+            };
+            let overlay = Overlay::random_neighbors(&ts.topology, &overlay_config);
+
+            let run = |threads: usize| -> DistributedEngine {
+                let program = programs::shortest_path("");
+                let query_plan = plan(&program).unwrap();
+                let mut config = EngineConfig::default();
+                config.node.aggregate_selections = true;
+                config.parallelism = threads;
+                let mut engine =
+                    DistributedEngine::new(overlay.graph.clone(), &[query_plan], config).unwrap();
+                for l in overlay.links() {
+                    engine
+                        .insert_base(l.src, "link", link(l.src, l.dst, l.cost(Metric::Latency)))
+                        .unwrap();
+                }
+                engine.run_to_quiescence().unwrap();
+                // One update burst: deletions + reinsertions stress the
+                // rederivation and FIFO-replay paths.
+                let mut workload = UpdateWorkload::paper(&overlay.links(), Metric::Latency, seed);
+                for update in workload.burst() {
+                    engine.apply_link_update("link", &update).unwrap();
+                }
+                let report = engine.run_to_quiescence().unwrap();
+                assert!(report.quiesced, "{name}/seed {seed}/threads {threads}");
+                engine
+            };
+
+            let sequential = run(1);
+            for threads in [2, 4] {
+                let parallel = run(threads);
+                check_bitwise_identical(&sequential, &parallel).unwrap_or_else(|e| {
+                    panic!("topology {name}, seed {seed:#x}, {threads} threads: {e}")
+                });
+            }
+        }
+    }
 }
 
 #[test]
