@@ -1,11 +1,16 @@
 //! A single node's engine: the per-node half of the P2 dataflow.
 //!
 //! Every network node runs the same plan over its own store. Tuples arrive
-//! either from local base-data changes or from the network; they are
+//! either from local base-data changes or from the network; insertions are
 //! processed with pipelined semi-naive evaluation (one tuple at a time,
 //! timestamp-guarded joins), and derivations whose location specifier names
 //! another node are handed back to the distributed engine to be sent along
-//! the corresponding link.
+//! the corresponding link. Deletions take the DRed path instead
+//! (`ndlog_runtime::dred`): any tuple actually removed from the local
+//! store seeds an over-delete of its local downstream closure — shipping
+//! deletion derivations headed at other nodes — followed by re-derivation
+//! of the survivors, so retractions stay exact whatever the derivation
+//! counts say.
 //!
 //! The node also implements the per-node halves of the paper's
 //! optimizations:
@@ -28,7 +33,8 @@ use crate::plan::QueryPlan;
 use ndlog_lang::aggsel::AggSelectionSpec;
 use ndlog_net::sim::SimTime;
 use ndlog_net::NodeAddr;
-use ndlog_runtime::strand::{rederive_key, JoinStats};
+use ndlog_runtime::dred;
+use ndlog_runtime::strand::JoinStats;
 use ndlog_runtime::{
     AggregateView, CompiledStrand, EvalError, EvalStats, Sign, Store, Tuple, TupleDelta,
 };
@@ -86,7 +92,12 @@ pub struct NodeEngine {
     views: Vec<AggregateView>,
     /// (selection, index of the aggregate view that tracks its groups).
     selections: Vec<(AggSelectionSpec, usize)>,
+    /// Insert-only work queue: applied deltas whose strands have not fired.
     queue: VecDeque<(TupleDelta, u64)>,
+    /// Tuples actually removed from the store (arriving deletions whose
+    /// count reached zero, replacement old-halves, soft-state expiries),
+    /// awaiting the next DRed over-delete/re-derive pass.
+    pending_deletes: Vec<TupleDelta>,
     /// Outbound deltas held for periodic flush / message sharing.
     held: Vec<(NodeAddr, TupleDelta)>,
     changes: Vec<ResultChange>,
@@ -148,6 +159,7 @@ impl NodeEngine {
             views,
             selections,
             queue: VecDeque::new(),
+            pending_deletes: Vec::new(),
             held: Vec::new(),
             changes: Vec::new(),
             pruned: 0,
@@ -179,7 +191,7 @@ impl NodeEngine {
 
     /// Whether the node has unprocessed work queued.
     pub fn has_pending(&self) -> bool {
-        !self.queue.is_empty()
+        !self.queue.is_empty() || !self.pending_deletes.is_empty()
     }
 
     /// Advance the node's logical clock (for soft-state expiry).
@@ -196,15 +208,12 @@ impl NodeEngine {
         }
     }
 
-    /// Expire soft-state tuples and queue the resulting deletions.
+    /// Expire soft-state tuples; the expired tuples seed the next DRed
+    /// pass (they are already removed from the store, and an expiry is
+    /// authoritative — never re-derived).
     pub fn expire_soft_state(&mut self, now_micros: u64) {
         let deltas = self.store.expire(now_micros);
-        for delta in deltas {
-            // The tuples are already removed from the store; propagate the
-            // deletions directly.
-            let seq = self.store.current_seq();
-            self.after_store_change(delta, seq);
-        }
+        self.pending_deletes.extend(deltas);
     }
 
     /// Returns the current aggregate value governing a selection relation
@@ -244,11 +253,19 @@ impl NodeEngine {
         let effect = self.store.apply(&delta);
         let seq = effect.seq;
         for prop in effect.propagate {
+            if prop.sign == Sign::Delete {
+                // An actual removal (count reached zero, or the old half
+                // of a replacement): seed the next DRed pass instead of
+                // cascading by count. The views are not fed — the pass
+                // rebuilds the affected groups from the store.
+                self.pending_deletes.push(prop);
+                continue;
+            }
             self.after_store_change(prop, seq);
         }
     }
 
-    /// Bookkeeping after a real store change: tracking, view maintenance,
+    /// Bookkeeping after a real insertion: tracking, view maintenance,
     /// queueing.
     fn after_store_change(&mut self, delta: TupleDelta, seq: u64) {
         if self.config.tracked_relations.contains(&delta.relation) {
@@ -272,13 +289,120 @@ impl NodeEngine {
         }
     }
 
+    /// Send a derivation headed at another node along its link, honoring
+    /// the blocked-relation set and the hold-for-flush buffers.
+    fn route_remote(
+        &mut self,
+        dest: NodeAddr,
+        delta: TupleDelta,
+        outbound: &mut BTreeMap<NodeAddr, Vec<TupleDelta>>,
+        request_flush: &mut bool,
+    ) {
+        if self.config.blocked_relations.contains(&delta.relation) {
+            return;
+        }
+        let hold_for_sharing = self.config.sharing_delay.is_some();
+        let hold_for_periodic = self.config.periodic_flush.is_some()
+            && self
+                .selections
+                .iter()
+                .any(|(sel, _)| sel.relation == delta.relation);
+        if hold_for_sharing || hold_for_periodic {
+            self.held.push((dest, delta));
+            *request_flush = true;
+        } else {
+            outbound.entry(dest).or_default().push(delta);
+        }
+    }
+
+    /// Run one DRed pass over the pending removals: over-delete the local
+    /// downstream closure (shipping deletion derivations headed at other
+    /// nodes), rebuild the pinned aggregate groups, and re-ingest the
+    /// surviving derivations. Remote over-deletions may over-approximate;
+    /// the re-derive cascade re-ships the insertions that still hold, so
+    /// the net effect at every receiver is exact.
+    fn run_dred(
+        &mut self,
+        outbound: &mut BTreeMap<NodeAddr, Vec<TupleDelta>>,
+        request_flush: &mut bool,
+    ) -> Result<(), EvalError> {
+        let seeds = std::mem::take(&mut self.pending_deletes);
+        let mut joins = JoinStats::default();
+        let mut marking = dred::over_delete(
+            &mut self.store,
+            &self.strands,
+            &self.views,
+            seeds,
+            Some(self.addr),
+            &mut joins,
+        )?;
+        // Each removal is one processed delta, and a tracked-relation
+        // change the result log must see.
+        self.stats.iterations += marking.removed.len();
+        self.stats.tuples_processed += marking.removed.len();
+        for delta in &marking.removed {
+            if self.config.tracked_relations.contains(&delta.relation) {
+                self.changes.push(ResultChange {
+                    relation: delta.relation.clone(),
+                    tuple: delta.tuple.clone(),
+                    sign: Sign::Delete,
+                });
+            }
+        }
+        for (dest, delta) in std::mem::take(&mut marking.remote) {
+            self.route_remote(dest, delta, outbound, request_flush);
+        }
+        let mut inserts: Vec<TupleDelta> = Vec::new();
+        for (view_idx, key) in &marking.dirty_groups {
+            inserts.extend(self.views[*view_idx].rebuild_group(&self.store, key, &mut joins));
+        }
+        for candidate in marking.rederive_candidates() {
+            inserts.extend(dred::rederive_inserts(
+                &self.store,
+                &self.strands,
+                candidate,
+                &mut joins,
+            )?);
+        }
+        self.stats.derivations += inserts.len();
+        self.stats.absorb_joins(joins);
+        for delta in inserts {
+            debug_assert_eq!(delta.sign, Sign::Insert);
+            self.ingest(delta);
+        }
+        Ok(())
+    }
+
     /// Run queued work to a local fixpoint, producing outbound messages and
-    /// tracked-relation changes.
+    /// tracked-relation changes. Pending removals are drained first (and
+    /// whenever an insertion cascade causes further removals), so every
+    /// retraction is handled by a DRed pass before dependent insertions
+    /// fire.
     pub fn process(&mut self) -> Result<ProcessOutput, EvalError> {
         let mut outbound: BTreeMap<NodeAddr, Vec<TupleDelta>> = BTreeMap::new();
         let mut request_flush = false;
 
-        while let Some((delta, seq)) = self.queue.pop_front() {
+        loop {
+            if !self.pending_deletes.is_empty() {
+                self.run_dred(&mut outbound, &mut request_flush)?;
+                continue;
+            }
+            let Some((delta, seq)) = self.queue.pop_front() else {
+                break;
+            };
+            debug_assert_eq!(delta.sign, Sign::Insert);
+            self.stats.iterations += 1;
+            self.stats.tuples_processed += 1;
+            // Skip firings whose tuple a DRed pass has since over-deleted
+            // (or a replacement vacated): the consequences are moot, and a
+            // re-derived tuple fires through its own queued insert.
+            if !self
+                .store
+                .relation(&delta.relation)
+                .is_some_and(|r| r.contains(&delta.tuple))
+            {
+                continue;
+            }
             let mut joins = JoinStats::default();
             let mut derived = Vec::new();
             for strand in self.strands.iter() {
@@ -287,61 +411,23 @@ impl NodeEngine {
                 }
                 derived.extend(strand.fire_counted(&self.store, &delta, seq, &mut joins)?);
             }
-            // Count normal derivations before appending rederivation
-            // restores, mirroring the centralized evaluator's accounting.
             self.stats.derivations += derived.len();
-            let mut restored = Vec::new();
-            if delta.sign == Sign::Delete {
-                // Compensate for derivations folded away by primary-key
-                // replacements (see `rederive_key`). Restores repair this
-                // node's vacated key only: a derivation located at another
-                // node was already counted there during the forward pass,
-                // so shipping it would double its count. Keep the ones
-                // this node would have derived locally and drop the rest.
-                restored = rederive_key(&self.store, &self.strands, &delta, seq, &mut joins)?;
-                restored.retain(|r| {
-                    let location = r.tuple.location();
-                    location.is_none() || location == Some(self.addr)
-                });
-            }
-            self.stats.iterations += 1;
-            self.stats.tuples_processed += 1;
             self.stats.absorb_joins(joins);
             for derivation in derived {
                 match derivation.location {
                     Some(dest) if dest != self.addr => {
-                        // Remote derivation: send along the link (or hold).
-                        if self
-                            .config
-                            .blocked_relations
-                            .contains(&derivation.delta.relation)
-                        {
-                            continue;
-                        }
-                        let hold_for_sharing = self.config.sharing_delay.is_some();
-                        let hold_for_periodic = self.config.periodic_flush.is_some()
-                            && self
-                                .selections
-                                .iter()
-                                .any(|(sel, _)| sel.relation == derivation.delta.relation);
-                        if hold_for_sharing || hold_for_periodic {
-                            self.held.push((dest, derivation.delta));
-                            request_flush = true;
-                        } else {
-                            outbound.entry(dest).or_default().push(derivation.delta);
-                        }
+                        self.route_remote(
+                            dest,
+                            derivation.delta,
+                            &mut outbound,
+                            &mut request_flush,
+                        );
                     }
                     _ => {
                         // Local derivation (or location-free test program).
                         self.ingest(derivation.delta);
                     }
                 }
-            }
-            // Restores land after the derived deletion cascade, matching
-            // the centralized evaluator's ordering so both engines reach
-            // the same fixpoint in the lossy-replacement edge.
-            for delta in restored {
-                self.ingest(delta);
             }
         }
 

@@ -206,6 +206,98 @@ impl AggregateView {
         self.groups.get(&key).and_then(|g| g.aggregate(self.func))
     }
 
+    /// The group key a source tuple belongs to, or `None` when the tuple
+    /// is too short to project (heterogeneous hand-built stores).
+    pub fn group_key(&self, source_tuple: &Tuple) -> Option<Vec<Value>> {
+        self.group_cols
+            .iter()
+            .map(|&c| source_tuple.get(c).cloned())
+            .collect()
+    }
+
+    /// The head tuple currently derived for a group, if any.
+    pub fn current_output(&self, key: &[Value]) -> Option<&Tuple> {
+        self.groups.get(key)?.current.as_ref()
+    }
+
+    /// Map a head (output) tuple back to its group key, or `None` when the
+    /// tuple cannot be an output of this view (wrong arity or mismatched
+    /// constants).
+    pub fn output_group_key(&self, head_tuple: &Tuple) -> Option<Vec<Value>> {
+        if head_tuple.arity() != self.head_template.len() {
+            return None;
+        }
+        let mut by_col: BTreeMap<usize, &Value> = BTreeMap::new();
+        for (pos, field) in self.head_template.iter().enumerate() {
+            match field {
+                HeadField::Group(col) => {
+                    by_col.insert(*col, head_tuple.get(pos)?);
+                }
+                HeadField::Const(c) if Some(c) != head_tuple.get(pos) => return None,
+                _ => {}
+            }
+        }
+        self.group_cols
+            .iter()
+            .map(|c| by_col.get(c).map(|&v| v.clone()))
+            .collect()
+    }
+
+    /// Rebuild one group's state from the tuples currently stored in the
+    /// source relation — the re-derive half of the DRed pass's group
+    /// pinning. The over-delete phase leaves the view untouched while it
+    /// removes source tuples (and the group's head output) from the store;
+    /// this recomputes the multiset from scratch over the surviving source
+    /// tuples (guards included), installs the new aggregate as the group's
+    /// current output, and returns it as an insertion delta for the caller
+    /// to ingest (the old output is already gone from the store). Returns
+    /// `None` when the group has no surviving inputs.
+    ///
+    /// Rebuilding from the store — rather than patching the multiset —
+    /// also heals any drift the multiset accumulated while derivation
+    /// counts were inexact.
+    pub fn rebuild_group(
+        &mut self,
+        store: &Store,
+        key: &[Value],
+        stats: &mut crate::index::JoinStats,
+    ) -> Option<TupleDelta> {
+        let mut state = GroupState::default();
+        if let Some(relation) = store.relation(&self.source_relation) {
+            // Probe on the (sorted, deduplicated) group columns; verify the
+            // full group key residually to cover repeated group variables.
+            let mut bound: BTreeMap<usize, Value> = BTreeMap::new();
+            for (col, val) in self.group_cols.iter().zip(key.iter()) {
+                bound.entry(*col).or_insert_with(|| val.clone());
+            }
+            let cols: Vec<usize> = bound.keys().copied().collect();
+            let vals: Vec<Value> = bound.values().cloned().collect();
+            let matches: Vec<Tuple> = relation
+                .lookup(&cols, &vals, u64::MAX, stats)
+                .filter(|s| self.group_key(&s.tuple).as_deref() == Some(key))
+                .map(|s| s.tuple.clone())
+                .collect();
+            for tuple in matches {
+                if !self.guards_satisfied(store, &tuple) {
+                    continue;
+                }
+                let Some(value) = tuple.get(self.value_col).cloned() else {
+                    continue;
+                };
+                *state.multiset.entry(value).or_insert(0) += 1;
+                state.total += 1;
+            }
+        }
+        let new_head = state.aggregate(self.func).map(|v| self.head_tuple(key, &v));
+        state.current = new_head.clone();
+        if state.total == 0 {
+            self.groups.remove(key);
+        } else {
+            self.groups.insert(key.to_vec(), state);
+        }
+        new_head.map(|t| TupleDelta::insert(self.head_relation.clone(), t))
+    }
+
     fn head_tuple(&self, key: &[Value], agg_value: &Value) -> Tuple {
         // `key` holds the group values in `group_cols` order; map source
         // column -> value for template instantiation.
@@ -225,11 +317,27 @@ impl AggregateView {
         Tuple::new(values)
     }
 
-    /// The (relation, bound-column signature) every guard atom checks:
-    /// constants plus the columns whose variables the source atom binds.
-    /// Declared up front (like strand probe plans) so guard checks run as
+    /// The (relation, bound-column signature) pairs this view probes:
+    /// every guard atom's constants plus the columns whose variables the
+    /// source atom binds, and the source relation's group columns (used by
+    /// [`AggregateView::rebuild_group`] during the DRed re-derive phase).
+    /// Declared up front (like strand probe plans) so these checks run as
     /// index probes instead of relation scans.
     pub fn index_requirements(&self) -> Vec<(String, Vec<usize>)> {
+        let mut out = self.guard_index_requirements();
+        let group_sig: std::collections::BTreeSet<usize> =
+            self.group_cols.iter().copied().collect();
+        if !group_sig.is_empty() {
+            out.push((
+                self.source_relation.clone(),
+                group_sig.into_iter().collect(),
+            ));
+        }
+        out
+    }
+
+    /// The guard-atom half of [`AggregateView::index_requirements`].
+    fn guard_index_requirements(&self) -> Vec<(String, Vec<usize>)> {
         let mut source_vars: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
         for term in &self.source_atom.args {
             if let Term::Var(v) = term {

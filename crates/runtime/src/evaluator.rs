@@ -14,6 +14,16 @@
 //! 3. to exercise incremental updates (insertions, deletions, updates of
 //!    base tuples) against a quiesced store, the centralized half of the
 //!    eventual-consistency argument (Theorem 3).
+//!
+//! Insertions cascade through the strands pipelined; deletions take the
+//! DRed path ([`crate::dred`]): every delta that actually removes a stored
+//! tuple — an external deletion or the old half of a primary-key
+//! replacement — seeds an over-delete of its downstream closure (with the
+//! affected aggregate groups pinned) followed by re-derivation of the
+//! survivors. Because that pass never consults a derivation count, the
+//! incremental results match a from-scratch evaluation for *any* initial
+//! strategy — including SN/BSN runs whose repeated inferences leave the
+//! counts inflated.
 
 use crate::aggview::AggregateView;
 use crate::expr::EvalError;
@@ -45,7 +55,8 @@ pub enum Strategy {
 /// Statistics of an evaluation run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EvalStats {
-    /// Number of iterations (SN/BSN) or processed tuples (PSN).
+    /// Number of iterations (SN/BSN) or processed tuples (PSN); tuples
+    /// removed by DRed deletion passes count here too.
     pub iterations: usize,
     /// Strand firings that produced at least one derivation.
     pub derivations: usize,
@@ -210,24 +221,33 @@ impl Evaluator {
     }
 
     /// Core driver shared by all strategies.
+    ///
+    /// The insert-only work queue holds deltas that have been applied to
+    /// the store (and therefore have a timestamp) but whose strands have
+    /// not fired. Deletions never enter the queue: every delta whose
+    /// application actually removed a tuple — an external deletion or the
+    /// old half of a primary-key replacement — is collected in `pending`
+    /// and consumed synchronously by a DRed pass ([`crate::dred`]), whose
+    /// re-derivation insertions re-enter the queue like any other insert.
     fn process(
         &mut self,
         external: Vec<TupleDelta>,
         strategy: Strategy,
     ) -> Result<EvalStats, EvalError> {
         let mut stats = EvalStats::default();
-        // The work queue holds deltas that have been applied to the store
-        // (and therefore have a timestamp) but whose strands have not fired.
         let mut queue: VecDeque<(TupleDelta, u64)> = VecDeque::new();
+        let mut pending: Vec<TupleDelta> = Vec::new();
         for delta in external {
-            self.ingest(delta, &mut queue, &mut stats);
+            self.ingest(delta, &mut queue, &mut pending, &mut stats);
         }
+        self.drain_deletions(&mut queue, &mut pending, &mut stats)?;
 
         match strategy {
             Strategy::Pipelined => {
                 while let Some((delta, seq)) = queue.pop_front() {
                     stats.iterations += 1;
-                    self.fire_all(&delta, seq, seq, &mut queue, &mut stats)?;
+                    self.fire_all(&delta, seq, &mut queue, &mut pending, &mut stats)?;
+                    self.drain_deletions(&mut queue, &mut pending, &mut stats)?;
                 }
             }
             Strategy::SemiNaive | Strategy::Buffered { .. } => {
@@ -239,15 +259,13 @@ impl Evaluator {
                     stats.iterations += 1;
                     // Joins during this iteration may only see tuples that
                     // existed when the iteration started: that is the
-                    // old/new separation of Algorithm 1. Rederivation,
-                    // however, must use each delta's own apply timestamp —
-                    // under the wider iteration limit, inserts queued in
-                    // the same round would be visible and double-counted.
+                    // old/new separation of Algorithm 1.
                     let iteration_seq = self.store.current_seq();
                     let take = queue.len().min(batch);
                     let this_round: Vec<_> = queue.drain(..take).collect();
-                    for (delta, apply_seq) in this_round {
-                        self.fire_all(&delta, iteration_seq, apply_seq, &mut queue, &mut stats)?;
+                    for (delta, _apply_seq) in this_round {
+                        self.fire_all(&delta, iteration_seq, &mut queue, &mut pending, &mut stats)?;
+                        self.drain_deletions(&mut queue, &mut pending, &mut stats)?;
                     }
                 }
             }
@@ -255,18 +273,28 @@ impl Evaluator {
         Ok(stats)
     }
 
-    /// Fire every strand triggered by `delta` and ingest the derivations.
-    /// Deletions additionally run the rederivation compensation for keyed
-    /// relations whose counts have been made lossy by replacements (see
-    /// [`crate::strand::rederive_key`]).
+    /// Fire every strand triggered by an insertion delta and ingest the
+    /// derivations. Skips the firing when the delta's tuple is no longer
+    /// stored: a DRed pass that ran between the ingest and this firing
+    /// over-deleted it (or a replacement vacated it), so its consequences
+    /// are moot — if the tuple was re-derived, the re-derivation's own
+    /// queued insert fires the same strands.
     fn fire_all(
         &mut self,
         delta: &TupleDelta,
         seq_limit: u64,
-        rederive_seq: u64,
         queue: &mut VecDeque<(TupleDelta, u64)>,
+        pending: &mut Vec<TupleDelta>,
         stats: &mut EvalStats,
     ) -> Result<(), EvalError> {
+        debug_assert_eq!(delta.sign, crate::tuple::Sign::Insert);
+        if !self
+            .store
+            .relation(&delta.relation)
+            .is_some_and(|r| r.contains(&delta.tuple))
+        {
+            return Ok(());
+        }
         let mut joins = crate::strand::JoinStats::default();
         // Collect derivations first: strands borrow the store immutably.
         let mut derived = Vec::new();
@@ -276,33 +304,75 @@ impl Evaluator {
             }
             derived.extend(strand.fire_counted(&self.store, delta, seq_limit, &mut joins)?);
         }
-        let mut restored = Vec::new();
-        if delta.sign == crate::tuple::Sign::Delete {
-            restored = crate::strand::rederive_key(
-                &self.store,
-                &self.strands,
-                delta,
-                rederive_seq,
-                &mut joins,
-            )?;
-        }
         stats.absorb_joins(joins);
         for derivation in derived {
             stats.derivations += 1;
-            self.ingest(derivation.delta, queue, stats);
+            self.ingest(derivation.delta, queue, pending, stats);
         }
-        for delta in restored {
-            self.ingest(delta, queue, stats);
+        Ok(())
+    }
+
+    /// Run DRed passes until no removal is pending: over-delete the
+    /// closure of the pending seeds, rebuild the pinned aggregate groups,
+    /// and ingest the re-derivation insertions (which may replace keyed
+    /// tuples and thereby queue further seeds — hence the loop).
+    fn drain_deletions(
+        &mut self,
+        queue: &mut VecDeque<(TupleDelta, u64)>,
+        pending: &mut Vec<TupleDelta>,
+        stats: &mut EvalStats,
+    ) -> Result<(), EvalError> {
+        while !pending.is_empty() {
+            let seeds = std::mem::take(pending);
+            let mut joins = crate::strand::JoinStats::default();
+            let marking = crate::dred::over_delete(
+                &mut self.store,
+                &self.strands,
+                &self.views,
+                seeds,
+                None,
+                &mut joins,
+            )?;
+            // Each removal is one processed delta (and one PSN-style
+            // iteration): the DRed counterpart of popping a deletion off
+            // the work queue.
+            stats.iterations += marking.removed.len();
+            stats.tuples_processed += marking.removed.len();
+            // Rebuild every pinned group from the post-removal store; the
+            // new aggregate outputs cascade like ordinary insertions.
+            let mut inserts: Vec<TupleDelta> = Vec::new();
+            for (view_idx, key) in &marking.dirty_groups {
+                inserts.extend(self.views[*view_idx].rebuild_group(&self.store, key, &mut joins));
+            }
+            // One-step re-derivation of each over-deleted tuple; survivors
+            // restored further downstream come from the insert cascade.
+            for candidate in marking.rederive_candidates() {
+                inserts.extend(crate::dred::rederive_inserts(
+                    &self.store,
+                    &self.strands,
+                    candidate,
+                    &mut joins,
+                )?);
+            }
+            stats.absorb_joins(joins);
+            for delta in inserts {
+                stats.derivations += 1;
+                self.ingest(delta, queue, pending, stats);
+            }
         }
         Ok(())
     }
 
     /// Apply a delta to the store, feed aggregate views, and enqueue
-    /// whatever actually changed.
+    /// whatever actually changed. Actual removals (external deletions and
+    /// the old halves of replacements) go to `pending` for the next DRed
+    /// pass instead of the queue; the views are *not* fed deletions — the
+    /// pass rebuilds the affected groups from the store (group pinning).
     fn ingest(
         &mut self,
         delta: TupleDelta,
         queue: &mut VecDeque<(TupleDelta, u64)>,
+        pending: &mut Vec<TupleDelta>,
         stats: &mut EvalStats,
     ) {
         let effect = self.store.apply(&delta);
@@ -315,8 +385,13 @@ impl Evaluator {
             return;
         }
         for prop in effect.propagate {
+            if prop.sign == crate::tuple::Sign::Delete {
+                pending.push(prop);
+                continue;
+            }
             stats.tuples_processed += 1;
-            // Aggregate views react to every real change of their source.
+            // Aggregate views react to every real insertion of their
+            // source.
             let mut view_outputs = Vec::new();
             for view in &mut self.views {
                 if view.source_relation() == prop.relation {
@@ -325,7 +400,7 @@ impl Evaluator {
             }
             queue.push_back((prop, effect.seq));
             for out in view_outputs {
-                self.ingest(out, queue, stats);
+                self.ingest(out, queue, pending, stats);
             }
         }
     }

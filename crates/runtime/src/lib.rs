@@ -17,7 +17,11 @@
 //! * [`strand`] — compiled rule strands (the unit of execution in P2's
 //!   dataflow, Figures 3 and 5) and their firing logic;
 //! * [`aggview`] — incremental maintenance of aggregate rules
-//!   (`min<C>`-style heads) with O(log n) deletion handling;
+//!   (`min<C>`-style heads) with O(log n) deletion handling and
+//!   group-level pinning/rebuild for the DRed pass;
+//! * [`dred`] — DRed-style two-phase deletion maintenance (over-delete the
+//!   downstream closure, then re-derive survivors), the count-agnostic
+//!   path every actual tuple removal takes;
 //! * [`evaluator`] — the three centralized evaluation strategies of
 //!   Section 3: semi-naive (SN, Algorithm 1), buffered semi-naive (BSN) and
 //!   pipelined semi-naive (PSN, Algorithm 3), with derivation statistics
@@ -27,6 +31,7 @@
 //! adds the network, optimizations and update handling.
 
 pub mod aggview;
+pub mod dred;
 pub mod evaluator;
 pub mod expr;
 pub mod index;

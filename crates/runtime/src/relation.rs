@@ -125,10 +125,13 @@ pub struct Relation {
     #[serde(skip)]
     indexes: Vec<SecondaryIndex>,
     /// Derivation counts folded away by primary-key replacements. While
-    /// this is zero the count algorithm is exact; once it is positive a
-    /// deletion may leave a key underivable even though alternative
-    /// derivations exist, and the evaluator compensates with rederivation
-    /// (see `strand::rederive_key`).
+    /// this is zero the count algorithm is exact for tuples of this
+    /// relation; once it is positive a count-trusting deletion could leave
+    /// a key underivable even though alternative derivations exist. The
+    /// engines no longer trust counts on the deletion path at all — every
+    /// actual removal runs a DRed over-delete/re-derive pass (see
+    /// `ndlog_runtime::dred`) — so this counter survives purely as
+    /// diagnostics for count-exactness assertions in tests.
     lossy_replacements: u64,
 }
 
@@ -624,6 +627,36 @@ mod tests {
         assert!(r.remove(&t(&[1, 10])));
         assert!(r.is_empty());
         assert!(!r.remove(&t(&[1, 10])));
+    }
+
+    #[test]
+    fn overdelete_then_rederive_restores_counts_exactly_once() {
+        // The count-accounting contract behind the DRed pass: `remove`
+        // discards a tuple *and* its (possibly inflated or lossy)
+        // derivation count, so a subsequent re-derivation re-inserts the
+        // survivor with a fresh count of exactly 1 — restored once, not
+        // once per stale count — and a single deletion then suffices to
+        // retract it again.
+        let mut r = keyed_relation();
+        r.insert(t(&[1, 10]), 1, 0);
+        r.insert(t(&[1, 10]), 2, 0); // an SN/BSN-style over-count
+        assert_eq!(r.get_by_key_of(&t(&[1, 10])).unwrap().count, 2);
+        // A replacement folds the old counts away entirely...
+        assert_eq!(
+            r.insert(t(&[1, 20]), 3, 0),
+            InsertOutcome::Replaced(t(&[1, 10]))
+        );
+        assert_eq!(r.lossy_replacements(), 2);
+        assert_eq!(r.get_by_key_of(&t(&[1, 20])).unwrap().count, 1);
+        // ...and an over-delete removes outright, count notwithstanding.
+        r.insert(t(&[1, 20]), 4, 0);
+        assert!(r.remove(&t(&[1, 20])));
+        assert!(r.get(&[Value::Int(1)]).is_none(), "key fully vacated");
+        // The re-derive half restores the survivor exactly once.
+        assert_eq!(r.insert(t(&[1, 10]), 5, 0), InsertOutcome::New);
+        assert_eq!(r.get_by_key_of(&t(&[1, 10])).unwrap().count, 1);
+        assert_eq!(r.delete(&t(&[1, 10])), DeleteOutcome::Removed);
+        assert!(r.is_empty(), "one deletion retracts a once-restored tuple");
     }
 
     #[test]

@@ -7,10 +7,13 @@
 //! the head — each tagged with the network location (the head's location
 //! specifier) where it must be stored.
 //!
-//! Deletions flow through the same machinery: firing a strand with a
-//! deletion delta derives the deletions of every tuple previously derived
-//! from the deleted tuple (Section 4's incremental deletion), which the
-//! store then reconciles with the count algorithm.
+//! Deletions flow through the same machinery, but as the *over-delete*
+//! phase of a DRed pass (see [`crate::dred`]): firing a strand with a
+//! deletion delta derives the deletions of every tuple derivable from the
+//! deleted tuple, the whole closure is removed outright, and survivors are
+//! restored by re-derivation against the post-removal store. Derivation
+//! counts — which SN/BSN over-counting and primary-key replacements can
+//! make inexact — are deliberately never consulted on the deletion path.
 //!
 //! # Probe plans
 //!
@@ -29,7 +32,7 @@
 
 use crate::expr::{eval, eval_bool, Bindings, EvalError};
 use crate::store::Store;
-use crate::tuple::{Sign, Tuple, TupleDelta};
+use crate::tuple::{Tuple, TupleDelta};
 use ndlog_lang::seminaive::DeltaRule;
 use ndlog_lang::{Atom, Literal, Term, Value};
 use ndlog_net::NodeAddr;
@@ -110,11 +113,15 @@ impl CompiledStrand {
         out
     }
 
-    /// The (trigger relation, bound-column signature) that `rederive_key`
-    /// probes when this strand's head relation is keyed on
-    /// `head_key_columns`: the trigger-atom columns whose variables are
-    /// pinned by the head's key. `None` when the key binds no trigger
-    /// column (rederivation then falls back to a scan).
+    /// The (trigger relation, bound-column signature) that DRed
+    /// re-derivation ([`crate::dred::rederive_inserts`]) probes when the
+    /// head relation's primary key lives in `head_key_columns`: the
+    /// trigger-atom columns pinned by binding those head columns. The
+    /// candidates come from the planner's precomputed
+    /// `DeltaRule::head_bound_trigger_cols`; this narrows them to the
+    /// columns whose variables the key actually mentions. `None` when the
+    /// key binds no trigger column (re-derivation then falls back to a
+    /// scan of the trigger relation).
     pub fn rederive_requirement(&self, head_key_columns: &[usize]) -> Option<(String, Vec<usize>)> {
         let head = &self.rule.rule.head;
         let mut key_vars: BTreeSet<&str> = BTreeSet::new();
@@ -126,13 +133,14 @@ impl CompiledStrand {
         let Some(Literal::Atom(trigger_atom)) = self.rule.rule.body.get(self.rule.trigger) else {
             return None;
         };
-        let cols: Vec<usize> = trigger_atom
-            .args
+        let cols: Vec<usize> = self
+            .rule
+            .head_bound_trigger_cols
             .iter()
-            .enumerate()
-            .filter_map(|(i, term)| match term {
-                Term::Var(v) if key_vars.contains(v.name.as_str()) => Some(i),
-                _ => None,
+            .copied()
+            .filter(|&col| {
+                matches!(trigger_atom.args.get(col),
+                    Some(Term::Var(v)) if key_vars.contains(v.name.as_str()))
             })
             .collect();
         if cols.is_empty() {
@@ -410,128 +418,6 @@ fn probe_atom(
         }
     }
     out
-}
-
-/// Re-derive a just-vacated primary key of a keyed, strand-derived
-/// relation.
-///
-/// P2's key-update semantics make the count algorithm lossy: when a tuple
-/// replaces another under the same primary key, the old tuple's derivation
-/// counts are folded away, so a later deletion can leave the key empty even
-/// though alternative derivations still hold (e.g. two equal-cost shortest
-/// paths where the survivor of a replacement is subsequently deleted). The
-/// evaluators compensate: after a deletion removes a tuple from a relation
-/// that (a) has a proper primary key, (b) has experienced at least one
-/// lossy replacement and (c) is derived by strands, they call this function
-/// to recompute the key's surviving derivations from the stored tables.
-///
-/// One strand per rule suffices (every derivation of a rule is reproduced
-/// by firing any one of its strands with each stored trigger tuple), and
-/// the vacated key restricts the work twice over: the head's key columns
-/// bind trigger-atom variables, so only trigger tuples matching those
-/// bindings are refired — through an index probe when the signature is
-/// declared (see [`CompiledStrand::rederive_requirement`]) — and the joins
-/// inside each firing run through the normal probe plans.
-///
-/// `seq_limit` must be the visibility limit the caller used when firing
-/// the deletion (the delta's processing timestamp). It excludes tuples
-/// that are already applied to the store but whose own strand firings are
-/// still queued: those pending firings will produce their derivations
-/// themselves, and counting them here too would inflate derivation counts
-/// and leave stale tuples behind after later deletions.
-pub fn rederive_key(
-    store: &Store,
-    strands: &[CompiledStrand],
-    deleted: &TupleDelta,
-    seq_limit: u64,
-    stats: &mut JoinStats,
-) -> Result<Vec<TupleDelta>, EvalError> {
-    debug_assert_eq!(deleted.sign, Sign::Delete);
-    let Some(relation) = store.relation(&deleted.relation) else {
-        return Ok(Vec::new());
-    };
-    let key_cols = relation.schema().key_columns.clone();
-    if key_cols.is_empty() || relation.lossy_replacements() == 0 {
-        return Ok(Vec::new());
-    }
-    let key = relation.schema().key_of(&deleted.tuple);
-    if relation.get(&key).is_some() {
-        // The key is still occupied (e.g. the deletion half of a
-        // replacement): nothing to restore.
-        return Ok(Vec::new());
-    }
-    let mut out = Vec::new();
-    let mut rules_seen: BTreeSet<&str> = BTreeSet::new();
-    for strand in strands {
-        if strand.head_relation() != deleted.relation || !rules_seen.insert(strand.rule_label()) {
-            continue;
-        }
-        let rule = &strand.delta_rule().rule;
-        let Some(Literal::Atom(trigger_atom)) = rule.body.get(strand.delta_rule().trigger) else {
-            continue;
-        };
-        // The head's key columns pin down variable values (and rule out
-        // rules whose constant head columns cannot produce this key).
-        let mut bound_vars: std::collections::BTreeMap<&str, &Value> =
-            std::collections::BTreeMap::new();
-        let mut feasible = true;
-        for (pos, &col) in key_cols.iter().enumerate() {
-            match rule.head.args.get(col) {
-                Some(Term::Const(c)) if c != &key[pos] => {
-                    feasible = false;
-                    break;
-                }
-                Some(Term::Var(v)) => match bound_vars.get(v.name.as_str()) {
-                    Some(existing) if *existing != &key[pos] => {
-                        feasible = false;
-                        break;
-                    }
-                    _ => {
-                        bound_vars.insert(v.name.as_str(), &key[pos]);
-                    }
-                },
-                _ => {}
-            }
-        }
-        if !feasible {
-            continue;
-        }
-        let Some(trigger_relation) = store.relation(strand.trigger_relation()) else {
-            continue;
-        };
-        // The key-bound trigger columns come from the same helper the
-        // store used to declare the rederivation index, so the probed
-        // signature always matches the declared one.
-        let cols = strand
-            .rederive_requirement(&key_cols)
-            .map(|(_, cols)| cols)
-            .unwrap_or_default();
-        let vals: Vec<Value> = cols
-            .iter()
-            .filter_map(|&i| match trigger_atom.args.get(i) {
-                Some(Term::Var(v)) => bound_vars.get(v.name.as_str()).map(|&val| val.clone()),
-                _ => None,
-            })
-            .collect();
-        debug_assert_eq!(
-            cols.len(),
-            vals.len(),
-            "requirement columns are key-var columns"
-        );
-        let candidates: Vec<Tuple> = trigger_relation
-            .lookup(&cols, &vals, seq_limit, stats)
-            .map(|s| s.tuple.clone())
-            .collect();
-        for tuple in candidates {
-            let trigger = TupleDelta::insert(strand.trigger_relation().to_string(), tuple);
-            for derivation in strand.fire_counted(store, &trigger, seq_limit, stats)? {
-                if relation.schema().key_of(&derivation.delta.tuple) == key {
-                    out.push(derivation.delta);
-                }
-            }
-        }
-    }
-    Ok(out)
 }
 
 /// Project a head atom into a tuple under the given bindings.

@@ -1,0 +1,210 @@
+//! Randomized delete/insert churn versus a from-scratch oracle.
+//!
+//! Section 4's update model (and Section 6.5's bursty experiments) applies
+//! periodic bursts of base-tuple changes to a quiesced store. With DRed
+//! deletion maintenance this must be exact for *any* initial evaluation
+//! strategy: an SN or BSN initial run may over-count derivations (no
+//! Theorem-2 guarantee) and primary-key replacements fold counts away, but
+//! the over-delete/re-derive pass never consults a count, so incremental
+//! results must equal a from-scratch evaluation after every burst.
+//!
+//! The workload mirrors `ndlog_core::UpdateWorkload` at the evaluator
+//! level: each burst touches a random subset of the (bidirectional) links —
+//! deleting some outright, re-costing others as delete-then-insert, and
+//! adding fresh ones — seeded through the deterministic `rand` stand-in,
+//! with no wall-clock dependence.
+
+use ndlog_lang::{programs, Value};
+use ndlog_runtime::{Evaluator, Strategy, Tuple, TupleDelta};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, BTreeSet};
+
+const NODES: u32 = 5;
+const BURSTS: usize = 4;
+
+fn link(a: u32, b: u32, c: f64) -> Tuple {
+    Tuple::new(vec![Value::addr(a), Value::addr(b), Value::Float(c)])
+}
+
+/// Canonical undirected edge key.
+fn canonical(a: u32, b: u32) -> (u32, u32) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Insert both directions of every link as base facts.
+fn load(eval: &mut Evaluator, base: &BTreeMap<(u32, u32), f64>) {
+    for (&(a, b), &c) in base {
+        eval.insert_fact("link", link(a, b, c));
+        eval.insert_fact("link", link(b, a, c));
+    }
+}
+
+/// Apply one bidirectional base change incrementally (updates are PSN).
+fn apply(eval: &mut Evaluator, sign_insert: bool, a: u32, b: u32, c: f64) {
+    for (s, d) in [(a, b), (b, a)] {
+        let delta = if sign_insert {
+            TupleDelta::insert("link", link(s, d, c))
+        } else {
+            TupleDelta::delete("link", link(s, d, c))
+        };
+        eval.update(delta).unwrap();
+    }
+}
+
+/// One burst of random churn over the undirected link set: ~30% of the
+/// existing links are deleted or re-costed, and a few fresh links appear.
+/// Returns the incremental operations applied to `base` (which is mutated
+/// to the post-burst state).
+fn burst(rng: &mut StdRng, base: &mut BTreeMap<(u32, u32), f64>) -> Vec<(bool, u32, u32, f64)> {
+    let mut ops = Vec::new();
+    let existing: Vec<((u32, u32), f64)> = base.iter().map(|(&k, &c)| (k, c)).collect();
+    for ((a, b), old_cost) in existing {
+        if !rng.random_bool(0.3) {
+            continue;
+        }
+        ops.push((false, a, b, old_cost));
+        base.remove(&(a, b));
+        if rng.random_bool(0.5) {
+            // Re-cost: delete-then-insert, Section 4's update definition.
+            let new_cost = f64::from(rng.random_range(1u32..10)) / 2.0;
+            ops.push((true, a, b, new_cost));
+            base.insert((a, b), new_cost);
+        }
+    }
+    // A couple of fresh links keep the graph from draining.
+    for _ in 0..2 {
+        let a = rng.random_range(0u32..NODES);
+        let b = rng.random_range(0u32..NODES);
+        if a == b {
+            continue;
+        }
+        let key = canonical(a, b);
+        if base.contains_key(&key) {
+            continue;
+        }
+        let cost = f64::from(rng.random_range(1u32..10)) / 2.0;
+        ops.push((true, key.0, key.1, cost));
+        base.insert(key, cost);
+    }
+    ops
+}
+
+/// Sorted tuple set of a relation.
+fn snapshot(eval: &Evaluator, relation: &str) -> BTreeSet<Tuple> {
+    eval.results(relation).into_iter().collect()
+}
+
+/// `shortestPath` projected to (source, destination, cost). Equal-cost
+/// ties may be won by different representative path vectors depending on
+/// update interleaving — a legitimate nondeterminism under (S, D)-keyed
+/// replacement that the distributed tests tolerate the same way — so the
+/// oracle comparison pins costs, not vectors.
+fn cost_snapshot(eval: &Evaluator) -> BTreeSet<(Value, Value, Value)> {
+    eval.results("shortestPath")
+        .into_iter()
+        .map(|t| {
+            (
+                t.get(0).unwrap().clone(),
+                t.get(1).unwrap().clone(),
+                t.get(3).unwrap().clone(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn churn_matches_from_scratch_for_every_strategy() {
+    let strategies = [
+        Strategy::SemiNaive,
+        Strategy::Buffered { batch: 1 },
+        Strategy::Buffered { batch: 2 },
+        Strategy::Pipelined,
+    ];
+    for seed in [7u64, 42, 0xc0ffee, 2026] {
+        for strategy in strategies {
+            let mut rng = StdRng::seed_from_u64(seed);
+            // A random initial graph: every undirected pair is a link with
+            // probability 0.6.
+            let mut base: BTreeMap<(u32, u32), f64> = BTreeMap::new();
+            for a in 0..NODES {
+                for b in (a + 1)..NODES {
+                    if rng.random_bool(0.6) {
+                        let cost = f64::from(rng.random_range(1u32..10)) / 2.0;
+                        base.insert((a, b), cost);
+                    }
+                }
+            }
+            let program = programs::shortest_path("");
+            let mut incremental = Evaluator::new(&program).unwrap();
+            load(&mut incremental, &base);
+            incremental.run(strategy).unwrap();
+
+            for round in 0..BURSTS {
+                for (insert, a, b, c) in burst(&mut rng, &mut base) {
+                    apply(&mut incremental, insert, a, b, c);
+                }
+                let mut scratch = Evaluator::new(&program).unwrap();
+                load(&mut scratch, &base);
+                scratch.run(Strategy::Pipelined).unwrap();
+                // Every layer must match, not just the query result: the
+                // historical bugs started as stale `path` tuples and
+                // unretracted `spCost` aggregates. `path` and `spCost` are
+                // tie-free (all cycle-free paths / one aggregate per
+                // group), so they compare exactly.
+                for relation in ["path", "spCost"] {
+                    assert_eq!(
+                        snapshot(&incremental, relation),
+                        snapshot(&scratch, relation),
+                        "seed {seed}, {strategy:?}, burst {round}: \
+                         incremental {relation} diverged from from-scratch"
+                    );
+                }
+                assert_eq!(
+                    cost_snapshot(&incremental),
+                    cost_snapshot(&scratch),
+                    "seed {seed}, {strategy:?}, burst {round}: \
+                     incremental shortestPath costs diverged from from-scratch"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn full_teardown_leaves_nothing_behind() {
+    // Deleting every base link one by one must drain every derived layer,
+    // whatever the initial strategy — the harshest count-exactness test.
+    for strategy in [
+        Strategy::SemiNaive,
+        Strategy::Buffered { batch: 1 },
+        Strategy::Pipelined,
+    ] {
+        let mut base: BTreeMap<(u32, u32), f64> = BTreeMap::new();
+        let mut rng = StdRng::seed_from_u64(99);
+        for a in 0..NODES {
+            for b in (a + 1)..NODES {
+                if rng.random_bool(0.7) {
+                    base.insert((a, b), f64::from(rng.random_range(1u32..6)));
+                }
+            }
+        }
+        let program = programs::shortest_path("");
+        let mut eval = Evaluator::new(&program).unwrap();
+        load(&mut eval, &base);
+        eval.run(strategy).unwrap();
+        for (&(a, b), &c) in &base {
+            apply(&mut eval, false, a, b, c);
+        }
+        for relation in ["path", "spCost", "shortestPath"] {
+            assert!(
+                eval.results(relation).is_empty(),
+                "{strategy:?}: {relation} retained tuples after full teardown"
+            );
+        }
+    }
+}

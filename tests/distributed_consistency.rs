@@ -149,6 +149,23 @@ fn bursty_updates_converge_to_the_final_state() {
         assert!(report.quiesced);
     }
 
+    // A pure deletion burst: another 10% of links disappear outright (no
+    // re-insertion), exercising the DRed over-delete/re-derive pass across
+    // node boundaries.
+    for update in workload.burst() {
+        let cost = update.old_cost;
+        engine
+            .delete_base(update.a, "link", link(update.a, update.b, cost))
+            .unwrap();
+        engine
+            .delete_base(update.b, "link", link(update.b, update.a, cost))
+            .unwrap();
+        current.remove(&(update.a, update.b));
+        current.remove(&(update.b, update.a));
+    }
+    let report = engine.run_to_quiescence().unwrap();
+    assert!(report.quiesced);
+
     let base: Vec<(String, Tuple)> = current
         .iter()
         .map(|((s, d), c)| ("link".to_string(), link(*s, *d, *c)))
@@ -204,10 +221,25 @@ fn parallel_execution_is_deterministic_across_seeds_and_topologies() {
                 }
                 engine.run_to_quiescence().unwrap();
                 // One update burst: deletions + reinsertions stress the
-                // rederivation and FIFO-replay paths.
+                // DRed re-derivation and FIFO-replay paths.
                 let mut workload = UpdateWorkload::paper(&overlay.links(), Metric::Latency, seed);
                 for update in workload.burst() {
                     engine.apply_link_update("link", &update).unwrap();
+                }
+                let report = engine.run_to_quiescence().unwrap();
+                assert!(report.quiesced, "{name}/seed {seed}/threads {threads}");
+                // Then a pure deletion burst — links vanish for good, so
+                // the over-delete closures (and the remote retractions
+                // they ship) must themselves be bit-for-bit deterministic
+                // across executor thread counts.
+                for update in workload.burst() {
+                    let cost = update.old_cost;
+                    engine
+                        .delete_base(update.a, "link", link(update.a, update.b, cost))
+                        .unwrap();
+                    engine
+                        .delete_base(update.b, "link", link(update.b, update.a, cost))
+                        .unwrap();
                 }
                 let report = engine.run_to_quiescence().unwrap();
                 assert!(report.quiesced, "{name}/seed {seed}/threads {threads}");

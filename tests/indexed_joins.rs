@@ -4,9 +4,12 @@
 //! * joins with bound columns run as index probes end to end — the
 //!   distributed engine's computation counters show tuples-examined
 //!   proportional to matches, not relation sizes;
-//! * the rederivation compensation for P2's lossy primary-key replacement
-//!   semantics (a regression test for a fixpoint divergence between the
+//! * DRed re-derivation restoring survivors after P2's lossy primary-key
+//!   replacements (a regression test for a fixpoint divergence between the
 //!   original and localized shortest-path programs);
+//! * deletion cascades are exact for every initial evaluation strategy
+//!   (the over-delete/re-derive pass, regression-tested against the
+//!   formerly documented SN/BSN-initial stale-retraction edge);
 //! * evaluator fixpoints are identical with and without the index layer
 //!   (the index is an access path, never a semantics change).
 
@@ -133,17 +136,6 @@ fn index_layer_is_a_pure_access_path() {
     // the same fixpoint as evaluating the final base data from scratch
     // (the seed's Theorem 3 check, now with index accounting), and the
     // incremental run must actually use the indexes.
-    //
-    // Known remaining edge (the DRed follow-on recorded in ROADMAP.md):
-    // incremental updates are only guaranteed for PSN. With an SN/BSN
-    // *initial* run followed by PSN updates, a deletion cascade can join a
-    // derived tuple against an aggregate that the cascade has already
-    // moved past the tuple's value (e.g. `shortestPath :- spCost, path`
-    // where spCost advances before the matching path deletion fires),
-    // missing the retraction and stranding a stale tuple. A full
-    // over-delete/re-derive (DRed) pass would close it; the rederivation
-    // compensation here only covers derivations lost to primary-key
-    // replacements.
     let program = programs::shortest_path("");
     let edges = [(0u32, 1u32, 5.0), (0, 2, 1.0), (2, 1, 1.0), (1, 3, 1.0)];
 
@@ -175,6 +167,62 @@ fn index_layer_is_a_pure_access_path() {
     let b: BTreeSet<Tuple> = scratch.results("shortestPath").into_iter().collect();
     assert_eq!(a, b);
     assert_eq!(a.len(), 12);
+}
+
+#[test]
+fn deletion_cascades_are_exact_for_any_initial_strategy() {
+    // Regression for the formerly documented mixed-strategy edge: an
+    // SN/BSN initial run over-counts derivations (no Theorem-2 guarantee),
+    // so a count-trusting PSN deletion cascade used to leave `path` tuples
+    // behind, the `spCost` aggregate then advanced past the pending
+    // retraction, and a stale `shortestPath` survived — e.g. deleting the
+    // 0-2 links after a BSN(1) run stranded shortestPath(1,0,[1,2,0],2.0).
+    // The DRed over-delete/re-derive pass removes the closure outright and
+    // restores survivors, so incremental must equal from-scratch for every
+    // initial strategy.
+    let program = programs::shortest_path("");
+    let edges = [(0u32, 1u32, 5.0), (0, 2, 1.0), (2, 1, 1.0), (1, 3, 1.0)];
+
+    let mut scratch = Evaluator::new(&program).unwrap();
+    for (a, b, c) in [(0u32, 1u32, 5.0), (2, 1, 1.0), (1, 3, 1.0)] {
+        scratch.insert_fact("link", link(a, b, c));
+        scratch.insert_fact("link", link(b, a, c));
+    }
+    scratch.run(Strategy::Pipelined).unwrap();
+    let oracle: BTreeSet<Tuple> = scratch.results("shortestPath").into_iter().collect();
+
+    for strategy in [
+        Strategy::SemiNaive,
+        Strategy::Buffered { batch: 1 },
+        Strategy::Buffered { batch: 3 },
+        Strategy::Pipelined,
+    ] {
+        let mut incremental = Evaluator::new(&program).unwrap();
+        for (a, b, c) in edges {
+            incremental.insert_fact("link", link(a, b, c));
+            incremental.insert_fact("link", link(b, a, c));
+        }
+        incremental.run(strategy).unwrap();
+        incremental
+            .update(TupleDelta::delete("link", link(0, 2, 1.0)))
+            .unwrap();
+        incremental
+            .update(TupleDelta::delete("link", link(2, 0, 1.0)))
+            .unwrap();
+        let got: BTreeSet<Tuple> = incremental.results("shortestPath").into_iter().collect();
+        assert_eq!(
+            got, oracle,
+            "{strategy:?} initial run + PSN deletions diverged from scratch"
+        );
+        // The intermediate layers must be exact too, not just the query
+        // result: stale `path` tuples are where the old bug started.
+        let got_paths: BTreeSet<Tuple> = incremental.results("path").into_iter().collect();
+        let oracle_paths: BTreeSet<Tuple> = scratch.results("path").into_iter().collect();
+        assert_eq!(got_paths, oracle_paths, "{strategy:?} left stale paths");
+        let got_costs: BTreeSet<Tuple> = incremental.results("spCost").into_iter().collect();
+        let oracle_costs: BTreeSet<Tuple> = scratch.results("spCost").into_iter().collect();
+        assert_eq!(got_costs, oracle_costs, "{strategy:?} left stale spCost");
+    }
 }
 
 #[test]
