@@ -5,6 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use ndlog_lang::seminaive::delta_rewrite_full;
 use ndlog_lang::{parse_program, Value};
+use ndlog_runtime::batch::{BatchOutput, BatchScratch, BatchTrigger};
 use ndlog_runtime::strand::JoinStats;
 use ndlog_runtime::{AggregateView, CompiledStrand, Store, Tuple, TupleDelta};
 
@@ -126,6 +127,66 @@ fn bench(c: &mut Criterion) {
                 assert_eq!(out.len(), 10);
                 assert_eq!(stats.tuples_examined as u32, n);
                 out.len()
+            })
+        });
+    }
+
+    // Batch-delta vs tuple-at-a-time on the indexed join: a batch of 64
+    // reach triggers, each probing the 10-match link bucket, fired through
+    // the flat-buffer batch path and the per-tuple reference path.
+    {
+        let mut store = Store::new();
+        store.declare_indexes(reach_strands.iter());
+        for i in 0..10_000u32 {
+            let dst = if i % 1_000 == 0 { 1 } else { 2 + (i % 97) };
+            store.apply(&TupleDelta::insert(
+                "link",
+                Tuple::new(vec![
+                    Value::addr(1000 + i),
+                    Value::addr(dst),
+                    Value::Float(1.0),
+                ]),
+            ));
+        }
+        let deltas: Vec<TupleDelta> = (0..64u32)
+            .map(|d| {
+                TupleDelta::insert(
+                    "reach",
+                    Tuple::new(vec![Value::addr(1u32), Value::addr(20_000 + d)]),
+                )
+            })
+            .collect();
+        group.bench_function("join_link10000_batch64_tuple_at_a_time", |b| {
+            b.iter(|| {
+                let mut stats = JoinStats::default();
+                let mut total = 0usize;
+                for delta in &deltas {
+                    total += reach_strand
+                        .fire_counted(&store, delta, u64::MAX, &mut stats)
+                        .unwrap()
+                        .len();
+                }
+                assert_eq!(total, 640);
+                total
+            })
+        });
+        let triggers: Vec<BatchTrigger> = deltas
+            .iter()
+            .map(|delta| BatchTrigger {
+                delta,
+                seq_limit: u64::MAX,
+            })
+            .collect();
+        let mut scratch = BatchScratch::default();
+        let mut out = BatchOutput::default();
+        group.bench_function("join_link10000_batch64_fire_batch", |b| {
+            b.iter(|| {
+                let mut stats = JoinStats::default();
+                reach_strand
+                    .fire_batch(&store, &triggers, &mut stats, &mut scratch, &mut out)
+                    .unwrap();
+                assert_eq!(out.all().len(), 640);
+                out.all().len()
             })
         });
     }

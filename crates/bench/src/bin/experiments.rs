@@ -1,15 +1,23 @@
-//! Command-line driver that regenerates the paper's figures.
+//! Command-line driver that regenerates the paper's figures and the
+//! runtime performance reports.
 //!
 //! ```text
-//! cargo run --release -p ndlog-bench --bin experiments -- <figure> [scale] [--threads N] [--json PATH]
+//! cargo run --release -p ndlog-bench --bin experiments -- <figure> [scale] [options]
 //!
 //! <figure>    fig7 | fig8 | fig9 | fig10 | fig11 | fig12 | fig13 | fig14 |
-//!             scaling | summary | all
+//!             scaling | micro | vectorization | summary | all
 //! [scale]     paper (default, 100 nodes) | small (14 nodes) | large (264 nodes)
 //! --threads N maximum executor thread count for the `scaling` figure
 //!             (measures 1..=N in powers of two; default 4)
-//! --json PATH write the scaling report as machine-readable JSON
-//!             (the `BENCH_parallel_scaling.json` format)
+//! --json PATH write the figure's machine-readable JSON report
+//!             (scaling -> BENCH_parallel_scaling.json format,
+//!              micro -> BENCH_micro_runtime.json format,
+//!              vectorization -> BENCH_batch_vectorization.json format)
+//! --baseline PATH  (`micro` only) compare against a committed
+//!             BENCH_micro_runtime.json and exit non-zero if the indexed
+//!             probe path regressed more than 2x — the CI smoke gate
+//! --reference PATH (`vectorization` only) a prior scaling JSON whose
+//!             1-thread run becomes the before-change wall-clock reference
 //! ```
 //!
 //! Figures 7/8 and 9/10 come from the same runs, so either name prints both
@@ -18,16 +26,18 @@
 //! bit-for-bit identity check against the sequential baseline.
 
 use ndlog_bench::experiments::{
-    aggregate_selections, incremental_updates, incremental_updates_interleaved, magic_sets,
-    message_sharing, parallel_scaling, periodic_aggregate_selections,
+    aggregate_selections, batch_vectorization, incremental_updates,
+    incremental_updates_interleaved, magic_sets, message_sharing, micro_runtime, parallel_scaling,
+    periodic_aggregate_selections, ScalingReference,
 };
 use ndlog_bench::Scale;
 use ndlog_net::topology::Metric;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|scaling|summary|all> \
-         [paper|small|large] [--threads N] [--json PATH]"
+        "usage: experiments <fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|scaling|micro|\
+         vectorization|summary|all> [paper|small|large] [--threads N] [--json PATH] \
+         [--baseline PATH] [--reference PATH]"
     );
     std::process::exit(2);
 }
@@ -38,14 +48,20 @@ struct Options {
     scale: Scale,
     /// Maximum executor thread count for the scaling figure.
     threads: usize,
-    /// Where to write the scaling JSON report, if anywhere.
+    /// Where to write the figure's JSON report, if anywhere.
     json: Option<String>,
+    /// Committed micro-bench JSON to gate regressions against.
+    baseline: Option<String>,
+    /// Prior scaling JSON used as the vectorization reference.
+    reference: Option<String>,
 }
 
 fn parse_args(args: &[String]) -> Options {
     let mut positional = Vec::new();
     let mut threads = None;
     let mut json = None;
+    let mut baseline = None;
+    let mut reference = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -60,6 +76,12 @@ fn parse_args(args: &[String]) -> Options {
             "--json" => {
                 json = Some(iter.next().cloned().unwrap_or_else(|| usage()));
             }
+            "--baseline" => {
+                baseline = Some(iter.next().cloned().unwrap_or_else(|| usage()));
+            }
+            "--reference" => {
+                reference = Some(iter.next().cloned().unwrap_or_else(|| usage()));
+            }
             _ if arg.starts_with("--") => usage(),
             _ => positional.push(arg.clone()),
         }
@@ -72,10 +94,26 @@ fn parse_args(args: &[String]) -> Options {
     if positional.len() > 2 {
         usage();
     }
-    // --threads / --json only drive the scaling figure (also reached via
-    // "all"); rejecting them elsewhere beats silently ignoring them.
-    if figure != "scaling" && figure != "all" && (threads.is_some() || json.is_some()) {
-        eprintln!("--threads/--json apply only to the `scaling` (or `all`) figure");
+    // Flags only drive specific figures; rejecting them elsewhere beats
+    // silently ignoring them.
+    let takes_json = matches!(
+        figure.as_str(),
+        "scaling" | "micro" | "vectorization" | "all"
+    );
+    if !takes_json && json.is_some() {
+        eprintln!("--json applies only to scaling, micro, vectorization (or all)");
+        usage();
+    }
+    if threads.is_some() && figure != "scaling" && figure != "all" {
+        eprintln!("--threads applies only to the `scaling` (or `all`) figure");
+        usage();
+    }
+    if baseline.is_some() && figure != "micro" {
+        eprintln!("--baseline applies only to the `micro` figure");
+        usage();
+    }
+    if reference.is_some() && figure != "vectorization" {
+        eprintln!("--reference applies only to the `vectorization` figure");
         usage();
     }
     Options {
@@ -83,6 +121,71 @@ fn parse_args(args: &[String]) -> Options {
         scale,
         threads: threads.unwrap_or(4),
         json,
+        baseline,
+        reference,
+    }
+}
+
+/// Extract the first `"field": <number>` occurrence from a JSON report.
+/// The reports are flat machine-written files, so a scan beats pulling a
+/// JSON parser into the offline dependency set.
+fn json_number(text: &str, field: &str) -> Option<f64> {
+    let needle = format!("\"{field}\":");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Run the micro join bench, optionally writing JSON and gating against a
+/// committed baseline: the job fails when the indexed probe path is more
+/// than 2x slower than the baseline's.
+fn run_micro(options: &Options) {
+    let result = micro_runtime();
+    println!("{}", result.render());
+    if let Some(path) = &options.json {
+        std::fs::write(path, result.to_json()).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("wrote {path}");
+    }
+    if let Some(path) = &options.baseline {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
+        let committed = json_number(&text, "indexed_batch_us_per_trigger")
+            .unwrap_or_else(|| panic!("{path} has no indexed_batch_us_per_trigger"));
+        let measured = result.indexed_batch_us;
+        println!(
+            "baseline gate: measured {measured:.3} µs vs committed {committed:.3} µs \
+             (limit {:.3} µs)",
+            committed * 2.0
+        );
+        if measured > committed * 2.0 {
+            eprintln!("FAIL: indexed probe path regressed more than 2x vs {path}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Run the batch-vectorization report (micro bench + scaling at 1/2/4
+/// threads), pulling the before-change reference out of a prior scaling
+/// JSON when one is given.
+fn run_vectorization(options: &Options) {
+    let reference = options.reference.as_ref().map(|path| {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
+        let wall = json_number(&text, "wall_seconds")
+            .unwrap_or_else(|| panic!("{path} has no wall_seconds"));
+        let messages = json_number(&text, "messages")
+            .unwrap_or_else(|| panic!("{path} has no messages")) as usize;
+        ScalingReference {
+            wall_seconds: wall,
+            messages,
+        }
+    });
+    let result = batch_vectorization(options.scale, reference);
+    println!("{}", result.render());
+    if let Some(path) = &options.json {
+        std::fs::write(path, result.to_json()).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("wrote {path}");
     }
 }
 
@@ -156,6 +259,12 @@ fn run_figure(figure: &str, options: &Options) {
         }
         "scaling" => {
             run_scaling(options);
+        }
+        "micro" => {
+            run_micro(options);
+        }
+        "vectorization" => {
+            run_vectorization(options);
         }
         "summary" => {
             summary(scale);

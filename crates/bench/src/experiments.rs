@@ -823,6 +823,11 @@ pub struct ParallelScalingResult {
     /// demonstrates that epoch overhead is negligible) from a real
     /// multicore one.
     pub cpus: usize,
+    /// Human-readable context for the numbers (most importantly: whether
+    /// the host was CPU-pinned below the thread count, which caps speedup
+    /// at ~1.0 regardless of the executor). Serialized into the JSON
+    /// report so trajectory comparisons across commits stay honest.
+    pub note: String,
     /// One run per thread count, 1 first.
     pub runs: Vec<ScalingRun>,
 }
@@ -892,6 +897,7 @@ impl ParallelScalingResult {
         let _ = writeln!(out, "  \"scale\": \"{}\",", self.scale.label());
         let _ = writeln!(out, "  \"nodes\": {},", self.nodes);
         let _ = writeln!(out, "  \"cpus\": {},", self.cpus);
+        let _ = writeln!(out, "  \"note\": \"{}\",", self.note);
         let _ = writeln!(out, "  \"runs\": [");
         for (i, r) in self.runs.iter().enumerate() {
             let comma = if i + 1 < self.runs.len() { "," } else { "" };
@@ -967,11 +973,381 @@ pub fn parallel_scaling(scale: Scale, thread_counts: &[usize]) -> ParallelScalin
         }
     }
 
+    let cpus = std::thread::available_parallelism().map_or(1, usize::from);
+    let max_threads = counts.iter().copied().max().unwrap_or(1);
+    let note = if cpus < max_threads {
+        format!(
+            "host pinned to {cpus} CPU(s) (CI containers are 1-CPU-pinned): wall-clock speedup \
+             is capped by the host, so these numbers demonstrate only that epoch/steal overhead \
+             is negligible; re-measure on a multicore host for real scaling"
+        )
+    } else {
+        format!("measured on a host with {cpus} CPU(s) for up to {max_threads} executor threads")
+    };
     ParallelScalingResult {
         scale,
         nodes: testbed.node_count(),
-        cpus: std::thread::available_parallelism().map_or(1, usize::from),
+        cpus,
+        note,
         runs,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Micro runtime: the indexed-join hot path, tuple-at-a-time vs batch-delta.
+// ---------------------------------------------------------------------------
+
+/// Wall-clock measurements of the runtime's join hot path: one strand
+/// probing a `relation_size`-tuple relation with `matches_per_probe`
+/// matches per trigger, fired tuple-at-a-time (`fire_counted`), in a delta
+/// batch (`fire_batch`), and tuple-at-a-time without the index (full
+/// scan).
+#[derive(Debug, Clone)]
+pub struct MicroRuntimeResult {
+    /// Stored tuples in the probed relation.
+    pub relation_size: usize,
+    /// Matching tuples per probe.
+    pub matches_per_probe: usize,
+    /// Triggers per batch (and per timed pass).
+    pub batch_size: usize,
+    /// Timed passes per path (after one warmup pass).
+    pub iters: usize,
+    /// Tuple-at-a-time firing through the index, µs per trigger.
+    pub indexed_fire_us: f64,
+    /// Batch-delta firing through the index, µs per trigger.
+    pub indexed_batch_us: f64,
+    /// Tuple-at-a-time firing without the index (full scan), µs per
+    /// trigger.
+    pub scan_fire_us: f64,
+}
+
+impl MicroRuntimeResult {
+    /// Speedup of batch-delta over tuple-at-a-time on the indexed path.
+    pub fn batch_speedup(&self) -> f64 {
+        self.indexed_fire_us / self.indexed_batch_us.max(f64::MIN_POSITIVE)
+    }
+
+    /// Speedup of the indexed probe over the full scan (tuple-at-a-time).
+    pub fn indexed_vs_scan_speedup(&self) -> f64 {
+        self.scan_fire_us / self.indexed_fire_us.max(f64::MIN_POSITIVE)
+    }
+
+    /// Render the measurement table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "Runtime join micro-bench ({} tuples, {} matches/probe, batch of {})",
+            self.relation_size, self.matches_per_probe, self.batch_size
+        );
+        let _ = writeln!(out, "{:<28} {:>14}", "path", "µs / trigger");
+        let _ = writeln!(
+            out,
+            "{:<28} {:>14.3}",
+            "indexed, tuple-at-a-time", self.indexed_fire_us
+        );
+        let _ = writeln!(
+            out,
+            "{:<28} {:>14.3}",
+            "indexed, batch-delta", self.indexed_batch_us
+        );
+        let _ = writeln!(
+            out,
+            "{:<28} {:>14.3}",
+            "scan, tuple-at-a-time", self.scan_fire_us
+        );
+        let _ = writeln!(out, "batch speedup: {:.2}x", self.batch_speedup());
+        let _ = writeln!(
+            out,
+            "indexed vs scan: {:.2}x",
+            self.indexed_vs_scan_speedup()
+        );
+        out
+    }
+
+    /// Serialize as the `BENCH_micro_runtime.json` format.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"bench\": \"micro_runtime\",");
+        let _ = writeln!(out, "  \"relation_size\": {},", self.relation_size);
+        let _ = writeln!(out, "  \"matches_per_probe\": {},", self.matches_per_probe);
+        let _ = writeln!(out, "  \"batch_size\": {},", self.batch_size);
+        let _ = writeln!(out, "  \"iters\": {},", self.iters);
+        let _ = writeln!(
+            out,
+            "  \"indexed_fire_us_per_trigger\": {:.4},",
+            self.indexed_fire_us
+        );
+        let _ = writeln!(
+            out,
+            "  \"indexed_batch_us_per_trigger\": {:.4},",
+            self.indexed_batch_us
+        );
+        let _ = writeln!(
+            out,
+            "  \"scan_fire_us_per_trigger\": {:.4},",
+            self.scan_fire_us
+        );
+        let _ = writeln!(out, "  \"batch_speedup\": {:.4},", self.batch_speedup());
+        let _ = writeln!(
+            out,
+            "  \"indexed_vs_scan_speedup\": {:.4}",
+            self.indexed_vs_scan_speedup()
+        );
+        let _ = writeln!(out, "}}");
+        out
+    }
+}
+
+/// Run the join micro-bench: the `rc2` reachability strand probing a
+/// `link` relation of 10⁴ tuples (10 matching per probe), with a batch of
+/// 256 triggers per pass. Deterministic workload, wall-clock timed.
+pub fn micro_runtime() -> MicroRuntimeResult {
+    use ndlog_runtime::batch::{BatchOutput, BatchScratch, BatchTrigger};
+    use ndlog_runtime::strand::JoinStats;
+    use ndlog_runtime::{CompiledStrand, Store, TupleDelta};
+
+    const RELATION_SIZE: usize = 10_000;
+    const MATCHES: usize = 10;
+    const BATCH: usize = 256;
+    const ITERS: usize = 40;
+    const SCAN_ITERS: usize = 4;
+
+    let program =
+        ndlog_lang::parse_program("rc2 reach(@S,@D) :- #link(@S,@Z,C), reach(@Z,@D).").unwrap();
+    let strands: Vec<CompiledStrand> = ndlog_lang::seminaive::delta_rewrite_full(&program)
+        .into_iter()
+        .map(CompiledStrand::new)
+        .collect();
+    let strand = strands
+        .iter()
+        .find(|s| s.trigger_relation() == "reach")
+        .unwrap();
+    let build_store = |indexed: bool| -> Store {
+        let mut store = Store::new();
+        if indexed {
+            store.declare_indexes(strands.iter());
+        }
+        for i in 0..RELATION_SIZE as u32 {
+            // Exactly MATCHES links point at node 1 (the probed bucket).
+            let dst = if i % (RELATION_SIZE as u32 / MATCHES as u32) == 0 {
+                1
+            } else {
+                2 + (i % 97)
+            };
+            store.apply(&TupleDelta::insert(
+                "link",
+                Tuple::new(vec![
+                    Value::addr(1000 + i),
+                    Value::addr(dst),
+                    Value::Float(1.0),
+                ]),
+            ));
+        }
+        store
+    };
+    let indexed = build_store(true);
+    let scan = build_store(false);
+    let triggers: Vec<TupleDelta> = (0..BATCH as u32)
+        .map(|d| {
+            TupleDelta::insert(
+                "reach",
+                Tuple::new(vec![Value::addr(1u32), Value::addr(10_000 + d)]),
+            )
+        })
+        .collect();
+
+    let time_fire = |store: &Store, iters: usize| -> f64 {
+        let mut stats = JoinStats::default();
+        // Warmup + timed passes.
+        for t in &triggers {
+            let out = strand.fire_counted(store, t, u64::MAX, &mut stats).unwrap();
+            assert_eq!(out.len(), MATCHES);
+        }
+        let start = std::time::Instant::now();
+        for _ in 0..iters {
+            for t in &triggers {
+                let out = strand.fire_counted(store, t, u64::MAX, &mut stats).unwrap();
+                assert_eq!(out.len(), MATCHES);
+            }
+        }
+        start.elapsed().as_secs_f64() * 1e6 / (iters * BATCH) as f64
+    };
+
+    let indexed_fire_us = time_fire(&indexed, ITERS);
+    let scan_fire_us = time_fire(&scan, SCAN_ITERS);
+
+    let batch: Vec<BatchTrigger> = triggers
+        .iter()
+        .map(|delta| BatchTrigger {
+            delta,
+            seq_limit: u64::MAX,
+        })
+        .collect();
+    let mut scratch = BatchScratch::default();
+    let mut out = BatchOutput::default();
+    let mut stats = JoinStats::default();
+    strand
+        .fire_batch(&indexed, &batch, &mut stats, &mut scratch, &mut out)
+        .unwrap();
+    assert_eq!(out.all().len(), MATCHES * BATCH);
+    let start = std::time::Instant::now();
+    for _ in 0..ITERS {
+        strand
+            .fire_batch(&indexed, &batch, &mut stats, &mut scratch, &mut out)
+            .unwrap();
+        assert_eq!(out.all().len(), MATCHES * BATCH);
+    }
+    let indexed_batch_us = start.elapsed().as_secs_f64() * 1e6 / (ITERS * BATCH) as f64;
+
+    MicroRuntimeResult {
+        relation_size: RELATION_SIZE,
+        matches_per_probe: MATCHES,
+        batch_size: BATCH,
+        iters: ITERS,
+        indexed_fire_us,
+        indexed_batch_us,
+        scan_fire_us,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Batch vectorization: micro join speedup + end-to-end scaling wall clock.
+// ---------------------------------------------------------------------------
+
+/// A prior scaling measurement to compare against (typically the committed
+/// `BENCH_parallel_scaling.json` from before a change): 1-thread wall
+/// seconds and the message count that must not change.
+#[derive(Debug, Clone, Copy)]
+pub struct ScalingReference {
+    /// Wall seconds of the reference 1-thread run.
+    pub wall_seconds: f64,
+    /// Messages sent by the reference run.
+    pub messages: usize,
+}
+
+/// The batch-vectorization report: the micro join bench (tuple-at-a-time
+/// vs batch) plus a fresh end-to-end scaling run, with an optional
+/// before-change reference for the wall-clock comparison.
+#[derive(Debug, Clone)]
+pub struct BatchVectorizationResult {
+    /// The micro join measurements.
+    pub micro: MicroRuntimeResult,
+    /// The end-to-end scaling runs (1 thread first).
+    pub scaling: ParallelScalingResult,
+    /// The before-change reference, if one was supplied.
+    pub reference: Option<ScalingReference>,
+}
+
+impl BatchVectorizationResult {
+    fn baseline_run(&self) -> &ScalingRun {
+        self.scaling
+            .runs
+            .iter()
+            .find(|r| r.threads == 1)
+            .expect("a 1-thread baseline is always run")
+    }
+
+    /// Wall-clock improvement of the 1-thread run over the reference
+    /// (>1 = faster now), when a reference exists.
+    pub fn wall_improvement(&self) -> Option<f64> {
+        let run = self.baseline_run();
+        self.reference
+            .map(|r| r.wall_seconds / run.wall_seconds.max(f64::MIN_POSITIVE))
+    }
+
+    /// Render the report.
+    pub fn render(&self) -> String {
+        let mut out = self.micro.render();
+        let _ = writeln!(out);
+        out.push_str(&self.scaling.render());
+        if let (Some(reference), Some(improvement)) = (self.reference, self.wall_improvement()) {
+            let run = self.baseline_run();
+            let _ = writeln!(
+                out,
+                "vs reference: {:.3} s -> {:.3} s at 1 thread ({:.2}x), messages {} -> {}",
+                reference.wall_seconds,
+                run.wall_seconds,
+                improvement,
+                reference.messages,
+                run.messages
+            );
+        }
+        out
+    }
+
+    /// Serialize as the `BENCH_batch_vectorization.json` format.
+    pub fn to_json(&self) -> String {
+        let run = self.baseline_run();
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"bench\": \"batch_vectorization\",");
+        let _ = writeln!(out, "  \"micro\": {{");
+        let _ = writeln!(
+            out,
+            "    \"indexed_fire_us_per_trigger\": {:.4},",
+            self.micro.indexed_fire_us
+        );
+        let _ = writeln!(
+            out,
+            "    \"indexed_batch_us_per_trigger\": {:.4},",
+            self.micro.indexed_batch_us
+        );
+        let _ = writeln!(
+            out,
+            "    \"batch_speedup\": {:.4}",
+            self.micro.batch_speedup()
+        );
+        let _ = writeln!(out, "  }},");
+        let _ = writeln!(out, "  \"scaling\": {{");
+        let _ = writeln!(out, "    \"scale\": \"{}\",", self.scaling.scale.label());
+        let _ = writeln!(out, "    \"nodes\": {},", self.scaling.nodes);
+        let _ = writeln!(out, "    \"cpus\": {},", self.scaling.cpus);
+        let _ = writeln!(out, "    \"note\": \"{}\",", self.scaling.note);
+        let _ = writeln!(out, "    \"wall_seconds\": {:.6},", run.wall_seconds);
+        let _ = writeln!(out, "    \"messages\": {},", run.messages);
+        let _ = writeln!(out, "    \"total_mb\": {:.6},", run.total_mb);
+        let _ = writeln!(out, "    \"quiesced\": {},", run.quiesced);
+        let identical = self.scaling.runs.iter().all(|r| r.identical);
+        let same_messages = self.scaling.runs.iter().all(|r| r.messages == run.messages);
+        let _ = writeln!(out, "    \"identical\": {}", identical && same_messages);
+        let _ = writeln!(out, "  }},");
+        match (self.reference, self.wall_improvement()) {
+            (Some(reference), Some(improvement)) => {
+                let _ = writeln!(out, "  \"reference\": {{");
+                let _ = writeln!(out, "    \"wall_seconds\": {:.6},", reference.wall_seconds);
+                let _ = writeln!(out, "    \"messages\": {},", reference.messages);
+                let _ = writeln!(
+                    out,
+                    "    \"same_messages\": {},",
+                    reference.messages == run.messages
+                );
+                let _ = writeln!(out, "    \"wall_improvement\": {:.4}", improvement);
+                let _ = writeln!(out, "  }}");
+            }
+            _ => {
+                let _ = writeln!(out, "  \"reference\": null");
+            }
+        }
+        let _ = writeln!(out, "}}");
+        out
+    }
+}
+
+/// Measure the batch-vectorization work end to end: the micro join bench
+/// plus a scaling run at 1/2/4 threads (bit-identity verified in-run),
+/// optionally against a before-change reference.
+pub fn batch_vectorization(
+    scale: Scale,
+    reference: Option<ScalingReference>,
+) -> BatchVectorizationResult {
+    let micro = micro_runtime();
+    let scaling = parallel_scaling(scale, &[1, 2, 4]);
+    BatchVectorizationResult {
+        micro,
+        scaling,
+        reference,
     }
 }
 
@@ -1075,6 +1451,48 @@ mod tests {
         let json = result.to_json();
         assert!(json.contains("\"bench\": \"parallel_scaling\""));
         assert!(json.contains("\"threads\": 4"));
+        assert!(json.contains("\"cpus\": "));
+        assert!(
+            json.contains("\"note\": \""),
+            "the report must carry the host-pinning note"
+        );
+    }
+
+    #[test]
+    fn micro_and_vectorization_json_shapes() {
+        // The measurement itself runs in release via the CI smoke step;
+        // here only the report formats are checked.
+        let micro = MicroRuntimeResult {
+            relation_size: 10_000,
+            matches_per_probe: 10,
+            batch_size: 256,
+            iters: 40,
+            indexed_fire_us: 9.0,
+            indexed_batch_us: 4.5,
+            scan_fire_us: 120.0,
+        };
+        assert!((micro.batch_speedup() - 2.0).abs() < 1e-9);
+        let json = micro.to_json();
+        assert!(json.contains("\"bench\": \"micro_runtime\""));
+        assert!(json.contains("\"indexed_batch_us_per_trigger\": 4.5000"));
+        assert!(json.contains("\"batch_speedup\": 2.0000"));
+        assert!(!micro.render().is_empty());
+
+        let scaling = parallel_scaling(Scale::Small, &[2]);
+        let result = BatchVectorizationResult {
+            micro,
+            scaling,
+            reference: Some(ScalingReference {
+                wall_seconds: 1.0,
+                messages: 0,
+            }),
+        };
+        let json = result.to_json();
+        assert!(json.contains("\"bench\": \"batch_vectorization\""));
+        assert!(json.contains("\"reference\": {"));
+        assert!(json.contains("\"wall_improvement\": "));
+        assert!(result.wall_improvement().unwrap() > 0.0);
+        assert!(!result.render().is_empty());
     }
 
     #[test]

@@ -24,10 +24,11 @@
 //! seq)` order, producing bit-for-bit the same stores, statistics and
 //! message trace as the sequential loop.
 
-use crate::exec::{EpochExecutor, NodeAction, NodeTask};
-use crate::node::{NodeConfig, NodeEngine, ResultChange};
+use crate::exec::{
+    outbound_batches, result_records, EpochExecutor, NodeAction, NodeTask, OutboundBatch,
+};
+use crate::node::{NodeConfig, NodeEngine};
 use crate::plan::QueryPlan;
-use crate::sharing;
 use crate::updates::LinkUpdate;
 use ndlog_lang::Value;
 use ndlog_net::sim::{ms, to_seconds, SimTime};
@@ -181,15 +182,17 @@ impl DistributedEngine {
             nodes.insert(addr, engine);
         }
 
+        let sharing_enabled = config.node.sharing_delay.is_some();
         Ok(DistributedEngine {
             sim: Simulator::new(graph, config.sim),
             nodes,
             key_columns,
             result_log: Vec::new(),
             flush_pending: BTreeSet::new(),
-            sharing_enabled: config.node.sharing_delay.is_some(),
+            sharing_enabled,
             max_seconds: config.max_seconds,
-            executor: (config.parallelism >= 2).then(|| EpochExecutor::new(config.parallelism)),
+            executor: (config.parallelism >= 2)
+                .then(|| EpochExecutor::new(config.parallelism, sharing_enabled)),
         })
     }
 
@@ -203,7 +206,7 @@ impl DistributedEngine {
     /// OS threads per epoch. Safe to flip between runs — results are
     /// bit-for-bit identical either way.
     pub fn set_parallelism(&mut self, threads: usize) {
-        self.executor = (threads >= 2).then(|| EpochExecutor::new(threads));
+        self.executor = (threads >= 2).then(|| EpochExecutor::new(threads, self.sharing_enabled));
     }
 
     /// Current simulation time in seconds.
@@ -319,9 +322,11 @@ impl DistributedEngine {
 
     /// Process a node to its local fixpoint and ship its outbound batches.
     ///
-    /// Mirrors `exec::executor::run_shard` exactly (clock advance, then
-    /// soft-state expiry, then processing) — the two must stay in lockstep
-    /// for parallel runs to be bit-identical to sequential ones.
+    /// Mirrors `exec::executor::drain_lane` exactly (clock advance, then
+    /// soft-state expiry, then processing, then effect pre-serialization
+    /// through the shared `result_records` / `outbound_batches` helpers) —
+    /// the two must stay in lockstep for parallel runs to be bit-identical
+    /// to sequential ones.
     fn process_node(&mut self, addr: NodeAddr) -> Result<(), EvalError> {
         let now = self.sim.now();
         let output = {
@@ -332,9 +337,8 @@ impl DistributedEngine {
         };
         self.apply_effects(
             addr,
-            now,
-            output.changes,
-            output.outbound,
+            result_records(addr, now, output.changes),
+            outbound_batches(self.sharing_enabled, output.outbound),
             output.request_flush,
             false,
         );
@@ -347,22 +351,24 @@ impl DistributedEngine {
     /// shared by the sequential event loop (via [`Self::process_node`] and
     /// the flush-timer arm) and the epoch replay, so the two execution
     /// modes cannot drift apart and break the bit-for-bit determinism
-    /// contract.
+    /// contract. The effects arrive pre-serialized (timestamped records,
+    /// pre-sized batches) — in epoch mode they were rendered concurrently
+    /// inside the executor lanes, so this serial tail only appends and
+    /// pushes.
     fn apply_effects(
         &mut self,
         node: NodeAddr,
-        time: SimTime,
-        changes: Vec<ResultChange>,
-        sends: impl IntoIterator<Item = (NodeAddr, Vec<TupleDelta>)>,
+        mut records: Vec<ResultRecord>,
+        sends: Vec<OutboundBatch>,
         request_flush: bool,
         was_flush: bool,
     ) {
         if was_flush {
             self.flush_pending.remove(&node);
         }
-        self.record_changes(node, time, changes);
-        for (dest, deltas) in sends {
-            self.send_batch(node, dest, deltas);
+        self.result_log.append(&mut records);
+        for batch in sends {
+            self.send_batch(node, batch);
         }
         if request_flush && !self.flush_pending.contains(&node) {
             if let Some(interval) = self.nodes[&node].flush_interval() {
@@ -372,28 +378,16 @@ impl DistributedEngine {
         }
     }
 
-    fn record_changes(&mut self, node: NodeAddr, time: SimTime, changes: Vec<ResultChange>) {
-        for c in changes {
-            self.result_log.push(ResultRecord {
-                time,
-                node,
-                relation: c.relation,
-                tuple: c.tuple,
-                sign: c.sign,
-            });
-        }
-    }
-
-    fn send_batch(&mut self, from: NodeAddr, dest: NodeAddr, deltas: Vec<TupleDelta>) {
-        if deltas.is_empty() {
+    fn send_batch(&mut self, from: NodeAddr, batch: OutboundBatch) {
+        if batch.deltas.is_empty() {
             return;
         }
-        let bytes = if self.sharing_enabled {
-            sharing::combined_wire_size(&deltas)
-        } else {
-            sharing::plain_wire_size(&deltas)
-        };
-        self.sim.send(Message::new(from, dest, bytes, deltas));
+        self.sim.send(Message::new(
+            from,
+            batch.dest,
+            batch.payload_bytes,
+            batch.deltas,
+        ));
     }
 
     /// Process events until the simulation time exceeds `seconds` or the
@@ -425,8 +419,8 @@ impl DistributedEngine {
                 }
                 ndlog_net::EventKind::Timer { node, token } if token == FLUSH_TOKEN => {
                     let flushed = self.nodes.get_mut(&node).expect("known node").flush();
-                    let now = self.sim.now();
-                    self.apply_effects(node, now, Vec::new(), flushed, false, true);
+                    let batches = outbound_batches(self.sharing_enabled, flushed);
+                    self.apply_effects(node, Vec::new(), batches, false, true);
                 }
                 ndlog_net::EventKind::Timer { .. } => {}
             }
@@ -487,8 +481,7 @@ impl DistributedEngine {
                 self.sim.advance_to(outcome.time);
                 self.apply_effects(
                     outcome.node,
-                    outcome.time,
-                    outcome.changes,
+                    outcome.records,
                     outcome.sends,
                     outcome.request_flush,
                     outcome.was_flush,

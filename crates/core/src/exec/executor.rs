@@ -16,14 +16,22 @@
 //!
 //! 1. group the epoch's [`NodeTask`]s by destination node, preserving
 //!    order;
-//! 2. partition the active nodes round-robin into one shard per worker
-//!    ([`crate::exec::shard`]) and dispatch the shards onto the reusable
-//!    [`WorkerPool`];
-//! 3. each worker runs the sequential engine's per-event recipe for its
-//!    nodes — `receive` → `set_time` → `expire_soft_state` → `process` for
-//!    deliveries, `flush` for flush timers — recording one
-//!    [`EpochOutcome`] per task *without* touching any shared state;
-//! 4. merge: concatenate the shards' outcomes and sort by the unique
+//! 2. put one work item per active node on a shared [`WorkQueue`] and let
+//!    every lane — the calling thread plus the reusable
+//!    [`WorkerPool`] — *steal* items until the queue is dry, so a lane
+//!    stuck on one expensive node never idles the others
+//!    ([`crate::exec::queue`]);
+//! 3. each lane runs the sequential engine's per-event recipe for its
+//!    stolen nodes — `receive` → `set_time` → `expire_soft_state` →
+//!    `process` for deliveries, `flush` for flush timers — recording one
+//!    [`EpochOutcome`] per task *without* touching any shared mutable
+//!    state;
+//! 4. **pre-serialization**: the lane also renders each outcome's effects
+//!    into their replay-ready form — tracked-relation changes become
+//!    timestamped [`ResultRecord`]s and each outbound batch's wire size is
+//!    computed up front ([`OutboundBatch`]) — so the serial replay tail
+//!    only appends records and pushes pre-sized messages;
+//! 5. merge: concatenate the lanes' outcome buffers and sort by the unique
 //!    `(time, seq)` key of the triggering event.
 //!
 //! # Determinism contract
@@ -31,22 +39,28 @@
 //! The merged outcome sequence is exactly the sequence of
 //! (result-recording, send, timer-scheduling) effects the sequential event
 //! loop produces, because (a) per node, events are evaluated in the same
-//! order with the same store clock, and (b) across nodes, effects are
-//! replayed in the same global order the sequential loop would have
-//! emitted them. The driver replays the merged outcomes into the simulator
-//! in order, advancing simulated time to each outcome's timestamp first,
-//! so message sequence numbers, FIFO link clocks, traffic statistics and
-//! the result log are all byte-for-byte identical to a single-threaded
-//! run — `threads = N` is observationally equivalent to `threads = 1`.
+//! order with the same store clock, (b) across nodes, effects are replayed
+//! in the same global order the sequential loop would have emitted them,
+//! and (c) the pre-serialized forms (records, wire sizes) are pure
+//! functions of each outcome, computed by the same code the sequential
+//! loop uses. Which lane evaluates which node is timing-dependent and
+//! deliberately irrelevant. The driver replays the merged outcomes into
+//! the simulator in order, advancing simulated time to each outcome's
+//! timestamp first, so message sequence numbers, FIFO link clocks, traffic
+//! statistics and the result log are all byte-for-byte identical to a
+//! single-threaded run — `threads = N` is observationally equivalent to
+//! `threads = 1`.
 //!
 //! On an evaluation error the guarantee is narrower (see [`EpochResult`]):
 //! the error surfaced is the one the sequential loop would have hit first,
 //! and every effect strictly preceding the failing event is still replayed;
 //! state beyond that point is unspecified in both modes.
 
-use crate::exec::shard::plan_shards;
+use crate::engine::ResultRecord;
+use crate::exec::queue::WorkQueue;
 use crate::exec::worker::WorkerPool;
 use crate::node::{NodeEngine, ResultChange};
+use crate::sharing;
 use ndlog_net::sim::SimTime;
 use ndlog_net::NodeAddr;
 use ndlog_runtime::{EvalError, TupleDelta};
@@ -76,8 +90,67 @@ pub struct NodeTask {
     pub action: NodeAction,
 }
 
-/// The externally visible effects of one [`NodeTask`], to be replayed into
-/// the simulator in merged `(time, seq)` order.
+/// One outbound message batch with its payload wire size pre-computed
+/// (sharing-combined or plain, matching the engine's sharing mode), so the
+/// serial replay tail hands the simulator a ready-to-send message instead
+/// of walking every tuple again.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutboundBatch {
+    /// Destination node.
+    pub dest: NodeAddr,
+    /// The tuple deltas of the batch.
+    pub deltas: Vec<TupleDelta>,
+    /// Payload bytes as accounted on the wire (header excluded — the
+    /// simulator adds it).
+    pub payload_bytes: usize,
+}
+
+/// Render an outbound map into pre-sized batches in ascending destination
+/// order — the order the sequential loop sends them in. The single wire-
+/// size implementation shared by the sequential path and the epoch lanes,
+/// so the two cannot drift.
+pub fn outbound_batches(
+    sharing_enabled: bool,
+    outbound: BTreeMap<NodeAddr, Vec<TupleDelta>>,
+) -> Vec<OutboundBatch> {
+    outbound
+        .into_iter()
+        .map(|(dest, deltas)| {
+            let payload_bytes = if sharing_enabled {
+                sharing::combined_wire_size(&deltas)
+            } else {
+                sharing::plain_wire_size(&deltas)
+            };
+            OutboundBatch {
+                dest,
+                deltas,
+                payload_bytes,
+            }
+        })
+        .collect()
+}
+
+/// Timestamp tracked-relation changes into result-log records. Shared by
+/// the sequential path and the epoch lanes.
+pub fn result_records(
+    node: NodeAddr,
+    time: SimTime,
+    changes: Vec<ResultChange>,
+) -> Vec<ResultRecord> {
+    changes
+        .into_iter()
+        .map(|c| ResultRecord {
+            time,
+            node,
+            relation: c.relation,
+            tuple: c.tuple,
+            sign: c.sign,
+        })
+        .collect()
+}
+
+/// The externally visible effects of one [`NodeTask`], pre-serialized and
+/// ready to replay into the simulator in merged `(time, seq)` order.
 #[derive(Debug)]
 pub struct EpochOutcome {
     /// Simulation time of the triggering event.
@@ -86,11 +159,11 @@ pub struct EpochOutcome {
     pub seq: u64,
     /// The node the event ran at.
     pub node: NodeAddr,
-    /// Changes to tracked relations (for the result log).
-    pub changes: Vec<ResultChange>,
-    /// Outbound batches in ascending destination order — the order the
-    /// sequential loop sends them in.
-    pub sends: Vec<(NodeAddr, Vec<TupleDelta>)>,
+    /// Timestamped result-log records for tracked-relation changes.
+    pub records: Vec<ResultRecord>,
+    /// Pre-sized outbound batches in ascending destination order — the
+    /// order the sequential loop sends them in.
+    pub sends: Vec<OutboundBatch>,
     /// Whether the node buffered outbound tuples and wants a flush timer.
     pub request_flush: bool,
     /// Whether this outcome came from a flush timer (the driver clears its
@@ -131,19 +204,24 @@ pub struct EpochResult {
 pub struct EpochExecutor {
     pool: Option<WorkerPool>,
     threads: usize,
+    /// Message-sharing mode of the owning engine, needed to pre-compute
+    /// outbound wire sizes in the lanes.
+    sharing_enabled: bool,
 }
 
 impl EpochExecutor {
     /// An executor with `threads`-way parallelism: the calling thread
     /// counts as one lane and a pool of `threads - 1` workers supplies the
     /// rest. `threads <= 1` runs epochs inline on the caller's thread (no
-    /// pool), which exercises the same group/dispatch/merge path and is
-    /// useful for differential testing.
-    pub fn new(threads: usize) -> EpochExecutor {
+    /// pool), which exercises the same queue/steal/merge path and is
+    /// useful for differential testing. `sharing_enabled` selects the
+    /// wire-size accounting used to pre-serialize outbound batches.
+    pub fn new(threads: usize, sharing_enabled: bool) -> EpochExecutor {
         let threads = threads.max(1);
         EpochExecutor {
             pool: (threads > 1).then(|| WorkerPool::new(threads - 1)),
             threads,
+            sharing_enabled,
         }
     }
 
@@ -172,21 +250,12 @@ impl EpochExecutor {
         for task in tasks {
             by_node.entry(task.node).or_default().push(task);
         }
-        let shards = plan_shards(by_node.keys().copied(), self.threads);
 
-        // Hand each shard disjoint `&mut NodeEngine`s in one pass over the
-        // node map.
-        let mut shard_of: BTreeMap<NodeAddr, usize> = BTreeMap::new();
-        for (idx, shard) in shards.iter().enumerate() {
-            for &addr in shard {
-                shard_of.insert(addr, idx);
-            }
-        }
-        let mut work: Vec<Vec<(&mut NodeEngine, Vec<NodeTask>)>> =
-            (0..shards.len()).map(|_| Vec::new()).collect();
+        // One work item per active node, claimed dynamically by the lanes.
+        let mut items: Vec<(&mut NodeEngine, Vec<NodeTask>)> = Vec::with_capacity(by_node.len());
         for (addr, engine) in nodes.iter_mut() {
             if let Some(tasks) = by_node.remove(addr) {
-                work[shard_of[addr]].push((engine, tasks));
+                items.push((engine, tasks));
             }
         }
         // Fail identically to the sequential loop's "delivery to known
@@ -196,30 +265,31 @@ impl EpochExecutor {
             "epoch event for unknown node {:?}",
             by_node.keys().next()
         );
+        let queue = WorkQueue::new(items);
 
+        let lanes = self.threads;
+        let sharing = self.sharing_enabled;
         let mut results: Vec<(Vec<EpochOutcome>, Option<FailedAt>)> =
-            (0..work.len()).map(|_| (Vec::new(), None)).collect();
+            (0..lanes).map(|_| (Vec::new(), None)).collect();
         match &self.pool {
             Some(pool) => {
-                let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = work
-                    .into_iter()
-                    .zip(results.iter_mut())
-                    .map(|(shard_work, slot)| {
+                let queue = &queue;
+                let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = results
+                    .iter_mut()
+                    .map(|slot| {
                         let job: Box<dyn FnOnce() + Send + '_> =
-                            Box::new(move || *slot = run_shard(shard_work));
+                            Box::new(move || *slot = drain_lane(queue, sharing));
                         job
                     })
                     .collect();
                 pool.scope(jobs);
             }
             None => {
-                for (shard_work, slot) in work.into_iter().zip(results.iter_mut()) {
-                    *slot = run_shard(shard_work);
-                }
+                results[0] = drain_lane(&queue, sharing);
             }
         }
 
-        // Deterministic merge: interleave all shards' outcomes back into
+        // Deterministic merge: interleave all lanes' outcomes back into
         // global (time, seq) order. With failures, surface the earliest
         // error by event order — the one the sequential loop would have hit
         // first — and keep only the outcomes that precede it, so the driver
@@ -227,9 +297,9 @@ impl EpochExecutor {
         // applied before failing.
         let mut outcomes = Vec::new();
         let mut first_error: Option<FailedAt> = None;
-        for (shard_outcomes, shard_error) in results {
-            outcomes.extend(shard_outcomes);
-            if let Some(failed) = shard_error {
+        for (lane_outcomes, lane_error) in results {
+            outcomes.extend(lane_outcomes);
+            if let Some(failed) = lane_error {
                 match &first_error {
                     Some(existing)
                         if (existing.time, existing.seq) <= (failed.time, failed.seq) => {}
@@ -248,17 +318,20 @@ impl EpochExecutor {
     }
 }
 
-/// Evaluate one shard's nodes sequentially, mirroring the sequential
-/// engine's per-event recipe exactly. A task error stops that *node* (its
-/// remaining tasks are skipped, as the sequential loop would never reach
-/// them) but not the shard: other nodes still run, and the earliest
-/// failure by `(time, seq)` is reported alongside the collected outcomes.
-fn run_shard(
-    shard_work: Vec<(&mut NodeEngine, Vec<NodeTask>)>,
+/// One lane's share of an epoch: steal per-node work items from the shared
+/// queue until it is dry, mirroring the sequential engine's per-event
+/// recipe exactly and pre-serializing each outcome's effects. A task error
+/// stops that *node* (its remaining tasks are skipped, as the sequential
+/// loop would never reach them) but not the lane: other nodes still run,
+/// and the earliest failure by `(time, seq)` is reported alongside the
+/// collected outcomes.
+fn drain_lane(
+    queue: &WorkQueue<(&mut NodeEngine, Vec<NodeTask>)>,
+    sharing_enabled: bool,
 ) -> (Vec<EpochOutcome>, Option<FailedAt>) {
     let mut outcomes = Vec::new();
     let mut first_error: Option<FailedAt> = None;
-    for (node, tasks) in shard_work {
+    while let Some((node, tasks)) = queue.pop() {
         for task in tasks {
             debug_assert_eq!(task.node, node.addr());
             match task.action {
@@ -271,8 +344,8 @@ fn run_shard(
                             time: task.time,
                             seq: task.seq,
                             node: task.node,
-                            changes: output.changes,
-                            sends: output.outbound.into_iter().collect(),
+                            records: result_records(task.node, task.time, output.changes),
+                            sends: outbound_batches(sharing_enabled, output.outbound),
                             request_flush: output.request_flush,
                             was_flush: false,
                         }),
@@ -298,8 +371,8 @@ fn run_shard(
                         time: task.time,
                         seq: task.seq,
                         node: task.node,
-                        changes: Vec::new(),
-                        sends: flushed.into_iter().collect(),
+                        records: Vec::new(),
+                        sends: outbound_batches(sharing_enabled, flushed),
                         request_flush: false,
                         was_flush: true,
                     });
@@ -357,7 +430,7 @@ mod tests {
     #[test]
     fn outcomes_are_merged_in_time_seq_order() {
         for threads in [1, 2, 4] {
-            let executor = EpochExecutor::new(threads);
+            let executor = EpochExecutor::new(threads, false);
             let mut nodes = make_nodes(8);
             let result = executor.run_epoch(&mut nodes, deliveries(8));
             assert!(result.error.is_none());
@@ -380,7 +453,7 @@ mod tests {
     #[test]
     fn thread_count_does_not_change_node_state_or_outcomes() {
         let run = |threads: usize| {
-            let executor = EpochExecutor::new(threads);
+            let executor = EpochExecutor::new(threads, false);
             let mut nodes = make_nodes(6);
             let result = executor.run_epoch(&mut nodes, deliveries(6));
             assert!(result.error.is_none());
@@ -401,8 +474,28 @@ mod tests {
     }
 
     #[test]
+    fn pre_sized_sends_match_the_wire_accounting() {
+        let executor = EpochExecutor::new(2, false);
+        let mut nodes = make_nodes(4);
+        let result = executor.run_epoch(&mut nodes, deliveries(4));
+        assert!(result.error.is_none());
+        let mut sends = 0usize;
+        for outcome in &result.outcomes {
+            for batch in &outcome.sends {
+                sends += 1;
+                assert_eq!(
+                    batch.payload_bytes,
+                    crate::sharing::plain_wire_size(&batch.deltas),
+                    "lane-computed size must equal the sequential accounting"
+                );
+            }
+        }
+        assert!(sends > 0, "deliveries must produce outbound batches");
+    }
+
+    #[test]
     fn empty_epoch_is_a_no_op() {
-        let executor = EpochExecutor::new(2);
+        let executor = EpochExecutor::new(2, false);
         let mut nodes = make_nodes(2);
         let result = executor.run_epoch(&mut nodes, Vec::new());
         assert!(result.outcomes.is_empty() && result.error.is_none());
@@ -420,7 +513,7 @@ mod tests {
                 .collect(),
         );
         for threads in [1, 2, 4] {
-            let executor = EpochExecutor::new(threads);
+            let executor = EpochExecutor::new(threads, false);
             let mut nodes: BTreeMap<NodeAddr, NodeEngine> = (0..2u32)
                 .map(|i| {
                     let engine = NodeEngine::new(
@@ -466,8 +559,8 @@ mod tests {
 
     #[test]
     fn inline_and_pooled_executors_report_threads() {
-        assert_eq!(EpochExecutor::new(0).threads(), 1);
-        assert_eq!(EpochExecutor::new(1).threads(), 1);
-        assert_eq!(EpochExecutor::new(3).threads(), 3);
+        assert_eq!(EpochExecutor::new(0, false).threads(), 1);
+        assert_eq!(EpochExecutor::new(1, false).threads(), 1);
+        assert_eq!(EpochExecutor::new(3, false).threads(), 3);
     }
 }

@@ -11,21 +11,28 @@
 //! | module | role |
 //! |---|---|
 //! | [`worker`] | reusable pool of long-lived `std` worker threads with scoped dispatch |
-//! | [`shard`] | round-robin partitioning of an epoch's active nodes across workers |
-//! | [`executor`] | per-epoch dispatch and the deterministic `(time, seq)` merge |
+//! | [`queue`] | shared work queue: lanes steal per-node items dynamically |
+//! | [`executor`] | per-epoch dispatch, effect pre-serialization and the deterministic `(time, seq)` merge |
 //!
 //! The engine drives it: [`crate::engine::DistributedEngine::run_until`]
 //! drains the simulator in epochs ([`ndlog_net::Simulator::drain_epoch`]),
 //! hands each epoch to the [`executor::EpochExecutor`], and replays the
-//! merged outcomes — result records, outbound batches, flush timers — back
-//! into the simulator in the exact order the sequential loop would have
-//! produced them. A run with `parallelism = N` is therefore bit-for-bit
-//! identical to `parallelism = 1`: same stores, same statistics, same
-//! message trace (see the determinism contract in [`executor`]).
+//! merged outcomes — pre-timestamped result records, pre-sized outbound
+//! batches, flush timers — back into the simulator in the exact order the
+//! sequential loop would have produced them. The formerly serial half of
+//! each epoch (rendering tracked changes into result records and walking
+//! every outbound tuple for wire-size accounting) is computed inside the
+//! lanes; the replay tail only appends buffers in `(time, seq)` order. A
+//! run with `parallelism = N` is therefore bit-for-bit identical to
+//! `parallelism = 1`: same stores, same statistics, same message trace
+//! (see the determinism contract in [`executor`]).
 
 pub mod executor;
-pub mod shard;
+pub mod queue;
 pub mod worker;
 
-pub use executor::{EpochExecutor, EpochOutcome, EpochResult, NodeAction, NodeTask};
+pub use executor::{
+    outbound_batches, result_records, EpochExecutor, EpochOutcome, EpochResult, NodeAction,
+    NodeTask, OutboundBatch,
+};
 pub use worker::WorkerPool;

@@ -1,0 +1,94 @@
+//! Dynamic work distribution for the epoch executor.
+//!
+//! Node state is fully partitioned — every [`crate::node::NodeEngine`] owns
+//! its store and interacts with the rest of the network only through
+//! simulator messages — so any assignment of nodes to workers is *correct*;
+//! distribution only affects load balance. Because the deterministic merge
+//! in [`crate::exec::executor`] re-orders all epoch effects by their
+//! `(time, seq)` key afterwards, the schedule is free to chase balance
+//! without ever influencing results.
+//!
+//! Earlier revisions dealt the epoch's active nodes round-robin into static
+//! per-worker shards, which balances node *counts* but not per-node *cost*:
+//! one hub node replaying a large delta batch could pin its worker while
+//! the others idled. [`WorkQueue`] replaces the static layout with
+//! self-scheduling — a shared pop-only queue of per-node work items that
+//! every lane (the caller and each pool worker) drains until empty. A lane
+//! that finishes a cheap node immediately steals the next pending node, so
+//! the epoch's wall time tracks the *sum* of node costs divided by lanes
+//! instead of the heaviest static shard. Items are popped in ascending
+//! node-address order, keeping the schedule deterministic up to timing;
+//! results never depend on it.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// A shared pop-only queue of work items, drained concurrently by every
+/// executor lane. The mutex guards only the pop itself — the work runs
+/// outside the lock — so contention is one uncontended lock per item.
+pub struct WorkQueue<T> {
+    items: Mutex<VecDeque<T>>,
+}
+
+impl<T> WorkQueue<T> {
+    /// A queue over the given items, served in order.
+    pub fn new(items: impl IntoIterator<Item = T>) -> WorkQueue<T> {
+        WorkQueue {
+            items: Mutex::new(items.into_iter().collect()),
+        }
+    }
+
+    /// Steal the next pending item, or `None` when the epoch is drained.
+    pub fn pop(&self) -> Option<T> {
+        self.items.lock().expect("work queue lock").pop_front()
+    }
+
+    /// Number of items still pending.
+    pub fn len(&self) -> usize {
+        self.items.lock().expect("work queue lock").len()
+    }
+
+    /// Whether no items remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_order_until_empty() {
+        let q = WorkQueue::new(0..5);
+        assert_eq!(q.len(), 5);
+        for expect in 0..5 {
+            assert_eq!(q.pop(), Some(expect));
+        }
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn concurrent_lanes_drain_every_item_exactly_once() {
+        let q = WorkQueue::new(0..1000u32);
+        let totals: Vec<u64> = std::thread::scope(|scope| {
+            (0..4)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut sum = 0u64;
+                        while let Some(item) = q.pop() {
+                            sum += u64::from(item);
+                        }
+                        sum
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        assert!(q.is_empty());
+        assert_eq!(totals.iter().sum::<u64>(), (0..1000u64).sum::<u64>());
+    }
+}

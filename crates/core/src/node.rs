@@ -33,8 +33,9 @@ use crate::plan::QueryPlan;
 use ndlog_lang::aggsel::AggSelectionSpec;
 use ndlog_net::sim::SimTime;
 use ndlog_net::NodeAddr;
+use ndlog_runtime::batch::{BatchOutput, BatchScratch, BatchTrigger};
 use ndlog_runtime::dred;
-use ndlog_runtime::strand::JoinStats;
+use ndlog_runtime::strand::{Derivation, JoinStats};
 use ndlog_runtime::{
     AggregateView, CompiledStrand, EvalError, EvalStats, Sign, Store, Tuple, TupleDelta,
 };
@@ -107,6 +108,9 @@ pub struct NodeEngine {
     /// counters and processed-delta counts) for computation-overhead
     /// reporting.
     stats: EvalStats,
+    /// Reusable flat buffers for batch-delta strand firing.
+    scratch: BatchScratch,
+    batch_out: BatchOutput,
 }
 
 impl NodeEngine {
@@ -164,6 +168,8 @@ impl NodeEngine {
             changes: Vec::new(),
             pruned: 0,
             stats: EvalStats::default(),
+            scratch: BatchScratch::default(),
+            batch_out: BatchOutput::default(),
         })
     }
 
@@ -378,6 +384,16 @@ impl NodeEngine {
     /// whenever an insertion cascade causes further removals), so every
     /// retraction is handled by a DRed pass before dependent insertions
     /// fire.
+    ///
+    /// The queue is consumed in **delta batches**: every currently queued
+    /// insertion fires against one store snapshot through the strands'
+    /// slot-compiled batch plans (flat reusable buffers, no per-environment
+    /// allocation), and the precomputed derivations are then routed/ingested
+    /// trigger by trigger in the exact tuple-at-a-time order. Firing
+    /// before sibling ingests is PSN-exact — sibling derivations carry
+    /// timestamps above every batch trigger's visibility limit — and any
+    /// mid-batch removal invalidates the batch remainder, which returns to
+    /// the queue front and re-fires after the DRed pass.
     pub fn process(&mut self) -> Result<ProcessOutput, EvalError> {
         let mut outbound: BTreeMap<NodeAddr, Vec<TupleDelta>> = BTreeMap::new();
         let mut request_flush = false;
@@ -387,47 +403,44 @@ impl NodeEngine {
                 self.run_dred(&mut outbound, &mut request_flush)?;
                 continue;
             }
-            let Some((delta, seq)) = self.queue.pop_front() else {
+            if self.queue.is_empty() {
                 break;
-            };
-            debug_assert_eq!(delta.sign, Sign::Insert);
-            self.stats.iterations += 1;
-            self.stats.tuples_processed += 1;
-            // Skip firings whose tuple a DRed pass has since over-deleted
-            // (or a replacement vacated): the consequences are moot, and a
-            // re-derived tuple fires through its own queued insert.
-            if !self
-                .store
-                .relation(&delta.relation)
-                .is_some_and(|r| r.contains(&delta.tuple))
-            {
-                continue;
             }
-            let mut joins = JoinStats::default();
-            let mut derived = Vec::new();
-            for strand in self.strands.iter() {
-                if strand.trigger_relation() != delta.relation {
-                    continue;
-                }
-                derived.extend(strand.fire_counted(&self.store, &delta, seq, &mut joins)?);
-            }
-            self.stats.derivations += derived.len();
-            self.stats.absorb_joins(joins);
-            for derivation in derived {
-                match derivation.location {
-                    Some(dest) if dest != self.addr => {
-                        self.route_remote(
-                            dest,
-                            derivation.delta,
-                            &mut outbound,
-                            &mut request_flush,
-                        );
-                    }
-                    _ => {
-                        // Local derivation (or location-free test program).
-                        self.ingest(derivation.delta);
+            let round: Vec<(TupleDelta, u64)> = self.queue.drain(..).collect();
+            let mut per_trigger = self.fire_batch_round(&round)?;
+            let mut consumed = round.len();
+            for (i, derived) in per_trigger.iter_mut().enumerate() {
+                self.stats.iterations += 1;
+                self.stats.tuples_processed += 1;
+                self.stats.derivations += derived.len();
+                for derivation in derived.drain(..) {
+                    match derivation.location {
+                        Some(dest) if dest != self.addr => {
+                            self.route_remote(
+                                dest,
+                                derivation.delta,
+                                &mut outbound,
+                                &mut request_flush,
+                            );
+                        }
+                        _ => {
+                            // Local derivation (or location-free test
+                            // program).
+                            self.ingest(derivation.delta);
+                        }
                     }
                 }
+                if !self.pending_deletes.is_empty() {
+                    consumed = i + 1;
+                    break;
+                }
+            }
+            // A mid-batch removal invalidates the remaining precomputed
+            // firings: their triggers return to the queue front (still
+            // ahead of any derivation ingested above) and re-fire against
+            // the post-DRed store on the next loop turn.
+            for entry in round.into_iter().skip(consumed).rev() {
+                self.queue.push_front(entry);
             }
         }
 
@@ -436,6 +449,61 @@ impl NodeEngine {
             changes: std::mem::take(&mut self.changes),
             request_flush,
         })
+    }
+
+    /// Fire every strand over a batch of applied-but-unfired insertion
+    /// deltas against the current store snapshot, returning each trigger's
+    /// derivations in the order the tuple-at-a-time loop would route them
+    /// (strands in declaration order per trigger). Triggers whose tuple a
+    /// DRed pass has since over-deleted (or a replacement vacated) yield
+    /// nothing: the consequences are moot, and a re-derived tuple fires
+    /// through its own queued insert. That status cannot change mid-batch,
+    /// because any removal interrupts the batch for a DRed pass before the
+    /// next trigger is consumed.
+    fn fire_batch_round(
+        &mut self,
+        round: &[(TupleDelta, u64)],
+    ) -> Result<Vec<Vec<Derivation>>, EvalError> {
+        let mut per_trigger: Vec<Vec<Derivation>> = round.iter().map(|_| Vec::new()).collect();
+        let live: Vec<bool> = round
+            .iter()
+            .map(|(delta, _)| {
+                debug_assert_eq!(delta.sign, Sign::Insert);
+                self.store
+                    .relation(&delta.relation)
+                    .is_some_and(|r| r.contains(&delta.tuple))
+            })
+            .collect();
+        let mut joins = JoinStats::default();
+        let mut triggers: Vec<BatchTrigger> = Vec::new();
+        let mut indices: Vec<usize> = Vec::new();
+        for strand in self.strands.iter() {
+            triggers.clear();
+            indices.clear();
+            for (i, (delta, seq)) in round.iter().enumerate() {
+                if live[i] && strand.trigger_relation() == delta.relation {
+                    triggers.push(BatchTrigger {
+                        delta,
+                        seq_limit: *seq,
+                    });
+                    indices.push(i);
+                }
+            }
+            if triggers.is_empty() {
+                continue;
+            }
+            strand.fire_batch(
+                &self.store,
+                &triggers,
+                &mut joins,
+                &mut self.scratch,
+                &mut self.batch_out,
+            )?;
+            self.batch_out
+                .drain_into(|local, derivation| per_trigger[indices[local]].push(derivation));
+        }
+        self.stats.absorb_joins(joins);
+        Ok(per_trigger)
     }
 
     /// The flush interval currently in effect (sharing delay takes

@@ -1,0 +1,611 @@
+//! Batch-delta strand evaluation: slot-compiled rules over flat, reusable
+//! environment buffers.
+//!
+//! [`crate::strand::CompiledStrand::fire`] evaluates one trigger delta at a
+//! time, carrying its binding environments as `BTreeMap<String, Value>`s —
+//! every join candidate clones a whole map (tree nodes *and* `String`
+//! keys), which is the dominant per-tuple constant the profiles show once
+//! index probing has removed the join-selectivity cost. This module is the
+//! vectorized alternative: at compile time every variable of a rule gets a
+//! fixed **slot**, terms and expressions are rewritten to slot references,
+//! and at run time a whole batch of trigger deltas is drained through the
+//! rule's stages using two flat column buffers (`current` / `next` rows of
+//! `width` slots each) owned by a reusable [`BatchScratch`]. Extending an
+//! environment is a row copy into the arena; no per-environment `Vec`,
+//! map or `String` is ever allocated.
+//!
+//! # Equivalence contract
+//!
+//! For every trigger `i` of the batch, the derivations in
+//! [`BatchOutput::for_trigger`] are exactly (same tuples, same order) what
+//! `fire(store, trigger_i, seq_limit_i)` returns against the same store:
+//! stages process rows in trigger order and extensions are appended
+//! stably, so rows stay grouped by trigger and ordered exactly as the
+//! nested tuple-at-a-time loops would have produced them. Join statistics
+//! are also identical — one probe (or scan) is recorded per environment
+//! per atom, exactly like the tuple path. The only caller-visible
+//! divergence is *error selection* when several triggers of one batch
+//! fail: stages run batch-wide, so the first error in stage order may
+//! belong to a later trigger than the first error in trigger order (the
+//! run still fails with an `EvalError` either way, and engines treat
+//! post-error state as unspecified).
+
+use crate::expr::{eval_binop, eval_builtin, EvalError};
+use crate::index::JoinStats;
+use crate::store::Store;
+use crate::strand::{Derivation, ProbePlan};
+use crate::tuple::{Tuple, TupleDelta};
+use ndlog_lang::seminaive::DeltaRule;
+use ndlog_lang::{Atom, Expr, Literal, Term, Value};
+use std::collections::BTreeMap;
+
+/// One trigger delta of a batch with its join visibility limit (PSN passes
+/// the tuple's own timestamp; SN/BSN pass the iteration limit).
+#[derive(Debug, Clone, Copy)]
+pub struct BatchTrigger<'a> {
+    /// The triggering delta.
+    pub delta: &'a TupleDelta,
+    /// Joins may only see stored tuples with `seq <= seq_limit`.
+    pub seq_limit: u64,
+}
+
+/// How one bound value is produced at run time.
+#[derive(Debug, Clone, PartialEq)]
+enum SlotSource {
+    Const(Value),
+    Slot(usize),
+}
+
+/// One column-matching operation of an atom, in column order.
+#[derive(Debug, Clone, PartialEq)]
+enum BindOp {
+    /// The column must equal a constant.
+    CheckConst(usize, Value),
+    /// The column binds a fresh slot.
+    Bind(usize, usize),
+    /// The column must equal an already-bound slot (bound by an earlier
+    /// stage, or by an earlier column of this very atom).
+    CheckSlot(usize, usize),
+}
+
+/// An expression with variables resolved to slots at compile time.
+#[derive(Debug, Clone, PartialEq)]
+enum SlotExpr {
+    Const(Value),
+    /// A slot reference; the name survives only for the unbound-variable
+    /// error message.
+    Slot(usize, String),
+    /// A variable that is never bound anywhere in the rule: evaluating it
+    /// is always an error, exactly like the map-based path.
+    Unbound(String),
+    Binary(ndlog_lang::BinOp, Box<SlotExpr>, Box<SlotExpr>),
+    Call(String, Vec<SlotExpr>),
+}
+
+/// A head column source.
+#[derive(Debug, Clone, PartialEq)]
+enum HeadSource {
+    Const(Value),
+    Slot(usize, String),
+    Unbound(String),
+    /// Aggregate head terms are maintained by `AggregateView`, never fired
+    /// through strands; raise the same error the tuple path does.
+    Aggregate,
+}
+
+/// A non-trigger body literal, slot-compiled.
+#[derive(Debug, Clone, PartialEq)]
+enum Stage {
+    Probe {
+        relation: String,
+        /// Sorted bound columns to probe on (empty = full scan); mirrors
+        /// the strand's [`ProbePlan`].
+        cols: Vec<usize>,
+        /// Value per probe column, parallel to `cols`.
+        key: Vec<SlotSource>,
+        /// Expected candidate arity.
+        arity: usize,
+        /// Residual column ops — only the columns the probe key does *not*
+        /// already guarantee ([`crate::relation::Relation::lookup`]
+        /// enforces every probed column, so re-checking them per candidate
+        /// would be redundant work the tuple path still performs).
+        ops: Vec<BindOp>,
+        /// The atom mentions an aggregate term: no candidate can match
+        /// (exactly `bind_atom`'s behaviour).
+        reject_all: bool,
+    },
+    Assign {
+        slot: usize,
+        /// Statically known: is the slot already bound when this stage
+        /// runs? (Binding order is fixed at compile time.)
+        prebound: bool,
+        expr: SlotExpr,
+    },
+    Filter(SlotExpr),
+}
+
+/// A slot-compiled rule strand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchPlan {
+    /// Total slot count (row width).
+    width: usize,
+    /// Trigger-tuple arity.
+    trigger_arity: usize,
+    /// Trigger-atom column ops.
+    trigger_ops: Vec<BindOp>,
+    /// The trigger atom mentions an aggregate term: nothing can bind.
+    trigger_rejects: bool,
+    stages: Vec<Stage>,
+    head: Vec<HeadSource>,
+    head_relation: String,
+}
+
+/// Reusable flat buffers for batch firing: environment rows (`width`
+/// slots per row, `Option<Value>` so unbound slots are explicit), the
+/// trigger index each row descends from, and a probe-key scratch. One
+/// scratch serves any number of strands and batches; buffers only grow.
+#[derive(Debug, Default)]
+pub struct BatchScratch {
+    rows: Vec<Option<Value>>,
+    origins: Vec<u32>,
+    next_rows: Vec<Option<Value>>,
+    next_origins: Vec<u32>,
+    key: Vec<Value>,
+}
+
+/// The derivations of one batch, grouped by trigger.
+#[derive(Debug, Default)]
+pub struct BatchOutput {
+    derivations: Vec<Derivation>,
+    /// `offsets[i]..offsets[i + 1]` bounds trigger `i`'s derivations.
+    offsets: Vec<usize>,
+}
+
+impl BatchOutput {
+    /// Clear for reuse.
+    pub fn clear(&mut self) {
+        self.derivations.clear();
+        self.offsets.clear();
+    }
+
+    /// The derivations of trigger `i`, in firing order.
+    pub fn for_trigger(&self, i: usize) -> &[Derivation] {
+        &self.derivations[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// All derivations in (trigger, firing) order.
+    pub fn all(&self) -> &[Derivation] {
+        &self.derivations
+    }
+
+    /// Move the derivations out, calling `f(trigger_index, derivation)` in
+    /// (trigger, firing) order. Leaves the output empty for reuse.
+    pub fn drain_into(&mut self, mut f: impl FnMut(usize, Derivation)) {
+        let mut group = 0usize;
+        for (pos, d) in self.derivations.drain(..).enumerate() {
+            while group + 1 < self.offsets.len() && self.offsets[group + 1] <= pos {
+                group += 1;
+            }
+            f(group, d);
+        }
+        self.offsets.clear();
+    }
+}
+
+/// Compile a delta rule against its probe plans (parallel to the rule's
+/// body literals, as produced by the strand compiler).
+pub(crate) fn compile(rule: &DeltaRule, plans: &[Option<ProbePlan>]) -> BatchPlan {
+    let body = &rule.rule.body;
+    // Slot allocation follows the same walk as probe-plan compilation:
+    // trigger vars first, then each literal in body order.
+    let mut slots: BTreeMap<String, usize> = BTreeMap::new();
+    let mut slot_of = |name: &str, slots: &mut BTreeMap<String, usize>| -> usize {
+        if let Some(&s) = slots.get(name) {
+            return s;
+        }
+        let s = slots.len();
+        slots.insert(name.to_string(), s);
+        s
+    };
+
+    let (trigger_arity, trigger_ops, trigger_rejects) = match body.get(rule.trigger) {
+        Some(Literal::Atom(atom)) => {
+            let (ops, rejects) = compile_atom_ops(atom, &[], &mut slots, &mut slot_of);
+            (atom.arity(), ops, rejects)
+        }
+        _ => (0, Vec::new(), true),
+    };
+
+    let mut stages = Vec::new();
+    for (idx, literal) in body.iter().enumerate() {
+        if idx == rule.trigger {
+            continue;
+        }
+        match literal {
+            Literal::Atom(atom) => {
+                let plan = plans.get(idx).and_then(Option::as_ref);
+                let (cols, key) = match plan {
+                    Some(plan) => (
+                        plan.cols.clone(),
+                        plan.sources
+                            .iter()
+                            .map(|src| match src {
+                                crate::strand::ColumnSource::Const(c) => {
+                                    SlotSource::Const(c.clone())
+                                }
+                                crate::strand::ColumnSource::Var(name) => {
+                                    SlotSource::Slot(*slots.get(name).expect("plan vars are bound"))
+                                }
+                            })
+                            .collect(),
+                    ),
+                    None => (Vec::new(), Vec::new()),
+                };
+                let (ops, reject_all) = compile_atom_ops(atom, &cols, &mut slots, &mut slot_of);
+                stages.push(Stage::Probe {
+                    relation: atom.name.clone(),
+                    cols,
+                    key,
+                    arity: atom.arity(),
+                    ops,
+                    reject_all,
+                });
+            }
+            Literal::Assign(assign) => {
+                let prebound = slots.contains_key(&assign.var);
+                let expr = compile_expr(&assign.expr, &slots);
+                let slot = slot_of(&assign.var, &mut slots);
+                stages.push(Stage::Assign {
+                    slot,
+                    prebound,
+                    expr,
+                });
+            }
+            Literal::Filter(expr) => {
+                stages.push(Stage::Filter(compile_expr(expr, &slots)));
+            }
+        }
+    }
+
+    let head = rule
+        .rule
+        .head
+        .args
+        .iter()
+        .map(|term| match term {
+            Term::Const(c) => HeadSource::Const(c.clone()),
+            Term::Var(v) => match slots.get(&v.name) {
+                Some(&s) => HeadSource::Slot(s, v.name.clone()),
+                None => HeadSource::Unbound(v.name.clone()),
+            },
+            Term::Agg(_) => HeadSource::Aggregate,
+        })
+        .collect();
+
+    BatchPlan {
+        width: slots.len(),
+        trigger_arity,
+        trigger_ops,
+        trigger_rejects,
+        stages,
+        head,
+        head_relation: rule.rule.head.name.clone(),
+    }
+}
+
+/// Compile an atom's column ops, skipping the columns already guaranteed
+/// by the probe key (`covered`, sorted). Returns the ops plus whether the
+/// atom can never match (it mentions an aggregate term).
+fn compile_atom_ops(
+    atom: &Atom,
+    covered: &[usize],
+    slots: &mut BTreeMap<String, usize>,
+    slot_of: &mut impl FnMut(&str, &mut BTreeMap<String, usize>) -> usize,
+) -> (Vec<BindOp>, bool) {
+    let mut ops = Vec::new();
+    let mut rejects = false;
+    // Within-atom bookkeeping: a repeated variable's first occurrence
+    // binds, later occurrences check — also across the covered/uncovered
+    // boundary, so every variable the atom mentions ends up with a slot.
+    let mut bound_here: BTreeMap<&str, usize> = BTreeMap::new();
+    for (col, term) in atom.args.iter().enumerate() {
+        match term {
+            Term::Agg(_) => rejects = true,
+            Term::Const(c) => {
+                if !covered.contains(&col) {
+                    ops.push(BindOp::CheckConst(col, c.clone()));
+                }
+            }
+            Term::Var(v) => {
+                let preexisting =
+                    slots.contains_key(&v.name) || bound_here.contains_key(v.name.as_str());
+                let slot = match bound_here.get(v.name.as_str()) {
+                    Some(&s) => s,
+                    None => {
+                        let s = slot_of(&v.name, slots);
+                        bound_here.insert(v.name.as_str(), s);
+                        s
+                    }
+                };
+                if covered.contains(&col) {
+                    // The probe key already pins this column to the slot's
+                    // value; nothing to re-check per candidate.
+                    continue;
+                }
+                if preexisting {
+                    ops.push(BindOp::CheckSlot(col, slot));
+                } else {
+                    ops.push(BindOp::Bind(col, slot));
+                }
+            }
+        }
+    }
+    (ops, rejects)
+}
+
+/// Resolve an expression's variables against the slots bound so far.
+fn compile_expr(expr: &Expr, slots: &BTreeMap<String, usize>) -> SlotExpr {
+    match expr {
+        Expr::Const(v) => SlotExpr::Const(v.clone()),
+        Expr::Var(name) => match slots.get(name) {
+            Some(&s) => SlotExpr::Slot(s, name.clone()),
+            None => SlotExpr::Unbound(name.clone()),
+        },
+        Expr::Binary(op, l, r) => SlotExpr::Binary(
+            *op,
+            Box::new(compile_expr(l, slots)),
+            Box::new(compile_expr(r, slots)),
+        ),
+        Expr::Call(name, args) => SlotExpr::Call(
+            name.clone(),
+            args.iter().map(|a| compile_expr(a, slots)).collect(),
+        ),
+    }
+}
+
+fn eval_slot(expr: &SlotExpr, row: &[Option<Value>]) -> Result<Value, EvalError> {
+    match expr {
+        SlotExpr::Const(v) => Ok(v.clone()),
+        SlotExpr::Slot(slot, name) => row[*slot]
+            .clone()
+            .ok_or_else(|| EvalError::UnboundVariable(name.clone())),
+        SlotExpr::Unbound(name) => Err(EvalError::UnboundVariable(name.clone())),
+        SlotExpr::Binary(op, l, r) => {
+            let lv = eval_slot(l, row)?;
+            let rv = eval_slot(r, row)?;
+            eval_binop(*op, &lv, &rv)
+        }
+        SlotExpr::Call(name, args) => {
+            let mut vals = Vec::with_capacity(args.len());
+            for a in args {
+                vals.push(eval_slot(a, row)?);
+            }
+            eval_builtin(name, &vals)
+        }
+    }
+}
+
+/// Coerce a filter result to a boolean with the same truthiness rules as
+/// the map-based path.
+fn eval_slot_bool(expr: &SlotExpr, row: &[Option<Value>]) -> Result<bool, EvalError> {
+    match eval_slot(expr, row)? {
+        Value::Bool(b) => Ok(b),
+        Value::Int(i) => Ok(i != 0),
+        Value::Float(f) => Ok(f != 0.0),
+        _ => Err(EvalError::TypeMismatch {
+            context: "boolean filter in batch stage".into(),
+        }),
+    }
+}
+
+/// Apply an atom's residual ops to a candidate tuple against a row whose
+/// new slots may be written in place. Ops run in column order, so a
+/// within-atom repeated variable's check sees the bind from an earlier
+/// column of the same candidate. Returns false on the first mismatch.
+fn apply_ops(ops: &[BindOp], tuple: &Tuple, row: &mut [Option<Value>]) -> bool {
+    for op in ops {
+        match op {
+            BindOp::CheckConst(col, c) => {
+                if tuple.get(*col) != Some(c) {
+                    return false;
+                }
+            }
+            BindOp::Bind(col, slot) => {
+                row[*slot] = Some(tuple.get(*col).expect("arity checked").clone());
+            }
+            BindOp::CheckSlot(col, slot) => {
+                if row[*slot].as_ref() != tuple.get(*col) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+impl BatchPlan {
+    /// Drain a whole batch of trigger deltas through the compiled stages.
+    /// See the module docs for the equivalence contract with the
+    /// tuple-at-a-time `fire` path.
+    pub(crate) fn fire_batch(
+        &self,
+        store: &Store,
+        triggers: &[BatchTrigger],
+        stats: &mut JoinStats,
+        scratch: &mut BatchScratch,
+        out: &mut BatchOutput,
+    ) -> Result<(), EvalError> {
+        out.clear();
+        let width = self.width;
+        scratch.rows.clear();
+        scratch.origins.clear();
+
+        // Bind the trigger atom against every delta tuple of the batch.
+        if !self.trigger_rejects {
+            for (i, trigger) in triggers.iter().enumerate() {
+                if trigger.delta.tuple.arity() != self.trigger_arity {
+                    continue;
+                }
+                let start = scratch.rows.len();
+                scratch.rows.resize(start + width, None);
+                if apply_ops(
+                    &self.trigger_ops,
+                    &trigger.delta.tuple,
+                    &mut scratch.rows[start..],
+                ) {
+                    scratch.origins.push(i as u32);
+                } else {
+                    scratch.rows.truncate(start);
+                }
+            }
+        }
+
+        // Process the stages in body order over the whole row set.
+        for stage in &self.stages {
+            if scratch.origins.is_empty() {
+                break;
+            }
+            match stage {
+                Stage::Probe {
+                    relation,
+                    cols,
+                    key,
+                    arity,
+                    ops,
+                    reject_all,
+                } => {
+                    scratch.next_rows.clear();
+                    scratch.next_origins.clear();
+                    let stored = store.relation(relation);
+                    if let Some(stored) = stored {
+                        for r in 0..scratch.origins.len() {
+                            let origin = scratch.origins[r];
+                            let row = &scratch.rows[r * width..(r + 1) * width];
+                            scratch.key.clear();
+                            for src in key {
+                                match src {
+                                    SlotSource::Const(c) => scratch.key.push(c.clone()),
+                                    SlotSource::Slot(s) => scratch
+                                        .key
+                                        .push(row[*s].clone().expect("probe-key slots are bound")),
+                                }
+                            }
+                            let seq_limit = triggers[origin as usize].seq_limit;
+                            for candidate in stored.lookup(cols, &scratch.key, seq_limit, stats) {
+                                // An aggregate-term atom rejects every
+                                // candidate, but the lookup above still
+                                // runs so the probe accounting matches
+                                // `bind_atom`'s tuple path exactly.
+                                if *reject_all || candidate.tuple.arity() != *arity {
+                                    continue;
+                                }
+                                let start = scratch.next_rows.len();
+                                scratch.next_rows.extend_from_slice(row);
+                                if apply_ops(ops, &candidate.tuple, &mut scratch.next_rows[start..])
+                                {
+                                    scratch.next_origins.push(origin);
+                                } else {
+                                    scratch.next_rows.truncate(start);
+                                }
+                            }
+                        }
+                    }
+                    std::mem::swap(&mut scratch.rows, &mut scratch.next_rows);
+                    std::mem::swap(&mut scratch.origins, &mut scratch.next_origins);
+                }
+                Stage::Assign {
+                    slot,
+                    prebound,
+                    expr,
+                } => {
+                    let mut keep = 0usize;
+                    for r in 0..scratch.origins.len() {
+                        let row = &mut scratch.rows[r * width..(r + 1) * width];
+                        let value = eval_slot(expr, row)?;
+                        let kept = if *prebound {
+                            row[*slot].as_ref() == Some(&value)
+                        } else {
+                            row[*slot] = Some(value);
+                            true
+                        };
+                        if kept {
+                            if keep != r {
+                                let (dst, src) = scratch.rows.split_at_mut(r * width);
+                                dst[keep * width..(keep + 1) * width]
+                                    .clone_from_slice(&src[..width]);
+                                scratch.origins[keep] = scratch.origins[r];
+                            }
+                            keep += 1;
+                        }
+                    }
+                    scratch.rows.truncate(keep * width);
+                    scratch.origins.truncate(keep);
+                }
+                Stage::Filter(expr) => {
+                    let mut keep = 0usize;
+                    for r in 0..scratch.origins.len() {
+                        let row = &scratch.rows[r * width..(r + 1) * width];
+                        if eval_slot_bool(expr, row)? {
+                            if keep != r {
+                                let (dst, src) = scratch.rows.split_at_mut(r * width);
+                                dst[keep * width..(keep + 1) * width]
+                                    .clone_from_slice(&src[..width]);
+                                scratch.origins[keep] = scratch.origins[r];
+                            }
+                            keep += 1;
+                        }
+                    }
+                    scratch.rows.truncate(keep * width);
+                    scratch.origins.truncate(keep);
+                }
+            }
+        }
+
+        // Project the head for every surviving row, recording per-trigger
+        // group boundaries (rows are still grouped by ascending origin).
+        let mut next_trigger = 0usize;
+        for r in 0..scratch.origins.len() {
+            let origin = scratch.origins[r] as usize;
+            while next_trigger <= origin {
+                out.offsets.push(out.derivations.len());
+                next_trigger += 1;
+            }
+            let row = &scratch.rows[r * width..(r + 1) * width];
+            let mut values = Vec::with_capacity(self.head.len());
+            for source in &self.head {
+                match source {
+                    HeadSource::Const(c) => values.push(c.clone()),
+                    HeadSource::Slot(slot, name) => values.push(
+                        row[*slot]
+                            .clone()
+                            .ok_or_else(|| EvalError::UnboundVariable(name.clone()))?,
+                    ),
+                    HeadSource::Unbound(name) => {
+                        return Err(EvalError::UnboundVariable(name.clone()))
+                    }
+                    HeadSource::Aggregate => {
+                        return Err(EvalError::TypeMismatch {
+                            context: "aggregate heads are maintained by AggregateView, not strands"
+                                .into(),
+                        })
+                    }
+                }
+            }
+            let tuple = Tuple::new(values);
+            let location = tuple.location();
+            out.derivations.push(Derivation {
+                delta: TupleDelta {
+                    relation: self.head_relation.clone(),
+                    tuple,
+                    sign: triggers[origin].delta.sign,
+                },
+                location,
+            });
+        }
+        while next_trigger <= triggers.len() {
+            out.offsets.push(out.derivations.len());
+            next_trigger += 1;
+        }
+        Ok(())
+    }
+}

@@ -45,6 +45,7 @@
 //! a locally stored, locally derived tuple is locally re-derivable.
 
 use crate::aggview::AggregateView;
+use crate::batch::{BatchOutput, BatchScratch, BatchTrigger};
 use crate::expr::EvalError;
 use crate::index::JoinStats;
 use crate::store::Store;
@@ -52,7 +53,7 @@ use crate::strand::CompiledStrand;
 use crate::tuple::{Sign, Tuple, TupleDelta};
 use ndlog_lang::{Literal, Term, Value};
 use ndlog_net::NodeAddr;
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// The result of the over-delete phase.
 #[derive(Debug, Default)]
@@ -90,7 +91,7 @@ fn mark(
     tuple: Tuple,
     marked: &mut BTreeSet<(String, Tuple)>,
     order: &mut Vec<TupleDelta>,
-    frontier: &mut VecDeque<TupleDelta>,
+    frontier: &mut Vec<TupleDelta>,
 ) {
     let stored = store
         .relation(&relation)
@@ -101,7 +102,7 @@ fn mark(
     if marked.insert((relation.clone(), tuple.clone())) {
         let delta = TupleDelta::delete(relation, tuple);
         order.push(delta.clone());
-        frontier.push_back(delta);
+        frontier.push(delta);
     }
 }
 
@@ -146,12 +147,12 @@ pub fn over_delete(
 ) -> Result<Marking, EvalError> {
     let mut marked: BTreeSet<(String, Tuple)> = BTreeSet::new();
     let mut order: Vec<TupleDelta> = Vec::new();
-    let mut frontier: VecDeque<TupleDelta> = VecDeque::new();
+    let mut frontier: Vec<TupleDelta> = Vec::new();
     for seed in seeds {
         debug_assert_eq!(seed.sign, Sign::Delete);
         if marked.insert((seed.relation.clone(), seed.tuple.clone())) {
             order.push(seed.clone());
-            frontier.push_back(seed);
+            frontier.push(seed);
         }
     }
     let seed_count = order.len();
@@ -175,55 +176,77 @@ pub fn over_delete(
         }
     }
 
-    while let Some(delta) = frontier.pop_front() {
-        // Aggregate views fed by this relation: pin the group (mark its
+    // The closure runs in *waves*: the store never changes while it runs,
+    // so every frontier delta of a wave can fire against the same snapshot
+    // and each strand drains its share of the wave through one batched
+    // firing (flat buffers, no per-environment allocation). Discovery
+    // order within a wave is (stage, trigger) instead of the old
+    // (trigger, stage), which only permutes `order` among tuples of the
+    // same wave — the marked closure, being a monotone fixpoint, is
+    // identical, and the order is still deterministic for a given input.
+    let mut scratch = BatchScratch::default();
+    let mut batch_out = BatchOutput::default();
+    while !frontier.is_empty() {
+        let wave = std::mem::take(&mut frontier);
+        let mut triggers: Vec<BatchTrigger> = Vec::new();
+        // Aggregate views fed by a wave relation: pin the group (mark its
         // current output as-is, defer the recomputation) and dirty it.
-        for (view_idx, view) in views.iter().enumerate() {
-            if view.source_relation() == delta.relation {
-                if let Some(key) = view.group_key(&delta.tuple) {
-                    if let Some(out) = view.current_output(&key).cloned() {
-                        mark(
-                            store,
-                            view.head_relation().to_string(),
-                            out,
-                            &mut marked,
-                            &mut order,
-                            &mut frontier,
-                        );
+        for delta in &wave {
+            for (view_idx, view) in views.iter().enumerate() {
+                if view.source_relation() == delta.relation {
+                    if let Some(key) = view.group_key(&delta.tuple) {
+                        if let Some(out) = view.current_output(&key).cloned() {
+                            mark(
+                                store,
+                                view.head_relation().to_string(),
+                                out,
+                                &mut marked,
+                                &mut order,
+                                &mut frontier,
+                            );
+                        }
+                        dirty.insert((view_idx, key));
                     }
-                    dirty.insert((view_idx, key));
                 }
-            }
-            // A marked tuple *of* a view's head relation (e.g. an
-            // aggregate output retracted by a strand-derived deletion in
-            // an exotic program) also dirties its group, so the rebuild
-            // reconciles the view's notion of "current".
-            if view.head_relation() == delta.relation {
-                if let Some(key) = view.output_group_key(&delta.tuple) {
-                    dirty.insert((view_idx, key));
+                // A marked tuple *of* a view's head relation (e.g. an
+                // aggregate output retracted by a strand-derived deletion
+                // in an exotic program) also dirties its group, so the
+                // rebuild reconciles the view's notion of "current".
+                if view.head_relation() == delta.relation {
+                    if let Some(key) = view.output_group_key(&delta.tuple) {
+                        dirty.insert((view_idx, key));
+                    }
                 }
             }
         }
-        // One over-delete step through every strand this delta triggers.
+        // One over-delete step through every strand, wave-batched.
         for strand in strands {
-            if strand.trigger_relation() != delta.relation {
+            triggers.clear();
+            triggers.extend(
+                wave.iter()
+                    .filter(|delta| delta.relation == strand.trigger_relation())
+                    .map(|delta| BatchTrigger {
+                        delta,
+                        seq_limit: u64::MAX,
+                    }),
+            );
+            if triggers.is_empty() {
                 continue;
             }
-            for derivation in strand.fire_counted(store, &delta, u64::MAX, stats)? {
-                match (self_addr, derivation.location) {
-                    (Some(me), Some(dest)) if dest != me => {
-                        remote.push((dest, derivation.delta));
-                    }
-                    _ => mark(
-                        store,
-                        derivation.delta.relation,
-                        derivation.delta.tuple,
-                        &mut marked,
-                        &mut order,
-                        &mut frontier,
-                    ),
+            strand.fire_batch(store, &triggers, stats, &mut scratch, &mut batch_out)?;
+            batch_out.drain_into(|_, derivation| match (self_addr, derivation.location) {
+                (Some(me), Some(dest)) if dest != me => {
+                    remote.push((dest, derivation.delta));
                 }
-            }
+                _ => mark(
+                    store,
+                    derivation.delta.relation,
+                    derivation.delta.tuple,
+                    &mut marked,
+                    &mut order,
+                    &mut frontier,
+                ),
+            });
         }
     }
 

@@ -26,9 +26,10 @@
 //! counts inflated.
 
 use crate::aggview::AggregateView;
+use crate::batch::{BatchOutput, BatchScratch, BatchTrigger};
 use crate::expr::EvalError;
 use crate::store::Store;
-use crate::strand::CompiledStrand;
+use crate::strand::{CompiledStrand, Derivation};
 use crate::tuple::{Tuple, TupleDelta};
 use ndlog_lang::seminaive::delta_rewrite_full;
 use ndlog_lang::{Program, Rule};
@@ -124,6 +125,13 @@ pub struct Evaluator {
     views: Vec<AggregateView>,
     /// Facts declared in the program, loaded at construction.
     base_facts: Vec<TupleDelta>,
+    /// Drain the work queue in delta batches through the strands'
+    /// slot-compiled plans (the default). Off = the tuple-at-a-time
+    /// reference loop, kept for differential testing.
+    batching: bool,
+    /// Reusable flat buffers for the batch path.
+    scratch: BatchScratch,
+    batch_out: BatchOutput,
 }
 
 impl Evaluator {
@@ -174,7 +182,23 @@ impl Evaluator {
             strands,
             views,
             base_facts,
+            batching: true,
+            scratch: BatchScratch::default(),
+            batch_out: BatchOutput::default(),
         })
+    }
+
+    /// Toggle batch-delta evaluation (on by default). The tuple-at-a-time
+    /// loop survives as the reference implementation: a run with batching
+    /// off produces the identical store and statistics except for
+    /// probe-count accounting — a batch fires every queued delta against
+    /// one store snapshot, so `tuples_examined` can differ (buckets probed
+    /// before, rather than after, a sibling delta's insertions are
+    /// PSN-invisible either way but still counted), and a batch invalidated
+    /// by a mid-batch removal re-fires its remainder, re-counting those
+    /// probes. See `tests/properties.rs` for the differential property.
+    pub fn set_batching(&mut self, on: bool) {
+        self.batching = on;
     }
 
     /// The underlying store.
@@ -220,6 +244,16 @@ impl Evaluator {
         self.process(vec![delta], Strategy::Pipelined)
     }
 
+    /// Apply a whole burst of external updates at once and run incremental
+    /// maintenance to fixpoint using PSN. Equivalent to applying the
+    /// deltas one [`Evaluator::update`] at a time, but the burst enters
+    /// the engine as one delta batch: removals seed a single DRed pass and
+    /// insertions amortize their strand firings — the churn shape one
+    /// simulator epoch delivers to a node.
+    pub fn update_batch(&mut self, deltas: Vec<TupleDelta>) -> Result<EvalStats, EvalError> {
+        self.process(deltas, Strategy::Pipelined)
+    }
+
     /// Core driver shared by all strategies.
     ///
     /// The insert-only work queue holds deltas that have been applied to
@@ -243,6 +277,42 @@ impl Evaluator {
         self.drain_deletions(&mut queue, &mut pending, &mut stats)?;
 
         match strategy {
+            // Batch-delta PSN (the default): drain the whole queue as one
+            // delta batch per round. Firing a trigger before its siblings'
+            // derivations are applied is PSN-exact — those derivations
+            // carry timestamps above every batch trigger's visibility
+            // limit, so the joins could not have seen them anyway.
+            Strategy::Pipelined if self.batching => {
+                while !queue.is_empty() {
+                    let round: Vec<(TupleDelta, u64)> = queue.drain(..).collect();
+                    let mut per_trigger = self.fire_batch_round(&round, None, &mut stats)?;
+                    let mut consumed = round.len();
+                    for (i, derived) in per_trigger.iter_mut().enumerate() {
+                        stats.iterations += 1;
+                        for derivation in derived.drain(..) {
+                            stats.derivations += 1;
+                            self.ingest(derivation.delta, &mut queue, &mut pending, &mut stats);
+                        }
+                        if !pending.is_empty() {
+                            consumed = i + 1;
+                            break;
+                        }
+                    }
+                    // A mid-batch removal (a primary-key replacement or an
+                    // external delete in the batch) invalidates the
+                    // remaining precomputed firings: their triggers return
+                    // to the queue front — still ahead of the derivations
+                    // ingested above — and re-fire against the post-DRed
+                    // store, exactly where the tuple-at-a-time loop would
+                    // have fired them.
+                    for entry in round.into_iter().skip(consumed).rev() {
+                        queue.push_front(entry);
+                    }
+                    self.drain_deletions(&mut queue, &mut pending, &mut stats)?;
+                }
+            }
+            // Tuple-at-a-time PSN: the reference loop, kept for
+            // differential testing (see `Evaluator::set_batching`).
             Strategy::Pipelined => {
                 while let Some((delta, seq)) = queue.pop_front() {
                     stats.iterations += 1;
@@ -262,15 +332,110 @@ impl Evaluator {
                     // old/new separation of Algorithm 1.
                     let iteration_seq = self.store.current_seq();
                     let take = queue.len().min(batch);
-                    let this_round: Vec<_> = queue.drain(..take).collect();
-                    for (delta, _apply_seq) in this_round {
-                        self.fire_all(&delta, iteration_seq, &mut queue, &mut pending, &mut stats)?;
-                        self.drain_deletions(&mut queue, &mut pending, &mut stats)?;
+                    let mut this_round: Vec<_> = queue.drain(..take).collect();
+                    if self.batching {
+                        // The whole iteration fires as delta batches with
+                        // the iteration's shared visibility limit. A
+                        // mid-iteration removal re-fires the *remainder of
+                        // this iteration* (same limit) after the DRed
+                        // pass — never starting a new iteration early.
+                        while !this_round.is_empty() {
+                            let mut per_trigger = self.fire_batch_round(
+                                &this_round,
+                                Some(iteration_seq),
+                                &mut stats,
+                            )?;
+                            let mut consumed = this_round.len();
+                            for (i, derived) in per_trigger.iter_mut().enumerate() {
+                                for derivation in derived.drain(..) {
+                                    stats.derivations += 1;
+                                    self.ingest(
+                                        derivation.delta,
+                                        &mut queue,
+                                        &mut pending,
+                                        &mut stats,
+                                    );
+                                }
+                                if !pending.is_empty() {
+                                    consumed = i + 1;
+                                    break;
+                                }
+                            }
+                            this_round.drain(..consumed);
+                            self.drain_deletions(&mut queue, &mut pending, &mut stats)?;
+                        }
+                    } else {
+                        for (delta, _apply_seq) in this_round {
+                            self.fire_all(
+                                &delta,
+                                iteration_seq,
+                                &mut queue,
+                                &mut pending,
+                                &mut stats,
+                            )?;
+                            self.drain_deletions(&mut queue, &mut pending, &mut stats)?;
+                        }
                     }
                 }
             }
         }
         Ok(stats)
+    }
+
+    /// Fire every strand over a batch of applied-but-unfired insertion
+    /// deltas against the current store snapshot, returning each trigger's
+    /// derivations in exactly the order the tuple-at-a-time loop ingests
+    /// them (strands in declaration order per trigger). Triggers whose
+    /// tuple is no longer stored — over-deleted or replaced since being
+    /// queued — yield nothing, mirroring [`Evaluator::fire_all`]'s skip;
+    /// that status cannot change mid-batch because any removal interrupts
+    /// the batch for a DRed pass before the next trigger is consumed.
+    fn fire_batch_round(
+        &mut self,
+        batch: &[(TupleDelta, u64)],
+        limit: Option<u64>,
+        stats: &mut EvalStats,
+    ) -> Result<Vec<Vec<Derivation>>, EvalError> {
+        let mut per_trigger: Vec<Vec<Derivation>> = batch.iter().map(|_| Vec::new()).collect();
+        let live: Vec<bool> = batch
+            .iter()
+            .map(|(delta, _)| {
+                debug_assert_eq!(delta.sign, crate::tuple::Sign::Insert);
+                self.store
+                    .relation(&delta.relation)
+                    .is_some_and(|r| r.contains(&delta.tuple))
+            })
+            .collect();
+        let mut joins = crate::strand::JoinStats::default();
+        let mut triggers: Vec<BatchTrigger> = Vec::new();
+        let mut indices: Vec<usize> = Vec::new();
+        for strand in &self.strands {
+            triggers.clear();
+            indices.clear();
+            for (i, (delta, seq)) in batch.iter().enumerate() {
+                if live[i] && strand.trigger_relation() == delta.relation {
+                    triggers.push(BatchTrigger {
+                        delta,
+                        seq_limit: limit.unwrap_or(*seq),
+                    });
+                    indices.push(i);
+                }
+            }
+            if triggers.is_empty() {
+                continue;
+            }
+            strand.fire_batch(
+                &self.store,
+                &triggers,
+                &mut joins,
+                &mut self.scratch,
+                &mut self.batch_out,
+            )?;
+            self.batch_out
+                .drain_into(|local, derivation| per_trigger[indices[local]].push(derivation));
+        }
+        stats.absorb_joins(joins);
+        Ok(per_trigger)
     }
 
     /// Fire every strand triggered by an insertion delta and ingest the

@@ -93,7 +93,7 @@ pub fn eval_bool(expr: &Expr, bindings: &Bindings) -> Result<bool, EvalError> {
     }
 }
 
-fn eval_binop(op: BinOp, l: &Value, r: &Value) -> Result<Value, EvalError> {
+pub(crate) fn eval_binop(op: BinOp, l: &Value, r: &Value) -> Result<Value, EvalError> {
     use BinOp::*;
     match op {
         Add | Sub | Mul | Div => {

@@ -18,13 +18,28 @@
 //!   [`crate::relation::Relation::probe`] in O(matches).
 //!
 //! Indexes are declared once per program (the evaluator and the per-node
-//! engines collect every compiled strand's signatures up front), never
-//! per join. Primary keys — not whole tuples — are stored in the buckets,
-//! kept in a `BTreeSet` so probe results iterate in deterministic key
-//! order, which keeps simulation runs bit-for-bit reproducible.
+//! engines collect every compiled strand's signatures up front), never per
+//! join.
+//!
+//! # Interned keys
+//!
+//! Bucket keys are **interned**: a projection is mapped through the global
+//! [`crate::intern`] table to a fixed-size `[ValueId]`, so maintaining or
+//! probing an index hashes and compares `u32` ids instead of whole values
+//! (a path-vector column no longer walks its list per index operation),
+//! and the bucket map never clones projected `Value`s. Probe keys use the
+//! read-only [`crate::intern::lookup`] path: a never-interned probe value
+//! cannot match any stored tuple, so the probe answers "empty" without
+//! growing the table. The **primary keys** inside each bucket are shared
+//! `Arc<[Value]>`s — one allocation per stored tuple, reference-bumped into
+//! every index instead of deep-cloned — kept in a `BTreeSet` ordered by
+//! *value* (never by id), so probe results iterate in deterministic
+//! primary-key order and simulation runs stay bit-for-bit reproducible.
 
+use crate::intern::{self, ValueId};
 use ndlog_lang::Value;
 use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 
 /// Join-level counters accumulated while firing strands: how many joins
 /// went through an index probe vs. a scan, and how many stored tuples were
@@ -86,14 +101,20 @@ impl IndexSignature {
     }
 }
 
-/// A hash index from a bound-column projection to the primary keys of the
-/// tuples carrying it.
+/// A bucket: the primary keys of the tuples sharing one projection, in
+/// deterministic (value-sorted) order.
+pub type Bucket = BTreeSet<Arc<[Value]>>;
+
+/// A hash index from an interned bound-column projection to the primary
+/// keys of the tuples carrying it.
 #[derive(Debug, Clone)]
 pub struct SecondaryIndex {
     signature: IndexSignature,
-    buckets: HashMap<Vec<Value>, BTreeSet<Vec<Value>>>,
+    buckets: HashMap<Box<[ValueId]>, Bucket>,
     /// Total number of (projection, primary-key) entries, for accounting.
     entries: usize,
+    /// Reusable id scratch for the maintenance (write) path.
+    scratch: Vec<ValueId>,
 }
 
 impl SecondaryIndex {
@@ -103,6 +124,7 @@ impl SecondaryIndex {
             signature,
             buckets: HashMap::new(),
             entries: 0,
+            scratch: Vec::new(),
         }
     }
 
@@ -121,11 +143,13 @@ impl SecondaryIndex {
         self.entries == 0
     }
 
-    /// Register a stored tuple's projection under its primary key.
-    pub fn add(&mut self, projection: Vec<Value>, primary_key: Vec<Value>) {
+    /// Register a stored tuple's projection under its (shared) primary
+    /// key. The projection values are interned; the key is an `Arc` bump.
+    pub fn add(&mut self, projection: &[&Value], primary_key: Arc<[Value]>) {
+        intern::intern_into(projection, &mut self.scratch);
         if self
             .buckets
-            .entry(projection)
+            .entry(self.scratch.as_slice().into())
             .or_default()
             .insert(primary_key)
         {
@@ -135,16 +159,21 @@ impl SecondaryIndex {
 
     /// Remove a stored tuple's projection entry. Returns whether an entry
     /// was actually removed (false indicates the index was already
-    /// consistent, e.g. a stale-deletion no-op).
-    pub fn remove(&mut self, projection: &[Value], primary_key: &[Value]) -> bool {
-        let Some(bucket) = self.buckets.get_mut(projection) else {
+    /// consistent, e.g. a stale-deletion no-op). Resolves the projection
+    /// read-only: a projection containing a never-interned value cannot
+    /// have an entry, so removals never grow the intern table.
+    pub fn remove(&mut self, projection: &[&Value], primary_key: &[Value]) -> bool {
+        if !intern::lookup_refs_into(projection, &mut self.scratch) {
+            return false;
+        }
+        let Some(bucket) = self.buckets.get_mut(self.scratch.as_slice()) else {
             return false;
         };
         let removed = bucket.remove(primary_key);
         if removed {
             self.entries -= 1;
             if bucket.is_empty() {
-                self.buckets.remove(projection);
+                self.buckets.remove(self.scratch.as_slice());
             }
         }
         removed
@@ -152,18 +181,28 @@ impl SecondaryIndex {
 
     /// The primary keys whose tuples project to `key_values`, in
     /// deterministic (sorted) order. Empty when no tuple matches.
-    pub fn probe(&self, key_values: &[Value]) -> impl Iterator<Item = &Vec<Value>> + '_ {
-        self.buckets
-            .get(key_values)
-            .into_iter()
-            .flat_map(|bucket| bucket.iter())
+    pub fn probe<'i>(&'i self, key_values: &[Value]) -> impl Iterator<Item = &'i Arc<[Value]>> {
+        self.bucket(key_values).into_iter().flat_map(|b| b.iter())
     }
 
     /// The bucket for one projection, if any — the eager form of
     /// [`SecondaryIndex::probe`], used when the caller needs an iterator
-    /// that borrows only the index (not the probe key).
-    pub fn bucket(&self, key_values: &[Value]) -> Option<&BTreeSet<Vec<Value>>> {
-        self.buckets.get(key_values)
+    /// that borrows only the index (not the probe key). Probe values are
+    /// resolved through the read-only interner path (one lock per probe,
+    /// a reusable thread-local id buffer, no allocation), so a
+    /// never-stored value answers `None` without growing the intern table.
+    pub fn bucket(&self, key_values: &[Value]) -> Option<&Bucket> {
+        thread_local! {
+            static PROBE_IDS: std::cell::RefCell<Vec<ValueId>> =
+                const { std::cell::RefCell::new(Vec::new()) };
+        }
+        PROBE_IDS.with(|ids| {
+            let mut ids = ids.borrow_mut();
+            if !intern::lookup_into(key_values, &mut ids) {
+                return None;
+            }
+            self.buckets.get(ids.as_slice())
+        })
     }
 
     /// Number of distinct projections (buckets).
@@ -174,7 +213,7 @@ impl SecondaryIndex {
     /// Number of primary keys filed under one projection (0 when absent):
     /// the tuples a probe on `key_values` examines.
     pub fn bucket_size(&self, key_values: &[Value]) -> usize {
-        self.buckets.get(key_values).map_or(0, BTreeSet::len)
+        self.bucket(key_values).map_or(0, BTreeSet::len)
     }
 }
 
@@ -184,6 +223,20 @@ mod tests {
 
     fn vals(xs: &[i64]) -> Vec<Value> {
         xs.iter().map(|&x| Value::Int(x)).collect()
+    }
+
+    fn key(xs: &[i64]) -> Arc<[Value]> {
+        vals(xs).into()
+    }
+
+    fn add(idx: &mut SecondaryIndex, proj: &[i64], pk: &[i64]) {
+        let proj = vals(proj);
+        idx.add(&proj.iter().collect::<Vec<_>>(), key(pk));
+    }
+
+    fn remove(idx: &mut SecondaryIndex, proj: &[i64], pk: &[i64]) -> bool {
+        let proj = vals(proj);
+        idx.remove(&proj.iter().collect::<Vec<_>>(), &vals(pk))
     }
 
     #[test]
@@ -198,33 +251,45 @@ mod tests {
     #[test]
     fn add_probe_remove_roundtrip() {
         let mut idx = SecondaryIndex::new(IndexSignature::new(&[0]));
-        idx.add(vals(&[1]), vals(&[1, 10]));
-        idx.add(vals(&[1]), vals(&[1, 20]));
-        idx.add(vals(&[2]), vals(&[2, 30]));
+        add(&mut idx, &[1], &[1, 10]);
+        add(&mut idx, &[1], &[1, 20]);
+        add(&mut idx, &[2], &[2, 30]);
         assert_eq!(idx.len(), 3);
         assert_eq!(idx.bucket_count(), 2);
 
-        let hits: Vec<_> = idx.probe(&vals(&[1])).collect();
-        assert_eq!(hits, vec![&vals(&[1, 10]), &vals(&[1, 20])]);
+        let hits: Vec<&[Value]> = idx.probe(&vals(&[1])).map(|k| k.as_ref()).collect();
+        assert_eq!(hits, vec![&vals(&[1, 10])[..], &vals(&[1, 20])[..]]);
         assert_eq!(idx.probe(&vals(&[9])).count(), 0);
 
-        assert!(idx.remove(&vals(&[1]), &vals(&[1, 10])));
+        assert!(remove(&mut idx, &[1], &[1, 10]));
         assert!(
-            !idx.remove(&vals(&[1]), &vals(&[1, 10])),
+            !remove(&mut idx, &[1], &[1, 10]),
             "double remove is a no-op"
         );
         assert_eq!(idx.probe(&vals(&[1])).count(), 1);
-        assert!(idx.remove(&vals(&[1]), &vals(&[1, 20])));
+        assert!(remove(&mut idx, &[1], &[1, 20]));
         assert_eq!(idx.bucket_count(), 1, "empty buckets are dropped");
-        assert!(idx.remove(&vals(&[2]), &vals(&[2, 30])));
+        assert!(remove(&mut idx, &[2], &[2, 30]));
         assert!(idx.is_empty());
     }
 
     #[test]
     fn duplicate_add_is_idempotent() {
         let mut idx = SecondaryIndex::new(IndexSignature::new(&[1]));
-        idx.add(vals(&[5]), vals(&[0]));
-        idx.add(vals(&[5]), vals(&[0]));
+        add(&mut idx, &[5], &[0]);
+        add(&mut idx, &[5], &[0]);
         assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn never_interned_probe_value_is_an_empty_bucket() {
+        let mut idx = SecondaryIndex::new(IndexSignature::new(&[0]));
+        add(&mut idx, &[3], &[3, 1]);
+        // A value that was never stored anywhere cannot match; the probe
+        // must answer without interning it.
+        let novel = Value::str("index-test-never-stored-77ab");
+        assert!(idx.bucket(std::slice::from_ref(&novel)).is_none());
+        assert_eq!(idx.bucket_size(std::slice::from_ref(&novel)), 0);
+        assert_eq!(crate::intern::lookup(&novel), None);
     }
 }

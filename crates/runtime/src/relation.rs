@@ -31,6 +31,7 @@ use crate::tuple::Tuple;
 use ndlog_lang::Value;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Schema of a stored relation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -213,7 +214,7 @@ impl Relation {
         let mut index = SecondaryIndex::new(signature);
         for (key, stored) in &self.tuples {
             if let Some(projection) = project_checked(&stored.tuple, index.signature().columns()) {
-                index.add(projection, key.clone());
+                index.add(&projection, key.as_slice().into());
             }
         }
         self.indexes.push(index);
@@ -248,7 +249,7 @@ impl Relation {
             .find(|i| i.signature().columns() == cols)?;
         Some(index.probe(key).filter_map(move |primary_key| {
             self.tuples
-                .get(primary_key.as_slice())
+                .get(primary_key.as_ref())
                 .filter(|s| s.seq <= seq_limit)
         }))
     }
@@ -345,14 +346,16 @@ impl Relation {
                 stats.tuples_examined += bucket.map_or(0, |b| b.len());
                 // Bound columns the chosen signature does not cover are
                 // enforced residually (empty for an exact-signature match).
-                let residual: Vec<(usize, Value)> = cols
+                // The residual column set is projected once per lookup —
+                // borrowing the caller's key values — never per candidate.
+                let residual: Vec<(usize, &Value)> = cols
                     .iter()
                     .copied()
-                    .zip(key.iter().cloned())
+                    .zip(key.iter())
                     .filter(|(c, _)| !index.signature().columns().contains(c))
                     .collect();
                 AccessPath::Probe(bucket.into_iter().flatten().filter_map(move |primary_key| {
-                    self.tuples.get(primary_key.as_slice()).filter(|s| {
+                    self.tuples.get(primary_key.as_ref()).filter(|s| {
                         s.seq <= seq_limit
                             && residual
                                 .iter()
@@ -363,8 +366,7 @@ impl Relation {
             None => {
                 stats.scans += 1;
                 stats.tuples_examined += self.len();
-                let bound: Vec<(usize, Value)> =
-                    cols.iter().copied().zip(key.iter().cloned()).collect();
+                let bound: Vec<(usize, &Value)> = cols.iter().copied().zip(key.iter()).collect();
                 AccessPath::Scan(self.tuples.values().filter(move |s| {
                     s.seq <= seq_limit
                         && bound
@@ -390,21 +392,24 @@ impl Relation {
         self.lossy_replacements
     }
 
-    /// Register a newly stored tuple in every index.
+    /// Register a newly stored tuple in every index. The primary key is
+    /// allocated as one shared `Arc` and reference-bumped per index.
     fn index_add(&mut self, key: &[Value], tuple: &Tuple) {
+        if self.indexes.is_empty() {
+            return;
+        }
+        let shared: Arc<[Value]> = key.into();
         for index in &mut self.indexes {
             if let Some(projection) = project_checked(tuple, index.signature().columns()) {
-                index.add(projection, key.to_vec());
+                index.add(&projection, Arc::clone(&shared));
             }
         }
     }
 
     /// Remove a no-longer-stored tuple from every index.
     fn index_remove(&mut self, key: &[Value], tuple: &Tuple) {
-        let mut projection = Vec::new();
         for index in &mut self.indexes {
-            projection.clear();
-            if tuple.project_into(index.signature().columns(), &mut projection) {
+            if let Some(projection) = project_checked(tuple, index.signature().columns()) {
                 index.remove(&projection, key);
             }
         }
@@ -539,14 +544,15 @@ where
     }
 }
 
-/// Project a tuple onto index columns, returning `None` if any column is
-/// out of range (possible when heterogeneous arities share a relation
-/// name in hand-built test stores; such tuples simply stay unindexed and
+/// Project a tuple onto index columns (borrowed — the values are interned
+/// by the index, never cloned), returning `None` if any column is out of
+/// range (possible when heterogeneous arities share a relation name in
+/// hand-built test stores; such tuples simply stay unindexed and
 /// unreachable by probes on that signature).
-fn project_checked(tuple: &Tuple, cols: &[usize]) -> Option<Vec<Value>> {
+fn project_checked<'t>(tuple: &'t Tuple, cols: &[usize]) -> Option<Vec<&'t Value>> {
     cols.iter()
-        .map(|&c| tuple.get(c).cloned())
-        .collect::<Option<Vec<Value>>>()
+        .map(|&c| tuple.get(c))
+        .collect::<Option<Vec<&Value>>>()
 }
 
 #[cfg(test)]

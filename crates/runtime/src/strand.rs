@@ -83,14 +83,19 @@ pub struct CompiledStrand {
     /// one bound column, `None` for the trigger, non-atom literals and
     /// genuinely unbound atoms.
     plans: Vec<Option<ProbePlan>>,
+    /// The slot-compiled twin of the rule, used by the batch-delta path
+    /// ([`CompiledStrand::fire_batch`]).
+    batch: crate::batch::BatchPlan,
 }
 
 impl CompiledStrand {
     /// Compile a delta rule into a strand, deriving a probe plan for every
-    /// non-trigger body atom.
+    /// non-trigger body atom and a slot-compiled batch plan over the same
+    /// plans.
     pub fn new(rule: DeltaRule) -> Self {
         let plans = compile_probe_plans(&rule);
-        CompiledStrand { rule, plans }
+        let batch = crate::batch::compile(&rule, &plans);
+        CompiledStrand { rule, plans, batch }
     }
 
     /// The probe plans, parallel to the rule's body literals (useful for
@@ -275,6 +280,27 @@ impl CompiledStrand {
             });
         }
         Ok(out)
+    }
+
+    /// Fire the strand with a whole batch of trigger deltas through the
+    /// slot-compiled plan and flat reusable buffers of [`crate::batch`].
+    /// Per trigger, the derivations (grouped in `out`) and the join
+    /// statistics are identical to calling [`CompiledStrand::fire_counted`]
+    /// with that trigger and its `seq_limit` against the same store; the
+    /// batch path just amortizes all per-environment allocation away. See
+    /// the [`crate::batch`] module docs for the exact equivalence contract.
+    pub fn fire_batch(
+        &self,
+        store: &Store,
+        triggers: &[crate::batch::BatchTrigger],
+        stats: &mut JoinStats,
+        scratch: &mut crate::batch::BatchScratch,
+        out: &mut crate::batch::BatchOutput,
+    ) -> Result<(), EvalError> {
+        debug_assert!(triggers
+            .iter()
+            .all(|t| t.delta.relation == self.rule.trigger_relation));
+        self.batch.fire_batch(store, triggers, stats, scratch, out)
     }
 }
 
@@ -741,6 +767,100 @@ mod tests {
             probe_stats.tuples_examined <= scan_stats.tuples_examined,
             "probing must not examine more than scanning"
         );
+    }
+
+    #[test]
+    fn fire_batch_matches_fire_per_trigger() {
+        use crate::batch::{BatchOutput, BatchScratch, BatchTrigger};
+        let (mut store, strands) = setup(TWO_HOP);
+        store.declare_indexes(strands.iter());
+        for d in 2..12u32 {
+            store.apply(&TupleDelta::insert(
+                "path",
+                Tuple::new(vec![
+                    addr(1),
+                    addr(d),
+                    addr(d),
+                    Value::list(vec![addr(1), addr(d)]),
+                    Value::Int(3),
+                ]),
+            ));
+        }
+        let link_strand = strands
+            .iter()
+            .find(|s| s.trigger_relation() == "link")
+            .unwrap();
+        // A matching insert, a deletion, a dead-end link and a filtered
+        // (cycle-closing) one, each with its own visibility limit.
+        let deltas = [
+            (
+                TupleDelta::insert("link", Tuple::new(vec![addr(0), addr(1), Value::Int(4)])),
+                u64::MAX,
+            ),
+            (
+                TupleDelta::delete("link", Tuple::new(vec![addr(7), addr(1), Value::Int(9)])),
+                u64::MAX,
+            ),
+            (
+                TupleDelta::insert("link", Tuple::new(vec![addr(0), addr(99), Value::Int(1)])),
+                u64::MAX,
+            ),
+            (
+                TupleDelta::insert("link", Tuple::new(vec![addr(0), addr(1), Value::Int(4)])),
+                5,
+            ),
+        ];
+        let triggers: Vec<BatchTrigger> = deltas
+            .iter()
+            .map(|(delta, seq_limit)| BatchTrigger {
+                delta,
+                seq_limit: *seq_limit,
+            })
+            .collect();
+        let mut batch_stats = JoinStats::default();
+        let mut scratch = BatchScratch::default();
+        let mut out = BatchOutput::default();
+        link_strand
+            .fire_batch(&store, &triggers, &mut batch_stats, &mut scratch, &mut out)
+            .unwrap();
+
+        let mut tuple_stats = JoinStats::default();
+        for (i, (delta, seq_limit)) in deltas.iter().enumerate() {
+            let reference = link_strand
+                .fire_counted(&store, delta, *seq_limit, &mut tuple_stats)
+                .unwrap();
+            assert_eq!(
+                out.for_trigger(i),
+                &reference[..],
+                "trigger {i} derivations diverge"
+            );
+        }
+        assert_eq!(batch_stats, tuple_stats, "join accounting diverges");
+        assert!(!out.for_trigger(0).is_empty());
+        // Trigger 0 extends all 10 stored paths; trigger 1 (from node 7)
+        // extends 9 — the cycle filter drops path(1, 7).
+        assert_eq!(out.for_trigger(0).len(), 10);
+        assert_eq!(out.for_trigger(1).len(), 9);
+        assert!(out.for_trigger(2).is_empty(), "dead-end link joins nothing");
+        assert_eq!(out.for_trigger(3).len(), 5, "seq limit hides newer paths");
+    }
+
+    #[test]
+    fn fire_batch_reports_unbound_head_variables() {
+        use crate::batch::{BatchOutput, BatchScratch, BatchTrigger};
+        let (store, strands) = setup("r1 out(@S, X) :- q(@S, C).");
+        let d = TupleDelta::insert("q", Tuple::new(vec![addr(0), Value::Int(1)]));
+        let triggers = [BatchTrigger {
+            delta: &d,
+            seq_limit: u64::MAX,
+        }];
+        let mut stats = JoinStats::default();
+        let mut scratch = BatchScratch::default();
+        let mut out = BatchOutput::default();
+        assert!(matches!(
+            strands[0].fire_batch(&store, &triggers, &mut stats, &mut scratch, &mut out),
+            Err(EvalError::UnboundVariable(v)) if v == "X"
+        ));
     }
 
     #[test]
