@@ -42,10 +42,11 @@ fn bench(c: &mut Criterion) {
         load_ring(&mut eval, 16);
         let stats = eval.run(strategy).unwrap();
         println!(
-            "{name}_ring16 computation: {} tuples examined, {} probes, {} scans, \
-             {} derivations ({} redundant)",
+            "{name}_ring16 computation: {} tuples examined, {} probes ({} distinct), \
+             {} scans, {} derivations ({} redundant)",
             stats.tuples_examined,
-            stats.index_probes,
+            stats.logical_probes,
+            stats.distinct_probes,
             stats.scans,
             stats.derivations,
             stats.redundant_derivations

@@ -114,7 +114,7 @@ fn bench(c: &mut Criterion) {
                     .fire_counted(&indexed_store, &trigger, u64::MAX, &mut stats)
                     .unwrap();
                 assert_eq!(out.len(), 10);
-                assert_eq!(stats.index_probes, 1);
+                assert_eq!(stats.logical_probes, 1);
                 out.len()
             })
         });

@@ -140,8 +140,10 @@ fn json_number(text: &str, field: &str) -> Option<f64> {
 }
 
 /// Run the micro join bench, optionally writing JSON and gating against a
-/// committed baseline: the job fails when the indexed probe path is more
-/// than 2x slower than the baseline's.
+/// committed baseline: the job fails when the indexed per-trigger probe
+/// path or the key-grouped probe path is more than 2x slower than the
+/// baseline's (the grouped gate is what keeps probe sharing from silently
+/// degrading back to one lookup per trigger).
 fn run_micro(options: &Options) {
     let result = micro_runtime();
     println!("{}", result.render());
@@ -151,16 +153,25 @@ fn run_micro(options: &Options) {
     }
     if let Some(path) = &options.baseline {
         let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
-        let committed = json_number(&text, "indexed_batch_us_per_trigger")
-            .unwrap_or_else(|| panic!("{path} has no indexed_batch_us_per_trigger"));
-        let measured = result.indexed_batch_us;
-        println!(
-            "baseline gate: measured {measured:.3} µs vs committed {committed:.3} µs \
-             (limit {:.3} µs)",
-            committed * 2.0
-        );
-        if measured > committed * 2.0 {
-            eprintln!("FAIL: indexed probe path regressed more than 2x vs {path}");
+        let mut failed = false;
+        for (field, measured) in [
+            ("indexed_batch_us_per_trigger", result.indexed_batch_us),
+            ("indexed_grouped_us_per_trigger", result.indexed_grouped_us),
+            ("dup_grouped_us_per_trigger", result.dup_grouped_us),
+        ] {
+            let committed =
+                json_number(&text, field).unwrap_or_else(|| panic!("{path} has no {field}"));
+            println!(
+                "baseline gate [{field}]: measured {measured:.3} µs vs committed \
+                 {committed:.3} µs (limit {:.3} µs)",
+                committed * 2.0
+            );
+            if measured > committed * 2.0 {
+                eprintln!("FAIL: {field} regressed more than 2x vs {path}");
+                failed = true;
+            }
+        }
+        if failed {
             std::process::exit(1);
         }
     }

@@ -138,7 +138,7 @@ impl AggregateSelectionsResult {
         let _ = writeln!(out, "{title}");
         let _ = writeln!(
             out,
-            "{:<14} {:>12} {:>10} {:>12} {:>10} {:>10} {:>10} {:>10} {:>12}",
+            "{:<14} {:>12} {:>10} {:>12} {:>10} {:>10} {:>10} {:>10} {:>10} {:>12}",
             "metric",
             "converge(s)",
             "MB",
@@ -146,20 +146,22 @@ impl AggregateSelectionsResult {
             "messages",
             "pruned",
             "probes",
+            "distinct",
             "scans",
             "examined"
         );
         for r in &self.runs {
             let _ = writeln!(
                 out,
-                "{:<14} {:>12.2} {:>10.2} {:>12.2} {:>10} {:>10} {:>10} {:>10} {:>12}",
+                "{:<14} {:>12.2} {:>10.2} {:>12.2} {:>10} {:>10} {:>10} {:>10} {:>10} {:>12}",
                 r.metric.label(),
                 r.convergence_seconds,
                 r.total_mb,
                 r.peak_kbps,
                 r.messages,
                 r.pruned,
-                r.computation.index_probes,
+                r.computation.logical_probes,
+                r.computation.distinct_probes,
                 r.computation.scans,
                 r.computation.tuples_examined
             );
@@ -674,13 +676,15 @@ impl IncrementalResult {
         );
         let _ = writeln!(
             out,
-            "computation: initial {} tuples examined ({} probes, {} scans); \
-             bursts added {} examined ({} probes, {} scans)",
+            "computation: initial {} tuples examined ({} probes, {} distinct, \
+             {} scans); bursts added {} examined ({} probes, {} distinct, {} scans)",
             self.initial_computation.tuples_examined,
-            self.initial_computation.index_probes,
+            self.initial_computation.logical_probes,
+            self.initial_computation.distinct_probes,
             self.initial_computation.scans,
             self.burst_computation.tuples_examined,
-            self.burst_computation.index_probes,
+            self.burst_computation.logical_probes,
+            self.burst_computation.distinct_probes,
             self.burst_computation.scans
         );
         let _ = writeln!(out, "{:<8} {:>14}", "t(s)", "kBps/node");
@@ -1000,8 +1004,11 @@ pub fn parallel_scaling(scale: Scale, thread_counts: &[usize]) -> ParallelScalin
 /// Wall-clock measurements of the runtime's join hot path: one strand
 /// probing a `relation_size`-tuple relation with `matches_per_probe`
 /// matches per trigger, fired tuple-at-a-time (`fire_counted`), in a delta
-/// batch (`fire_batch`), and tuple-at-a-time without the index (full
-/// scan).
+/// batch without and with key-grouped probe sharing, and tuple-at-a-time
+/// without the index (full scan) — plus a **duplicate-key** trigger set
+/// (Zipf-ish key frequencies, the shape path-exploration and flooding
+/// batches actually have) fired through both batch paths, which is where
+/// grouping's one-probe-per-distinct-key amortization shows.
 #[derive(Debug, Clone)]
 pub struct MicroRuntimeResult {
     /// Stored tuples in the probed relation.
@@ -1014,17 +1021,34 @@ pub struct MicroRuntimeResult {
     pub iters: usize,
     /// Tuple-at-a-time firing through the index, µs per trigger.
     pub indexed_fire_us: f64,
-    /// Batch-delta firing through the index, µs per trigger.
+    /// Batch-delta firing through the index with one probe per trigger
+    /// (the ungrouped PR 4 path), µs per trigger.
     pub indexed_batch_us: f64,
+    /// Batch-delta firing with key-grouped probe sharing (the default
+    /// engine path), µs per trigger, same uniform workload.
+    pub indexed_grouped_us: f64,
     /// Tuple-at-a-time firing without the index (full scan), µs per
     /// trigger.
     pub scan_fire_us: f64,
+    /// Distinct probe keys in the duplicate-key trigger set.
+    pub dup_distinct_keys: usize,
+    /// Ungrouped batch firing on the duplicate-key workload, µs/trigger.
+    pub dup_batch_us: f64,
+    /// Grouped batch firing on the duplicate-key workload, µs/trigger.
+    pub dup_grouped_us: f64,
 }
 
 impl MicroRuntimeResult {
-    /// Speedup of batch-delta over tuple-at-a-time on the indexed path.
+    /// Speedup of (ungrouped) batch-delta over tuple-at-a-time on the
+    /// indexed path.
     pub fn batch_speedup(&self) -> f64 {
         self.indexed_fire_us / self.indexed_batch_us.max(f64::MIN_POSITIVE)
+    }
+
+    /// Speedup of key-grouped probe sharing over per-trigger probing on
+    /// the duplicate-key workload.
+    pub fn grouping_speedup(&self) -> f64 {
+        self.dup_batch_us / self.dup_grouped_us.max(f64::MIN_POSITIVE)
     }
 
     /// Speedup of the indexed probe over the full scan (tuple-at-a-time).
@@ -1040,23 +1064,45 @@ impl MicroRuntimeResult {
             "Runtime join micro-bench ({} tuples, {} matches/probe, batch of {})",
             self.relation_size, self.matches_per_probe, self.batch_size
         );
-        let _ = writeln!(out, "{:<28} {:>14}", "path", "µs / trigger");
+        let _ = writeln!(out, "{:<34} {:>14}", "path", "µs / trigger");
         let _ = writeln!(
             out,
-            "{:<28} {:>14.3}",
+            "{:<34} {:>14.3}",
             "indexed, tuple-at-a-time", self.indexed_fire_us
         );
         let _ = writeln!(
             out,
-            "{:<28} {:>14.3}",
-            "indexed, batch-delta", self.indexed_batch_us
+            "{:<34} {:>14.3}",
+            "indexed, batch per-trigger probes", self.indexed_batch_us
         );
         let _ = writeln!(
             out,
-            "{:<28} {:>14.3}",
+            "{:<34} {:>14.3}",
+            "indexed, batch grouped probes", self.indexed_grouped_us
+        );
+        let _ = writeln!(
+            out,
+            "{:<34} {:>14.3}",
             "scan, tuple-at-a-time", self.scan_fire_us
         );
+        let _ = writeln!(
+            out,
+            "{:<34} {:>14.3}",
+            format!("dup-key ({} keys), per-trigger", self.dup_distinct_keys),
+            self.dup_batch_us
+        );
+        let _ = writeln!(
+            out,
+            "{:<34} {:>14.3}",
+            format!("dup-key ({} keys), grouped", self.dup_distinct_keys),
+            self.dup_grouped_us
+        );
         let _ = writeln!(out, "batch speedup: {:.2}x", self.batch_speedup());
+        let _ = writeln!(
+            out,
+            "grouping speedup (dup keys): {:.2}x",
+            self.grouping_speedup()
+        );
         let _ = writeln!(
             out,
             "indexed vs scan: {:.2}x",
@@ -1086,10 +1132,31 @@ impl MicroRuntimeResult {
         );
         let _ = writeln!(
             out,
+            "  \"indexed_grouped_us_per_trigger\": {:.4},",
+            self.indexed_grouped_us
+        );
+        let _ = writeln!(
+            out,
             "  \"scan_fire_us_per_trigger\": {:.4},",
             self.scan_fire_us
         );
+        let _ = writeln!(out, "  \"dup_distinct_keys\": {},", self.dup_distinct_keys);
+        let _ = writeln!(
+            out,
+            "  \"dup_batch_us_per_trigger\": {:.4},",
+            self.dup_batch_us
+        );
+        let _ = writeln!(
+            out,
+            "  \"dup_grouped_us_per_trigger\": {:.4},",
+            self.dup_grouped_us
+        );
         let _ = writeln!(out, "  \"batch_speedup\": {:.4},", self.batch_speedup());
+        let _ = writeln!(
+            out,
+            "  \"grouping_speedup\": {:.4},",
+            self.grouping_speedup()
+        );
         let _ = writeln!(
             out,
             "  \"indexed_vs_scan_speedup\": {:.4}",
@@ -1102,7 +1169,11 @@ impl MicroRuntimeResult {
 
 /// Run the join micro-bench: the `rc2` reachability strand probing a
 /// `link` relation of 10⁴ tuples (10 matching per probe), with a batch of
-/// 256 triggers per pass. Deterministic workload, wall-clock timed.
+/// 256 triggers per pass — the original uniform workload (every trigger
+/// probes the same key) plus a duplicate-key workload whose probe keys
+/// follow a Zipf-ish frequency curve (rank r gets ~(BATCH/3)/r triggers:
+/// 12 distinct keys, the hottest taking ~85 of the 256).
+/// Deterministic workload, wall-clock timed.
 pub fn micro_runtime() -> MicroRuntimeResult {
     use ndlog_runtime::batch::{BatchOutput, BatchScratch, BatchTrigger};
     use ndlog_runtime::strand::JoinStats;
@@ -1178,28 +1249,87 @@ pub fn micro_runtime() -> MicroRuntimeResult {
     let indexed_fire_us = time_fire(&indexed, ITERS);
     let scan_fire_us = time_fire(&scan, SCAN_ITERS);
 
-    let batch: Vec<BatchTrigger> = triggers
-        .iter()
-        .map(|delta| BatchTrigger {
-            delta,
-            seq_limit: u64::MAX,
-        })
-        .collect();
     let mut scratch = BatchScratch::default();
     let mut out = BatchOutput::default();
-    let mut stats = JoinStats::default();
-    strand
-        .fire_batch(&indexed, &batch, &mut stats, &mut scratch, &mut out)
-        .unwrap();
-    assert_eq!(out.all().len(), MATCHES * BATCH);
-    let start = std::time::Instant::now();
-    for _ in 0..ITERS {
-        strand
-            .fire_batch(&indexed, &batch, &mut stats, &mut scratch, &mut out)
-            .unwrap();
-        assert_eq!(out.all().len(), MATCHES * BATCH);
+    let mut time_batch = |store: &Store, deltas: &[TupleDelta], grouped: bool| -> f64 {
+        let batch: Vec<BatchTrigger> = deltas
+            .iter()
+            .map(|delta| BatchTrigger {
+                delta,
+                seq_limit: u64::MAX,
+            })
+            .collect();
+        let mut stats = JoinStats::default();
+        let mut fire = |out: &mut BatchOutput| {
+            if grouped {
+                strand
+                    .fire_batch(store, &batch, &mut stats, &mut scratch, out)
+                    .unwrap();
+            } else {
+                strand
+                    .fire_batch_ungrouped(store, &batch, &mut stats, &mut scratch, out)
+                    .unwrap();
+            }
+            assert_eq!(out.all().len(), MATCHES * BATCH);
+        };
+        fire(&mut out); // warmup
+        let start = std::time::Instant::now();
+        for _ in 0..ITERS {
+            fire(&mut out);
+        }
+        start.elapsed().as_secs_f64() * 1e6 / (ITERS * BATCH) as f64
+    };
+
+    let indexed_batch_us = time_batch(&indexed, &triggers, false);
+    let indexed_grouped_us = time_batch(&indexed, &triggers, true);
+
+    // The duplicate-key workload: every destination key 1..=1000 has
+    // exactly MATCHES incoming links, and the 256 triggers probe a
+    // Zipf-ish mix of them — rank r gets ~(BATCH/3)/r triggers (12
+    // distinct keys, the hottest ~85 of 256). The stored links share
+    // their location column (as every per-node `link` table does — the
+    // location specifier is the node itself), so primary keys only
+    // diverge in later columns, exactly the key-comparison shape real
+    // node stores have.
+    let mut dup_store = Store::new();
+    dup_store.declare_indexes(strands.iter());
+    for i in 0..RELATION_SIZE as u32 {
+        dup_store.apply(&TupleDelta::insert(
+            "link",
+            Tuple::new(vec![
+                Value::addr(1u32),
+                Value::addr(1 + (i % 1000)),
+                Value::Float(f64::from(i)),
+            ]),
+        ));
     }
-    let indexed_batch_us = start.elapsed().as_secs_f64() * 1e6 / (ITERS * BATCH) as f64;
+    let mut dup_dsts: Vec<u32> = Vec::with_capacity(BATCH);
+    let mut rank = 1u32;
+    while dup_dsts.len() < BATCH {
+        let copies = ((BATCH as u32 / 3) / rank).max(1) as usize;
+        for _ in 0..copies.min(BATCH - dup_dsts.len()) {
+            dup_dsts.push(rank);
+        }
+        rank += 1;
+    }
+    let dup_distinct_keys = {
+        let mut keys = dup_dsts.clone();
+        keys.sort_unstable();
+        keys.dedup();
+        keys.len()
+    };
+    let dup_triggers: Vec<TupleDelta> = dup_dsts
+        .iter()
+        .enumerate()
+        .map(|(d, &dst)| {
+            TupleDelta::insert(
+                "reach",
+                Tuple::new(vec![Value::addr(dst), Value::addr(30_000 + d as u32)]),
+            )
+        })
+        .collect();
+    let dup_batch_us = time_batch(&dup_store, &dup_triggers, false);
+    let dup_grouped_us = time_batch(&dup_store, &dup_triggers, true);
 
     MicroRuntimeResult {
         relation_size: RELATION_SIZE,
@@ -1208,7 +1338,11 @@ pub fn micro_runtime() -> MicroRuntimeResult {
         iters: ITERS,
         indexed_fire_us,
         indexed_batch_us,
+        indexed_grouped_us,
         scan_fire_us,
+        dup_distinct_keys,
+        dup_batch_us,
+        dup_grouped_us,
     }
 }
 
@@ -1296,8 +1430,33 @@ impl BatchVectorizationResult {
         );
         let _ = writeln!(
             out,
-            "    \"batch_speedup\": {:.4}",
+            "    \"indexed_grouped_us_per_trigger\": {:.4},",
+            self.micro.indexed_grouped_us
+        );
+        let _ = writeln!(
+            out,
+            "    \"dup_distinct_keys\": {},",
+            self.micro.dup_distinct_keys
+        );
+        let _ = writeln!(
+            out,
+            "    \"dup_batch_us_per_trigger\": {:.4},",
+            self.micro.dup_batch_us
+        );
+        let _ = writeln!(
+            out,
+            "    \"dup_grouped_us_per_trigger\": {:.4},",
+            self.micro.dup_grouped_us
+        );
+        let _ = writeln!(
+            out,
+            "    \"batch_speedup\": {:.4},",
             self.micro.batch_speedup()
+        );
+        let _ = writeln!(
+            out,
+            "    \"grouping_speedup\": {:.4}",
+            self.micro.grouping_speedup()
         );
         let _ = writeln!(out, "  }},");
         let _ = writeln!(out, "  \"scaling\": {{");
@@ -1469,13 +1628,21 @@ mod tests {
             iters: 40,
             indexed_fire_us: 9.0,
             indexed_batch_us: 4.5,
+            indexed_grouped_us: 3.0,
             scan_fire_us: 120.0,
+            dup_distinct_keys: 30,
+            dup_batch_us: 4.0,
+            dup_grouped_us: 2.0,
         };
         assert!((micro.batch_speedup() - 2.0).abs() < 1e-9);
+        assert!((micro.grouping_speedup() - 2.0).abs() < 1e-9);
         let json = micro.to_json();
         assert!(json.contains("\"bench\": \"micro_runtime\""));
         assert!(json.contains("\"indexed_batch_us_per_trigger\": 4.5000"));
+        assert!(json.contains("\"indexed_grouped_us_per_trigger\": 3.0000"));
+        assert!(json.contains("\"dup_grouped_us_per_trigger\": 2.0000"));
         assert!(json.contains("\"batch_speedup\": 2.0000"));
+        assert!(json.contains("\"grouping_speedup\": 2.0000"));
         assert!(!micro.render().is_empty());
 
         let scaling = parallel_scaling(Scale::Small, &[2]);

@@ -246,7 +246,10 @@ impl DistributedEngine {
     }
 
     /// Aggregate evaluation statistics across all nodes: processed deltas,
-    /// derivations and the probe/scan/tuples-examined counters. This is the
+    /// derivations and the probe/scan/tuples-examined counters — with
+    /// probes split into per-environment `logical_probes` and actually
+    /// executed `distinct_probes` (key-grouped batches answer every
+    /// same-key trigger with one bucket lookup). This is the
     /// computation-overhead side of the paper's evaluation, complementing
     /// [`DistributedEngine::stats`]'s communication accounting.
     pub fn computation_stats(&self) -> EvalStats {

@@ -191,6 +191,11 @@ impl NodeEngine {
     /// Cumulative evaluation statistics: processed deltas, derivations, and
     /// the probe/scan/tuples-examined counters that quantify computation
     /// overhead (the per-node counterpart of the network byte accounting).
+    /// Probes are counted at both granularities — `logical_probes` per
+    /// binding environment and `distinct_probes` for the bucket lookups
+    /// actually executed after key-grouped probe sharing; both are
+    /// deterministic for a given event order, so they participate in the
+    /// bitwise-identity checks across executor thread counts.
     pub fn eval_stats(&self) -> EvalStats {
         self.stats
     }

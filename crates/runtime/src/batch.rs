@@ -14,6 +14,26 @@
 //! environment is a row copy into the arena; no per-environment `Vec`,
 //! map or `String` is ever allocated.
 //!
+//! # Key-grouped probe sharing
+//!
+//! Real delta batches are key-skewed: path exploration and flooding
+//! dissemination hand a strand hundreds of triggers that probe the same
+//! join key. The default (grouped) probe stage therefore partitions the
+//! surviving rows by probe-key value — first-occurrence order, so the
+//! grouping is deterministic and independent of interner id assignment —
+//! executes **one** index lookup per distinct key
+//! ([`crate::relation::Relation::lookup_n`]), runs the member-independent
+//! residual checks once per candidate, and broadcasts the shared match
+//! set to every group member through offset ranges into a flat match
+//! buffer (each member only re-applies the slot *binds* and its own
+//! `seq_limit` visibility filter). This is sound because a probe stage's
+//! match set depends only on the probe key and the candidate: compilation
+//! guarantees every residual `CheckSlot` refers to a slot bound by an
+//! earlier column of the same atom (any slot bound by an earlier stage is
+//! part of the probe key), so two rows with equal keys accept exactly the
+//! same candidates. The ungrouped stage (one lookup per row) survives as
+//! the differential reference.
+//!
 //! # Equivalence contract
 //!
 //! For every trigger `i` of the batch, the derivations in
@@ -22,8 +42,12 @@
 //! stages process rows in trigger order and extensions are appended
 //! stably, so rows stay grouped by trigger and ordered exactly as the
 //! nested tuple-at-a-time loops would have produced them. Join statistics
-//! are also identical — one probe (or scan) is recorded per environment
-//! per atom, exactly like the tuple path. The only caller-visible
+//! are identical in *logical* terms — one logical probe (or scan) and the
+//! full bucket's `tuples_examined` are recorded per environment per atom,
+//! exactly like the tuple path, whether or not probes are grouped. Only
+//! `distinct_probes` (the bucket lookups actually executed) differs:
+//! grouped firing reports one per distinct key per atom, the ungrouped
+//! and tuple paths one per environment. The only other caller-visible
 //! divergence is *error selection* when several triggers of one batch
 //! fail: stages run batch-wide, so the first error in stage order may
 //! belong to a later trigger than the first error in trigger order (the
@@ -32,12 +56,13 @@
 
 use crate::expr::{eval_binop, eval_builtin, EvalError};
 use crate::index::JoinStats;
+use crate::relation::StoredTuple;
 use crate::store::Store;
 use crate::strand::{Derivation, ProbePlan};
 use crate::tuple::{Tuple, TupleDelta};
 use ndlog_lang::seminaive::DeltaRule;
 use ndlog_lang::{Atom, Expr, Literal, Term, Value};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// One trigger delta of a batch with its join visibility limit (PSN passes
 /// the tuple's own timestamp; SN/BSN pass the iteration limit).
@@ -124,6 +149,23 @@ enum Stage {
     Filter(SlotExpr),
 }
 
+/// A head column source for the **fused** final stage: when a rule's last
+/// stage is its probe (the common single-join shape), the surviving
+/// `(member row, candidate)` pairs project their head tuples directly, so
+/// no output row arena is ever materialized for that stage. Each head
+/// column reads either from the pre-final row or from the candidate tuple
+/// (for slots the final atom's `Bind` ops would have written).
+#[derive(Debug, Clone, PartialEq)]
+enum FusedSource {
+    Const(Value),
+    /// Read from a slot bound before the final stage.
+    Row(usize, String),
+    /// Read from a column of the final probe's candidate tuple.
+    Cand(usize),
+    Unbound(String),
+    Aggregate,
+}
+
 /// A slot-compiled rule strand.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BatchPlan {
@@ -137,13 +179,17 @@ pub struct BatchPlan {
     trigger_rejects: bool,
     stages: Vec<Stage>,
     head: Vec<HeadSource>,
+    /// `Some` iff the last stage is a probe: the head re-expressed against
+    /// (pre-final row, candidate), enabling final-stage fusion.
+    fused_head: Option<Vec<FusedSource>>,
     head_relation: String,
 }
 
 /// Reusable flat buffers for batch firing: environment rows (`width`
 /// slots per row, `Option<Value>` so unbound slots are explicit), the
-/// trigger index each row descends from, and a probe-key scratch. One
-/// scratch serves any number of strands and batches; buffers only grow.
+/// trigger index each row descends from, a probe-key scratch, and the
+/// key-grouping buffers of the shared-probe stage. One scratch serves any
+/// number of strands and batches; buffers only grow.
 #[derive(Debug, Default)]
 pub struct BatchScratch {
     rows: Vec<Option<Value>>,
@@ -151,6 +197,19 @@ pub struct BatchScratch {
     next_rows: Vec<Option<Value>>,
     next_origins: Vec<u32>,
     key: Vec<Value>,
+    /// Per row: the probe-key group it belongs to (grouped stages only).
+    group_of: Vec<u32>,
+    /// Per group: its member count (the `lookup_n` multiplier).
+    group_sizes: Vec<u32>,
+    /// Probe key → group index. Group numbering is first-occurrence order
+    /// and every observable is addressed through it, so nothing depends
+    /// on hashing or iteration order.
+    group_map: HashMap<Box<[Value]>, u32>,
+    /// Per group: the `(start, end)` range of its shared match set in the
+    /// flat match buffer.
+    group_ranges: Vec<(u32, u32)>,
+    /// Reusable row for the once-per-candidate residual check.
+    probe_row: Vec<Option<Value>>,
 }
 
 /// The derivations of one batch, grouped by trigger.
@@ -267,7 +326,7 @@ pub(crate) fn compile(rule: &DeltaRule, plans: &[Option<ProbePlan>]) -> BatchPla
         }
     }
 
-    let head = rule
+    let head: Vec<HeadSource> = rule
         .rule
         .head
         .args
@@ -282,6 +341,37 @@ pub(crate) fn compile(rule: &DeltaRule, plans: &[Option<ProbePlan>]) -> BatchPla
         })
         .collect();
 
+    // Final-stage fusion: when the last stage is a probe, its `Bind` ops
+    // are the only writes between the pre-final rows and head projection,
+    // so every head column can be re-expressed as "read the row" or "read
+    // the candidate" (a `Bind` only ever targets a slot no earlier stage
+    // bound, so the mapping is unambiguous).
+    let fused_head = match stages.last() {
+        Some(Stage::Probe { ops, .. }) => {
+            let col_of_slot: BTreeMap<usize, usize> = ops
+                .iter()
+                .filter_map(|op| match op {
+                    BindOp::Bind(col, slot) => Some((*slot, *col)),
+                    _ => None,
+                })
+                .collect();
+            Some(
+                head.iter()
+                    .map(|source| match source {
+                        HeadSource::Const(c) => FusedSource::Const(c.clone()),
+                        HeadSource::Slot(s, name) => match col_of_slot.get(s) {
+                            Some(&col) => FusedSource::Cand(col),
+                            None => FusedSource::Row(*s, name.clone()),
+                        },
+                        HeadSource::Unbound(name) => FusedSource::Unbound(name.clone()),
+                        HeadSource::Aggregate => FusedSource::Aggregate,
+                    })
+                    .collect(),
+            )
+        }
+        _ => None,
+    };
+
     BatchPlan {
         width: slots.len(),
         trigger_arity,
@@ -289,6 +379,7 @@ pub(crate) fn compile(rule: &DeltaRule, plans: &[Option<ProbePlan>]) -> BatchPla
         trigger_rejects,
         stages,
         head,
+        fused_head,
         head_relation: rule.rule.head.name.clone(),
     }
 }
@@ -398,6 +489,109 @@ fn eval_slot_bool(expr: &SlotExpr, row: &[Option<Value>]) -> Result<bool, EvalEr
     }
 }
 
+/// Resolve a probe stage's key for one row into `out` (cleared first).
+fn build_probe_key(key: &[SlotSource], row: &[Option<Value>], out: &mut Vec<Value>) {
+    out.clear();
+    for src in key {
+        match src {
+            SlotSource::Const(c) => out.push(c.clone()),
+            SlotSource::Slot(s) => out.push(row[*s].clone().expect("probe-key slots are bound")),
+        }
+    }
+}
+
+/// Passes 1 and 2 of a grouped probe stage, shared by the mid-stage arm
+/// and the fused final stage (only their pass 3 — row materialization vs
+/// direct head projection — differs).
+///
+/// Pass 1 partitions the rows by probe-key value, numbering groups in
+/// first-occurrence order (deterministic; the hash map is only a dedup
+/// aid). Pass 2 performs one [`crate::relation::Relation::lookup_n`] per
+/// distinct key — which preserves the per-member logical accounting via
+/// the group-size multiplier — runs the member-independent residual
+/// checks once per candidate, and collects each group's shared match set
+/// into the flat `group_matches` buffer at `group_ranges[g]`. The
+/// visibility filter is deferred to pass 3 because members may carry
+/// different `seq_limit`s. The map's iteration order only decides where
+/// each group's span lands in the buffer; every observable (stat sums,
+/// the span each `group_ranges[g]` addresses, within-group candidate
+/// order) is independent of it.
+#[allow(clippy::too_many_arguments)]
+fn group_and_probe<'r>(
+    stored: &'r crate::relation::Relation,
+    width: usize,
+    rows: &[Option<Value>],
+    origins: &[u32],
+    key: &[SlotSource],
+    cols: &[usize],
+    arity: usize,
+    ops: &[BindOp],
+    reject_all: bool,
+    stats: &mut JoinStats,
+    key_buf: &mut Vec<Value>,
+    group_of: &mut Vec<u32>,
+    group_sizes: &mut Vec<u32>,
+    group_map: &mut HashMap<Box<[Value]>, u32>,
+    group_ranges: &mut Vec<(u32, u32)>,
+    probe_row: &mut Vec<Option<Value>>,
+    group_matches: &mut Vec<&'r StoredTuple>,
+) {
+    group_of.clear();
+    group_sizes.clear();
+    group_map.clear();
+    for r in 0..origins.len() {
+        let row = &rows[r * width..(r + 1) * width];
+        build_probe_key(key, row, key_buf);
+        let g = match group_map.get(key_buf.as_slice()) {
+            Some(&g) => g,
+            None => {
+                let g = u32::try_from(group_sizes.len()).expect("group count fits u32");
+                group_map.insert(key_buf.as_slice().into(), g);
+                group_sizes.push(0);
+                g
+            }
+        };
+        group_sizes[g as usize] += 1;
+        group_of.push(g);
+    }
+    group_matches.clear();
+    group_ranges.clear();
+    group_ranges.resize(group_sizes.len(), (0, 0));
+    probe_row.clear();
+    probe_row.resize(width, None);
+    for (gkey, &g) in group_map.iter() {
+        let members = group_sizes[g as usize] as usize;
+        let start = group_matches.len();
+        for candidate in stored.lookup_n(cols, gkey, u64::MAX, members, stats) {
+            // An aggregate-term atom rejects every candidate, but the
+            // lookup above still runs so the probe accounting matches
+            // `bind_atom`'s tuple path exactly.
+            if reject_all || candidate.tuple.arity() != arity {
+                continue;
+            }
+            if apply_ops(ops, &candidate.tuple, probe_row) {
+                group_matches.push(candidate);
+            }
+        }
+        group_ranges[g as usize] = (
+            u32::try_from(start).expect("match buffer fits u32"),
+            u32::try_from(group_matches.len()).expect("match buffer fits u32"),
+        );
+    }
+}
+
+/// Apply only the `Bind` half of an atom's residual ops: used by the
+/// grouped-probe broadcast, where the candidate has already passed the
+/// member-independent checks once for its whole group and each member row
+/// only needs the fresh slot values written in.
+fn apply_binds(ops: &[BindOp], tuple: &Tuple, row: &mut [Option<Value>]) {
+    for op in ops {
+        if let BindOp::Bind(col, slot) = op {
+            row[*slot] = Some(tuple.get(*col).expect("arity checked").clone());
+        }
+    }
+}
+
 /// Apply an atom's residual ops to a candidate tuple against a row whose
 /// new slots may be written in place. Ops run in column order, so a
 /// within-atom repeated variable's check sees the bind from an earlier
@@ -425,8 +619,10 @@ fn apply_ops(ops: &[BindOp], tuple: &Tuple, row: &mut [Option<Value>]) -> bool {
 
 impl BatchPlan {
     /// Drain a whole batch of trigger deltas through the compiled stages.
-    /// See the module docs for the equivalence contract with the
-    /// tuple-at-a-time `fire` path.
+    /// `grouped` selects key-grouped probe sharing (one index lookup per
+    /// distinct probe key per atom — the default) or the per-row reference
+    /// probing kept for differential testing. See the module docs for the
+    /// equivalence contract with the tuple-at-a-time `fire` path.
     pub(crate) fn fire_batch(
         &self,
         store: &Store,
@@ -434,11 +630,17 @@ impl BatchPlan {
         stats: &mut JoinStats,
         scratch: &mut BatchScratch,
         out: &mut BatchOutput,
+        grouped: bool,
     ) -> Result<(), EvalError> {
         out.clear();
         let width = self.width;
         scratch.rows.clear();
         scratch.origins.clear();
+        // The shared match buffer of grouped probe stages: group `g`'s
+        // matches live at `group_ranges[g]`. Borrows the store, so it
+        // cannot live in the reusable scratch; it reaches steady-state
+        // capacity after the first stage.
+        let mut group_matches: Vec<&StoredTuple> = Vec::new();
 
         // Bind the trigger atom against every delta tuple of the batch.
         if !self.trigger_rejects {
@@ -460,8 +662,11 @@ impl BatchPlan {
             }
         }
 
-        // Process the stages in body order over the whole row set.
-        for stage in &self.stages {
+        // Process the stages in body order over the whole row set. When
+        // the last stage is a probe it is *fused* with head projection
+        // (see below) and excluded here.
+        let stage_limit = self.stages.len() - usize::from(self.fused_head.is_some());
+        for stage in &self.stages[..stage_limit] {
             if scratch.origins.is_empty() {
                 break;
             }
@@ -474,44 +679,88 @@ impl BatchPlan {
                     ops,
                     reject_all,
                 } => {
-                    scratch.next_rows.clear();
-                    scratch.next_origins.clear();
+                    let BatchScratch {
+                        rows,
+                        origins,
+                        next_rows,
+                        next_origins,
+                        key: key_buf,
+                        group_of,
+                        group_sizes,
+                        group_map,
+                        group_ranges,
+                        probe_row,
+                    } = &mut *scratch;
+                    next_rows.clear();
+                    next_origins.clear();
                     let stored = store.relation(relation);
-                    if let Some(stored) = stored {
-                        for r in 0..scratch.origins.len() {
-                            let origin = scratch.origins[r];
-                            let row = &scratch.rows[r * width..(r + 1) * width];
-                            scratch.key.clear();
-                            for src in key {
-                                match src {
-                                    SlotSource::Const(c) => scratch.key.push(c.clone()),
-                                    SlotSource::Slot(s) => scratch
-                                        .key
-                                        .push(row[*s].clone().expect("probe-key slots are bound")),
-                                }
-                            }
+                    // A single row cannot share anything, and its grouped
+                    // accounting (one logical, one distinct probe) equals
+                    // the per-row arm's exactly — skip the grouping
+                    // machinery, which the per-event distributed workload
+                    // would otherwise pay on every one-delta batch.
+                    if let (Some(stored), true) = (stored, grouped && origins.len() > 1) {
+                        group_and_probe(
+                            stored,
+                            width,
+                            rows,
+                            origins,
+                            key,
+                            cols,
+                            *arity,
+                            ops,
+                            *reject_all,
+                            stats,
+                            key_buf,
+                            group_of,
+                            group_sizes,
+                            group_map,
+                            group_ranges,
+                            probe_row,
+                            &mut group_matches,
+                        );
+                        // Pass 3: broadcast each group's match set to its
+                        // members, in row order — the output is bit-equal
+                        // to per-row probing (same candidates, same order,
+                        // rows still grouped by ascending origin).
+                        for r in 0..origins.len() {
+                            let origin = origins[r];
+                            let row = &rows[r * width..(r + 1) * width];
                             let seq_limit = triggers[origin as usize].seq_limit;
-                            for candidate in stored.lookup(cols, &scratch.key, seq_limit, stats) {
-                                // An aggregate-term atom rejects every
-                                // candidate, but the lookup above still
-                                // runs so the probe accounting matches
-                                // `bind_atom`'s tuple path exactly.
+                            let (mstart, mend) = group_ranges[group_of[r] as usize];
+                            for candidate in &group_matches[mstart as usize..mend as usize] {
+                                if candidate.seq > seq_limit {
+                                    continue;
+                                }
+                                let start = next_rows.len();
+                                next_rows.extend_from_slice(row);
+                                apply_binds(ops, &candidate.tuple, &mut next_rows[start..]);
+                                next_origins.push(origin);
+                            }
+                        }
+                    } else if let Some(stored) = stored {
+                        // Ungrouped reference: one lookup per row.
+                        for r in 0..origins.len() {
+                            let origin = origins[r];
+                            let row = &rows[r * width..(r + 1) * width];
+                            build_probe_key(key, row, key_buf);
+                            let seq_limit = triggers[origin as usize].seq_limit;
+                            for candidate in stored.lookup(cols, key_buf, seq_limit, stats) {
                                 if *reject_all || candidate.tuple.arity() != *arity {
                                     continue;
                                 }
-                                let start = scratch.next_rows.len();
-                                scratch.next_rows.extend_from_slice(row);
-                                if apply_ops(ops, &candidate.tuple, &mut scratch.next_rows[start..])
-                                {
-                                    scratch.next_origins.push(origin);
+                                let start = next_rows.len();
+                                next_rows.extend_from_slice(row);
+                                if apply_ops(ops, &candidate.tuple, &mut next_rows[start..]) {
+                                    next_origins.push(origin);
                                 } else {
-                                    scratch.next_rows.truncate(start);
+                                    next_rows.truncate(start);
                                 }
                             }
                         }
                     }
-                    std::mem::swap(&mut scratch.rows, &mut scratch.next_rows);
-                    std::mem::swap(&mut scratch.origins, &mut scratch.next_origins);
+                    std::mem::swap(rows, next_rows);
+                    std::mem::swap(origins, next_origins);
                 }
                 Stage::Assign {
                     slot,
@@ -561,46 +810,154 @@ impl BatchPlan {
             }
         }
 
-        // Project the head for every surviving row, recording per-trigger
-        // group boundaries (rows are still grouped by ascending origin).
+        // Emit the derivations, recording per-trigger group boundaries
+        // (rows are processed in ascending-origin order throughout).
         let mut next_trigger = 0usize;
-        for r in 0..scratch.origins.len() {
-            let origin = scratch.origins[r] as usize;
-            while next_trigger <= origin {
-                out.offsets.push(out.derivations.len());
-                next_trigger += 1;
-            }
-            let row = &scratch.rows[r * width..(r + 1) * width];
-            let mut values = Vec::with_capacity(self.head.len());
-            for source in &self.head {
-                match source {
-                    HeadSource::Const(c) => values.push(c.clone()),
-                    HeadSource::Slot(slot, name) => values.push(
-                        row[*slot]
-                            .clone()
-                            .ok_or_else(|| EvalError::UnboundVariable(name.clone()))?,
-                    ),
-                    HeadSource::Unbound(name) => {
-                        return Err(EvalError::UnboundVariable(name.clone()))
+        if let (
+            Some(fused_head),
+            Some(Stage::Probe {
+                relation,
+                cols,
+                key,
+                arity,
+                ops,
+                reject_all,
+            }),
+        ) = (self.fused_head.as_ref(), self.stages.last())
+        {
+            // Fused final stage: the probe machinery is the same as the
+            // mid-stage arm above, but every surviving (row, candidate)
+            // pair projects its head tuple directly instead of copying
+            // into an output row arena — emission order (row-major,
+            // candidates in lookup order) is identical to running the
+            // stage and then projecting.
+            let BatchScratch {
+                rows,
+                origins,
+                key: key_buf,
+                group_of,
+                group_sizes,
+                group_map,
+                group_ranges,
+                probe_row,
+                ..
+            } = &mut *scratch;
+            let stored = store.relation(relation);
+            if origins.is_empty() {
+                // Nothing survived the earlier stages.
+            } else if let (Some(stored), true) = (stored, grouped && origins.len() > 1) {
+                // Same single-row fast path as the mid-stage arm: one row
+                // groups trivially, so it takes the per-row arm below.
+                group_and_probe(
+                    stored,
+                    width,
+                    rows,
+                    origins,
+                    key,
+                    cols,
+                    *arity,
+                    ops,
+                    *reject_all,
+                    stats,
+                    key_buf,
+                    group_of,
+                    group_sizes,
+                    group_map,
+                    group_ranges,
+                    probe_row,
+                    &mut group_matches,
+                );
+                for r in 0..origins.len() {
+                    let origin = origins[r] as usize;
+                    let row = &rows[r * width..(r + 1) * width];
+                    let seq_limit = triggers[origin].seq_limit;
+                    let (mstart, mend) = group_ranges[group_of[r] as usize];
+                    for candidate in &group_matches[mstart as usize..mend as usize] {
+                        if candidate.seq > seq_limit {
+                            continue;
+                        }
+                        emit_fused(
+                            fused_head,
+                            &self.head_relation,
+                            row,
+                            candidate,
+                            origin,
+                            triggers,
+                            &mut next_trigger,
+                            out,
+                        )?;
                     }
-                    HeadSource::Aggregate => {
-                        return Err(EvalError::TypeMismatch {
-                            context: "aggregate heads are maintained by AggregateView, not strands"
-                                .into(),
-                        })
+                }
+            } else if let Some(stored) = stored {
+                probe_row.clear();
+                probe_row.resize(width, None);
+                for r in 0..origins.len() {
+                    let origin = origins[r] as usize;
+                    let row = &rows[r * width..(r + 1) * width];
+                    build_probe_key(key, row, key_buf);
+                    let seq_limit = triggers[origin].seq_limit;
+                    for candidate in stored.lookup(cols, key_buf, seq_limit, stats) {
+                        if *reject_all || candidate.tuple.arity() != *arity {
+                            continue;
+                        }
+                        if apply_ops(ops, &candidate.tuple, probe_row) {
+                            emit_fused(
+                                fused_head,
+                                &self.head_relation,
+                                row,
+                                candidate,
+                                origin,
+                                triggers,
+                                &mut next_trigger,
+                                out,
+                            )?;
+                        }
                     }
                 }
             }
-            let tuple = Tuple::new(values);
-            let location = tuple.location();
-            out.derivations.push(Derivation {
-                delta: TupleDelta {
-                    relation: self.head_relation.clone(),
-                    tuple,
-                    sign: triggers[origin].delta.sign,
-                },
-                location,
-            });
+        } else {
+            // Unfused tail (the last stage is an assignment or filter, or
+            // the rule has no non-trigger stages): project the head for
+            // every surviving row.
+            for r in 0..scratch.origins.len() {
+                let origin = scratch.origins[r] as usize;
+                while next_trigger <= origin {
+                    out.offsets.push(out.derivations.len());
+                    next_trigger += 1;
+                }
+                let row = &scratch.rows[r * width..(r + 1) * width];
+                let mut values = Vec::with_capacity(self.head.len());
+                for source in &self.head {
+                    match source {
+                        HeadSource::Const(c) => values.push(c.clone()),
+                        HeadSource::Slot(slot, name) => values.push(
+                            row[*slot]
+                                .clone()
+                                .ok_or_else(|| EvalError::UnboundVariable(name.clone()))?,
+                        ),
+                        HeadSource::Unbound(name) => {
+                            return Err(EvalError::UnboundVariable(name.clone()))
+                        }
+                        HeadSource::Aggregate => {
+                            return Err(EvalError::TypeMismatch {
+                                context:
+                                    "aggregate heads are maintained by AggregateView, not strands"
+                                        .into(),
+                            })
+                        }
+                    }
+                }
+                let tuple = Tuple::new(values);
+                let location = tuple.location();
+                out.derivations.push(Derivation {
+                    delta: TupleDelta {
+                        relation: self.head_relation.clone(),
+                        tuple,
+                        sign: triggers[origin].delta.sign,
+                    },
+                    location,
+                });
+            }
         }
         while next_trigger <= triggers.len() {
             out.offsets.push(out.derivations.len());
@@ -608,4 +965,54 @@ impl BatchPlan {
         }
         Ok(())
     }
+}
+
+/// Project one fused (row, candidate) pair into a head derivation,
+/// maintaining the per-trigger offset bookkeeping.
+#[allow(clippy::too_many_arguments)]
+fn emit_fused(
+    sources: &[FusedSource],
+    head_relation: &str,
+    row: &[Option<Value>],
+    candidate: &StoredTuple,
+    origin: usize,
+    triggers: &[BatchTrigger],
+    next_trigger: &mut usize,
+    out: &mut BatchOutput,
+) -> Result<(), EvalError> {
+    while *next_trigger <= origin {
+        out.offsets.push(out.derivations.len());
+        *next_trigger += 1;
+    }
+    let mut values = Vec::with_capacity(sources.len());
+    for source in sources {
+        match source {
+            FusedSource::Const(c) => values.push(c.clone()),
+            FusedSource::Row(slot, name) => values.push(
+                row[*slot]
+                    .clone()
+                    .ok_or_else(|| EvalError::UnboundVariable(name.clone()))?,
+            ),
+            FusedSource::Cand(col) => {
+                values.push(candidate.tuple.get(*col).expect("arity checked").clone())
+            }
+            FusedSource::Unbound(name) => return Err(EvalError::UnboundVariable(name.clone())),
+            FusedSource::Aggregate => {
+                return Err(EvalError::TypeMismatch {
+                    context: "aggregate heads are maintained by AggregateView, not strands".into(),
+                })
+            }
+        }
+    }
+    let tuple = Tuple::new(values);
+    let location = tuple.location();
+    out.derivations.push(Derivation {
+        delta: TupleDelta {
+            relation: head_relation.to_string(),
+            tuple,
+            sign: triggers[origin].delta.sign,
+        },
+        location,
+    });
+    Ok(())
 }

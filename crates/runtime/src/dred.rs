@@ -184,10 +184,15 @@ pub fn over_delete(
     // (trigger, stage), which only permutes `order` among tuples of the
     // same wave — the marked closure, being a monotone fixpoint, is
     // identical, and the order is still deterministic for a given input.
+    // The two wave buffers ping-pong: each iteration recycles the previous
+    // wave's allocation for the next frontier instead of growing a fresh
+    // `Vec` per wave.
     let mut scratch = BatchScratch::default();
     let mut batch_out = BatchOutput::default();
+    let mut wave: Vec<TupleDelta> = Vec::new();
     while !frontier.is_empty() {
-        let wave = std::mem::take(&mut frontier);
+        wave.clear();
+        std::mem::swap(&mut wave, &mut frontier);
         let mut triggers: Vec<BatchTrigger> = Vec::new();
         // Aggregate views fed by a wave relation: pin the group (mark its
         // current output as-is, defer the recomputation) and dirty it.

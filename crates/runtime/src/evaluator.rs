@@ -66,8 +66,15 @@ pub struct EvalStats {
     pub redundant_derivations: usize,
     /// Total deltas enqueued for processing.
     pub tuples_processed: usize,
-    /// Joins answered by a secondary-index probe.
-    pub index_probes: usize,
+    /// Joins answered by a secondary-index probe, counted per binding
+    /// environment (one per trigger per atom). Identical across
+    /// tuple-at-a-time, ungrouped-batch and grouped-batch evaluation.
+    pub logical_probes: usize,
+    /// Index bucket lookups actually executed. Key-grouped batch probing
+    /// answers every same-key trigger of a batch with one lookup, so this
+    /// is `≤ logical_probes`; the tuple-at-a-time and ungrouped paths
+    /// report the two counters equal.
+    pub distinct_probes: usize,
     /// Joins that fell back to scanning a relation.
     pub scans: usize,
     /// Stored tuples examined across all joins — the computation-overhead
@@ -79,7 +86,8 @@ pub struct EvalStats {
 impl EvalStats {
     /// Fold join-level counters into the run statistics.
     pub fn absorb_joins(&mut self, joins: crate::strand::JoinStats) {
-        self.index_probes += joins.index_probes;
+        self.logical_probes += joins.logical_probes;
+        self.distinct_probes += joins.distinct_probes;
         self.scans += joins.scans;
         self.tuples_examined += joins.tuples_examined;
     }
@@ -91,7 +99,8 @@ impl std::ops::AddAssign for EvalStats {
         self.derivations += other.derivations;
         self.redundant_derivations += other.redundant_derivations;
         self.tuples_processed += other.tuples_processed;
-        self.index_probes += other.index_probes;
+        self.logical_probes += other.logical_probes;
+        self.distinct_probes += other.distinct_probes;
         self.scans += other.scans;
         self.tuples_examined += other.tuples_examined;
     }
@@ -111,7 +120,8 @@ impl std::ops::Sub for EvalStats {
             tuples_processed: self
                 .tuples_processed
                 .saturating_sub(earlier.tuples_processed),
-            index_probes: self.index_probes.saturating_sub(earlier.index_probes),
+            logical_probes: self.logical_probes.saturating_sub(earlier.logical_probes),
+            distinct_probes: self.distinct_probes.saturating_sub(earlier.distinct_probes),
             scans: self.scans.saturating_sub(earlier.scans),
             tuples_examined: self.tuples_examined.saturating_sub(earlier.tuples_examined),
         }
@@ -129,6 +139,10 @@ pub struct Evaluator {
     /// slot-compiled plans (the default). Off = the tuple-at-a-time
     /// reference loop, kept for differential testing.
     batching: bool,
+    /// Share index probes across same-key triggers of a batch (the
+    /// default). Off = the PR 4 per-trigger probing, kept for
+    /// differential testing.
+    probe_grouping: bool,
     /// Reusable flat buffers for the batch path.
     scratch: BatchScratch,
     batch_out: BatchOutput,
@@ -183,6 +197,7 @@ impl Evaluator {
             views,
             base_facts,
             batching: true,
+            probe_grouping: true,
             scratch: BatchScratch::default(),
             batch_out: BatchOutput::default(),
         })
@@ -199,6 +214,18 @@ impl Evaluator {
     /// probes. See `tests/properties.rs` for the differential property.
     pub fn set_batching(&mut self, on: bool) {
         self.batching = on;
+    }
+
+    /// Toggle key-grouped probe sharing inside the batch path (on by
+    /// default; irrelevant when batching is off). With grouping off every
+    /// trigger probes the index itself, exactly the PR 4 behaviour: the
+    /// stores and all statistics match the grouped run bit-for-bit except
+    /// `EvalStats::distinct_probes`, which grouping shrinks to the bucket
+    /// lookups actually executed. The DRed over-delete closure always
+    /// groups — its logical accounting is unaffected, which is what the
+    /// differential property compares.
+    pub fn set_probe_grouping(&mut self, on: bool) {
+        self.probe_grouping = on;
     }
 
     /// The underlying store.
@@ -424,13 +451,23 @@ impl Evaluator {
             if triggers.is_empty() {
                 continue;
             }
-            strand.fire_batch(
-                &self.store,
-                &triggers,
-                &mut joins,
-                &mut self.scratch,
-                &mut self.batch_out,
-            )?;
+            if self.probe_grouping {
+                strand.fire_batch(
+                    &self.store,
+                    &triggers,
+                    &mut joins,
+                    &mut self.scratch,
+                    &mut self.batch_out,
+                )?;
+            } else {
+                strand.fire_batch_ungrouped(
+                    &self.store,
+                    &triggers,
+                    &mut joins,
+                    &mut self.scratch,
+                    &mut self.batch_out,
+                )?;
+            }
             self.batch_out
                 .drain_into(|local, derivation| per_trigger[indices[local]].push(derivation));
         }
@@ -837,7 +874,11 @@ mod tests {
             .update(TupleDelta::insert("probe", Tuple::new(vec![addr(7)])))
             .unwrap();
         assert_eq!(eval.results("out").len(), 10);
-        assert!(stats.index_probes >= 1, "the bound join must probe");
+        assert!(stats.logical_probes >= 1, "the bound join must probe");
+        assert!(
+            stats.distinct_probes <= stats.logical_probes,
+            "grouping can only shrink executed probes"
+        );
         assert!(
             stats.tuples_examined <= 30,
             "examined {} tuples for 10 matches on a 1000-tuple relation — \

@@ -11,7 +11,7 @@
 //!   concrete values (a *bound-column signature*, the same notion index-
 //!   driven homomorphism search uses for conceptual-graph matching);
 //! * a [`SecondaryIndex`] maps each distinct projection of a relation onto
-//!   that signature to the **primary keys** of the tuples carrying it, so a
+//!   that signature to a [`Bucket`] holding the matching tuples, so a
 //!   probe touches exactly the matching tuples;
 //! * [`crate::relation::Relation`] maintains its indexes incrementally on
 //!   insert, key-replacement, deletion and soft-state expiry, and answers
@@ -21,7 +21,7 @@
 //! engines collect every compiled strand's signatures up front), never per
 //! join.
 //!
-//! # Interned keys
+//! # Interned keys, columnar buckets
 //!
 //! Bucket keys are **interned**: a projection is mapped through the global
 //! [`crate::intern`] table to a fixed-size `[ValueId]`, so maintaining or
@@ -30,36 +30,78 @@
 //! and the bucket map never clones projected `Value`s. Probe keys use the
 //! read-only [`crate::intern::lookup`] path: a never-interned probe value
 //! cannot match any stored tuple, so the probe answers "empty" without
-//! growing the table. The **primary keys** inside each bucket are shared
-//! `Arc<[Value]>`s — one allocation per stored tuple, reference-bumped into
-//! every index instead of deep-cloned — kept in a `BTreeSet` ordered by
-//! *value* (never by id), so probe results iterate in deterministic
-//! primary-key order and simulation runs stay bit-for-bit reproducible.
+//! growing the table.
+//!
+//! Each [`Bucket`] is **columnar** (struct-of-arrays): parallel arrays of
+//! the member tuples' shared `Arc<[Value]>` primary keys (one allocation
+//! per stored tuple, reference-bumped into every index — kept only for
+//! deterministic ordering and materialization), their storage timestamps,
+//! and their full column values as contiguous per-column `ValueId` arrays.
+//! Visibility (`seq <= seq_limit`) and residual-column filtering therefore
+//! walk dense `u64`/`u32` arrays; only the surviving candidates pay the
+//! primary-key map lookup that materializes the stored tuple. The arrays
+//! are sorted by primary-key *value* (never by id), so probe results
+//! iterate in deterministic order and simulation runs stay bit-for-bit
+//! reproducible. Buckets accumulating tuples of differing arities (only
+//! possible in hand-built test stores) degrade to key/seq arrays with
+//! value-compared residuals.
+//!
+//! Maintenance of a columnar bucket is O(bucket size) per insert/remove
+//! (sorted `Vec` splicing across the parallel arrays) versus the old
+//! `BTreeSet`'s O(log n) — a deliberate trade: probe-side dense walks
+//! dominate maintenance in every measured workload, and real buckets are
+//! match sets (tens to hundreds of entries), not whole relations. A
+//! relation bulk-loading millions of tuples under one projection would
+//! want a hybrid (tree beyond a size threshold) — noted as a follow-on
+//! in the ROADMAP.
+//!
+//! # Probe accounting
+//!
+//! [`JoinStats`] counts probes at two granularities: `logical_probes` is
+//! the number of binding environments answered by an index (one per
+//! trigger per atom — the historical notion, preserved so differential
+//! tests can compare evaluation modes), while `distinct_probes` is the
+//! number of bucket lookups actually executed. The batch path's
+//! key-grouped probe sharing ([`crate::batch`]) answers a whole group of
+//! same-key environments with one bucket lookup, so `distinct_probes ≤
+//! logical_probes` there; the tuple-at-a-time path performs one lookup per
+//! environment, so the two counters coincide.
 
 use crate::intern::{self, ValueId};
 use ndlog_lang::Value;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Join-level counters accumulated while firing strands: how many joins
-/// went through an index probe vs. a scan, and how many stored tuples were
-/// examined in total. `tuples_examined` is the paper's computation-overhead
-/// proxy: with indexes it is proportional to the number of matches rather
-/// than the relation size.
+/// went through an index probe vs. a scan, how many bucket lookups were
+/// actually executed, and how many stored tuples were examined in total.
+/// `tuples_examined` is the paper's computation-overhead proxy: with
+/// indexes it is proportional to the number of matches rather than the
+/// relation size, and it is counted per *logical* probe (a shared bucket
+/// lookup still charges every group member), so it is identical whether or
+/// not probes are grouped.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct JoinStats {
-    /// Joins answered by an index probe.
-    pub index_probes: usize,
+    /// Binding environments answered by an index probe (per trigger per
+    /// atom — identical across grouped, ungrouped and tuple-at-a-time
+    /// evaluation).
+    pub logical_probes: usize,
+    /// Bucket lookups actually executed. Equal to `logical_probes` on the
+    /// tuple-at-a-time path; `≤ logical_probes` on the key-grouped batch
+    /// path, which probes each distinct key once per atom per batch.
+    pub distinct_probes: usize,
     /// Joins that fell back to scanning the relation (no bound columns, or
-    /// no index declared for the signature).
+    /// no index declared for the signature), counted per environment.
     pub scans: usize,
-    /// Stored tuples examined across all probes and scans.
+    /// Stored tuples examined across all probes and scans, counted per
+    /// environment.
     pub tuples_examined: usize,
 }
 
 impl std::ops::AddAssign for JoinStats {
     fn add_assign(&mut self, other: JoinStats) {
-        self.index_probes += other.index_probes;
+        self.logical_probes += other.logical_probes;
+        self.distinct_probes += other.distinct_probes;
         self.scans += other.scans;
         self.tuples_examined += other.tuples_examined;
     }
@@ -101,12 +143,126 @@ impl IndexSignature {
     }
 }
 
-/// A bucket: the primary keys of the tuples sharing one projection, in
-/// deterministic (value-sorted) order.
-pub type Bucket = BTreeSet<Arc<[Value]>>;
+/// A bucket: the tuples sharing one projection, stored columnar
+/// (struct-of-arrays) in deterministic primary-key-value order. See the
+/// module docs for the layout.
+#[derive(Debug, Clone)]
+pub struct Bucket {
+    /// Shared primary keys, sorted by value (deterministic probe order).
+    keys: Vec<Arc<[Value]>>,
+    /// Parallel: the storage timestamp of each member tuple, for dense
+    /// visibility filtering.
+    seqs: Vec<u64>,
+    /// Columnar member payload: `cols[c][i]` is the interned id of column
+    /// `c` of member `i`. Empty once the bucket has degraded (mixed
+    /// arities).
+    cols: Vec<Vec<ValueId>>,
+    /// Whether `cols` is authoritative. A bucket degrades permanently when
+    /// tuples of differing arities are filed under it (hand-built test
+    /// stores only); residual filtering then falls back to comparing
+    /// materialized values.
+    columnar: bool,
+}
 
-/// A hash index from an interned bound-column projection to the primary
-/// keys of the tuples carrying it.
+impl Default for Bucket {
+    /// An empty bucket, columnar until proven mixed-arity.
+    fn default() -> Self {
+        Bucket {
+            keys: Vec::new(),
+            seqs: Vec::new(),
+            cols: Vec::new(),
+            columnar: true,
+        }
+    }
+}
+
+impl Bucket {
+    /// Number of member tuples.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the bucket has no members.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// The member primary keys in deterministic (value-sorted) order.
+    pub fn keys(&self) -> impl Iterator<Item = &Arc<[Value]>> {
+        self.keys.iter()
+    }
+
+    /// The member primary key at `i`.
+    pub fn key(&self, i: usize) -> &Arc<[Value]> {
+        &self.keys[i]
+    }
+
+    /// The storage timestamp of member `i`.
+    pub fn seq(&self, i: usize) -> u64 {
+        self.seqs[i]
+    }
+
+    /// Whether the columnar payload is authoritative (uniform arity).
+    pub fn is_columnar(&self) -> bool {
+        self.columnar
+    }
+
+    /// The member arity when columnar.
+    pub fn arity(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// The dense id column `c`, parallel to `keys` (columnar buckets only).
+    pub fn column(&self, c: usize) -> Option<&[ValueId]> {
+        self.cols.get(c).map(Vec::as_slice)
+    }
+
+    /// File a member under its primary key, keeping the arrays sorted.
+    /// Returns false when the key is already present (idempotent add).
+    fn insert(&mut self, primary_key: Arc<[Value]>, tuple_ids: &[ValueId], seq: u64) -> bool {
+        let pos = match self
+            .keys
+            .binary_search_by(|k| k.as_ref().cmp(primary_key.as_ref()))
+        {
+            Ok(_) => return false,
+            Err(pos) => pos,
+        };
+        if self.columnar {
+            if self.keys.is_empty() {
+                self.cols = vec![Vec::new(); tuple_ids.len()];
+            } else if tuple_ids.len() != self.cols.len() {
+                // Mixed arities: degrade to key/seq arrays for good.
+                self.cols.clear();
+                self.columnar = false;
+            }
+        }
+        self.keys.insert(pos, primary_key);
+        self.seqs.insert(pos, seq);
+        if self.columnar {
+            for (c, col) in self.cols.iter_mut().enumerate() {
+                col.insert(pos, tuple_ids[c]);
+            }
+        }
+        true
+    }
+
+    /// Remove the member with this primary key. Returns whether it was
+    /// present.
+    fn remove(&mut self, primary_key: &[Value]) -> bool {
+        let Ok(pos) = self.keys.binary_search_by(|k| k.as_ref().cmp(primary_key)) else {
+            return false;
+        };
+        self.keys.remove(pos);
+        self.seqs.remove(pos);
+        for col in &mut self.cols {
+            col.remove(pos);
+        }
+        true
+    }
+}
+
+/// A hash index from an interned bound-column projection to the columnar
+/// bucket of tuples carrying it.
 #[derive(Debug, Clone)]
 pub struct SecondaryIndex {
     signature: IndexSignature,
@@ -143,16 +299,27 @@ impl SecondaryIndex {
         self.entries == 0
     }
 
-    /// Register a stored tuple's projection under its (shared) primary
-    /// key. The projection values are interned; the key is an `Arc` bump.
-    pub fn add(&mut self, projection: &[&Value], primary_key: Arc<[Value]>) {
-        intern::intern_into(projection, &mut self.scratch);
-        if self
+    /// Register a stored tuple under its (shared) primary key. `tuple_ids`
+    /// are the interned ids of *all* the tuple's columns (the relation
+    /// interns each stored tuple once and shares the ids across its
+    /// indexes); the bucket key is the projection onto this index's
+    /// signature, and the full ids become the bucket's columnar payload.
+    /// Tuples lacking a signature column (shorter arity) are skipped —
+    /// they stay unindexed and unreachable by probes on this signature,
+    /// matching residual-scan semantics.
+    pub fn add(&mut self, tuple_ids: &[ValueId], primary_key: Arc<[Value]>, seq: u64) {
+        self.scratch.clear();
+        for &c in self.signature.columns() {
+            match tuple_ids.get(c) {
+                Some(&id) => self.scratch.push(id),
+                None => return,
+            }
+        }
+        let bucket = self
             .buckets
             .entry(self.scratch.as_slice().into())
-            .or_default()
-            .insert(primary_key)
-        {
+            .or_default();
+        if bucket.insert(primary_key, tuple_ids, seq) {
             self.entries += 1;
         }
     }
@@ -182,7 +349,7 @@ impl SecondaryIndex {
     /// The primary keys whose tuples project to `key_values`, in
     /// deterministic (sorted) order. Empty when no tuple matches.
     pub fn probe<'i>(&'i self, key_values: &[Value]) -> impl Iterator<Item = &'i Arc<[Value]>> {
-        self.bucket(key_values).into_iter().flat_map(|b| b.iter())
+        self.bucket(key_values).into_iter().flat_map(Bucket::keys)
     }
 
     /// The bucket for one projection, if any — the eager form of
@@ -213,13 +380,14 @@ impl SecondaryIndex {
     /// Number of primary keys filed under one projection (0 when absent):
     /// the tuples a probe on `key_values` examines.
     pub fn bucket_size(&self, key_values: &[Value]) -> usize {
-        self.bucket(key_values).map_or(0, BTreeSet::len)
+        self.bucket(key_values).map_or(0, Bucket::len)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::tuple::Tuple;
 
     fn vals(xs: &[i64]) -> Vec<Value> {
         xs.iter().map(|&x| Value::Int(x)).collect()
@@ -229,14 +397,20 @@ mod tests {
         vals(xs).into()
     }
 
-    fn add(idx: &mut SecondaryIndex, proj: &[i64], pk: &[i64]) {
-        let proj = vals(proj);
-        idx.add(&proj.iter().collect::<Vec<_>>(), key(pk));
+    /// File `tuple` (which doubles as its own primary key, as in keyless
+    /// relations) with a synthetic seq.
+    fn add(idx: &mut SecondaryIndex, tuple: &[i64], seq: u64) {
+        let t = Tuple::new(vals(tuple));
+        let refs: Vec<&Value> = t.values().iter().collect();
+        let mut ids = Vec::new();
+        intern::intern_into(&refs, &mut ids);
+        idx.add(&ids, key(tuple), seq);
     }
 
-    fn remove(idx: &mut SecondaryIndex, proj: &[i64], pk: &[i64]) -> bool {
-        let proj = vals(proj);
-        idx.remove(&proj.iter().collect::<Vec<_>>(), &vals(pk))
+    fn remove(idx: &mut SecondaryIndex, tuple: &[i64]) -> bool {
+        let t = vals(tuple);
+        let proj: Vec<&Value> = idx.signature().columns().iter().map(|&c| &t[c]).collect();
+        idx.remove(&proj, &t)
     }
 
     #[test]
@@ -251,9 +425,9 @@ mod tests {
     #[test]
     fn add_probe_remove_roundtrip() {
         let mut idx = SecondaryIndex::new(IndexSignature::new(&[0]));
-        add(&mut idx, &[1], &[1, 10]);
-        add(&mut idx, &[1], &[1, 20]);
-        add(&mut idx, &[2], &[2, 30]);
+        add(&mut idx, &[1, 10], 1);
+        add(&mut idx, &[1, 20], 2);
+        add(&mut idx, &[2, 30], 3);
         assert_eq!(idx.len(), 3);
         assert_eq!(idx.bucket_count(), 2);
 
@@ -261,30 +435,75 @@ mod tests {
         assert_eq!(hits, vec![&vals(&[1, 10])[..], &vals(&[1, 20])[..]]);
         assert_eq!(idx.probe(&vals(&[9])).count(), 0);
 
-        assert!(remove(&mut idx, &[1], &[1, 10]));
-        assert!(
-            !remove(&mut idx, &[1], &[1, 10]),
-            "double remove is a no-op"
-        );
+        assert!(remove(&mut idx, &[1, 10]));
+        assert!(!remove(&mut idx, &[1, 10]), "double remove is a no-op");
         assert_eq!(idx.probe(&vals(&[1])).count(), 1);
-        assert!(remove(&mut idx, &[1], &[1, 20]));
+        assert!(remove(&mut idx, &[1, 20]));
         assert_eq!(idx.bucket_count(), 1, "empty buckets are dropped");
-        assert!(remove(&mut idx, &[2], &[2, 30]));
+        assert!(remove(&mut idx, &[2, 30]));
         assert!(idx.is_empty());
     }
 
     #[test]
     fn duplicate_add_is_idempotent() {
         let mut idx = SecondaryIndex::new(IndexSignature::new(&[1]));
-        add(&mut idx, &[5], &[0]);
-        add(&mut idx, &[5], &[0]);
+        add(&mut idx, &[0, 5], 1);
+        add(&mut idx, &[0, 5], 2);
+        assert_eq!(idx.len(), 1);
+        let bucket = idx.bucket(&vals(&[5])).unwrap();
+        assert_eq!(bucket.seq(0), 1, "the original entry keeps its seq");
+    }
+
+    #[test]
+    fn buckets_are_columnar_and_carry_seqs() {
+        let mut idx = SecondaryIndex::new(IndexSignature::new(&[1]));
+        add(&mut idx, &[7, 3, 40], 11);
+        add(&mut idx, &[5, 3, 30], 12);
+        let bucket = idx.bucket(&vals(&[3])).unwrap();
+        assert!(bucket.is_columnar());
+        assert_eq!(bucket.arity(), 3);
+        assert_eq!(bucket.len(), 2);
+        // Members sort by primary-key value: [5,3,30] before [7,3,40].
+        assert_eq!(bucket.key(0).as_ref(), &vals(&[5, 3, 30])[..]);
+        assert_eq!(bucket.seq(0), 12);
+        assert_eq!(bucket.seq(1), 11);
+        // The dense columns are parallel to the keys and resolve back to
+        // the stored values.
+        let col2 = bucket.column(2).unwrap();
+        assert_eq!(col2.len(), 2);
+        assert_eq!(intern::resolve(col2[0]), Value::Int(30));
+        assert_eq!(intern::resolve(col2[1]), Value::Int(40));
+        assert!(bucket.column(3).is_none());
+    }
+
+    #[test]
+    fn mixed_arity_bucket_degrades_but_stays_correct() {
+        let mut idx = SecondaryIndex::new(IndexSignature::new(&[0]));
+        add(&mut idx, &[9, 1], 1);
+        add(&mut idx, &[9, 1, 2], 2);
+        let bucket = idx.bucket(&vals(&[9])).unwrap();
+        assert!(!bucket.is_columnar(), "mixed arities degrade the bucket");
+        assert_eq!(bucket.len(), 2);
+        let hits: Vec<&[Value]> = idx.probe(&vals(&[9])).map(|k| k.as_ref()).collect();
+        assert_eq!(hits.len(), 2);
+        assert!(remove(&mut idx, &[9, 1]));
+        assert!(remove(&mut idx, &[9, 1, 2]));
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn short_tuples_stay_unindexed() {
+        let mut idx = SecondaryIndex::new(IndexSignature::new(&[2]));
+        add(&mut idx, &[1], 1);
+        assert!(idx.is_empty(), "tuples lacking the column are skipped");
+        add(&mut idx, &[1, 2, 3], 2);
         assert_eq!(idx.len(), 1);
     }
 
     #[test]
     fn never_interned_probe_value_is_an_empty_bucket() {
         let mut idx = SecondaryIndex::new(IndexSignature::new(&[0]));
-        add(&mut idx, &[3], &[3, 1]);
+        add(&mut idx, &[3, 1], 1);
         // A value that was never stored anywhere cannot match; the probe
         // must answer without interning it.
         let novel = Value::str("index-test-never-stored-77ab");

@@ -32,11 +32,16 @@
 //! # Lifetime and leak policy
 //!
 //! Interned values are never freed: the table lives for the process and
-//! grows with the set of distinct values **ever stored in an indexed
-//! column** — under churn workloads that is the cumulative history, not
-//! the currently stored data, so a very-long-running engine minting fresh
-//! values every burst trades memory for the id fast path (an explicit,
-//! documented trade; epoch-based reclamation is a possible follow-on). To
+//! grows with the set of distinct values **ever stored in any column of
+//! an indexed relation** — since the columnar buckets of
+//! [`crate::index`] carry per-column id arrays, the relation write path
+//! ([`intern_all_into`]) interns whole tuples, not just the
+//! index-signature projections. Under churn workloads that is the
+//! cumulative history, not the currently stored data, so a
+//! very-long-running engine minting fresh values every burst (unique
+//! costs, fresh path vectors) trades memory for the id fast path (an
+//! explicit, documented trade; epoch-based reclamation is a possible
+//! follow-on). To
 //! keep transient values from growing the table, every non-storing path —
 //! probe keys *and* index removals — uses [`lookup`] (read-only): a value
 //! that was never interned cannot match any indexed tuple, so a miss
@@ -120,6 +125,26 @@ pub fn intern_into(values: &[&Value], out: &mut Vec<ValueId>) {
         let inner = table().read().expect("interner lock");
         for v in values {
             match inner.ids.get(*v) {
+                Some(&id) => out.push(ValueId(id)),
+                None => break,
+            }
+        }
+    }
+    for v in &values[out.len()..] {
+        out.push(intern(v));
+    }
+}
+
+/// Owned-slice variant of [`intern_into`], for the relation write path
+/// that interns every column of a stored tuple once and shares the ids
+/// across its indexes.
+pub fn intern_all_into(values: &[Value], out: &mut Vec<ValueId>) {
+    out.clear();
+    out.reserve(values.len());
+    {
+        let inner = table().read().expect("interner lock");
+        for v in values {
+            match inner.ids.get(v) {
                 Some(&id) => out.push(ValueId(id)),
                 None => break,
             }

@@ -47,20 +47,43 @@
 //!
 //! The join hot path is benchmarked by `experiments micro` (release mode;
 //! CI runs it as a smoke step gated at 2× against the committed
-//! `BENCH_micro_runtime.json`): a strand probing a 10⁴-tuple relation with
-//! 10 matches per trigger, fired 256 triggers at a time over one store
-//! snapshot. Three paths are timed — the indexed tuple-at-a-time reference
-//! (`CompiledStrand::fire_counted`), the indexed batch-delta path
-//! (`CompiledStrand::fire_batch`), and the unindexed full scan. The
-//! methodology is deliberately simple: a fixed deterministic workload, one
-//! warmup pass, then a fixed number of timed passes, reported as µs per
-//! trigger. On the reference container the batch path is ≥1.5× faster than
-//! tuple-at-a-time (the per-environment `BTreeMap` clone it eliminates is
-//! the dominant constant once probing has removed the O(n) scan), and the
-//! probe paths are >10× faster than the scan at 10⁴ tuples. Batch firing
+//! `BENCH_micro_runtime.json`, covering both the per-trigger and the
+//! grouped probe paths): a strand probing a 10⁴-tuple relation with 10
+//! matches per trigger, fired 256 triggers at a time over one store
+//! snapshot. The timed paths are the indexed tuple-at-a-time reference
+//! (`CompiledStrand::fire_counted`), the indexed batch-delta path without
+//! and with key-grouped probe sharing (`fire_batch_ungrouped` /
+//! `fire_batch`), the unindexed full scan, and a **duplicate-key**
+//! trigger set with Zipf-ish key frequencies fired through both batch
+//! paths. The methodology is deliberately simple: a fixed deterministic
+//! workload, one warmup pass, then a fixed number of timed passes,
+//! reported as µs per trigger.
+//!
+//! Two optimizations stack on the batch path:
+//!
+//! * **Key-grouped probe sharing** ([`batch`]): a delta batch's rows are
+//!   partitioned by probe-key value per body atom, each distinct key is
+//!   looked up once ([`relation::Relation::lookup_n`]), residual checks
+//!   run once per candidate, and the match set is broadcast to every
+//!   group member through offset ranges into a flat match buffer. Real
+//!   workloads (path exploration, flooding) are heavily key-skewed, so
+//!   this removes most bucket lookups and candidate materializations.
+//! * **Columnar index buckets** ([`index`]): each bucket stores its
+//!   member tuples struct-of-arrays — value-sorted shared `Arc<[Value]>`
+//!   primary keys, a dense seq array, and contiguous per-column `ValueId`
+//!   arrays — so visibility and residual filtering walk dense `u64`/`u32`
+//!   arrays and only surviving candidates pay the primary-key map lookup.
+//!
+//! Probe accounting is two-counter ([`index::JoinStats`]):
+//! `logical_probes` counts per binding environment (identical across
+//! grouped, ungrouped and tuple-at-a-time evaluation — what differential
+//! tests compare) and `distinct_probes` counts bucket lookups actually
+//! executed (`≤ logical` under grouping; both deterministic, so they
+//! participate in the cross-thread bitwise-identity checks). Batch firing
 //! is semantics-identical to tuple-at-a-time — `tests/properties.rs`
-//! proves stores and statistics equal modulo probe-count accounting, which
-//! the [`evaluator`] docs define precisely.
+//! proves stores identical and statistics equal (grouped ≡ ungrouped on
+//! every logical counter; equal modulo documented probe accounting vs the
+//! tuple loop), which the [`evaluator`] docs define precisely.
 
 pub mod aggview;
 pub mod batch;

@@ -23,10 +23,18 @@
 //! the O(|relation|) of [`Relation::scan_match`]. When several declared
 //! signatures can serve a lookup, [`Relation::lookup`] makes a cost-based
 //! choice: the candidate binding the most columns wins, with the smallest
-//! bucket estimate breaking ties, and any leftover bound columns enforced
-//! residually.
+//! bucket estimate breaking ties and signature order breaking exact ties
+//! (so the choice never depends on index declaration order), and any
+//! leftover bound columns enforced residually. Buckets are columnar (see
+//! [`crate::index`]): visibility and residual filtering walk dense
+//! seq/`ValueId` arrays, and only surviving candidates pay the primary-key
+//! map lookup that materializes the stored tuple. [`Relation::lookup_n`]
+//! is the grouped-probe entry point: one bucket lookup answers `members`
+//! same-key environments, with the per-environment (`logical`) accounting
+//! preserved via a multiplier.
 
-use crate::index::{IndexSignature, JoinStats, SecondaryIndex};
+use crate::index::{Bucket, IndexSignature, JoinStats, SecondaryIndex};
+use crate::intern::{self, ValueId};
 use crate::tuple::Tuple;
 use ndlog_lang::Value;
 use serde::{Deserialize, Serialize};
@@ -125,6 +133,10 @@ pub struct Relation {
     /// every signature at construction time.
     #[serde(skip)]
     indexes: Vec<SecondaryIndex>,
+    /// Reusable scratch for the index write path: each stored tuple's
+    /// columns are interned once here and the ids shared by every index.
+    #[serde(skip)]
+    id_scratch: Vec<ValueId>,
     /// Derivation counts folded away by primary-key replacements. While
     /// this is zero the count algorithm is exact for tuples of this
     /// relation; once it is positive a count-trusting deletion could leave
@@ -143,6 +155,7 @@ impl Relation {
             schema,
             tuples: BTreeMap::new(),
             indexes: Vec::new(),
+            id_scratch: Vec::new(),
             lossy_replacements: 0,
         }
     }
@@ -213,9 +226,8 @@ impl Relation {
         }
         let mut index = SecondaryIndex::new(signature);
         for (key, stored) in &self.tuples {
-            if let Some(projection) = project_checked(&stored.tuple, index.signature().columns()) {
-                index.add(&projection, key.as_slice().into());
-            }
+            intern::intern_all_into(stored.tuple.values(), &mut self.id_scratch);
+            index.add(&self.id_scratch, key.as_slice().into(), stored.seq);
         }
         self.indexes.push(index);
         true
@@ -259,8 +271,11 @@ impl Relation {
     /// subset of the bound columns, pick the most selective one — most
     /// bound columns first, smallest bucket (estimated matches) as the
     /// tie-breaker. Returns the index together with the probe key
-    /// projected onto its signature. Ties resolve to the earliest declared
-    /// index, so the choice is deterministic across engines.
+    /// projected onto its signature. Exact ties (same bound-column count
+    /// *and* same bucket estimate) resolve by signature order — a property
+    /// of the indexes themselves, never of the order they happened to be
+    /// declared in — so the choice is deterministic across engines even
+    /// when construction paths declare the same signatures differently.
     ///
     /// This runs once per join environment, so the common case — one
     /// finalist, usually an exact signature match — is kept allocation-
@@ -289,7 +304,7 @@ impl Relation {
             return None;
         }
         // Pass 2: project probe keys for the finalists only; with several,
-        // the smallest bucket wins (first declared wins ties).
+        // the smallest bucket wins (signature order breaks exact ties).
         let mut best: Option<(&SecondaryIndex, Vec<Value>, usize)> = None;
         for index in &self.indexes {
             let sig = index.signature();
@@ -309,7 +324,8 @@ impl Relation {
             }
             let bucket = index.bucket_size(&subkey);
             match &best {
-                Some((_, _, current_bucket)) if *current_bucket <= bucket => {}
+                Some((current, _, current_bucket))
+                    if (*current_bucket, current.signature()) <= (bucket, sig) => {}
                 _ => best = Some((index, subkey, bucket)),
             }
         }
@@ -320,13 +336,13 @@ impl Relation {
     /// choice among the declared indexes. Any index whose signature is a
     /// subset of `cols` (sorted, with `key` holding the bound values in
     /// the same order) can serve the lookup; the most selective candidate
-    /// wins (most bound columns, then smallest bucket estimate — see
-    /// [`Relation::best_index`]), with the signature-leftover columns
-    /// checked residually on each probed tuple. Only when no index covers
-    /// any bound column does the lookup fall back to an equivalent
-    /// residual scan — `cols` may be empty for a genuine cross product.
-    /// The chosen path and the tuples examined are recorded in `stats` up
-    /// front; iteration is lazy.
+    /// wins (most bound columns, then smallest bucket estimate, then
+    /// signature order — see [`Relation::best_index`]), with the
+    /// signature-leftover columns checked residually on each probed tuple.
+    /// Only when no index covers any bound column does the lookup fall
+    /// back to an equivalent residual scan — `cols` may be empty for a
+    /// genuine cross product. The chosen path and the tuples examined are
+    /// recorded in `stats` up front; iteration is lazy.
     pub fn lookup<'r, 'b>(
         &'r self,
         cols: &'b [usize],
@@ -334,6 +350,26 @@ impl Relation {
         seq_limit: u64,
         stats: &mut JoinStats,
     ) -> impl Iterator<Item = &'r StoredTuple> + use<'r, 'b> {
+        self.lookup_n(cols, key, seq_limit, 1, stats)
+    }
+
+    /// [`Relation::lookup`] on behalf of `members` binding environments
+    /// that share the same probe key — the storage half of key-grouped
+    /// probe sharing ([`crate::batch`]). The bucket is looked up **once**
+    /// (`distinct_probes += 1`) while the per-environment accounting is
+    /// preserved via the multiplier (`logical_probes`/`scans` and
+    /// `tuples_examined` grow by `members`× exactly as `members` separate
+    /// [`Relation::lookup`] calls would), so grouped and ungrouped
+    /// evaluation report identical logical counters.
+    pub fn lookup_n<'r, 'b>(
+        &'r self,
+        cols: &'b [usize],
+        key: &'b [Value],
+        seq_limit: u64,
+        members: usize,
+        stats: &mut JoinStats,
+    ) -> impl Iterator<Item = &'r StoredTuple> + use<'r, 'b> {
+        debug_assert!(members >= 1, "a lookup serves at least one environment");
         let index = if cols.is_empty() {
             None
         } else {
@@ -342,30 +378,33 @@ impl Relation {
         match index {
             Some((index, subkey)) => {
                 let bucket = index.bucket(&subkey);
-                stats.index_probes += 1;
-                stats.tuples_examined += bucket.map_or(0, |b| b.len());
+                stats.logical_probes += members;
+                stats.distinct_probes += 1;
+                stats.tuples_examined += bucket.map_or(0, Bucket::len) * members;
                 // Bound columns the chosen signature does not cover are
                 // enforced residually (empty for an exact-signature match).
                 // The residual column set is projected once per lookup —
-                // borrowing the caller's key values — never per candidate.
+                // borrowing the caller's key values — never per candidate,
+                // and compiled to dense id comparisons when the bucket is
+                // columnar.
                 let residual: Vec<(usize, &Value)> = cols
                     .iter()
                     .copied()
                     .zip(key.iter())
                     .filter(|(c, _)| !index.signature().columns().contains(c))
                     .collect();
-                AccessPath::Probe(bucket.into_iter().flatten().filter_map(move |primary_key| {
-                    self.tuples.get(primary_key.as_ref()).filter(|s| {
-                        s.seq <= seq_limit
-                            && residual
-                                .iter()
-                                .all(|(col, val)| s.tuple.get(*col) == Some(val))
-                    })
-                }))
+                let (bucket, check) = compile_residual(bucket, residual);
+                AccessPath::Probe(ProbeIter {
+                    tuples: &self.tuples,
+                    bucket,
+                    pos: 0,
+                    seq_limit,
+                    check,
+                })
             }
             None => {
-                stats.scans += 1;
-                stats.tuples_examined += self.len();
+                stats.scans += members;
+                stats.tuples_examined += self.len() * members;
                 let bound: Vec<(usize, &Value)> = cols.iter().copied().zip(key.iter()).collect();
                 AccessPath::Scan(self.tuples.values().filter(move |s| {
                     s.seq <= seq_limit
@@ -392,17 +431,18 @@ impl Relation {
         self.lossy_replacements
     }
 
-    /// Register a newly stored tuple in every index. The primary key is
-    /// allocated as one shared `Arc` and reference-bumped per index.
-    fn index_add(&mut self, key: &[Value], tuple: &Tuple) {
+    /// Register a newly stored tuple in every index. The tuple's columns
+    /// are interned once (into the reusable scratch) and the ids shared by
+    /// every index's columnar bucket; the primary key is allocated as one
+    /// shared `Arc` and reference-bumped per index.
+    fn index_add(&mut self, key: &[Value], tuple: &Tuple, seq: u64) {
         if self.indexes.is_empty() {
             return;
         }
         let shared: Arc<[Value]> = key.into();
+        intern::intern_all_into(tuple.values(), &mut self.id_scratch);
         for index in &mut self.indexes {
-            if let Some(projection) = project_checked(tuple, index.signature().columns()) {
-                index.add(&projection, Arc::clone(&shared));
-            }
+            index.add(&self.id_scratch, Arc::clone(&shared), seq);
         }
     }
 
@@ -449,11 +489,11 @@ impl Relation {
         match replaced {
             Some(old) => {
                 self.index_remove(&key, &old);
-                self.index_add(&key, &tuple);
+                self.index_add(&key, &tuple, seq);
                 InsertOutcome::Replaced(old)
             }
             None => {
-                self.index_add(&key, &tuple);
+                self.index_add(&key, &tuple, seq);
                 self.tuples.insert(
                     key,
                     StoredTuple {
@@ -525,14 +565,13 @@ impl Relation {
 
 /// Two-armed iterator behind [`Relation::lookup`]: an index probe or a
 /// residual scan, chosen once per lookup.
-enum AccessPath<P, S> {
-    Probe(P),
+enum AccessPath<'r, 'b, S> {
+    Probe(ProbeIter<'r, 'b>),
     Scan(S),
 }
 
-impl<'r, P, S> Iterator for AccessPath<P, S>
+impl<'r, 'b, S> Iterator for AccessPath<'r, 'b, S>
 where
-    P: Iterator<Item = &'r StoredTuple>,
     S: Iterator<Item = &'r StoredTuple>,
 {
     type Item = &'r StoredTuple;
@@ -544,8 +583,91 @@ where
     }
 }
 
-/// Project a tuple onto index columns (borrowed — the values are interned
-/// by the index, never cloned), returning `None` if any column is out of
+/// How residual bound columns are enforced while walking a bucket.
+enum Residual<'b> {
+    /// Dense comparison against the bucket's columnar `ValueId` arrays.
+    Ids(Vec<(usize, ValueId)>),
+    /// Value comparison against the materialized tuple (degraded bucket).
+    Values(Vec<(usize, &'b Value)>),
+}
+
+/// Compile the residual column set against the bucket's layout. Returns
+/// `(None, _)` when no candidate can possibly match: a residual value that
+/// was never interned cannot equal any value stored in a columnar bucket
+/// (every stored column is interned on insert), and a residual column
+/// beyond the bucket's uniform arity matches nothing either.
+fn compile_residual<'r, 'b>(
+    bucket: Option<&'r Bucket>,
+    residual: Vec<(usize, &'b Value)>,
+) -> (Option<&'r Bucket>, Residual<'b>) {
+    match bucket {
+        Some(b) if b.is_columnar() && !residual.is_empty() => {
+            let mut ids = Vec::with_capacity(residual.len());
+            for (c, v) in &residual {
+                let resolved = if *c < b.arity() {
+                    intern::lookup(v)
+                } else {
+                    None
+                };
+                match resolved {
+                    Some(id) => ids.push((*c, id)),
+                    None => return (None, Residual::Ids(Vec::new())),
+                }
+            }
+            (Some(b), Residual::Ids(ids))
+        }
+        Some(b) if b.is_columnar() => (Some(b), Residual::Ids(Vec::new())),
+        other => (other, Residual::Values(residual)),
+    }
+}
+
+/// The probe arm of [`AccessPath`]: walk the bucket's dense seq/id arrays,
+/// materializing (via the shared primary key) only the candidates that
+/// survive visibility and residual filtering.
+struct ProbeIter<'r, 'b> {
+    tuples: &'r BTreeMap<Vec<Value>, StoredTuple>,
+    bucket: Option<&'r Bucket>,
+    pos: usize,
+    seq_limit: u64,
+    check: Residual<'b>,
+}
+
+impl<'r, 'b> Iterator for ProbeIter<'r, 'b> {
+    type Item = &'r StoredTuple;
+    fn next(&mut self) -> Option<&'r StoredTuple> {
+        let bucket = self.bucket?;
+        while self.pos < bucket.len() {
+            let i = self.pos;
+            self.pos += 1;
+            if bucket.seq(i) > self.seq_limit {
+                continue;
+            }
+            match &self.check {
+                Residual::Ids(ids) => {
+                    if ids
+                        .iter()
+                        .all(|&(c, id)| bucket.column(c).is_some_and(|col| col[i] == id))
+                    {
+                        if let Some(stored) = self.tuples.get(bucket.key(i).as_ref()) {
+                            return Some(stored);
+                        }
+                    }
+                }
+                Residual::Values(vals) => {
+                    if let Some(stored) = self.tuples.get(bucket.key(i).as_ref()) {
+                        if vals.iter().all(|(c, v)| stored.tuple.get(*c) == Some(*v)) {
+                            return Some(stored);
+                        }
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Project a tuple onto index columns (borrowed — the values are already
+/// interned, never cloned), returning `None` if any column is out of
 /// range (possible when heterogeneous arities share a relation name in
 /// hand-built test stores; such tuples simply stay unindexed and
 /// unreachable by probes on that signature).
@@ -837,7 +959,8 @@ mod tests {
         }
         let mut stats = JoinStats::default();
         let hits = lookup_all(&r, &[0, 1], &[1, 1], &mut stats);
-        assert_eq!(stats.index_probes, 1);
+        assert_eq!(stats.logical_probes, 1);
+        assert_eq!(stats.distinct_probes, 1);
         assert_eq!(stats.scans, 0);
         assert_eq!(stats.tuples_examined, 5, "the [0]-bucket for value 1");
         let bound = vec![(0usize, Value::Int(1)), (1usize, Value::Int(1))];
@@ -863,7 +986,7 @@ mod tests {
         let mut stats = JoinStats::default();
         let hits = lookup_all(&r, &[0, 1], &[0, 7], &mut stats);
         assert_eq!(hits, vec![t(&[0, 7, 70])]);
-        assert_eq!(stats.index_probes, 1);
+        assert_eq!(stats.logical_probes, 1);
         assert_eq!(
             stats.tuples_examined, 1,
             "the unique column-1 bucket, not the 50-tuple column-0 bucket"
@@ -889,7 +1012,65 @@ mod tests {
         let hits = lookup_all(&r, &[0], &[3], &mut stats);
         assert_eq!(hits, vec![t(&[3, 3, 3])]);
         assert_eq!(stats.scans, 1);
-        assert_eq!(stats.index_probes, 0);
+        assert_eq!(stats.logical_probes, 0);
+        assert_eq!(stats.distinct_probes, 0);
+    }
+
+    #[test]
+    fn tied_candidates_resolve_by_signature_order() {
+        // Two single-column candidates with identical bucket estimates:
+        // the tie must break on the signatures themselves ([0] < [1]), not
+        // on declaration order, so every engine picks the same access path.
+        let build = |first: usize, second: usize| {
+            let mut r = Relation::new(RelationSchema::new("r"));
+            r.ensure_index(&[first]);
+            r.ensure_index(&[second]);
+            for i in 0..12 {
+                // Both columns split the relation into equal-size buckets.
+                r.insert(t(&[i % 3, i % 3, i]), i as u64 + 1, 0);
+            }
+            r
+        };
+        let key = [Value::Int(1), Value::Int(1)];
+        for r in [build(0, 1), build(1, 0)] {
+            let (chosen, _) = r.best_index(&[0, 1], &key).expect("candidates exist");
+            assert_eq!(
+                chosen.signature().columns(),
+                &[0],
+                "exact ties resolve to the smaller signature"
+            );
+        }
+    }
+
+    #[test]
+    fn lookup_n_shares_the_bucket_but_preserves_logical_accounting() {
+        let mut r = Relation::new(RelationSchema::new("r"));
+        r.ensure_index(&[0]);
+        for i in 0..20 {
+            r.insert(t(&[i % 4, i]), i as u64 + 1, 0);
+        }
+        let key = [Value::Int(1)];
+        let mut grouped = JoinStats::default();
+        let shared: Vec<Tuple> = r
+            .lookup_n(&[0], &key, u64::MAX, 5, &mut grouped)
+            .map(|s| s.tuple.clone())
+            .collect();
+        let mut single = JoinStats::default();
+        for _ in 0..5 {
+            let hits: Vec<Tuple> = r
+                .lookup(&[0], &key, u64::MAX, &mut single)
+                .map(|s| s.tuple.clone())
+                .collect();
+            assert_eq!(hits, shared, "shared bucket answers every member");
+        }
+        assert_eq!(grouped.logical_probes, single.logical_probes);
+        assert_eq!(grouped.tuples_examined, single.tuples_examined);
+        assert_eq!(grouped.scans, single.scans);
+        assert_eq!(
+            grouped.distinct_probes, 1,
+            "one bucket lookup for 5 members"
+        );
+        assert_eq!(single.distinct_probes, 5);
     }
 
     #[test]

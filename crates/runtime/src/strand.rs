@@ -283,12 +283,16 @@ impl CompiledStrand {
     }
 
     /// Fire the strand with a whole batch of trigger deltas through the
-    /// slot-compiled plan and flat reusable buffers of [`crate::batch`].
-    /// Per trigger, the derivations (grouped in `out`) and the join
-    /// statistics are identical to calling [`CompiledStrand::fire_counted`]
-    /// with that trigger and its `seq_limit` against the same store; the
-    /// batch path just amortizes all per-environment allocation away. See
-    /// the [`crate::batch`] module docs for the exact equivalence contract.
+    /// slot-compiled plan and flat reusable buffers of [`crate::batch`],
+    /// with **key-grouped probe sharing**: each distinct probe key of the
+    /// batch is looked up once per atom and the match set broadcast to
+    /// every same-key trigger. Per trigger, the derivations (grouped in
+    /// `out`) are identical to calling [`CompiledStrand::fire_counted`]
+    /// with that trigger and its `seq_limit` against the same store, and
+    /// so are the *logical* join statistics (`logical_probes`, `scans`,
+    /// `tuples_examined`); only `distinct_probes` shrinks to the number of
+    /// bucket lookups actually executed. See the [`crate::batch`] module
+    /// docs for the exact equivalence contract.
     pub fn fire_batch(
         &self,
         store: &Store,
@@ -300,7 +304,27 @@ impl CompiledStrand {
         debug_assert!(triggers
             .iter()
             .all(|t| t.delta.relation == self.rule.trigger_relation));
-        self.batch.fire_batch(store, triggers, stats, scratch, out)
+        self.batch
+            .fire_batch(store, triggers, stats, scratch, out, true)
+    }
+
+    /// [`CompiledStrand::fire_batch`] without probe grouping: one index
+    /// lookup per trigger per atom, exactly the PR 4 batch path. Kept as
+    /// the differential reference — its `JoinStats` (including
+    /// `distinct_probes`) equal the tuple-at-a-time path's exactly.
+    pub fn fire_batch_ungrouped(
+        &self,
+        store: &Store,
+        triggers: &[crate::batch::BatchTrigger],
+        stats: &mut JoinStats,
+        scratch: &mut crate::batch::BatchScratch,
+        out: &mut crate::batch::BatchOutput,
+    ) -> Result<(), EvalError> {
+        debug_assert!(triggers
+            .iter()
+            .all(|t| t.delta.relation == self.rule.trigger_relation));
+        self.batch
+            .fire_batch(store, triggers, stats, scratch, out, false)
     }
 }
 
@@ -753,7 +777,7 @@ mod tests {
         let scanned = link_strand
             .fire_counted(&store, &link, u64::MAX, &mut scan_stats)
             .unwrap();
-        assert!(scan_stats.scans > 0 && scan_stats.index_probes == 0);
+        assert!(scan_stats.scans > 0 && scan_stats.logical_probes == 0);
 
         store.declare_indexes(strands.iter());
         let mut probe_stats = JoinStats::default();
@@ -762,7 +786,11 @@ mod tests {
             .unwrap();
         assert_eq!(scanned, probed);
         assert_eq!(probed.len(), 28);
-        assert!(probe_stats.index_probes > 0 && probe_stats.scans == 0);
+        assert!(probe_stats.logical_probes > 0 && probe_stats.scans == 0);
+        assert_eq!(
+            probe_stats.logical_probes, probe_stats.distinct_probes,
+            "tuple-at-a-time probes are never shared"
+        );
         assert!(
             probe_stats.tuples_examined <= scan_stats.tuples_examined,
             "probing must not examine more than scanning"
@@ -835,7 +863,38 @@ mod tests {
                 "trigger {i} derivations diverge"
             );
         }
-        assert_eq!(batch_stats, tuple_stats, "join accounting diverges");
+        // Grouped firing preserves the logical accounting exactly; only
+        // the executed bucket lookups shrink (three of the four triggers
+        // share the probe key Z = 1).
+        assert_eq!(batch_stats.logical_probes, tuple_stats.logical_probes);
+        assert_eq!(batch_stats.scans, tuple_stats.scans);
+        assert_eq!(batch_stats.tuples_examined, tuple_stats.tuples_examined);
+        assert_eq!(tuple_stats.distinct_probes, tuple_stats.logical_probes);
+        assert_eq!(
+            batch_stats.distinct_probes, 2,
+            "four triggers over two distinct keys probe twice"
+        );
+
+        // The ungrouped batch path matches the tuple path's JoinStats
+        // bit-for-bit, derivations included.
+        let mut ungrouped_stats = JoinStats::default();
+        let mut ungrouped_out = BatchOutput::default();
+        link_strand
+            .fire_batch_ungrouped(
+                &store,
+                &triggers,
+                &mut ungrouped_stats,
+                &mut scratch,
+                &mut ungrouped_out,
+            )
+            .unwrap();
+        assert_eq!(
+            ungrouped_stats, tuple_stats,
+            "ungrouped accounting diverges"
+        );
+        for i in 0..deltas.len() {
+            assert_eq!(out.for_trigger(i), ungrouped_out.for_trigger(i));
+        }
         assert!(!out.for_trigger(0).is_empty());
         // Trigger 0 extends all 10 stored paths; trigger 1 (from node 7)
         // extends 9 — the cycle filter drops path(1, 7).
@@ -843,6 +902,64 @@ mod tests {
         assert_eq!(out.for_trigger(1).len(), 9);
         assert!(out.for_trigger(2).is_empty(), "dead-end link joins nothing");
         assert_eq!(out.for_trigger(3).len(), 5, "seq limit hides newer paths");
+    }
+
+    #[test]
+    fn shared_key_batch_probes_the_index_exactly_once() {
+        use crate::batch::{BatchOutput, BatchScratch, BatchTrigger};
+        let (mut store, strands) = setup(TWO_HOP);
+        store.declare_indexes(strands.iter());
+        for d in 2..7u32 {
+            store.apply(&TupleDelta::insert(
+                "path",
+                Tuple::new(vec![
+                    addr(1),
+                    addr(d),
+                    addr(d),
+                    Value::list(vec![addr(1), addr(d)]),
+                    Value::Int(3),
+                ]),
+            ));
+        }
+        let link_strand = strands
+            .iter()
+            .find(|s| s.trigger_relation() == "link")
+            .unwrap();
+        // N triggers, every one probing the same join key (Z = 1).
+        const N: usize = 32;
+        let deltas: Vec<TupleDelta> = (0..N as u32)
+            .map(|s| {
+                TupleDelta::insert(
+                    "link",
+                    Tuple::new(vec![addr(100 + s), addr(1), Value::Int(1)]),
+                )
+            })
+            .collect();
+        let triggers: Vec<BatchTrigger> = deltas
+            .iter()
+            .map(|delta| BatchTrigger {
+                delta,
+                seq_limit: u64::MAX,
+            })
+            .collect();
+        let mut stats = JoinStats::default();
+        let mut scratch = BatchScratch::default();
+        let mut out = BatchOutput::default();
+        link_strand
+            .fire_batch(&store, &triggers, &mut stats, &mut scratch, &mut out)
+            .unwrap();
+        assert_eq!(
+            stats.distinct_probes, 1,
+            "one shared key must cost exactly one index probe"
+        );
+        assert_eq!(stats.logical_probes, N, "logical accounting is per trigger");
+        // Every member received the full broadcast match set, identical to
+        // firing it alone.
+        for (i, delta) in deltas.iter().enumerate() {
+            let reference = link_strand.fire(&store, delta, u64::MAX).unwrap();
+            assert_eq!(out.for_trigger(i), &reference[..]);
+            assert_eq!(out.for_trigger(i).len(), 5);
+        }
     }
 
     #[test]

@@ -66,12 +66,19 @@ fn distributed_joins_probe_instead_of_scanning() {
     assert_eq!(engine.result_count("shortestPath"), n * (n - 1));
 
     let stats = engine.computation_stats();
-    assert!(stats.index_probes > 0, "joins must go through index probes");
     assert!(
-        stats.index_probes > stats.scans * 10,
+        stats.logical_probes > 0,
+        "joins must go through index probes"
+    );
+    assert!(
+        stats.logical_probes > stats.scans * 10,
         "probes {} should dominate scans {}",
-        stats.index_probes,
+        stats.logical_probes,
         stats.scans
+    );
+    assert!(
+        stats.distinct_probes <= stats.logical_probes,
+        "grouped batches can only shrink executed probes"
     );
     // Every examined tuple was reached through a probe bucket or a rare
     // residual scan; the total must stay far below the quadratic
@@ -152,7 +159,7 @@ fn index_layer_is_a_pure_access_path() {
         .update(TupleDelta::delete("link", link(2, 0, 1.0)))
         .unwrap();
     assert!(
-        del1.index_probes + del2.index_probes > 0,
+        del1.logical_probes + del2.logical_probes > 0,
         "deletion cascades must join through index probes"
     );
 
@@ -244,5 +251,6 @@ fn unbound_join_still_works_via_scan_fallback() {
     let stats = eval.run(Strategy::Pipelined).unwrap();
     assert_eq!(eval.results("pairs").len(), 16);
     assert!(stats.scans > 0, "cross products scan by design");
-    assert_eq!(stats.index_probes, 0);
+    assert_eq!(stats.logical_probes, 0);
+    assert_eq!(stats.distinct_probes, 0);
 }

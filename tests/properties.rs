@@ -208,20 +208,27 @@ proptest! {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
-    /// Batch-delta evaluation is semantics-identical to the tuple-at-a-time
-    /// reference loop for every strategy: identical stores (tuples with
-    /// their derivation counts, timestamps and expiries) and identical
-    /// `EvalStats` *modulo probe-count accounting*. The probe counters
-    /// (`index_probes`, `scans`, `tuples_examined`) are deliberately
-    /// excluded: a batch fires every queued delta against one store
+    /// Batch-delta evaluation — with and without key-grouped probe
+    /// sharing — is semantics-identical to the tuple-at-a-time reference
+    /// loop for every strategy: identical stores (tuples with their
+    /// derivation counts, timestamps and expiries) and identical
+    /// `EvalStats` *modulo probe-count accounting* against the tuple loop.
+    /// The probe counters (`logical_probes`, `distinct_probes`, `scans`,
+    /// `tuples_examined`) are deliberately excluded from the batch-vs-tuple
+    /// comparison: a batch fires every queued delta against one store
     /// snapshot — buckets are probed before, rather than after, sibling
     /// insertions that the PSN visibility limit would hide either way —
     /// and a batch invalidated by a mid-batch removal re-fires its
-    /// remainder, re-counting those probes. Everything else (iterations,
-    /// processed tuples, derivations, redundant derivations) must match
-    /// exactly, as must the final store down to sequence numbers.
+    /// remainder, re-counting those probes. Between the grouped and
+    /// ungrouped batch runs, however, the batches are identical, so every
+    /// *logical* counter (`logical_probes`, `scans`, `tuples_examined`)
+    /// must match exactly; grouping may only shrink `distinct_probes`
+    /// (`distinct ≤ logical` everywhere, with equality on the ungrouped
+    /// run). Everything else (iterations, processed tuples, derivations,
+    /// redundant derivations) must match exactly across all three modes,
+    /// as must the final stores down to sequence numbers.
     #[test]
-    fn batch_firing_matches_tuple_at_a_time_across_strategies(
+    fn grouped_and_ungrouped_batches_match_tuple_at_a_time(
         edges in edges_strategy(6, 10),
         updates in prop::collection::vec((0u32..6, 0u32..6, 1u8..6u8, prop::bool::ANY), 0..6),
     ) {
@@ -231,16 +238,17 @@ proptest! {
             EvalStrategy::Buffered { batch: 2 },
             EvalStrategy::Pipelined,
         ] {
-            let run = |batching: bool| {
+            let run = |batching: bool, grouping: bool| {
                 let mut eval = Evaluator::new(&program).unwrap();
                 eval.set_batching(batching);
+                eval.set_probe_grouping(grouping);
                 for &(a, b, c) in &edges {
                     eval.insert_fact("link", link(a, b, f64::from(c)));
                     eval.insert_fact("link", link(b, a, f64::from(c)));
                 }
                 let mut stats = eval.run(strategy).unwrap();
                 // A post-fixpoint burst with deletions exercises the
-                // mid-batch invalidation + DRed path in the batched run.
+                // mid-batch invalidation + DRed path in the batched runs.
                 for &(a, b, c, insert) in &updates {
                     if a == b {
                         continue;
@@ -254,50 +262,79 @@ proptest! {
                 }
                 (eval, stats)
             };
-            let (batched, batched_stats) = run(true);
-            let (reference, reference_stats) = run(false);
+            let (grouped, grouped_stats) = run(true, true);
+            let (ungrouped, ungrouped_stats) = run(true, false);
+            let (reference, reference_stats) = run(false, true);
 
+            // Grouped vs ungrouped batches: identical logical probe
+            // accounting, grouping only shrinks the executed lookups.
             prop_assert_eq!(
-                batched_stats.iterations, reference_stats.iterations,
-                "{:?}: iteration counts diverge", strategy
+                grouped_stats.logical_probes, ungrouped_stats.logical_probes,
+                "{:?}: logical probe counts diverge under grouping", strategy
             );
             prop_assert_eq!(
-                batched_stats.tuples_processed, reference_stats.tuples_processed,
-                "{:?}: processed-tuple counts diverge", strategy
+                grouped_stats.scans, ungrouped_stats.scans,
+                "{:?}: scan counts diverge under grouping", strategy
             );
             prop_assert_eq!(
-                batched_stats.derivations, reference_stats.derivations,
-                "{:?}: derivation counts diverge", strategy
+                grouped_stats.tuples_examined, ungrouped_stats.tuples_examined,
+                "{:?}: tuples-examined diverge under grouping", strategy
             );
-            prop_assert_eq!(
-                batched_stats.redundant_derivations, reference_stats.redundant_derivations,
-                "{:?}: redundant-derivation counts diverge", strategy
+            prop_assert!(
+                grouped_stats.distinct_probes <= grouped_stats.logical_probes,
+                "{:?}: distinct probes exceed logical", strategy
+            );
+            prop_assert!(
+                reference_stats.distinct_probes <= reference_stats.logical_probes,
+                "{:?}: tuple-path distinct probes exceed logical", strategy
             );
 
-            prop_assert_eq!(
-                batched.store().current_seq(),
-                reference.store().current_seq(),
-                "{:?}: timestamp counters diverge", strategy
-            );
-            let names: Vec<String> = reference
-                .store()
-                .relation_names()
-                .map(str::to_string)
-                .collect();
-            let batched_names: Vec<String> = batched
-                .store()
-                .relation_names()
-                .map(str::to_string)
-                .collect();
-            prop_assert_eq!(&names, &batched_names);
-            for name in &names {
-                let a: Vec<_> = batched.store().relation(name).unwrap().iter().collect();
-                let b: Vec<_> = reference.store().relation(name).unwrap().iter().collect();
+            for (label, this, this_stats) in [
+                ("ungrouped batch", &ungrouped, &ungrouped_stats),
+                ("tuple-at-a-time", &reference, &reference_stats),
+            ] {
                 prop_assert_eq!(
-                    a, b,
-                    "{:?}: relation {} diverges between batch and tuple-at-a-time",
-                    strategy, name
+                    grouped_stats.iterations, this_stats.iterations,
+                    "{:?}/{}: iteration counts diverge", strategy, label
                 );
+                prop_assert_eq!(
+                    grouped_stats.tuples_processed, this_stats.tuples_processed,
+                    "{:?}/{}: processed-tuple counts diverge", strategy, label
+                );
+                prop_assert_eq!(
+                    grouped_stats.derivations, this_stats.derivations,
+                    "{:?}/{}: derivation counts diverge", strategy, label
+                );
+                prop_assert_eq!(
+                    grouped_stats.redundant_derivations, this_stats.redundant_derivations,
+                    "{:?}/{}: redundant-derivation counts diverge", strategy, label
+                );
+
+                prop_assert_eq!(
+                    grouped.store().current_seq(),
+                    this.store().current_seq(),
+                    "{:?}/{}: timestamp counters diverge", strategy, label
+                );
+                let names: Vec<String> = this
+                    .store()
+                    .relation_names()
+                    .map(str::to_string)
+                    .collect();
+                let grouped_names: Vec<String> = grouped
+                    .store()
+                    .relation_names()
+                    .map(str::to_string)
+                    .collect();
+                prop_assert_eq!(&names, &grouped_names);
+                for name in &names {
+                    let a: Vec<_> = grouped.store().relation(name).unwrap().iter().collect();
+                    let b: Vec<_> = this.store().relation(name).unwrap().iter().collect();
+                    prop_assert_eq!(
+                        a, b,
+                        "{:?}: relation {} diverges between grouped batch and {}",
+                        strategy, name, label
+                    );
+                }
             }
         }
     }
