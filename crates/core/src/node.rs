@@ -37,7 +37,7 @@ use ndlog_runtime::batch::{BatchOutput, BatchScratch, BatchTrigger};
 use ndlog_runtime::dred;
 use ndlog_runtime::strand::{Derivation, JoinStats};
 use ndlog_runtime::{
-    AggregateView, CompiledStrand, EvalError, EvalStats, Sign, Store, Tuple, TupleDelta,
+    AggregateView, CompiledStrand, DeltaTap, EvalError, EvalStats, Sign, Store, Tuple, TupleDelta,
 };
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
@@ -111,6 +111,9 @@ pub struct NodeEngine {
     /// Reusable flat buffers for batch-delta strand firing.
     scratch: BatchScratch,
     batch_out: BatchOutput,
+    /// Live-query hook: records visibility transitions of subscribed
+    /// relations at this node (see `ndlog_runtime::tap`).
+    tap: DeltaTap,
 }
 
 impl NodeEngine {
@@ -170,12 +173,29 @@ impl NodeEngine {
             stats: EvalStats::default(),
             scratch: BatchScratch::default(),
             batch_out: BatchOutput::default(),
+            tap: DeltaTap::new(),
         })
     }
 
     /// This node's address.
     pub fn addr(&self) -> NodeAddr {
         self.addr
+    }
+
+    /// The live-query delta tap for this node.
+    pub fn tap(&self) -> &DeltaTap {
+        &self.tap
+    }
+
+    /// Mutable access to the delta tap (subscribe/unsubscribe relations).
+    pub fn tap_mut(&mut self) -> &mut DeltaTap {
+        &mut self.tap
+    }
+
+    /// Take the visibility transitions recorded at this node since the
+    /// last drain, in store order.
+    pub fn drain_tap(&mut self) -> Vec<TupleDelta> {
+        self.tap.drain()
     }
 
     /// The node's store (for inspection).
@@ -279,6 +299,8 @@ impl NodeEngine {
     /// Bookkeeping after a real insertion: tracking, view maintenance,
     /// queueing.
     fn after_store_change(&mut self, delta: TupleDelta, seq: u64) {
+        // A propagated insert is a 0 → >0 visibility transition.
+        self.tap.record(&delta);
         if self.config.tracked_relations.contains(&delta.relation) {
             self.changes.push(ResultChange {
                 relation: delta.relation.clone(),
@@ -352,6 +374,9 @@ impl NodeEngine {
         self.stats.iterations += marking.removed.len();
         self.stats.tuples_processed += marking.removed.len();
         for delta in &marking.removed {
+            // Every marked tuple actually left the store; re-derived
+            // survivors come back through `ingest` as inserts.
+            self.tap.record(delta);
             if self.config.tracked_relations.contains(&delta.relation) {
                 self.changes.push(ResultChange {
                     relation: delta.relation.clone(),
@@ -701,6 +726,35 @@ mod tests {
             .changes
             .iter()
             .any(|c| c.relation == "shortestPath" && c.sign == Sign::Insert));
+    }
+
+    #[test]
+    fn tap_records_insert_and_retract_transitions() {
+        let mut node = make_node(0, NodeConfig::default());
+        node.tap_mut().subscribe("shortestPath");
+        node.receive(vec![
+            TupleDelta::insert("link", link(0, 1, 5.0)),
+            TupleDelta::insert(
+                "path_sp2_xd",
+                Tuple::new(vec![addr(0), addr(1), Value::Float(5.0)]),
+            ),
+        ]);
+        node.process().unwrap();
+        let events = node.drain_tap();
+        assert!(events
+            .iter()
+            .any(|d| d.relation == "shortestPath" && d.sign == Sign::Insert));
+        assert!(events.iter().all(|d| d.relation == "shortestPath"));
+
+        // Deleting the link retracts the derived shortest path: the
+        // subscriber sees the exact retraction, not a silent disappearance.
+        node.receive(vec![TupleDelta::delete("link", link(0, 1, 5.0))]);
+        node.process().unwrap();
+        let retractions = node.drain_tap();
+        assert!(retractions
+            .iter()
+            .any(|d| d.relation == "shortestPath" && d.sign == Sign::Delete));
+        assert!(node.store().tuples("shortestPath").is_empty());
     }
 
     #[test]

@@ -22,6 +22,43 @@ impl ParseError {
             message: message.into(),
         }
     }
+
+    /// The offending source line with a caret pointing at the error column,
+    /// or `None` when the recorded position falls outside `src` (e.g. an
+    /// end-of-input error one past the last line).
+    ///
+    /// ```text
+    ///   path(@S, @D :- link(@S, @D).
+    ///               ^
+    /// ```
+    pub fn snippet(&self, src: &str) -> Option<String> {
+        let line = src.lines().nth(self.line.checked_sub(1)?)?;
+        // Columns are 1-based character offsets; pad with spaces, preserving
+        // tabs so the caret stays aligned under tab-indented source.
+        let mut pad = String::new();
+        for (idx, c) in line.chars().enumerate() {
+            if idx + 1 >= self.column {
+                break;
+            }
+            pad.push(if c == '\t' { '\t' } else { ' ' });
+        }
+        // A column one past the end of the line (end-of-line errors) still
+        // gets a caret; anything further out is not anchored to this line.
+        if self.column > line.chars().count() + 1 {
+            return None;
+        }
+        Some(format!("  {line}\n  {pad}^"))
+    }
+
+    /// Full diagnostic: the `line:column: message` header plus the caret
+    /// snippet when the position maps into `src`. This is what interactive
+    /// front ends (REPL, service) show for a bad command.
+    pub fn render(&self, src: &str) -> String {
+        match self.snippet(src) {
+            Some(snippet) => format!("{self}\n{snippet}"),
+            None => self.to_string(),
+        }
+    }
 }
 
 impl fmt::Display for ParseError {
@@ -157,6 +194,39 @@ mod tests {
     fn display_parse_error() {
         let e = ParseError::new(3, 7, "unexpected token");
         assert_eq!(e.to_string(), "parse error at 3:7: unexpected token");
+    }
+
+    #[test]
+    fn snippet_points_at_offending_column() {
+        let src = "good line\n+path(@S @D).\n";
+        let e = ParseError::new(2, 10, "expected `,` or `)`");
+        assert_eq!(e.snippet(src).unwrap(), "  +path(@S @D).\n           ^");
+        let rendered = e.render(src);
+        assert!(rendered.starts_with("parse error at 2:10:"));
+        assert!(rendered.ends_with("           ^"));
+    }
+
+    #[test]
+    fn snippet_allows_end_of_line_column() {
+        let src = "+edge(1,2)";
+        let e = ParseError::new(1, 11, "expected `.`");
+        assert_eq!(e.snippet(src).unwrap(), "  +edge(1,2)\n            ^");
+    }
+
+    #[test]
+    fn snippet_preserves_tab_alignment() {
+        let src = "\t+edge(,).";
+        let e = ParseError::new(1, 8, "expected a term");
+        assert_eq!(e.snippet(src).unwrap(), "  \t+edge(,).\n  \t      ^");
+    }
+
+    #[test]
+    fn snippet_out_of_range_is_none() {
+        let e = ParseError::new(9, 1, "eof");
+        assert_eq!(e.snippet("one line"), None);
+        assert_eq!(e.render("one line"), e.to_string());
+        let far = ParseError::new(1, 40, "way out");
+        assert_eq!(far.snippet("one line"), None);
     }
 
     #[test]

@@ -52,6 +52,8 @@ pub enum TokenKind {
     Period,
     /// `:-`.
     ColonDash,
+    /// `?-` (interactive query prompt).
+    QuestionDash,
     /// `:=`.
     Assign,
     /// `=` (context-dependent: assignment or equality).
@@ -110,6 +112,7 @@ impl TokenKind {
             TokenKind::Comma => ",",
             TokenKind::Period => ".",
             TokenKind::ColonDash => ":-",
+            TokenKind::QuestionDash => "?-",
             TokenKind::Assign => ":=",
             TokenKind::EqSign => "=",
             TokenKind::EqEq => "==",
@@ -230,6 +233,15 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, ParseError> {
                     push!(TokenKind::Assign, tl, tc);
                 } else {
                     return Err(ParseError::new(tl, tc, "expected `:-` or `:=` after `:`"));
+                }
+            }
+            '?' => {
+                advance(&mut i, &mut line, &mut col);
+                if i < chars.len() && chars[i] == '-' {
+                    advance(&mut i, &mut line, &mut col);
+                    push!(TokenKind::QuestionDash, tl, tc);
+                } else {
+                    return Err(ParseError::new(tl, tc, "expected `?-` after `?`"));
                 }
             }
             '=' => {
@@ -482,6 +494,25 @@ mod tests {
         let e = tokenize("a\n  ^").unwrap_err();
         assert_eq!(e.line, 2);
         assert_eq!(e.column, 3);
+    }
+
+    #[test]
+    fn question_dash() {
+        assert_eq!(
+            kinds("?- path(@S,@D)."),
+            vec![
+                TokenKind::QuestionDash,
+                TokenKind::Ident("path".into()),
+                TokenKind::LParen,
+                TokenKind::AtVar("S".into()),
+                TokenKind::Comma,
+                TokenKind::AtVar("D".into()),
+                TokenKind::RParen,
+                TokenKind::Period,
+                TokenKind::Eof
+            ]
+        );
+        assert!(tokenize("? x").is_err());
     }
 
     #[test]

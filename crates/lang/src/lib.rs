@@ -21,6 +21,7 @@
 //! | [`value`] | runtime values: addresses, numbers, strings, path vectors |
 //! | [`ast`] | programs, rules, literals, atoms, terms, expressions |
 //! | [`lexer`] / [`parser`] | text syntax → AST |
+//! | [`interactive`] | the shell/service command dialect (`+`, `-`, `?-`, meta) |
 //! | [`validate`] | the four NDlog syntactic constraints of Definition 6 |
 //! | [`localize`] | the rule-localization rewrite of Algorithm 2 |
 //! | [`seminaive`] | the semi-naive delta rewrite (rule strands) |
@@ -35,6 +36,7 @@
 pub mod aggsel;
 pub mod ast;
 pub mod error;
+pub mod interactive;
 pub mod lexer;
 pub mod localize;
 pub mod magic;
@@ -50,6 +52,7 @@ pub use ast::{
     Variable,
 };
 pub use error::{LangError, ParseError, ValidationError};
+pub use interactive::{parse_command, parse_session, Command, MetaCommand};
 pub use parser::parse_program;
 pub use validate::validate;
 pub use value::Value;

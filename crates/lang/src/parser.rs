@@ -44,14 +44,14 @@ pub fn parse_rule(src: &str) -> Result<Rule, ParseError> {
         .ok_or_else(|| ParseError::new(1, 1, "expected a rule"))
 }
 
-struct Parser {
+pub(crate) struct Parser {
     tokens: Vec<Token>,
     pos: usize,
     auto_label: usize,
 }
 
 impl Parser {
-    fn new(tokens: Vec<Token>) -> Self {
+    pub(crate) fn new(tokens: Vec<Token>) -> Self {
         Parser {
             tokens,
             pos: 0,
@@ -59,20 +59,20 @@ impl Parser {
         }
     }
 
-    fn peek(&self) -> &Token {
+    pub(crate) fn peek(&self) -> &Token {
         &self.tokens[self.pos]
     }
 
-    fn peek_kind(&self) -> &TokenKind {
+    pub(crate) fn peek_kind(&self) -> &TokenKind {
         &self.tokens[self.pos].kind
     }
 
-    fn peek_ahead(&self, n: usize) -> &TokenKind {
+    pub(crate) fn peek_ahead(&self, n: usize) -> &TokenKind {
         let idx = (self.pos + n).min(self.tokens.len() - 1);
         &self.tokens[idx].kind
     }
 
-    fn advance(&mut self) -> Token {
+    pub(crate) fn advance(&mut self) -> Token {
         let t = self.tokens[self.pos].clone();
         if self.pos + 1 < self.tokens.len() {
             self.pos += 1;
@@ -80,12 +80,12 @@ impl Parser {
         t
     }
 
-    fn error(&self, msg: impl Into<String>) -> ParseError {
+    pub(crate) fn error(&self, msg: impl Into<String>) -> ParseError {
         let t = self.peek();
         ParseError::new(t.line, t.column, msg.into())
     }
 
-    fn expect(&mut self, kind: &TokenKind) -> Result<Token, ParseError> {
+    pub(crate) fn expect(&mut self, kind: &TokenKind) -> Result<Token, ParseError> {
         if self.peek_kind() == kind {
             Ok(self.advance())
         } else {
@@ -97,7 +97,7 @@ impl Parser {
         }
     }
 
-    fn eat(&mut self, kind: &TokenKind) -> bool {
+    pub(crate) fn eat(&mut self, kind: &TokenKind) -> bool {
         if self.peek_kind() == kind {
             self.advance();
             true
@@ -129,7 +129,7 @@ impl Parser {
         Ok(program)
     }
 
-    fn parse_materialize(&mut self) -> Result<TableDecl, ParseError> {
+    pub(crate) fn parse_materialize(&mut self) -> Result<TableDecl, ParseError> {
         self.advance(); // materialize
         self.expect(&TokenKind::LParen)?;
         let name = match self.advance().kind {
@@ -219,7 +219,7 @@ impl Parser {
         }
     }
 
-    fn parse_rule_stmt(&mut self) -> Result<Rule, ParseError> {
+    pub(crate) fn parse_rule_stmt(&mut self) -> Result<Rule, ParseError> {
         // Optional label: an identifier directly followed by another
         // identifier or `#` (the head atom) rather than `(`.
         let label = match (self.peek_kind(), self.peek_ahead(1)) {
@@ -247,7 +247,7 @@ impl Parser {
         Ok(Rule { label, head, body })
     }
 
-    fn parse_atom(&mut self) -> Result<Atom, ParseError> {
+    pub(crate) fn parse_atom(&mut self) -> Result<Atom, ParseError> {
         let link = self.eat(&TokenKind::Hash);
         let name = match self.advance().kind {
             TokenKind::Ident(s) => s,
@@ -272,7 +272,7 @@ impl Parser {
         Ok(Atom { name, link, args })
     }
 
-    fn parse_term(&mut self) -> Result<Term, ParseError> {
+    pub(crate) fn parse_term(&mut self) -> Result<Term, ParseError> {
         match self.peek_kind().clone() {
             TokenKind::AtVar(name) => {
                 self.advance();
@@ -340,7 +340,7 @@ impl Parser {
         }
     }
 
-    fn parse_list_value(&mut self) -> Result<Value, ParseError> {
+    pub(crate) fn parse_list_value(&mut self) -> Result<Value, ParseError> {
         self.expect(&TokenKind::LBracket)?;
         let mut items = Vec::new();
         if self.peek_kind() != &TokenKind::RBracket {
@@ -367,7 +367,7 @@ impl Parser {
         Ok(Value::list(items))
     }
 
-    fn parse_literal(&mut self) -> Result<Literal, ParseError> {
+    pub(crate) fn parse_literal(&mut self) -> Result<Literal, ParseError> {
         match self.peek_kind().clone() {
             // Assignment: Var := expr  or  Var = expr.
             TokenKind::Var(name)

@@ -146,6 +146,9 @@ pub struct Evaluator {
     /// Reusable flat buffers for the batch path.
     scratch: BatchScratch,
     batch_out: BatchOutput,
+    /// Live-query hook: records visibility transitions of subscribed
+    /// relations (see [`crate::tap`]).
+    tap: crate::tap::DeltaTap,
 }
 
 impl Evaluator {
@@ -200,7 +203,24 @@ impl Evaluator {
             probe_grouping: true,
             scratch: BatchScratch::default(),
             batch_out: BatchOutput::default(),
+            tap: crate::tap::DeltaTap::new(),
         })
+    }
+
+    /// The live-query delta tap (subscribe/unsubscribe relations).
+    pub fn tap(&self) -> &crate::tap::DeltaTap {
+        &self.tap
+    }
+
+    /// Mutable access to the delta tap.
+    pub fn tap_mut(&mut self) -> &mut crate::tap::DeltaTap {
+        &mut self.tap
+    }
+
+    /// Take the visibility transitions recorded since the last drain, in
+    /// store order.
+    pub fn drain_tap(&mut self) -> Vec<TupleDelta> {
+        self.tap.drain()
     }
 
     /// Toggle batch-delta evaluation (on by default). The tuple-at-a-time
@@ -535,6 +555,12 @@ impl Evaluator {
                 None,
                 &mut joins,
             )?;
+            // Every marked tuple — external seeds, replacement old halves
+            // and the over-deleted closure — actually left the store;
+            // re-derived survivors come back through `ingest` as inserts.
+            for removal in &marking.removed {
+                self.tap.record(removal);
+            }
             // Each removal is one processed delta (and one PSN-style
             // iteration): the DRed counterpart of popping a deletion off
             // the work queue.
@@ -592,6 +618,8 @@ impl Evaluator {
                 continue;
             }
             stats.tuples_processed += 1;
+            // A propagated insert is a 0 → >0 visibility transition.
+            self.tap.record(&prop);
             // Aggregate views react to every real insertion of their
             // source.
             let mut view_outputs = Vec::new();
@@ -1053,5 +1081,72 @@ mod tests {
             .unwrap();
         assert!(stats.tuples_processed >= 2);
         assert!(eval.results("reachable").is_empty());
+    }
+
+    /// Replay a visibility-transition stream: apply each event to a set,
+    /// asserting the per-tuple alternation invariant (never a second
+    /// insert without an intervening retract, never a retract of an
+    /// absent tuple).
+    fn replay(events: &[TupleDelta]) -> BTreeSet<(String, Tuple)> {
+        let mut set = BTreeSet::new();
+        for event in events {
+            let key = (event.relation.clone(), event.tuple.clone());
+            match event.sign {
+                Sign::Insert => assert!(set.insert(key), "double insert of {event}"),
+                Sign::Delete => assert!(set.remove(&key), "retract of absent {event}"),
+            }
+        }
+        set
+    }
+
+    #[test]
+    fn tap_stream_reconstructs_subscribed_relations() {
+        let program = programs::shortest_path("");
+        let mut eval = Evaluator::new(&program).unwrap();
+        eval.tap_mut().subscribe("shortestPath");
+        eval.tap_mut().subscribe("path");
+        load_figure2_links(&mut eval, "link");
+        eval.run(Strategy::Pipelined).unwrap();
+
+        let mut events = eval.drain_tap();
+        // Deleting the cheap a—c edge retracts the shortest a→b route via c
+        // (cost 2) and reinstates the direct cost-5 link: the subscriber
+        // must see retract deltas, not just a final state.
+        eval.update(TupleDelta::delete("link".to_string(), link(0, 2, 1.0)))
+            .unwrap();
+        eval.update(TupleDelta::delete("link".to_string(), link(2, 0, 1.0)))
+            .unwrap();
+        let churn = eval.drain_tap();
+        assert!(
+            churn
+                .iter()
+                .any(|d| d.sign == Sign::Delete && d.relation == "shortestPath"),
+            "expected shortestPath retractions, got {churn:?}"
+        );
+        events.extend(churn);
+
+        let replayed = replay(&events);
+        for rel in ["shortestPath", "path"] {
+            let stored: BTreeSet<(String, Tuple)> = eval
+                .results(rel)
+                .into_iter()
+                .map(|t| (rel.to_string(), t))
+                .collect();
+            let from_stream: BTreeSet<(String, Tuple)> =
+                replayed.iter().filter(|(r, _)| r == rel).cloned().collect();
+            assert_eq!(from_stream, stored, "replayed {rel} diverges from store");
+        }
+        // The untapped relation never leaks into the stream.
+        assert!(events.iter().all(|d| d.relation != "link"));
+    }
+
+    #[test]
+    fn tap_unsubscribed_relation_records_nothing() {
+        let program = programs::shortest_path("");
+        let mut eval = Evaluator::new(&program).unwrap();
+        load_figure2_links(&mut eval, "link");
+        eval.run(Strategy::Pipelined).unwrap();
+        assert!(eval.tap().is_empty());
+        assert!(eval.drain_tap().is_empty());
     }
 }

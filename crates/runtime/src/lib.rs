@@ -95,6 +95,7 @@ pub mod intern;
 pub mod relation;
 pub mod store;
 pub mod strand;
+pub mod tap;
 pub mod tuple;
 
 pub use aggview::AggregateView;
@@ -106,4 +107,5 @@ pub use intern::ValueId;
 pub use relation::{InsertOutcome, Relation, RelationSchema};
 pub use store::Store;
 pub use strand::{ColumnSource, CompiledStrand, Derivation, JoinStats, ProbePlan};
+pub use tap::DeltaTap;
 pub use tuple::{Sign, Tuple, TupleDelta};

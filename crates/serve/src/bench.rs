@@ -1,0 +1,195 @@
+//! The `service_throughput` benchmark: N concurrent TCP sessions feeding
+//! link-churn update batches into one shared engine while a monitor
+//! session holds a live `shortestPath` subscription.
+//!
+//! Each worker session owns a private spoke off node `@n0` (worker *i*
+//! churns the `@n0 ↔ @n(5+i)` pair) and alternates its cost between
+//! batches — every update is a keyed replacement, so every commit does
+//! real incremental work (retract the old route, derive the new one) and
+//! streams deltas to the monitor. The score is committed updates per
+//! second of wall time across all workers.
+
+use crate::client::ScriptClient;
+use crate::session::Service;
+use ndlog_lang::programs;
+use ndlog_lang::Value;
+use ndlog_runtime::{Tuple, TupleDelta};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One session-count measurement.
+#[derive(Debug, Clone)]
+pub struct Run {
+    /// Concurrent worker sessions.
+    pub sessions: usize,
+    /// Total committed update statements across all workers.
+    pub updates: usize,
+    /// Wall time from releasing the workers to the last one joining.
+    pub elapsed_seconds: f64,
+    /// `updates / elapsed_seconds`.
+    pub updates_per_sec: f64,
+    /// Live deltas the monitor subscription received during the run.
+    pub monitor_deltas: usize,
+}
+
+/// The benchmark's result set.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Update statements each worker sends.
+    pub batches_per_session: usize,
+    /// One entry per session count.
+    pub runs: Vec<Run>,
+}
+
+impl BenchResult {
+    /// The slowest configuration's throughput — the number the CI gate
+    /// compares against the committed baseline.
+    pub fn min_updates_per_sec(&self) -> f64 {
+        self.runs
+            .iter()
+            .map(|r| r.updates_per_sec)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Render as JSON (the repo is offline, so JSON is built by hand like
+    /// the other benches).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"bench\": \"service_throughput\",");
+        let _ = writeln!(
+            out,
+            "  \"batches_per_session\": {},",
+            self.batches_per_session
+        );
+        let _ = writeln!(
+            out,
+            "  \"min_updates_per_sec\": {:.1},",
+            self.min_updates_per_sec()
+        );
+        out.push_str("  \"runs\": [\n");
+        for (i, run) in self.runs.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"sessions\": {}, \"updates\": {}, \"elapsed_seconds\": {:.6}, \"updates_per_sec\": {:.1}, \"monitor_deltas\": {}}}",
+                run.sessions, run.updates, run.elapsed_seconds, run.updates_per_sec, run.monitor_deltas
+            );
+            out.push_str(if i + 1 < self.runs.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Build the benchmark service: the shortest-path program over the
+/// figure-2 graph, served on an ephemeral localhost port.
+fn bench_service() -> (Arc<Service>, crate::service::Server) {
+    let service =
+        Service::from_program(&programs::shortest_path("")).expect("canonical program plans");
+    let session = service.open_session(Arc::new(crate::session::NullSink));
+    let edges: [(u32, u32, f64); 5] = [
+        (0, 1, 5.0),
+        (0, 2, 1.0),
+        (2, 1, 1.0),
+        (1, 3, 1.0),
+        (4, 0, 1.0),
+    ];
+    let mut deltas = Vec::new();
+    for (a, b, c) in edges {
+        for (s, d) in [(a, b), (b, a)] {
+            deltas.push(TupleDelta::insert(
+                "link",
+                Tuple::new(vec![Value::addr(s), Value::addr(d), Value::Float(c)]),
+            ));
+        }
+    }
+    session.apply_batch(deltas).expect("base graph applies");
+    let server = crate::service::start(Arc::clone(&service), "127.0.0.1:0")
+        .expect("ephemeral localhost bind");
+    (service, server)
+}
+
+/// Worker `i`'s update statement for batch `b`: replace the cost of its
+/// private spoke (both directions, one atomic batch).
+fn churn_statement(worker: usize, batch: usize) -> String {
+    let spoke = 5 + worker;
+    let cost = if batch.is_multiple_of(2) { 1.0 } else { 2.0 };
+    format!("+link[(@n0, @n{spoke}, {cost:.1}), (@n{spoke}, @n0, {cost:.1})].")
+}
+
+/// Run the benchmark for each session count.
+pub fn service_throughput(session_counts: &[usize], batches: usize) -> BenchResult {
+    let mut runs = Vec::new();
+    for &sessions in session_counts {
+        let (_service, server) = bench_service();
+        let addr = server.addr();
+
+        let mut monitor = ScriptClient::connect(addr).expect("monitor connects");
+        let reply = monitor
+            .send(".subscribe shortestPath")
+            .expect("subscribe succeeds");
+        assert!(reply.ok, "subscribe failed: {}", reply.message);
+
+        let start = Instant::now();
+        let workers: Vec<_> = (0..sessions)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let mut client = ScriptClient::connect(addr).expect("worker connects");
+                    for b in 0..batches {
+                        let reply = client.send(&churn_statement(i, b)).expect("send");
+                        assert!(reply.ok, "update failed: {}", reply.message);
+                    }
+                    let _ = client.send(".quit");
+                })
+            })
+            .collect();
+        for worker in workers {
+            worker.join().expect("worker thread");
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+
+        // Drain whatever the monitor has already buffered, plus anything
+        // still in flight on the socket.
+        let mut monitor_deltas = monitor.take_deltas().len();
+        while let Ok(Some(_)) = monitor.recv_delta(std::time::Duration::from_millis(50)) {
+            monitor_deltas += 1;
+        }
+        let _ = monitor.send(".quit");
+        server.shutdown();
+
+        let updates = sessions * batches;
+        runs.push(Run {
+            sessions,
+            updates,
+            elapsed_seconds: elapsed,
+            updates_per_sec: updates as f64 / elapsed.max(1e-9),
+            monitor_deltas,
+        });
+    }
+    BenchResult {
+        batches_per_session: batches,
+        runs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_bench_runs_and_renders_json() {
+        let result = service_throughput(&[1, 2], 5);
+        assert_eq!(result.runs.len(), 2);
+        assert!(result.min_updates_per_sec() > 0.0);
+        // Workers churn spokes off @n0, so shortest paths change and the
+        // monitor must have seen live deltas in every configuration.
+        for run in &result.runs {
+            assert_eq!(run.updates, run.sessions * 5);
+            assert!(run.monitor_deltas > 0, "monitor saw no deltas: {run:?}");
+        }
+        let json = result.to_json();
+        assert!(json.contains("\"bench\": \"service_throughput\""), "{json}");
+        assert!(json.contains("\"min_updates_per_sec\""), "{json}");
+        assert!(json.contains("\"sessions\": 2"), "{json}");
+    }
+}

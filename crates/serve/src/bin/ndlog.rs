@@ -1,0 +1,256 @@
+//! The `ndlog` command: interactive shell, network service, CI smoke
+//! test and throughput bench over the shared session layer.
+
+use ndlog_serve::client::ScriptClient;
+use ndlog_serve::{bench, repl, service, Service};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ndlog <command> [options]
+
+commands:
+  repl  [--program FILE]                 interactive shell
+  serve --listen ADDR [--program FILE]   TCP line-protocol service
+  smoke [--verbose]                      scripted end-to-end TCP session (CI)
+  bench [--sessions 1,2,4] [--batches N] [--json PATH] [--baseline PATH]
+                                         multi-session update throughput"
+    );
+    std::process::exit(2)
+}
+
+fn service_from(program: Option<&str>) -> Arc<Service> {
+    match program {
+        None => Service::new(),
+        Some(path) => {
+            let src = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("ndlog: cannot read {path}: {e}");
+                std::process::exit(1)
+            });
+            Service::from_source(&src).unwrap_or_else(|e| {
+                eprintln!("ndlog: {path}: {e}");
+                std::process::exit(1)
+            })
+        }
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("repl") => {
+            let service = service_from(flag_value(&args, "--program"));
+            if let Err(e) = repl::run(&service) {
+                eprintln!("ndlog: {e}");
+                std::process::exit(1);
+            }
+        }
+        Some("serve") => {
+            let Some(listen) = flag_value(&args, "--listen") else {
+                usage()
+            };
+            let svc = service_from(flag_value(&args, "--program"));
+            let server = service::start(svc, listen).unwrap_or_else(|e| {
+                eprintln!("ndlog: cannot bind {listen}: {e}");
+                std::process::exit(1)
+            });
+            println!("ndlog: serving on {}", server.addr());
+            loop {
+                std::thread::park();
+            }
+        }
+        Some("smoke") => {
+            let verbose = args.iter().any(|a| a == "--verbose");
+            if let Err(e) = smoke(verbose) {
+                eprintln!("smoke FAILED: {e}");
+                std::process::exit(1);
+            }
+            println!("smoke OK");
+        }
+        Some("bench") => run_bench(&args),
+        _ => usage(),
+    }
+}
+
+/// The scripted end-to-end session CI runs: load the shortest-path
+/// program over the wire, feed the figure-2 graph, query, subscribe,
+/// break a link, watch the retraction arrive, dump, quit.
+fn smoke(verbose: bool) -> Result<(), String> {
+    let service = Service::new();
+    let server = service::start(service, "127.0.0.1:0").map_err(|e| format!("bind: {e}"))?;
+    let mut client = ScriptClient::connect(server.addr()).map_err(|e| format!("connect: {e}"))?;
+
+    let program = [
+        "materialize(link, keys(1,2)).",
+        "materialize(path, keys(1,2,4)).",
+        "materialize(spCost, keys(1,2)).",
+        "materialize(shortestPath, keys(1,2)).",
+        "sp1 path(@S,@D,@D,P,C) :- #link(@S,@D,C), P := f_cons(S, f_cons(D, nil)).",
+        "sp2 path(@S,@D,@Z,P,C) :- #link(@S,@Z,C1), path(@Z,@D,@Z2,P2,C2), \
+         f_member(P2, S) == 0, C := C1 + C2, P := f_cons(S, P2).",
+        "sp3 spCost(@S,@D,min<C>) :- path(@S,@D,@Z,P,C).",
+        "sp4 shortestPath(@S,@D,P,C) :- spCost(@S,@D,C), path(@S,@D,@Z,P,C).",
+    ];
+    fn step(
+        client: &mut ScriptClient,
+        verbose: bool,
+        cmd: &str,
+    ) -> Result<ndlog_serve::client::Reply, String> {
+        let reply = client.send(cmd).map_err(|e| format!("{cmd}: {e}"))?;
+        if verbose {
+            println!("> {cmd}");
+            for line in &reply.payload {
+                println!("  {line}");
+            }
+            println!("  => {}", reply.message);
+        }
+        if !reply.ok {
+            return Err(format!("{cmd}: server said: {}", reply.message));
+        }
+        Ok(reply)
+    }
+
+    for line in program {
+        step(&mut client, verbose, line)?;
+    }
+    step(
+        &mut client,
+        verbose,
+        "+link[(@n0,@n1,5.0),(@n1,@n0,5.0),(@n0,@n2,1.0),(@n2,@n0,1.0),\
+         (@n2,@n1,1.0),(@n1,@n2,1.0),(@n1,@n3,1.0),(@n3,@n1,1.0),\
+         (@n4,@n0,1.0),(@n0,@n4,1.0)].",
+    )?;
+
+    // Figure 2: a's best route to b goes via c at cost 2.
+    let reply = step(&mut client, verbose, "?- shortestPath(@n0, @n1, P, C).")?;
+    if reply.payload.len() != 1 || !reply.payload[0].contains("2.0") {
+        return Err(format!(
+            "expected one cost-2.0 row, got {:?}",
+            reply.payload
+        ));
+    }
+
+    let reply = step(&mut client, verbose, ".subscribe shortestPath")?;
+    if !reply.payload.iter().any(|l| l.starts_with("sub ")) {
+        return Err(format!("no sub line in {:?}", reply.payload));
+    }
+    let snapshot = client.take_deltas();
+    if snapshot.is_empty() || !snapshot.iter().all(|d| d.body.starts_with('+')) {
+        return Err(format!("bad subscribe snapshot: {snapshot:?}"));
+    }
+
+    // Breaking a—c reroutes a→b; the live stream must carry the exact
+    // retraction of the old shortest path.
+    step(&mut client, verbose, "-link[(@n0,@n2,1.0),(@n2,@n0,1.0)].")?;
+    let mut deltas = client.take_deltas();
+    while let Ok(Some(d)) = client.recv_delta(Duration::from_millis(200)) {
+        deltas.push(d);
+    }
+    if !deltas
+        .iter()
+        .any(|d| d.body.starts_with("-shortestPath(@n0, @n1,") && d.body.contains("2.0"))
+    {
+        return Err(format!("no retraction of the cost-2 route in {deltas:?}"));
+    }
+    if !deltas
+        .iter()
+        .any(|d| d.body.starts_with("+shortestPath(@n0, @n1,") && d.body.contains("5.0"))
+    {
+        return Err(format!("no rerouted cost-5 path in {deltas:?}"));
+    }
+
+    let reply = step(&mut client, verbose, ".dump")?;
+    if !reply.payload.iter().any(|l| l.starts_with("dump link ")) {
+        return Err(format!("dump has no link rows: {:?}", reply.payload));
+    }
+
+    // Parse errors come back rendered with a caret snippet.
+    let bad = client
+        .send("+link(@n0 @n1).")
+        .map_err(|e| format!("bad line: {e}"))?;
+    if bad.ok || !bad.message.contains('^') {
+        return Err(format!(
+            "expected caret-rendered error, got {:?}",
+            bad.message
+        ));
+    }
+
+    step(&mut client, verbose, ".quit")?;
+    server.shutdown();
+    Ok(())
+}
+
+fn run_bench(args: &[String]) {
+    let sessions: Vec<usize> = flag_value(args, "--sessions")
+        .unwrap_or("1,2,4")
+        .split(',')
+        .map(|s| s.trim().parse().unwrap_or_else(|_| usage()))
+        .collect();
+    let batches: usize = flag_value(args, "--batches")
+        .unwrap_or("50")
+        .parse()
+        .unwrap_or_else(|_| usage());
+
+    let result = bench::service_throughput(&sessions, batches);
+    for run in &result.runs {
+        println!(
+            "sessions={:<3} updates={:<6} elapsed={:.3}s throughput={:.0} updates/s (monitor saw {} deltas)",
+            run.sessions, run.updates, run.elapsed_seconds, run.updates_per_sec, run.monitor_deltas
+        );
+    }
+    let json = result.to_json();
+    if let Some(path) = flag_value(args, "--json") {
+        std::fs::write(path, &json).unwrap_or_else(|e| {
+            eprintln!("ndlog: cannot write {path}: {e}");
+            std::process::exit(1)
+        });
+        println!("wrote {path}");
+    }
+    if let Some(path) = flag_value(args, "--baseline") {
+        let baseline = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("ndlog: cannot read baseline {path}: {e}");
+            std::process::exit(1)
+        });
+        let committed = json_number(&baseline, "min_updates_per_sec").unwrap_or_else(|| {
+            eprintln!("ndlog: no min_updates_per_sec in {path}");
+            std::process::exit(1)
+        });
+        let measured = result.min_updates_per_sec();
+        // Generous slack: CI machines vary, regressions we care about are
+        // integer-factor collapses, not noise.
+        let floor = committed / 4.0;
+        if measured < floor {
+            eprintln!(
+                "bench gate FAILED: measured {measured:.1} updates/s < floor {floor:.1} \
+                 (baseline {committed:.1} / 4)"
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "bench gate OK: measured {measured:.1} updates/s >= floor {floor:.1} \
+             (baseline {committed:.1} / 4)"
+        );
+    }
+}
+
+/// Pull `"field": <number>` out of a JSON text (the repo is offline and
+/// has no JSON parser; mirrors the bench harness's convention).
+fn json_number(text: &str, field: &str) -> Option<f64> {
+    let needle = format!("\"{field}\":");
+    let start = text.find(&needle)? + needle.len();
+    let rest = text[start..].trim_start();
+    let end = rest
+        .find(|c: char| {
+            !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E' || c == '+')
+        })
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}

@@ -1,0 +1,29 @@
+//! The one error type the session layer surfaces.
+
+use std::fmt;
+
+/// An error a command produced: a parse error (already rendered with a
+/// caret snippet), an evaluation failure, or a violated session rule
+/// (duplicate rule label, unknown subscription, ...). Always printable,
+/// possibly multi-line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeError {
+    message: String,
+}
+
+impl ServeError {
+    /// Wrap any printable error.
+    pub fn new(message: impl fmt::Display) -> ServeError {
+        ServeError {
+            message: message.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for ServeError {}

@@ -1,0 +1,171 @@
+//! The line protocol the TCP service speaks.
+//!
+//! Everything is newline-delimited UTF-8 text. On connect the server
+//! greets with `hello <session-id>`. Each client line is one interactive
+//! command; the server answers with zero or more *payload* lines followed
+//! by exactly one *terminator* line:
+//!
+//! | line                          | meaning                                     |
+//! |-------------------------------|---------------------------------------------|
+//! | `info <text>`                 | one line of human-readable output           |
+//! | `row <rel>(<args>)`           | one query result row                        |
+//! | `dump <rel> <count> (<args>)` | one stored tuple with its derivation count  |
+//! | `sub <id> <rel>`              | subscription created                        |
+//! | `ok <summary>`                | command succeeded (terminator)              |
+//! | `err <message>`               | command failed (terminator)                 |
+//! | `bye`                         | `.quit` acknowledged; server closes         |
+//!
+//! Live-query events are pushed asynchronously as
+//! `delta <sub-id> <epoch> <±rel(args)>` lines and may appear between a
+//! command's payload lines (they are produced by *other* sessions'
+//! commits); clients must treat any `delta ` line as out-of-band.
+//! Embedded newlines in `err`/`info` text are escaped as `\n` so the
+//! line framing survives multi-line caret snippets.
+
+use crate::session::{DeltaEvent, Response};
+
+/// Escape a message onto one line (`\` → `\\`, newline → `\n`).
+pub fn escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Undo [`escape`].
+pub fn unescape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut chars = text.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some(other) => out.push(other),
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Render a successful response as its wire lines (payload lines then the
+/// terminator).
+pub fn format_response(resp: &Response) -> Vec<String> {
+    match resp {
+        Response::Empty => vec!["ok".to_string()],
+        Response::Ok(text) => {
+            let mut lines: Vec<String> =
+                text.lines().skip(1).map(|l| format!("info {l}")).collect();
+            let first = text.lines().next().unwrap_or("");
+            lines.push(format!("ok {}", escape(first)));
+            lines
+        }
+        Response::Rows {
+            relation,
+            rows,
+            epoch,
+        } => {
+            let mut lines: Vec<String> =
+                rows.iter().map(|t| format!("row {relation}{t}")).collect();
+            lines.push(format!("ok {} row(s); epoch {epoch}", rows.len()));
+            lines
+        }
+        Response::Subscribed {
+            id,
+            relation,
+            snapshot,
+            epoch,
+        } => vec![
+            format!("sub {id} {relation}"),
+            format!(
+                "ok subscribed {relation} as #{id}; {snapshot} tuple(s) in snapshot; epoch {epoch}"
+            ),
+        ],
+        Response::Dump { rows, epoch } => {
+            let mut lines: Vec<String> = rows
+                .iter()
+                .map(|(rel, count, tuple)| format!("dump {rel} {count} {tuple}"))
+                .collect();
+            lines.push(format!("ok {} stored tuple(s); epoch {epoch}", rows.len()));
+            lines
+        }
+        Response::Quit => vec!["bye".to_string()],
+    }
+}
+
+/// Render an error terminator line.
+pub fn format_error(err: &crate::ServeError) -> String {
+    format!("err {}", escape(&err.to_string()))
+}
+
+/// Render an asynchronous live-query event line. The delta itself prints
+/// as `+rel(args)` / `-rel(args)` (the runtime's signed-tuple `Display`).
+pub fn format_event(event: &DeltaEvent) -> String {
+    format!(
+        "delta {} {} {}",
+        event.subscription, event.epoch, event.delta
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndlog_lang::Value;
+    use ndlog_runtime::{Tuple, TupleDelta};
+
+    #[test]
+    fn escape_round_trips() {
+        for text in ["plain", "two\nlines", "back\\slash\nand\\nmore"] {
+            let escaped = escape(text);
+            assert!(!escaped.contains('\n'));
+            assert_eq!(unescape(&escaped), text);
+        }
+    }
+
+    #[test]
+    fn responses_render_payload_then_terminator() {
+        let rows = Response::Rows {
+            relation: "link".to_string(),
+            rows: vec![Tuple::new(vec![
+                Value::addr(0u32),
+                Value::addr(1u32),
+                Value::Float(5.0),
+            ])],
+            epoch: 3,
+        };
+        assert_eq!(
+            format_response(&rows),
+            vec![
+                "row link(@n0, @n1, 5.0)".to_string(),
+                "ok 1 row(s); epoch 3".to_string(),
+            ]
+        );
+
+        let multi = Response::Ok("first\nsecond".to_string());
+        assert_eq!(
+            format_response(&multi),
+            vec!["info second".to_string(), "ok first".to_string()]
+        );
+
+        let event = DeltaEvent {
+            subscription: 2,
+            epoch: 7,
+            delta: TupleDelta::delete(
+                "link",
+                Tuple::new(vec![
+                    Value::addr(0u32),
+                    Value::addr(2u32),
+                    Value::Float(1.0),
+                ]),
+            ),
+        };
+        assert_eq!(format_event(&event), "delta 2 7 -link(@n0, @n2, 1.0)");
+    }
+}

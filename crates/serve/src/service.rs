@@ -1,0 +1,139 @@
+//! The TCP front end: one thread per connection, all connections sharing
+//! one [`Service`](crate::Service).
+//!
+//! Each connection's writes (command responses *and* asynchronous `delta`
+//! pushes) go through a per-connection write lock so lines never
+//! interleave. Lock hierarchy: the engine lock is always taken *before* a
+//! write lock (event delivery happens inside commits, which hold the
+//! engine lock), and connection threads never hold their write lock while
+//! calling into the service — so the two locks cannot deadlock.
+
+use crate::protocol;
+use crate::session::{DeltaEvent, EventSink, Response, Service};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// A sink that pushes `delta` lines down a TCP connection.
+struct WireSink {
+    write: Arc<Mutex<TcpStream>>,
+}
+
+impl EventSink for WireSink {
+    fn deliver(&self, event: &DeltaEvent) {
+        let mut stream = self.write.lock().unwrap();
+        // A dead peer just stops receiving; its reader thread will see
+        // EOF and reap the session.
+        let _ = writeln!(stream, "{}", protocol::format_event(event));
+        let _ = stream.flush();
+    }
+}
+
+/// A running TCP server. Dropping it (or calling [`Server::shutdown`])
+/// stops accepting; established connections run until their clients quit.
+pub struct Server {
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// The bound address (useful with a `:0` bind in tests).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting new connections and join the accept thread.
+    pub fn shutdown(mut self) {
+        self.stop_accepting();
+    }
+
+    fn stop_accepting(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.accept.is_some() {
+            self.stop_accepting();
+        }
+    }
+}
+
+/// Bind `addr` and serve `service` until shutdown.
+pub fn start(service: Arc<Service>, addr: impl ToSocketAddrs) -> std::io::Result<Server> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let accept = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            for incoming in listener.incoming() {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = incoming else { continue };
+                let service = Arc::clone(&service);
+                std::thread::spawn(move || {
+                    let _ = serve_connection(service, stream);
+                });
+            }
+        })
+    };
+    Ok(Server {
+        addr,
+        stop,
+        accept: Some(accept),
+    })
+}
+
+fn serve_connection(service: Arc<Service>, stream: TcpStream) -> std::io::Result<()> {
+    // Responses are small request/reply lines; Nagle + delayed ACK would
+    // add ~40ms to every round trip.
+    stream.set_nodelay(true)?;
+    let write = Arc::new(Mutex::new(stream.try_clone()?));
+    let sink = Arc::new(WireSink {
+        write: Arc::clone(&write),
+    });
+    let session = service.open_session(sink);
+    {
+        let mut w = write.lock().unwrap();
+        writeln!(w, "hello {}", session.id())?;
+        w.flush()?;
+    }
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break; // EOF: client vanished.
+        }
+        // Execute WITHOUT holding the write lock (lock hierarchy).
+        let result = session.execute_line(line.trim_end_matches(['\r', '\n']));
+        let quitting = matches!(result, Ok(Response::Quit));
+        let lines = match &result {
+            Ok(resp) => protocol::format_response(resp),
+            Err(err) => vec![protocol::format_error(err)],
+        };
+        {
+            let mut w = write.lock().unwrap();
+            for out in &lines {
+                writeln!(w, "{out}")?;
+            }
+            w.flush()?;
+        }
+        if quitting {
+            return Ok(()); // `.quit` already dropped the session state.
+        }
+    }
+    session.close();
+    Ok(())
+}

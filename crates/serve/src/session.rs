@@ -1,0 +1,925 @@
+//! The shared session layer behind both front ends (REPL and TCP).
+//!
+//! One [`Service`] owns one incremental engine (an
+//! [`Evaluator`](ndlog_runtime::Evaluator)) behind a mutex. Any number of
+//! [`Session`]s execute interactive commands against it; every committed
+//! update batch advances the service **epoch** by one, and everything a
+//! command observes — query rows, dumps, subscription snapshots — is read
+//! under the engine lock, so reads are snapshot-consistent at epoch
+//! boundaries: a query sees either all of a concurrent batch or none of
+//! it, never a half-applied state.
+//!
+//! **Live queries.** `.subscribe rel` registers the session's
+//! [`EventSink`] for a relation (optionally with a bound-column filter).
+//! The subscriber first receives the relation's current contents as
+//! insert events at the current epoch, then the exact insert/retract
+//! stream produced by the incremental maintenance machinery (the
+//! [`DeltaTap`](ndlog_runtime::DeltaTap) visibility transitions), tagged
+//! with the epoch that produced them. Events are delivered while the
+//! engine lock is held, so every subscriber observes deltas in commit
+//! order.
+//!
+//! **Commit log.** Every committed batch is appended to a log. This gives
+//! the concurrency tests their oracle (replaying the log sequentially
+//! must land in the bitwise-identical store), and makes interactive rule
+//! addition sound: adding a rule/table rebuilds a fresh engine from the
+//! extended program and replays the log — incremental maintenance equals
+//! from-scratch evaluation, so the store (counts included) is exactly
+//! what it would have been had the rule existed all along. Subscribers
+//! are sent the net visibility diff the new rule causes.
+
+use crate::error::ServeError;
+use ndlog_lang::ast::{Atom, Program, Rule, TableDecl, Term};
+use ndlog_lang::interactive::{
+    Command, MetaCommand, Op, SubscribeFilter, UnsubscribeTarget, Update,
+};
+use ndlog_lang::{parse_command, parse_program, Value};
+use ndlog_runtime::{Evaluator, Strategy, Tuple, TupleDelta};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, Mutex};
+
+/// A live-query event: one exact insert/retract delta of a subscribed
+/// relation, tagged with the subscription it matched and the epoch of the
+/// commit that produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaEvent {
+    /// The subscription this event matched.
+    pub subscription: u64,
+    /// The epoch of the producing commit (snapshot events carry the epoch
+    /// current at `.subscribe` time).
+    pub epoch: u64,
+    /// The signed tuple.
+    pub delta: TupleDelta,
+}
+
+/// Where a session's live-query events go (a TCP connection, stdout, a
+/// collecting buffer in tests). Delivery happens under the engine lock:
+/// implementations must not call back into the service.
+pub trait EventSink: Send + Sync {
+    /// Deliver one event. Errors are the sink's problem (a dead TCP peer
+    /// just stops seeing deltas; the session is reaped when its reader
+    /// returns EOF).
+    fn deliver(&self, event: &DeltaEvent);
+}
+
+/// A sink that discards events.
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    fn deliver(&self, _event: &DeltaEvent) {}
+}
+
+/// A sink that buffers events for later inspection (tests, examples).
+#[derive(Default)]
+pub struct CollectSink {
+    events: Mutex<Vec<DeltaEvent>>,
+}
+
+impl CollectSink {
+    /// An empty collector.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Take everything delivered so far.
+    pub fn drain(&self) -> Vec<DeltaEvent> {
+        std::mem::take(&mut self.events.lock().unwrap())
+    }
+}
+
+impl EventSink for CollectSink {
+    fn deliver(&self, event: &DeltaEvent) {
+        self.events.lock().unwrap().push(event.clone());
+    }
+}
+
+/// One committed update batch, in commit order. The log is the replay
+/// oracle: applying every batch's deltas in order onto a fresh engine for
+/// the same program reproduces the store bit-for-bit.
+#[derive(Debug, Clone)]
+pub struct CommittedBatch {
+    /// The session that committed the batch.
+    pub session: u64,
+    /// The epoch the commit produced.
+    pub epoch: u64,
+    /// The batch's deltas, as applied.
+    pub deltas: Vec<TupleDelta>,
+}
+
+/// What a command returned (the wire/REPL layers render this).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Blank input.
+    Empty,
+    /// Success with a human-readable summary (may span lines).
+    Ok(String),
+    /// Query result rows, sorted.
+    Rows {
+        /// Queried relation.
+        relation: String,
+        /// Matching tuples.
+        rows: Vec<Tuple>,
+        /// Epoch the read was consistent at.
+        epoch: u64,
+    },
+    /// `.subscribe` succeeded; the snapshot was already delivered through
+    /// the sink.
+    Subscribed {
+        /// Subscription id (for `.unsubscribe`).
+        id: u64,
+        /// Subscribed relation.
+        relation: String,
+        /// Number of snapshot tuples delivered.
+        snapshot: usize,
+        /// Epoch of the snapshot.
+        epoch: u64,
+    },
+    /// `.dump`: every stored tuple with its derivation count, sorted —
+    /// the store fingerprint the consistency tests compare.
+    Dump {
+        /// `(relation, derivation count, tuple)` rows.
+        rows: Vec<(String, u64, Tuple)>,
+        /// Epoch the dump was consistent at.
+        epoch: u64,
+    },
+    /// `.quit`: the session is closed.
+    Quit,
+}
+
+struct Subscription {
+    id: u64,
+    session: u64,
+    relation: String,
+    filter: Option<SubscribeFilter>,
+    sink: Arc<dyn EventSink>,
+}
+
+struct Core {
+    program: Program,
+    eval: Evaluator,
+    epoch: u64,
+    commits: Vec<CommittedBatch>,
+    subs: Vec<Subscription>,
+    next_sub: u64,
+    next_session: u64,
+}
+
+/// The shared engine all sessions execute against.
+pub struct Service {
+    core: Mutex<Core>,
+}
+
+/// One client session (a REPL, one TCP connection, one test thread).
+pub struct Session {
+    service: Arc<Service>,
+    id: u64,
+    sink: Arc<dyn EventSink>,
+}
+
+const HELP: &str = "\
++fact.                      insert one ground fact
+-fact.                      delete one ground fact
++rel[(..), (..)].           bulk insert (one atomic batch / epoch)
+-rel[(..), (..)].           bulk delete
+?- rel(pattern).            query the current fixpoint (constants bind, _ is a wildcard)
+head :- body.               add a rule (also with a leading +)
+materialize(rel, keys(..)). declare a table (primary key, optional ttl)
+.load \"file\"                load an NDlog program file
+.subscribe rel[(pattern)]   live insert/retract deltas, optionally filtered
+.unsubscribe <id|rel>       cancel subscriptions
+.rel                        list relations with tuple counts
+.rules                      show the loaded program
+.dump                       every stored tuple with its derivation count
+.help                       this text
+.quit                       close the session";
+
+impl Service {
+    /// A service with an empty program (rules and tables arrive
+    /// interactively).
+    pub fn new() -> Arc<Self> {
+        Self::from_program(&Program::new("session")).expect("empty program always plans")
+    }
+
+    /// A service preloaded with a program (its facts are in the initial
+    /// fixpoint; the epoch starts at 0).
+    pub fn from_program(program: &Program) -> Result<Arc<Self>, ServeError> {
+        let mut eval = Evaluator::new(program).map_err(ServeError::new)?;
+        eval.run(Strategy::Pipelined)
+            .map_err(|e| ServeError::new(format!("initial fixpoint failed: {e}")))?;
+        eval.drain_tap();
+        Ok(Arc::new(Service {
+            core: Mutex::new(Core {
+                program: program.clone(),
+                eval,
+                epoch: 0,
+                commits: Vec::new(),
+                subs: Vec::new(),
+                next_sub: 1,
+                next_session: 1,
+            }),
+        }))
+    }
+
+    /// A service preloaded from program source text.
+    pub fn from_source(src: &str) -> Result<Arc<Self>, ServeError> {
+        let program = parse_program(src).map_err(|e| ServeError::new(e.render(src)))?;
+        Self::from_program(&program)
+    }
+
+    /// Open a session whose live-query events go to `sink`.
+    pub fn open_session(self: &Arc<Self>, sink: Arc<dyn EventSink>) -> Session {
+        let id = {
+            let mut core = self.core.lock().unwrap();
+            let id = core.next_session;
+            core.next_session += 1;
+            id
+        };
+        Session {
+            service: Arc::clone(self),
+            id,
+            sink,
+        }
+    }
+
+    /// The current epoch (number of committed batches and program
+    /// changes).
+    pub fn epoch(&self) -> u64 {
+        self.core.lock().unwrap().epoch
+    }
+
+    /// The commit log, in commit order.
+    pub fn commit_log(&self) -> Vec<CommittedBatch> {
+        self.core.lock().unwrap().commits.clone()
+    }
+
+    /// The bitwise store fingerprint: every stored tuple with its
+    /// derivation count, sorted. Two services whose fingerprints are equal
+    /// hold identical visible stores *including* per-tuple derivation
+    /// counts.
+    pub fn fingerprint(&self) -> Vec<(String, u64, Tuple)> {
+        self.core.lock().unwrap().dump_rows()
+    }
+}
+
+impl Session {
+    /// This session's id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The service this session executes against.
+    pub fn service(&self) -> &Arc<Service> {
+        &self.service
+    }
+
+    /// Parse and execute one line of the interactive dialect. Parse errors
+    /// come back rendered with a caret snippet pointing at the offending
+    /// token.
+    pub fn execute_line(&self, line: &str) -> Result<Response, ServeError> {
+        match parse_command(line) {
+            Err(e) => Err(ServeError::new(e.render(line))),
+            Ok(None) => Ok(Response::Empty),
+            Ok(Some(cmd)) => self.execute(cmd),
+        }
+    }
+
+    /// Execute one parsed command.
+    pub fn execute(&self, cmd: Command) -> Result<Response, ServeError> {
+        let mut core = self.service.core.lock().unwrap();
+        match cmd {
+            Command::Update(update) => core.apply_update(self.id, update),
+            Command::Query(atom) => core.query(&atom),
+            Command::Rule(rule) => core.add_rule(rule),
+            Command::Table(decl) => core.add_table(decl),
+            Command::Meta(meta) => match meta {
+                MetaCommand::Load(path) => core.load_file(&path),
+                MetaCommand::Subscribe { relation, filter } => {
+                    core.subscribe(self.id, Arc::clone(&self.sink), relation, filter)
+                }
+                MetaCommand::Unsubscribe(target) => core.unsubscribe(self.id, target),
+                MetaCommand::Relations => core.relations(),
+                MetaCommand::Rules => core.rules(),
+                MetaCommand::Dump => {
+                    let rows = core.dump_rows();
+                    Ok(Response::Dump {
+                        rows,
+                        epoch: core.epoch,
+                    })
+                }
+                MetaCommand::Help => Ok(Response::Ok(HELP.to_string())),
+                MetaCommand::Quit => {
+                    core.drop_session(self.id);
+                    Ok(Response::Quit)
+                }
+            },
+        }
+    }
+
+    /// Commit a pre-built delta batch (one epoch), bypassing the text
+    /// dialect. The concurrency tests and the bench drive the engine this
+    /// way; it is exactly what an `Update` command does after parsing.
+    pub fn apply_batch(&self, deltas: Vec<TupleDelta>) -> Result<Response, ServeError> {
+        self.service.core.lock().unwrap().commit(self.id, deltas)
+    }
+
+    /// Close the session: drop its subscriptions.
+    pub fn close(&self) {
+        self.service.core.lock().unwrap().drop_session(self.id);
+    }
+}
+
+impl Core {
+    fn apply_update(&mut self, session: u64, update: Update) -> Result<Response, ServeError> {
+        let deltas: Vec<TupleDelta> = update
+            .tuples
+            .into_iter()
+            .map(|values| {
+                let tuple = Tuple::new(values);
+                match update.op {
+                    Op::Insert => TupleDelta::insert(update.relation.clone(), tuple),
+                    Op::Delete => TupleDelta::delete(update.relation.clone(), tuple),
+                }
+            })
+            .collect();
+        self.commit(session, deltas)
+    }
+
+    fn commit(&mut self, session: u64, deltas: Vec<TupleDelta>) -> Result<Response, ServeError> {
+        let n = deltas.len();
+        let stats = self
+            .eval
+            .update_batch(deltas.clone())
+            .map_err(|e| ServeError::new(format!("evaluation error: {e}")))?;
+        self.epoch += 1;
+        self.commits.push(CommittedBatch {
+            session,
+            epoch: self.epoch,
+            deltas,
+        });
+        self.flush_deltas();
+        Ok(Response::Ok(format!(
+            "applied {n} update(s); epoch {}; {} derivation(s)",
+            self.epoch, stats.derivations
+        )))
+    }
+
+    /// Route the tap's recorded visibility transitions to the matching
+    /// subscribers, in store order. Runs under the engine lock, so every
+    /// subscriber sees deltas in commit order.
+    fn flush_deltas(&mut self) {
+        let events = self.eval.drain_tap();
+        if events.is_empty() {
+            return;
+        }
+        for delta in &events {
+            for sub in &self.subs {
+                if sub.relation == delta.relation && filter_matches(&sub.filter, &delta.tuple) {
+                    sub.sink.deliver(&DeltaEvent {
+                        subscription: sub.id,
+                        epoch: self.epoch,
+                        delta: delta.clone(),
+                    });
+                }
+            }
+        }
+    }
+
+    fn query(&self, atom: &Atom) -> Result<Response, ServeError> {
+        let mut rows: Vec<Tuple> = self
+            .eval
+            .results(&atom.name)
+            .into_iter()
+            .filter(|t| atom_matches(atom, t))
+            .collect();
+        rows.sort();
+        Ok(Response::Rows {
+            relation: atom.name.clone(),
+            rows,
+            epoch: self.epoch,
+        })
+    }
+
+    fn add_rule(&mut self, mut rule: Rule) -> Result<Response, ServeError> {
+        if rule.label.is_empty() {
+            rule.label = self.fresh_rule_label();
+        } else if self.program.rule(&rule.label).is_some() {
+            return Err(ServeError::new(format!(
+                "rule label `{}` is already defined (pick another)",
+                rule.label
+            )));
+        }
+        let mut program = self.program.clone();
+        program.rules.push(rule.clone());
+        self.rebuild(program, format!("added rule {}", rule.label))
+    }
+
+    fn add_table(&mut self, decl: TableDecl) -> Result<Response, ServeError> {
+        if self.program.table_decl(&decl.name).is_some() {
+            return Err(ServeError::new(format!(
+                "relation `{}` is already materialized",
+                decl.name
+            )));
+        }
+        let name = decl.name.clone();
+        let mut program = self.program.clone();
+        program.tables.push(decl);
+        self.rebuild(program, format!("materialized {name}"))
+    }
+
+    fn load_file(&mut self, path: &str) -> Result<Response, ServeError> {
+        let src = std::fs::read_to_string(path)
+            .map_err(|e| ServeError::new(format!("cannot read {path}: {e}")))?;
+        let loaded = parse_program(&src)
+            .map_err(|e| ServeError::new(format!("{path}: {}", e.render(&src))))?;
+        let mut program = self.program.clone();
+        for decl in loaded.tables {
+            if program.table_decl(&decl.name).is_some() {
+                return Err(ServeError::new(format!(
+                    "{path}: relation `{}` is already materialized",
+                    decl.name
+                )));
+            }
+            program.tables.push(decl);
+        }
+        let (mut rules, mut facts) = (0usize, 0usize);
+        for mut rule in loaded.rules {
+            if rule.is_fact() {
+                facts += 1;
+            } else {
+                rules += 1;
+            }
+            if rule.label.is_empty() || program.rule(&rule.label).is_some() {
+                rule.label = fresh_label_in(&program);
+            }
+            program.rules.push(rule);
+        }
+        program.queries.extend(loaded.queries);
+        self.rebuild(
+            program,
+            format!("loaded {path}: {rules} rule(s), {facts} fact(s)"),
+        )
+    }
+
+    fn fresh_rule_label(&self) -> String {
+        fresh_label_in(&self.program)
+    }
+
+    /// Swap in an extended program: rebuild a fresh engine, replay the
+    /// commit log (incremental == from-scratch, so the store including
+    /// derivation counts is exactly as if the program had always been
+    /// this one), and send subscribers the net visibility diff.
+    fn rebuild(&mut self, program: Program, what: String) -> Result<Response, ServeError> {
+        let before = self.subscribed_visible();
+        let mut eval = Evaluator::new(&program).map_err(ServeError::new)?;
+        let watched: Vec<String> = self.eval.tap().subscribed().map(str::to_string).collect();
+        for relation in &watched {
+            eval.tap_mut().subscribe(relation.clone());
+        }
+        eval.run(Strategy::Pipelined)
+            .map_err(|e| ServeError::new(format!("fixpoint failed: {e}")))?;
+        for batch in &self.commits {
+            eval.update_batch(batch.deltas.clone())
+                .map_err(|e| ServeError::new(format!("replaying the commit log failed: {e}")))?;
+        }
+        // The replay's transition noise is not what subscribers should
+        // see — the net effect of the program change is the before/after
+        // diff, delivered below as one epoch.
+        eval.drain_tap();
+        self.eval = eval;
+        self.program = program;
+        self.epoch += 1;
+        let after = self.subscribed_visible();
+        for (relation, tuple) in before.difference(&after) {
+            self.deliver_diff(TupleDelta::delete(relation.clone(), tuple.clone()));
+        }
+        for (relation, tuple) in after.difference(&before) {
+            self.deliver_diff(TupleDelta::insert(relation.clone(), tuple.clone()));
+        }
+        Ok(Response::Ok(format!("{what}; epoch {}", self.epoch)))
+    }
+
+    fn deliver_diff(&self, delta: TupleDelta) {
+        for sub in &self.subs {
+            if sub.relation == delta.relation && filter_matches(&sub.filter, &delta.tuple) {
+                sub.sink.deliver(&DeltaEvent {
+                    subscription: sub.id,
+                    epoch: self.epoch,
+                    delta: delta.clone(),
+                });
+            }
+        }
+    }
+
+    fn subscribed_visible(&self) -> BTreeSet<(String, Tuple)> {
+        let mut set = BTreeSet::new();
+        for relation in self.eval.tap().subscribed() {
+            for tuple in self.eval.store().tuples(relation) {
+                set.insert((relation.to_string(), tuple));
+            }
+        }
+        set
+    }
+
+    fn subscribe(
+        &mut self,
+        session: u64,
+        sink: Arc<dyn EventSink>,
+        relation: String,
+        filter: Option<SubscribeFilter>,
+    ) -> Result<Response, ServeError> {
+        if let (Some(filter), Some(sample)) =
+            (filter.as_ref(), self.eval.store().tuples(&relation).first())
+        {
+            if filter.len() != sample.values().len() {
+                return Err(ServeError::new(format!(
+                    "subscribe pattern has {} column(s) but `{relation}` has {}",
+                    filter.len(),
+                    sample.values().len()
+                )));
+            }
+        }
+        let id = self.next_sub;
+        self.next_sub += 1;
+        self.eval.tap_mut().subscribe(relation.clone());
+        // Snapshot: the relation's current matching contents as insert
+        // events at the current epoch, before any live delta.
+        let mut snapshot: Vec<Tuple> = self
+            .eval
+            .store()
+            .tuples(&relation)
+            .into_iter()
+            .filter(|t| filter_matches(&filter, t))
+            .collect();
+        snapshot.sort();
+        let count = snapshot.len();
+        for tuple in snapshot {
+            sink.deliver(&DeltaEvent {
+                subscription: id,
+                epoch: self.epoch,
+                delta: TupleDelta::insert(relation.clone(), tuple),
+            });
+        }
+        self.subs.push(Subscription {
+            id,
+            session,
+            relation: relation.clone(),
+            filter,
+            sink,
+        });
+        Ok(Response::Subscribed {
+            id,
+            relation,
+            snapshot: count,
+            epoch: self.epoch,
+        })
+    }
+
+    fn unsubscribe(
+        &mut self,
+        session: u64,
+        target: UnsubscribeTarget,
+    ) -> Result<Response, ServeError> {
+        let before = self.subs.len();
+        match &target {
+            UnsubscribeTarget::Id(id) => {
+                self.subs.retain(|s| !(s.session == session && s.id == *id));
+            }
+            UnsubscribeTarget::Relation(relation) => {
+                self.subs
+                    .retain(|s| !(s.session == session && &s.relation == relation));
+            }
+        }
+        let removed = before - self.subs.len();
+        if removed == 0 {
+            return Err(ServeError::new(
+                "no matching subscription in this session".to_string(),
+            ));
+        }
+        self.gc_tap();
+        Ok(Response::Ok(format!(
+            "unsubscribed {removed} subscription(s)"
+        )))
+    }
+
+    fn drop_session(&mut self, session: u64) {
+        self.subs.retain(|s| s.session != session);
+        self.gc_tap();
+    }
+
+    /// Stop tapping relations nobody subscribes to anymore.
+    fn gc_tap(&mut self) {
+        let active: BTreeSet<&str> = self.subs.iter().map(|s| s.relation.as_str()).collect();
+        let stale: Vec<String> = self
+            .eval
+            .tap()
+            .subscribed()
+            .filter(|r| !active.contains(r))
+            .map(str::to_string)
+            .collect();
+        for relation in stale {
+            self.eval.tap_mut().unsubscribe(&relation);
+        }
+    }
+
+    fn relations(&self) -> Result<Response, ServeError> {
+        let mut lines: Vec<String> = self
+            .eval
+            .store()
+            .relation_names()
+            .map(|name| format!("{name}: {} tuple(s)", self.eval.store().count(name)))
+            .collect();
+        lines.sort();
+        if lines.is_empty() {
+            lines.push("(no relations)".to_string());
+        }
+        Ok(Response::Ok(lines.join("\n")))
+    }
+
+    fn rules(&self) -> Result<Response, ServeError> {
+        let text = self.program.to_string();
+        let trimmed = text.trim();
+        Ok(Response::Ok(if trimmed.is_empty() {
+            "(empty program)".to_string()
+        } else {
+            trimmed.to_string()
+        }))
+    }
+
+    fn dump_rows(&self) -> Vec<(String, u64, Tuple)> {
+        let store = self.eval.store();
+        let mut rows = Vec::new();
+        for name in store.relation_names() {
+            if let Some(relation) = store.relation(name) {
+                for stored in relation.iter() {
+                    rows.push((name.to_string(), stored.count, stored.tuple.clone()));
+                }
+            }
+        }
+        rows.sort();
+        rows
+    }
+}
+
+fn fresh_label_in(program: &Program) -> String {
+    let mut n = program.rules.len() + 1;
+    loop {
+        let label = format!("r{n}");
+        if program.rule(&label).is_none() {
+            return label;
+        }
+        n += 1;
+    }
+}
+
+/// Does a tuple match a subscribe filter? `None` matches everything; a
+/// pattern matches when every bound column equals the tuple's value (a
+/// pattern of the wrong arity matches nothing).
+fn filter_matches(filter: &Option<SubscribeFilter>, tuple: &Tuple) -> bool {
+    match filter {
+        None => true,
+        Some(pattern) => {
+            pattern.len() == tuple.values().len()
+                && pattern
+                    .iter()
+                    .zip(tuple.values())
+                    .all(|(slot, value)| slot.as_ref().is_none_or(|bound| bound == value))
+        }
+    }
+}
+
+/// Does a tuple match a query atom? Constants must equal, variables bind
+/// (repeated variables must agree), `_`-prefixed variables are wildcards.
+fn atom_matches(atom: &Atom, tuple: &Tuple) -> bool {
+    if atom.args.len() != tuple.values().len() {
+        return false;
+    }
+    let mut bindings: BTreeMap<&str, &Value> = BTreeMap::new();
+    for (term, value) in atom.args.iter().zip(tuple.values()) {
+        match term {
+            Term::Const(c) => {
+                if c != value {
+                    return false;
+                }
+            }
+            Term::Var(v) => {
+                if v.name.starts_with('_') {
+                    continue;
+                }
+                match bindings.get(v.name.as_str()) {
+                    Some(bound) => {
+                        if *bound != value {
+                            return false;
+                        }
+                    }
+                    None => {
+                        bindings.insert(v.name.as_str(), value);
+                    }
+                }
+            }
+            Term::Agg(_) => return false,
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndlog_lang::programs;
+    use ndlog_runtime::Sign;
+
+    fn figure2(service: &Arc<Service>) -> Session {
+        let session = service.open_session(Arc::new(NullSink));
+        let edges: [(u32, u32, f64); 5] = [
+            (0, 1, 5.0),
+            (0, 2, 1.0),
+            (2, 1, 1.0),
+            (1, 3, 1.0),
+            (4, 0, 1.0),
+        ];
+        let mut deltas = Vec::new();
+        for (a, b, c) in edges {
+            for (s, d) in [(a, b), (b, a)] {
+                deltas.push(TupleDelta::insert(
+                    "link",
+                    Tuple::new(vec![Value::addr(s), Value::addr(d), Value::Float(c)]),
+                ));
+            }
+        }
+        session.apply_batch(deltas).unwrap();
+        session
+    }
+
+    #[test]
+    fn updates_queries_and_epochs() {
+        let service = Service::from_program(&programs::shortest_path("")).unwrap();
+        let session = figure2(&service);
+        assert_eq!(service.epoch(), 1);
+
+        // Bound query: a's shortest path to b goes via c at cost 2.
+        let resp = session
+            .execute_line("?- shortestPath(@n0, @n1, P, C).")
+            .unwrap();
+        let Response::Rows { rows, epoch, .. } = resp else {
+            panic!("expected rows, got {resp:?}");
+        };
+        assert_eq!(epoch, 1);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get(3), Some(&Value::Float(2.0)));
+
+        // Wildcards and repeated variables.
+        let Response::Rows { rows: all, .. } = session
+            .execute_line("?- shortestPath(@n0, _, _, _).")
+            .unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(all.len(), 4);
+        let Response::Rows { rows: none, .. } =
+            session.execute_line("?- link(@S, @S, _).").unwrap()
+        else {
+            panic!()
+        };
+        assert!(none.is_empty(), "no self-links in figure 2");
+
+        // Text updates advance the epoch.
+        let resp = session
+            .execute_line("+link[(@n2, @n3, 1.0), (@n3, @n2, 1.0)].")
+            .unwrap();
+        assert!(matches!(resp, Response::Ok(_)));
+        assert_eq!(service.epoch(), 2);
+        assert_eq!(service.commit_log().len(), 2);
+    }
+
+    #[test]
+    fn subscriptions_stream_snapshot_then_exact_deltas() {
+        let service = Service::from_program(&programs::shortest_path("")).unwrap();
+        let session = figure2(&service);
+        let sink = CollectSink::new();
+        let watcher = service.open_session(sink.clone());
+
+        let resp = watcher
+            .execute_line(".subscribe shortestPath(@n0, _, _, _)")
+            .unwrap();
+        let Response::Subscribed { id, snapshot, .. } = resp else {
+            panic!("expected subscribed, got {resp:?}");
+        };
+        assert_eq!(snapshot, 4, "a reaches b, c, d, e");
+        let events = sink.drain();
+        assert_eq!(events.len(), 4);
+        assert!(events.iter().all(|e| e.subscription == id
+            && e.delta.sign == Sign::Insert
+            && e.delta.tuple.get(0) == Some(&Value::addr(0u32))));
+
+        // Deleting the cheap a—c edge reroutes a→b: the watcher sees the
+        // retract of the cost-2 route and the insert of the cost-5 one.
+        session
+            .execute_line("-link[(@n0, @n2, 1.0), (@n2, @n0, 1.0)].")
+            .unwrap();
+        let churn = sink.drain();
+        assert!(churn.iter().any(|e| e.delta.sign == Sign::Delete
+            && e.delta.tuple.get(1) == Some(&Value::addr(1u32))
+            && e.delta.tuple.get(3) == Some(&Value::Float(2.0))));
+        assert!(churn.iter().any(|e| e.delta.sign == Sign::Insert
+            && e.delta.tuple.get(1) == Some(&Value::addr(1u32))
+            && e.delta.tuple.get(3) == Some(&Value::Float(5.0))));
+        // The filter holds: only @n0-rooted tuples were delivered.
+        assert!(churn
+            .iter()
+            .all(|e| e.delta.tuple.get(0) == Some(&Value::addr(0u32))));
+
+        // Unsubscribing stops the stream and GCs the tap.
+        watcher.execute_line(".unsubscribe shortestPath").unwrap();
+        session
+            .execute_line("+link[(@n0, @n2, 1.0), (@n2, @n0, 1.0)].")
+            .unwrap();
+        assert!(sink.drain().is_empty());
+        assert!(watcher.execute_line(".unsubscribe 99").is_err());
+    }
+
+    #[test]
+    fn interactive_program_growth_replays_the_commit_log() {
+        let service = Service::new();
+        let session = service.open_session(Arc::new(NullSink));
+        let sink = CollectSink::new();
+        let watcher = service.open_session(sink.clone());
+
+        session
+            .execute_line("materialize(edge, keys(1,2)).")
+            .unwrap();
+        session.execute_line("+edge[(1,2), (2,3), (3,4)].").unwrap();
+        watcher.execute_line(".subscribe reach").unwrap();
+        assert!(sink.drain().is_empty(), "reach does not exist yet");
+
+        // Adding rules *after* the data arrived must behave as if they had
+        // always been there (rebuild + commit-log replay), and the watcher
+        // gets the net diff.
+        session.execute_line("reach(A,B) :- edge(A,B).").unwrap();
+        session
+            .execute_line("reach(A,C) :- edge(A,B), reach(B,C).")
+            .unwrap();
+        let events = sink.drain();
+        assert_eq!(
+            events.len(),
+            6,
+            "3 direct + 3 transitive reach tuples, inserts only: {events:?}"
+        );
+        assert!(events.iter().all(|e| e.delta.sign == Sign::Insert));
+
+        let Response::Rows { rows, .. } = session.execute_line("?- reach(1, _).").unwrap() else {
+            panic!()
+        };
+        assert_eq!(rows.len(), 3);
+
+        // Deleting a base edge retracts the affected closure exactly.
+        session.execute_line("-edge(1,2).").unwrap();
+        let retracts = sink.drain();
+        assert_eq!(retracts.len(), 3, "1→2, 1→3, 1→4 all go: {retracts:?}");
+        assert!(retracts.iter().all(|e| e.delta.sign == Sign::Delete));
+
+        // Duplicate labels and tables are rejected.
+        assert!(session
+            .execute_line("materialize(edge, keys(1,2)).")
+            .is_err());
+        session
+            .execute_line("mine reach2(A,B) :- edge(A,B).")
+            .unwrap();
+        assert!(session
+            .execute_line("mine reach3(A,B) :- edge(A,B).")
+            .is_err());
+    }
+
+    #[test]
+    fn dump_and_fingerprint_agree() {
+        let service = Service::from_program(&programs::shortest_path("")).unwrap();
+        let session = figure2(&service);
+        let Response::Dump { rows, epoch } = session.execute_line(".dump").unwrap() else {
+            panic!()
+        };
+        assert_eq!(epoch, 1);
+        assert_eq!(rows, service.fingerprint());
+        assert!(rows.iter().any(|(rel, _, _)| rel == "shortestPath"));
+        // Ten links, each inserted once.
+        assert_eq!(
+            rows.iter()
+                .filter(|(rel, count, _)| rel == "link" && *count == 1)
+                .count(),
+            10
+        );
+    }
+
+    #[test]
+    fn parse_errors_render_caret_snippets() {
+        let service = Service::new();
+        let session = service.open_session(Arc::new(NullSink));
+        let err = session.execute_line("+link(@n0 @n1).").unwrap_err();
+        assert!(err.to_string().contains('^'), "{err}");
+        assert!(matches!(
+            session.execute_line("   % comment only").unwrap(),
+            Response::Empty
+        ));
+        let help = session.execute_line(".help").unwrap();
+        let Response::Ok(text) = help else { panic!() };
+        assert!(text.contains(".subscribe"));
+    }
+}

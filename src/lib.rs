@@ -12,9 +12,12 @@
 //! * [`runtime`] — single-node evaluation: indexed relations, compiled
 //!   rule strands with probe plans, SN/BSN/PSN evaluators;
 //! * [`core`] — the distributed engine: planning, per-node engines and the
-//!   event loop with communication accounting.
+//!   event loop with communication accounting;
+//! * [`serve`] — the interactive shell and line-protocol network service
+//!   with live incremental query subscriptions.
 
 pub use ndlog_core as core;
 pub use ndlog_lang as lang;
 pub use ndlog_net as net;
 pub use ndlog_runtime as runtime;
+pub use ndlog_serve as serve;
