@@ -5,17 +5,22 @@
 //! cargo run --release -p ndlog-bench --bin experiments -- <figure> [scale] [options]
 //!
 //! <figure>    fig7 | fig8 | fig9 | fig10 | fig11 | fig12 | fig13 | fig14 |
-//!             scaling | micro | vectorization | summary | all
+//!             scaling | micro | vectorization | optimizer | summary | all
 //! [scale]     paper (default, 100 nodes) | small (14 nodes) | large (264 nodes)
+//! --optimize P  optimizer pass level for the figure experiments:
+//!             off | magic | reorder | all (default all). Every figure's
+//!             plans compile through the same optimizer pipeline; this
+//!             flag restricts which rewrite passes it applies.
 //! --threads N maximum executor thread count for the `scaling` figure
 //!             (measures 1..=N in powers of two; default 4)
 //! --json PATH write the figure's machine-readable JSON report
 //!             (scaling -> BENCH_parallel_scaling.json format,
 //!              micro -> BENCH_micro_runtime.json format,
-//!              vectorization -> BENCH_batch_vectorization.json format)
-//! --baseline PATH  (`micro` only) compare against a committed
-//!             BENCH_micro_runtime.json and exit non-zero if the indexed
-//!             probe path regressed more than 2x — the CI smoke gate
+//!              vectorization -> BENCH_batch_vectorization.json format,
+//!              optimizer -> BENCH_optimizer.json format)
+//! --baseline PATH  (`micro`, `optimizer`) compare against the committed
+//!             JSON report and exit non-zero on a >2x regression — the CI
+//!             smoke gates
 //! --reference PATH (`vectorization` only) a prior scaling JSON whose
 //!             1-thread run becomes the before-change wall-clock reference
 //! ```
@@ -26,18 +31,20 @@
 //! bit-for-bit identity check against the sequential baseline.
 
 use ndlog_bench::experiments::{
-    aggregate_selections, batch_vectorization, incremental_updates,
-    incremental_updates_interleaved, magic_sets, message_sharing, micro_runtime, parallel_scaling,
-    periodic_aggregate_selections, ScalingReference,
+    aggregate_selections, aggregate_selections_with, batch_vectorization, incremental_updates,
+    incremental_updates_interleaved_with, incremental_updates_with, magic_sets_with,
+    message_sharing, message_sharing_with, micro_runtime, optimizer_bench, parallel_scaling,
+    periodic_aggregate_selections, periodic_aggregate_selections_with, ScalingReference,
 };
 use ndlog_bench::Scale;
+use ndlog_lang::PassSet;
 use ndlog_net::topology::Metric;
 
 fn usage() -> ! {
     eprintln!(
         "usage: experiments <fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|scaling|micro|\
-         vectorization|summary|all> [paper|small|large] [--threads N] [--json PATH] \
-         [--baseline PATH] [--reference PATH]"
+         vectorization|optimizer|summary|all> [paper|small|large] [--optimize off|magic|reorder|all] \
+         [--threads N] [--json PATH] [--baseline PATH] [--reference PATH]"
     );
     std::process::exit(2);
 }
@@ -54,6 +61,8 @@ struct Options {
     baseline: Option<String>,
     /// Prior scaling JSON used as the vectorization reference.
     reference: Option<String>,
+    /// Optimizer pass level for the figure experiments.
+    optimize: PassSet,
 }
 
 fn parse_args(args: &[String]) -> Options {
@@ -62,9 +71,17 @@ fn parse_args(args: &[String]) -> Options {
     let mut json = None;
     let mut baseline = None;
     let mut reference = None;
+    let mut optimize = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
+            "--optimize" => {
+                optimize = Some(
+                    iter.next()
+                        .and_then(|v| PassSet::parse(v))
+                        .unwrap_or_else(|| usage()),
+                );
+            }
             "--threads" => {
                 threads = Some(
                     iter.next()
@@ -98,18 +115,18 @@ fn parse_args(args: &[String]) -> Options {
     // silently ignoring them.
     let takes_json = matches!(
         figure.as_str(),
-        "scaling" | "micro" | "vectorization" | "all"
+        "scaling" | "micro" | "vectorization" | "optimizer" | "all"
     );
     if !takes_json && json.is_some() {
-        eprintln!("--json applies only to scaling, micro, vectorization (or all)");
+        eprintln!("--json applies only to scaling, micro, vectorization, optimizer (or all)");
         usage();
     }
     if threads.is_some() && figure != "scaling" && figure != "all" {
         eprintln!("--threads applies only to the `scaling` (or `all`) figure");
         usage();
     }
-    if baseline.is_some() && figure != "micro" {
-        eprintln!("--baseline applies only to the `micro` figure");
+    if baseline.is_some() && figure != "micro" && figure != "optimizer" {
+        eprintln!("--baseline applies only to the `micro` and `optimizer` figures");
         usage();
     }
     if reference.is_some() && figure != "vectorization" {
@@ -123,6 +140,7 @@ fn parse_args(args: &[String]) -> Options {
         json,
         baseline,
         reference,
+        optimize: optimize.unwrap_or(PassSet::ALL),
     }
 }
 
@@ -232,18 +250,64 @@ fn magic_query_counts(scale: Scale) -> (usize, Vec<usize>) {
     }
 }
 
+/// Run the optimizer bench, optionally writing `BENCH_optimizer.json` and
+/// gating: (a) the fully-optimized pipeline must beat the unoptimized
+/// all-pairs baseline on the first query (the whole point of magic sets),
+/// and (b) against a committed report, the first-query traffic must not
+/// regress more than 2x.
+fn run_optimizer(options: &Options) {
+    let (max, samples) = magic_query_counts(options.scale);
+    let result = optimizer_bench(options.scale, max, &samples);
+    println!("{}", result.render());
+    if let Some(path) = &options.json {
+        std::fs::write(path, result.to_json()).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("wrote {path}");
+    }
+    let measured = result.first_query_mb();
+    let mut failed = false;
+    println!(
+        "direction gate: optimized first query {measured:.3} MB vs unoptimized baseline {:.3} MB",
+        result.baseline_no_ms_mb
+    );
+    if measured >= result.baseline_no_ms_mb {
+        eprintln!("FAIL: the optimized pipeline does not beat the unoptimized baseline");
+        failed = true;
+    }
+    if let Some(path) = &options.baseline {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("reading {path}: {e}"));
+        let committed = json_number(&text, "first_query_mb")
+            .unwrap_or_else(|| panic!("{path} has no first_query_mb"));
+        println!(
+            "baseline gate [first_query_mb]: measured {measured:.3} MB vs committed \
+             {committed:.3} MB (limit {:.3} MB)",
+            committed * 2.0
+        );
+        if measured > committed * 2.0 {
+            eprintln!("FAIL: first_query_mb regressed more than 2x vs {path}");
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
 fn run_figure(figure: &str, options: &Options) {
     let scale = options.scale;
+    let passes = options.optimize;
     match figure {
         "fig7" | "fig8" => {
-            println!("{}", aggregate_selections(scale).render());
+            println!("{}", aggregate_selections_with(scale, passes).render());
         }
         "fig9" | "fig10" => {
-            println!("{}", periodic_aggregate_selections(scale).render());
+            println!(
+                "{}",
+                periodic_aggregate_selections_with(scale, passes).render()
+            );
         }
         "fig11" => {
             let (max, samples) = magic_query_counts(scale);
-            let result = magic_sets(scale, max, &samples);
+            let result = magic_sets_with(scale, max, &samples, passes);
             println!("{}", result.render());
             if let Some(cross) = result.crossover("MS") {
                 println!("MS line crosses the No-MS baseline after {cross} queries");
@@ -252,19 +316,19 @@ fn run_figure(figure: &str, options: &Options) {
             }
         }
         "fig12" => {
-            println!("{}", message_sharing(scale).render());
+            println!("{}", message_sharing_with(scale, passes).render());
         }
         "fig13" => {
             println!(
                 "{}",
-                incremental_updates(scale)
+                incremental_updates_with(scale, passes)
                     .render("Figure 13: bursty link updates every 10 s (Random metric)")
             );
         }
         "fig14" => {
             println!(
                 "{}",
-                incremental_updates_interleaved(scale)
+                incremental_updates_interleaved_with(scale, passes)
                     .render("Figure 14: interleaved 2 s / 8 s update bursts (Random metric)")
             );
         }
@@ -276,6 +340,9 @@ fn run_figure(figure: &str, options: &Options) {
         }
         "vectorization" => {
             run_vectorization(options);
+        }
+        "optimizer" => {
+            run_optimizer(options);
         }
         "summary" => {
             summary(scale);

@@ -8,15 +8,15 @@
 //! factor, where the crossover falls — is what these experiments reproduce
 //! (see EXPERIMENTS.md for the side-by-side comparison).
 
-use crate::testbed::{Scale, Testbed};
+use crate::testbed::{Scale, SourceRoutingSetup, Testbed};
 use ndlog_core::caching::QueryCache;
-use ndlog_core::{EngineConfig, UpdateWorkload};
-use ndlog_lang::Value;
+use ndlog_core::{sharing, EngineConfig, UpdateWorkload};
+use ndlog_lang::{PassSet, Value};
 use ndlog_net::sim::ms;
 use ndlog_net::stats::{BandwidthSeries, NetStats};
 use ndlog_net::topology::Metric;
 use ndlog_net::NodeAddr;
-use ndlog_runtime::Tuple;
+use ndlog_runtime::{Tuple, TupleDelta};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
@@ -65,12 +65,19 @@ pub struct MetricRun {
 pub struct AggregateSelectionsResult {
     /// Whether the periodic variant was used.
     pub periodic: bool,
+    /// Optimizer pass level the plans were compiled at (`--optimize`).
+    pub optimizer: String,
     /// One run per metric, in the paper's order.
     pub runs: Vec<MetricRun>,
 }
 
-fn run_metric_query(testbed: &Testbed, metric: Metric, periodic: bool) -> MetricRun {
-    let plan = Testbed::shortest_path_plan(metric);
+fn run_metric_query(
+    testbed: &Testbed,
+    metric: Metric,
+    periodic: bool,
+    passes: PassSet,
+) -> MetricRun {
+    let plan = Testbed::shortest_path_plan_with(metric, passes);
     let mut config = EngineConfig::default();
     config.node.aggregate_selections = true;
     if periodic {
@@ -102,26 +109,41 @@ fn run_metric_query(testbed: &Testbed, metric: Metric, periodic: bool) -> Metric
 }
 
 /// Figures 7 and 8: the four metric queries with (eager) aggregate
-/// selections.
+/// selections, fully optimized.
 pub fn aggregate_selections(scale: Scale) -> AggregateSelectionsResult {
+    aggregate_selections_with(scale, PassSet::ALL)
+}
+
+/// Figures 7 and 8 at an explicit optimizer pass level.
+pub fn aggregate_selections_with(scale: Scale, passes: PassSet) -> AggregateSelectionsResult {
     let testbed = Testbed::new(scale);
     AggregateSelectionsResult {
         periodic: false,
+        optimizer: passes.label().to_string(),
         runs: Metric::ALL
             .iter()
-            .map(|&m| run_metric_query(&testbed, m, false))
+            .map(|&m| run_metric_query(&testbed, m, false, passes))
             .collect(),
     }
 }
 
 /// Figures 9 and 10: the same queries with *periodic* aggregate selections.
 pub fn periodic_aggregate_selections(scale: Scale) -> AggregateSelectionsResult {
+    periodic_aggregate_selections_with(scale, PassSet::ALL)
+}
+
+/// Figures 9 and 10 at an explicit optimizer pass level.
+pub fn periodic_aggregate_selections_with(
+    scale: Scale,
+    passes: PassSet,
+) -> AggregateSelectionsResult {
     let testbed = Testbed::new(scale);
     AggregateSelectionsResult {
         periodic: true,
+        optimizer: passes.label().to_string(),
         runs: Metric::ALL
             .iter()
-            .map(|&m| run_metric_query(&testbed, m, true))
+            .map(|&m| run_metric_query(&testbed, m, true, passes))
             .collect(),
     }
 }
@@ -136,6 +158,7 @@ impl AggregateSelectionsResult {
             "Figures 7 & 8: aggregate selections"
         };
         let _ = writeln!(out, "{title}");
+        let _ = writeln!(out, "optimizer passes: {}", self.optimizer);
         let _ = writeln!(
             out,
             "{:<14} {:>12} {:>10} {:>12} {:>10} {:>10} {:>10} {:>10} {:>10} {:>12}",
@@ -257,25 +280,37 @@ pub struct MagicSetsResult {
     pub no_ms_mb: f64,
     /// The optimized lines.
     pub lines: Vec<MagicLine>,
+    /// The optimizer pipeline the per-query plans were compiled with
+    /// (`Report::describe()` of the applied rewrites).
+    pub optimizer: String,
 }
 
 impl MagicSetsResult {
-    /// Render the table (rows = query counts, columns = lines).
+    /// Render the table (rows = query counts, columns = lines, plus the
+    /// saving of the best caching line over the unoptimized baseline).
     pub fn render(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(
             out,
             "Figure 11: aggregate communication (MB) vs number of queries"
         );
+        let _ = writeln!(out, "optimizer: {}", self.optimizer);
         let _ = write!(out, "{:<10} {:>10}", "queries", "No-MS");
         for line in &self.lines {
             let _ = write!(out, " {:>10}", line.label);
+        }
+        let delta_line = self.lines.iter().find(|l| l.label == "MSC");
+        if delta_line.is_some() {
+            let _ = write!(out, " {:>10}", "Δ(MSC)");
         }
         let _ = writeln!(out);
         for &count in &self.query_counts {
             let _ = write!(out, "{:<10} {:>10.3}", count, self.no_ms_mb);
             for line in &self.lines {
                 let _ = write!(out, " {:>10.3}", line.at(count));
+            }
+            if let Some(line) = delta_line {
+                let _ = write!(out, " {:>+10.3}", self.no_ms_mb - line.at(count));
             }
             let _ = writeln!(out);
         }
@@ -294,41 +329,57 @@ impl MagicSetsResult {
     }
 }
 
-/// Approximate wire size of one result tuple shipped back to the query
-/// source (per hop), including the message header.
-fn result_return_bytes(path_len: usize) -> f64 {
-    // shortestPath(@D, @S, P, C): two addresses, the path vector, a float,
-    // relation name, header.
-    let tuple = 4 + 4 + (2 + 4 * path_len) + 8 + "shortestPath".len() + 1;
-    (tuple + 28) as f64
+/// The result tuple a completed query ships back to its source:
+/// `shortestPath(@D, @S, P, C)` with the path vector and hop-count cost.
+/// This is the same wire artifact [`sharing::result_wire_bytes`] sizes and
+/// [`QueryCache::record_result_delta`] caches, so byte accounting and cache
+/// population consume one object.
+fn result_delta(path: &[NodeAddr]) -> TupleDelta {
+    let hops = path.len() - 1;
+    TupleDelta::insert(
+        "shortestPath",
+        Tuple::new(vec![
+            Value::Addr(*path.last().expect("non-empty path")),
+            Value::Addr(path[0]),
+            Value::list(path.iter().map(|&n| Value::Addr(n)).collect()),
+            Value::Float(hops as f64),
+        ]),
+    )
 }
 
 /// Run one magic (source-routing) path query from `src` to `dst`, with
-/// exploration blocked at `blocked` nodes (cache hits). Returns the bytes
-/// spent, the discovered path (source first) if any, and the exploration
-/// state (`pathDst` tuples per node) used to combine partial explorations
-/// with cached suffixes.
+/// exploration blocked at `blocked` nodes (cache hits). The plan and the
+/// magic seed tuples both come from the optimizer pipeline carried by
+/// `setup` — with magic disabled the pipeline yields no seeds and the query
+/// explores all-pairs. Returns the bytes spent, the discovered path (source
+/// first) if any, and the exploration state (`pathDst` tuples per node)
+/// used to combine partial explorations with cached suffixes.
 fn run_magic_query(
     testbed: &Testbed,
+    setup: &SourceRoutingSetup,
     src: NodeAddr,
     dst: NodeAddr,
     blocked: BTreeMap<String, std::collections::BTreeSet<NodeAddr>>,
 ) -> (f64, Option<Vec<NodeAddr>>, Vec<(NodeAddr, Tuple)>) {
-    let plan = Testbed::source_routing_plan();
     let mut config = EngineConfig::default();
     config.node.aggregate_selections = true;
     config.blocked_propagation = blocked;
     config.max_seconds = 60.0;
-    let mut engine = testbed.engine(&[plan], config);
+    let mut engine = testbed.engine(std::slice::from_ref(&setup.plan), config);
     testbed
         .load_links(&mut engine, "link", Metric::HopCount)
         .expect("link loading");
-    engine
-        .insert_base(src, "magicSrc", Tuple::new(vec![Value::Addr(src)]))
-        .expect("magic source");
-    engine
-        .insert_base(dst, "magicDst", Tuple::new(vec![Value::Addr(dst)]))
-        .expect("magic destination");
+    for (relation, values) in setup
+        .pipeline
+        .seeds_for("pathDst", Value::Addr(src))
+        .into_iter()
+        .chain(setup.pipeline.seeds_for("shortestPath", Value::Addr(dst)))
+    {
+        let at = values[0].as_addr().expect("magic seeds are addresses");
+        engine
+            .insert_base(at, &relation, Tuple::new(values))
+            .expect("magic seed");
+    }
     engine.run_to_quiescence().expect("run");
 
     let bytes = engine.stats().total_bytes() as f64;
@@ -401,13 +452,27 @@ fn reconstruct_from_cache(
     best.map(|(_, p)| p)
 }
 
-/// Figure 11: magic sets + predicate reordering + result caching.
+/// Figure 11: magic sets + predicate reordering + result caching, with the
+/// full optimizer pipeline.
 ///
 /// `max_queries` queries with random sources; destinations drawn from the
 /// full node set (MS / MSC), or from 30% / 10% of nodes (MSC-30% / MSC-10%).
 pub fn magic_sets(scale: Scale, max_queries: usize, sample_counts: &[usize]) -> MagicSetsResult {
+    magic_sets_with(scale, max_queries, sample_counts, PassSet::ALL)
+}
+
+/// Figure 11 with an explicit optimizer pass set. The per-query plan is
+/// compiled once through [`Testbed::source_routing_setup`]; the same
+/// pipeline then derives the magic seed tuples for each concrete query.
+pub fn magic_sets_with(
+    scale: Scale,
+    max_queries: usize,
+    sample_counts: &[usize],
+    passes: PassSet,
+) -> MagicSetsResult {
     let testbed = Testbed::new(scale);
     let n = testbed.node_count();
+    let setup = Testbed::source_routing_setup(passes);
 
     // Baseline: the unoptimized query computes all-pairs least-hop-count.
     let no_ms_mb = {
@@ -454,13 +519,15 @@ pub fn magic_sets(scale: Scale, max_queries: usize, sample_counts: &[usize]) -> 
             } else {
                 BTreeMap::new()
             };
-            let (bytes, direct_path, exploration) = run_magic_query(&testbed, src, dst, blocked);
+            let (bytes, direct_path, exploration) =
+                run_magic_query(&testbed, &setup, src, dst, blocked);
             total_bytes += bytes;
 
             // Determine the answer path: either the exploration reached the
             // destination directly, or (with caching) a cache node on the
             // way answers with its cached suffix. Account the reverse-path
-            // result return, which is also what populates the caches.
+            // result return, which is also what populates the caches — both
+            // from the same wire-format delta the engine would ship.
             let path = if let Some(p) = direct_path {
                 Some(p)
             } else if caching {
@@ -470,9 +537,12 @@ pub fn magic_sets(scale: Scale, max_queries: usize, sample_counts: &[usize]) -> 
             };
             if let Some(path) = &path {
                 if path.len() >= 2 {
-                    total_bytes += (path.len() - 1) as f64 * result_return_bytes(path.len());
+                    let delta = result_delta(path);
+                    let header = ndlog_net::sim::SimConfig::default().header_bytes;
+                    total_bytes +=
+                        (path.len() - 1) as f64 * sharing::result_wire_bytes(&delta, header) as f64;
                     if caching {
-                        cache.record_result(path, &vec![1.0; path.len() - 1]);
+                        cache.record_result_delta(&delta, 2, 3);
                     }
                 }
             }
@@ -488,6 +558,7 @@ pub fn magic_sets(scale: Scale, max_queries: usize, sample_counts: &[usize]) -> 
         query_counts: sample_counts.to_vec(),
         no_ms_mb,
         lines,
+        optimizer: setup.description,
     }
 }
 
@@ -508,6 +579,8 @@ pub struct SharingResult {
     pub no_share_mb: f64,
     /// Total MB with sharing.
     pub share_mb: f64,
+    /// Optimizer pass level the plans were compiled at (`--optimize`).
+    pub optimizer: String,
 }
 
 impl SharingResult {
@@ -527,6 +600,7 @@ impl SharingResult {
             out,
             "Figure 12: opportunistic message sharing (300 ms delay)"
         );
+        let _ = writeln!(out, "optimizer passes: {}", self.optimizer);
         let _ = writeln!(
             out,
             "No-Share: {:.2} MB, peak {:.2} kBps | Share: {:.2} MB, peak {:.2} kBps | reduction {:.0}%",
@@ -552,8 +626,14 @@ impl SharingResult {
 }
 
 /// Figure 12: run the Latency, Reliability and Random queries individually
-/// (No-Share) and concurrently with a 300 ms sharing delay (Share).
+/// (No-Share) and concurrently with a 300 ms sharing delay (Share), fully
+/// optimized.
 pub fn message_sharing(scale: Scale) -> SharingResult {
+    message_sharing_with(scale, PassSet::ALL)
+}
+
+/// Figure 12 at an explicit optimizer pass level.
+pub fn message_sharing_with(scale: Scale, passes: PassSet) -> SharingResult {
     let testbed = Testbed::new(scale);
     let metrics = [Metric::Latency, Metric::Reliability, Metric::Random];
 
@@ -561,7 +641,7 @@ pub fn message_sharing(scale: Scale) -> SharingResult {
     let mut individual = Vec::new();
     let mut merged = NetStats::new();
     for &metric in &metrics {
-        let plan = Testbed::shortest_path_plan(metric);
+        let plan = Testbed::shortest_path_plan_with(metric, passes);
         let mut config = EngineConfig::default();
         config.node.aggregate_selections = true;
         let mut engine = testbed.engine(&[plan], config);
@@ -580,7 +660,7 @@ pub fn message_sharing(scale: Scale) -> SharingResult {
     // Concurrent run with sharing.
     let plans: Vec<_> = metrics
         .iter()
-        .map(|&m| Testbed::shortest_path_plan(m))
+        .map(|&m| Testbed::shortest_path_plan_with(m, passes))
         .collect();
     let mut config = EngineConfig::default();
     config.node.aggregate_selections = true;
@@ -602,6 +682,7 @@ pub fn message_sharing(scale: Scale) -> SharingResult {
         share_mb: engine.stats().total_mb(),
         no_share,
         share,
+        optimizer: passes.label().to_string(),
     }
 }
 
@@ -632,6 +713,8 @@ pub struct IncrementalResult {
     pub initial_computation: ndlog_runtime::EvalStats,
     /// Additional computation overhead across all update bursts.
     pub burst_computation: ndlog_runtime::EvalStats,
+    /// Optimizer pass level the plan was compiled at (`--optimize`).
+    pub optimizer: String,
 }
 
 impl IncrementalResult {
@@ -659,6 +742,7 @@ impl IncrementalResult {
     pub fn render(&self, title: &str) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "{title}");
+        let _ = writeln!(out, "optimizer passes: {}", self.optimizer);
         let _ = writeln!(
             out,
             "initial: {:.2} MB, peak {:.2} kBps, converged in {:.2} s",
@@ -708,10 +792,21 @@ pub fn incremental_updates_with_intervals(
     intervals: &[f64],
     total_seconds: f64,
 ) -> IncrementalResult {
+    incremental_updates_with_intervals_and_passes(scale, intervals, total_seconds, PassSet::ALL)
+}
+
+/// [`incremental_updates_with_intervals`] at an explicit optimizer pass
+/// level.
+pub fn incremental_updates_with_intervals_and_passes(
+    scale: Scale,
+    intervals: &[f64],
+    total_seconds: f64,
+    passes: PassSet,
+) -> IncrementalResult {
     assert!(!intervals.is_empty());
     let testbed = Testbed::new(scale);
     let metric = Metric::Random;
-    let plan = Testbed::shortest_path_plan(metric);
+    let plan = Testbed::shortest_path_plan_with(metric, passes);
     let mut config = EngineConfig::default();
     config.node.aggregate_selections = true;
     config.max_seconds = total_seconds + 60.0;
@@ -785,6 +880,7 @@ pub fn incremental_updates_with_intervals(
         initial_convergence_seconds: initial_convergence,
         initial_computation,
         burst_computation: engine.computation_stats() - initial_computation,
+        optimizer: passes.label().to_string(),
     }
 }
 
@@ -1512,20 +1608,153 @@ pub fn batch_vectorization(
 
 /// Figure 13: bursts every 10 s for 250 s.
 pub fn incremental_updates(scale: Scale) -> IncrementalResult {
+    incremental_updates_with(scale, PassSet::ALL)
+}
+
+/// Figure 13 at an explicit optimizer pass level.
+pub fn incremental_updates_with(scale: Scale, passes: PassSet) -> IncrementalResult {
     let total = match scale {
         Scale::Paper | Scale::Large => 250.0,
         Scale::Small => 60.0,
     };
-    incremental_updates_with_intervals(scale, &[10.0], total)
+    incremental_updates_with_intervals_and_passes(scale, &[10.0], total, passes)
 }
 
 /// Figure 14: interleaved 2 s and 8 s bursts for 250 s.
 pub fn incremental_updates_interleaved(scale: Scale) -> IncrementalResult {
+    incremental_updates_interleaved_with(scale, PassSet::ALL)
+}
+
+/// Figure 14 at an explicit optimizer pass level.
+pub fn incremental_updates_interleaved_with(scale: Scale, passes: PassSet) -> IncrementalResult {
     let total = match scale {
         Scale::Paper | Scale::Large => 250.0,
         Scale::Small => 60.0,
     };
-    incremental_updates_with_intervals(scale, &[2.0, 8.0], total)
+    incremental_updates_with_intervals_and_passes(scale, &[2.0, 8.0], total, passes)
+}
+
+// ---------------------------------------------------------------------------
+// Optimizer bench: the committed-baseline gate over the Figure 11 pipeline.
+// ---------------------------------------------------------------------------
+
+/// The optimizer benchmark: the Figure 11 magic-sets run distilled into the
+/// few numbers CI gates on — cumulative MB of the fully-optimized MS / MSC
+/// lines at each sampled query count against the unoptimized all-pairs
+/// baseline, plus the crossover point at which per-query magic exploration
+/// stops paying off.
+#[derive(Debug, Clone)]
+pub struct OptimizerBenchResult {
+    /// Scale the bench ran at.
+    pub scale: Scale,
+    /// `Report::describe()` of the rewrites the per-query plans carry.
+    pub optimizer: String,
+    /// Sampled query counts (x-axis).
+    pub query_counts: Vec<usize>,
+    /// Unoptimized all-pairs communication (MB), flat in the query count.
+    pub baseline_no_ms_mb: f64,
+    /// Magic-sets line (MB) at each sampled count.
+    pub ms_mb: Vec<f64>,
+    /// Magic-sets-plus-caching line (MB) at each sampled count.
+    pub msc_mb: Vec<f64>,
+    /// Query count at which MS first exceeds the baseline, if it does.
+    pub ms_crossover: Option<usize>,
+}
+
+impl OptimizerBenchResult {
+    /// Cumulative MB of the fully-optimized pipeline after the first query
+    /// — the headline number the CI gate compares against the committed
+    /// baseline and the unoptimized run.
+    pub fn first_query_mb(&self) -> f64 {
+        self.ms_mb.first().copied().unwrap_or(0.0)
+    }
+
+    /// Render the gate summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "Optimizer bench ({} scale)", self.scale.label());
+        let _ = writeln!(out, "optimizer: {}", self.optimizer);
+        let _ = writeln!(
+            out,
+            "baseline (no optimizer, all-pairs): {:.3} MB",
+            self.baseline_no_ms_mb
+        );
+        let _ = writeln!(out, "{:<10} {:>10} {:>10}", "queries", "MS", "MSC");
+        for (i, &count) in self.query_counts.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "{:<10} {:>10.3} {:>10.3}",
+                count, self.ms_mb[i], self.msc_mb[i]
+            );
+        }
+        match self.ms_crossover {
+            Some(at) => {
+                let _ = writeln!(out, "MS crossover vs baseline: {at} queries");
+            }
+            None => {
+                let _ = writeln!(out, "MS crossover vs baseline: not reached");
+            }
+        }
+        out
+    }
+
+    /// Serialize as the `BENCH_optimizer.json` format. The gate fields
+    /// (`first_query_mb`, `baseline_no_ms_mb`) are scalars so the flat JSON
+    /// scanner in the `experiments` binary can read them back.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"bench\": \"optimizer\",");
+        let _ = writeln!(out, "  \"scale\": \"{}\",", self.scale.label());
+        let _ = writeln!(out, "  \"optimizer\": \"{}\",", self.optimizer);
+        let _ = writeln!(
+            out,
+            "  \"baseline_no_ms_mb\": {:.6},",
+            self.baseline_no_ms_mb
+        );
+        let _ = writeln!(out, "  \"first_query_mb\": {:.6},", self.first_query_mb());
+        for (i, &count) in self.query_counts.iter().enumerate() {
+            let _ = writeln!(out, "  \"ms_mb_at_{}\": {:.6},", count, self.ms_mb[i]);
+            let _ = writeln!(out, "  \"msc_mb_at_{}\": {:.6},", count, self.msc_mb[i]);
+        }
+        match self.ms_crossover {
+            Some(at) => {
+                let _ = writeln!(out, "  \"ms_crossover\": {at}");
+            }
+            None => {
+                let _ = writeln!(out, "  \"ms_crossover\": null");
+            }
+        }
+        let _ = writeln!(out, "}}");
+        out
+    }
+}
+
+/// Run the optimizer bench: one fully-optimized Figure 11 run, reduced to
+/// the sampled MS / MSC lines and the crossover.
+pub fn optimizer_bench(
+    scale: Scale,
+    max_queries: usize,
+    sample_counts: &[usize],
+) -> OptimizerBenchResult {
+    let fig11 = magic_sets_with(scale, max_queries, sample_counts, PassSet::ALL);
+    let line = |label: &str| -> Vec<f64> {
+        let line = fig11
+            .lines
+            .iter()
+            .find(|l| l.label == label)
+            .expect("workload line present");
+        fig11.query_counts.iter().map(|&c| line.at(c)).collect()
+    };
+    OptimizerBenchResult {
+        scale,
+        optimizer: fig11.optimizer.clone(),
+        query_counts: fig11.query_counts.clone(),
+        baseline_no_ms_mb: fig11.no_ms_mb,
+        ms_mb: line("MS"),
+        msc_mb: line("MSC"),
+        ms_crossover: fig11.crossover("MS"),
+    }
 }
 
 #[cfg(test)]

@@ -20,4 +20,4 @@
 pub mod experiments;
 pub mod testbed;
 
-pub use testbed::{Scale, Testbed};
+pub use testbed::{Scale, SourceRoutingSetup, Testbed};

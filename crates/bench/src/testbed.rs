@@ -8,6 +8,8 @@
 //! random metrics.
 
 use ndlog_core::{plan, DistributedEngine, EngineConfig, QueryPlan};
+use ndlog_lang::optimizer::{optimize, PassSet, Pipeline};
+use ndlog_lang::reorder::BodyOrder;
 use ndlog_lang::{programs, Value};
 use ndlog_net::gtitm::{generate, TransitStubConfig};
 use ndlog_net::overlay::{Overlay, OverlayConfig, OverlayLink};
@@ -63,6 +65,20 @@ impl Scale {
     }
 }
 
+/// A Figure 11 source-routing query compiled through the optimizer
+/// pipeline: the plan, the pipeline that produced it (which also derives
+/// the magic seed tuples for a concrete query), and the human-readable
+/// rewrite description.
+#[derive(Debug, Clone)]
+pub struct SourceRoutingSetup {
+    /// The compiled plan.
+    pub plan: QueryPlan,
+    /// The pipeline (pass set, magic specs, body order).
+    pub pipeline: Pipeline,
+    /// `Report::describe()` of the applied rewrites.
+    pub description: String,
+}
+
 /// A constructed testbed: the underlay, the overlay and its link set.
 #[derive(Debug, Clone)]
 pub struct Testbed {
@@ -102,16 +118,46 @@ impl Testbed {
         }
     }
 
-    /// The shortest-path plan for a metric (relations suffixed per metric).
+    /// The shortest-path plan for a metric (relations suffixed per metric),
+    /// with the full optimizer pipeline.
     pub fn shortest_path_plan(metric: Metric) -> QueryPlan {
-        plan(&programs::shortest_path(Self::metric_suffix(metric)))
-            .expect("canonical program plans")
+        Self::shortest_path_plan_with(metric, PassSet::ALL)
+    }
+
+    /// The shortest-path plan for a metric, built through the optimizer
+    /// pipeline at the given pass level. The canonical program has no magic
+    /// opportunities; its pipeline normalizes bodies link-first (idempotent
+    /// on the canonical rule order), so `off` and `all` agree here — the
+    /// point is that every experiment's plan flows through the same
+    /// `optimize()` entry as the magic figures.
+    pub fn shortest_path_plan_with(metric: Metric, passes: PassSet) -> QueryPlan {
+        let program = programs::shortest_path(Self::metric_suffix(metric));
+        let pipeline = Pipeline::new(Vec::new(), Some(BodyOrder::LinkFirst)).with_passes(passes);
+        let optimized = optimize(&program, &pipeline).expect("canonical program optimizes");
+        plan(&optimized.program).expect("canonical program plans")
     }
 
     /// The source-routing (magic, top-down) plan used by the Figure 11
-    /// experiment (unsuffixed relations).
+    /// experiment (unsuffixed relations), fully optimized.
     pub fn source_routing_plan() -> QueryPlan {
-        plan(&programs::shortest_path_source_routing("")).expect("canonical program plans")
+        Self::source_routing_setup(PassSet::ALL).plan
+    }
+
+    /// The Figure 11 source-routing query compiled through the optimizer
+    /// pipeline at the given pass level: the unoptimized base program plus
+    /// the canonical magic/reorder pipeline, restricted to `passes`. The
+    /// returned pipeline also supplies the magic seed tuples
+    /// ([`Pipeline::seeds_for`]) — with magic disabled it yields no seeds
+    /// and the base program explores all-pairs, the unoptimized behavior.
+    pub fn source_routing_setup(passes: PassSet) -> SourceRoutingSetup {
+        let pipeline = programs::source_routing_pipeline("").with_passes(passes);
+        let optimized = optimize(&programs::shortest_path_source_routing_base(""), &pipeline)
+            .expect("source-routing program optimizes");
+        SourceRoutingSetup {
+            plan: plan(&optimized.program).expect("canonical program plans"),
+            description: optimized.report.describe(),
+            pipeline,
+        }
     }
 
     /// Build a distributed engine over this testbed's overlay graph.
@@ -193,6 +239,47 @@ mod tests {
             "shortestPath_hops"
         );
         assert_eq!(Testbed::link_relation(Metric::Random), "link_random");
+    }
+
+    #[test]
+    fn source_routing_setups_reflect_pass_levels() {
+        let all = Testbed::source_routing_setup(PassSet::ALL);
+        assert!(all.description.contains("magic"));
+        assert!(all.description.contains("reorder"));
+        // Full pipeline: one seed per guarded relation, at the constant's
+        // own node.
+        assert_eq!(
+            all.pipeline
+                .seeds_for("pathDst", Value::Addr(NodeAddr(3)))
+                .len(),
+            1
+        );
+        assert_eq!(
+            all.pipeline
+                .seeds_for("shortestPath", Value::Addr(NodeAddr(5)))
+                .len(),
+            1
+        );
+
+        let off = Testbed::source_routing_setup(PassSet::OFF);
+        assert_eq!(off.description, "identity");
+        assert!(off
+            .pipeline
+            .seeds_for("pathDst", Value::Addr(NodeAddr(3)))
+            .is_empty());
+        // The unoptimized plan carries no magic tables.
+        assert!(off
+            .plan
+            .program
+            .tables
+            .iter()
+            .all(|t| !t.name.starts_with("magic")));
+        assert!(all
+            .plan
+            .program
+            .tables
+            .iter()
+            .any(|t| t.name.starts_with("magic")));
     }
 
     #[test]

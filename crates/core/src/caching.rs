@@ -17,7 +17,9 @@
 //! path *through `a`*, not necessarily the best path overall, which is why
 //! Figure 11 shows caching overhead for small query counts.
 
+use crate::exec::executor::OutboundBatch;
 use ndlog_net::NodeAddr;
+use ndlog_runtime::{Sign, TupleDelta};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -90,6 +92,60 @@ impl QueryCache {
                 }
             }
         }
+    }
+
+    /// Record a result directly from a wire-format tuple delta — the same
+    /// artifact the engine ships and [`crate::sharing::result_wire_bytes`]
+    /// sizes, so caching and byte accounting consume one object instead of
+    /// separately reconstructed paths. `path_col` must hold a list of
+    /// addresses (source first, destination last) and `cost_col` the total
+    /// path cost; per-hop costs are the even split of the total, which is
+    /// exact for hop-count metrics (each hop costs 1) and an approximation
+    /// otherwise. Returns whether anything was recorded (deletions and
+    /// malformed tuples are ignored).
+    pub fn record_result_delta(
+        &mut self,
+        delta: &TupleDelta,
+        path_col: usize,
+        cost_col: usize,
+    ) -> bool {
+        if delta.sign != Sign::Insert {
+            return false;
+        }
+        let Some(path) = delta.tuple.get(path_col).and_then(|v| {
+            v.as_list()
+                .map(|l| l.iter().filter_map(|x| x.as_addr()).collect::<Vec<_>>())
+        }) else {
+            return false;
+        };
+        if path.len() < 2 {
+            return false;
+        }
+        let Some(cost) = delta.tuple.get(cost_col).and_then(|v| v.as_f64()) else {
+            return false;
+        };
+        let hops = path.len() - 1;
+        self.record_result(&path, &vec![cost / hops as f64; hops]);
+        true
+    }
+
+    /// Scan real outbound batches for result tuples of `relation` and
+    /// record each one via [`QueryCache::record_result_delta`]. Returns the
+    /// number of results recorded.
+    pub fn record_from_batches(
+        &mut self,
+        batches: &[OutboundBatch],
+        relation: &str,
+        path_col: usize,
+        cost_col: usize,
+    ) -> usize {
+        let mut recorded = 0;
+        for delta in batches.iter().flat_map(|b| &b.deltas) {
+            if delta.relation == relation && self.record_result_delta(delta, path_col, cost_col) {
+                recorded += 1;
+            }
+        }
+        recorded
     }
 
     /// Look up the cached entry for `(node, dst)` and record a hit/miss.
@@ -180,6 +236,55 @@ mod tests {
         cache.record_result(&[n(0)], &[]);
         cache.record_result(&[n(0), n(1)], &[1.0, 2.0]);
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn wire_deltas_record_like_reconstructed_paths() {
+        use crate::exec::executor::OutboundBatch;
+        use ndlog_lang::Value;
+        use ndlog_runtime::Tuple;
+
+        // shortestPath(@D, @S, P, C) with P = [0, 1, 2, 3] and C = 3 hops.
+        let delta = TupleDelta::insert(
+            "shortestPath",
+            Tuple::new(vec![
+                Value::Addr(n(3)),
+                Value::Addr(n(0)),
+                Value::list(vec![
+                    Value::Addr(n(0)),
+                    Value::Addr(n(1)),
+                    Value::Addr(n(2)),
+                    Value::Addr(n(3)),
+                ]),
+                Value::Float(3.0),
+            ]),
+        );
+        let mut from_delta = QueryCache::new();
+        assert!(from_delta.record_result_delta(&delta, 2, 3));
+        let mut from_path = QueryCache::new();
+        from_path.record_result(&[n(0), n(1), n(2), n(3)], &[1.0, 1.0, 1.0]);
+        assert_eq!(from_delta.len(), from_path.len());
+        assert_eq!(from_delta.lookup(n(1), n(3)), from_path.lookup(n(1), n(3)));
+
+        // Deletions and tuples without a path vector are ignored.
+        let mut del = delta.clone();
+        del.sign = ndlog_runtime::Sign::Delete;
+        assert!(!from_delta.record_result_delta(&del, 2, 3));
+        let bare = TupleDelta::insert("t", Tuple::new(vec![Value::Int(1)]));
+        assert!(!from_delta.record_result_delta(&bare, 0, 0));
+
+        // The batch scanner filters by relation name.
+        let batch = OutboundBatch {
+            dest: n(0),
+            deltas: vec![delta.clone(), bare],
+            payload_bytes: 0,
+        };
+        let mut from_batch = QueryCache::new();
+        assert_eq!(
+            from_batch.record_from_batches(std::slice::from_ref(&batch), "shortestPath", 2, 3),
+            1
+        );
+        assert_eq!(from_batch.len(), from_path.len());
     }
 
     #[test]

@@ -1,4 +1,17 @@
-//! Cost-based rewrites driven by the neighborhood function (Section 5.3).
+//! Cost-based planning: live store statistics and the neighborhood
+//! function (Section 5.3).
+//!
+//! Two estimators live here, answering the two planning questions the
+//! optimizer pipeline leaves open after rewriting:
+//!
+//! 1. **Join ordering** — [`StatsCatalog`] harvests per-relation
+//!    cardinalities and per-index distinct-key counts from a live
+//!    [`Store`] (the same counters [`JoinStats`](ndlog_runtime::JoinStats)
+//!    `distinct_probes` accounting observes) and ranks candidate body
+//!    orders by estimated tuples examined, replacing the seed's static
+//!    link-first/link-last heuristics with measured selectivities.
+//! 2. **Search direction** — the neighborhood-function estimator below
+//!    picks top-down vs bottom-up vs hybrid for constrained path queries.
 //!
 //! For a constrained path query `shortestPath(@s, @d, P, C)` neither the
 //! top-down (TD, explore forward from the source) nor the bottom-up (BU,
@@ -20,9 +33,228 @@
 //! is the same information). It is exercised by the `zone_routing` ablation
 //! tests and usable by callers that want to pick a strategy per query.
 
+use std::collections::{BTreeMap, BTreeSet};
+
 use ndlog_net::topology::Topology;
 use ndlog_net::NodeAddr;
+use ndlog_runtime::Store;
 use serde::{Deserialize, Serialize};
+
+/// Per-relation statistics harvested from a live [`Store`]: tuple counts
+/// plus, for every maintained secondary index, the number of distinct
+/// probe keys and indexed entries. `entries / distinct` is the average
+/// bucket size — exactly what a probe on that signature examines, so the
+/// catalog's estimates line up with the engine's measured
+/// `tuples_examined` counter rather than a synthetic formula.
+#[derive(Debug, Clone, Default)]
+pub struct StatsCatalog {
+    relations: BTreeMap<String, RelationStats>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct RelationStats {
+    tuples: usize,
+    /// `(sorted bound columns, distinct keys, entries)` per index.
+    indexes: Vec<(Vec<usize>, usize, usize)>,
+}
+
+/// One body atom for join-order ranking: a relation name plus, per
+/// column, the variable occupying it (columns holding constants can use a
+/// fresh variable id; they only matter for binding propagation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinAtom {
+    /// Relation the atom probes or scans.
+    pub relation: String,
+    /// Variable id per column, positionally.
+    pub vars: Vec<usize>,
+}
+
+impl JoinAtom {
+    /// Convenience constructor.
+    pub fn new(relation: impl Into<String>, vars: &[usize]) -> Self {
+        JoinAtom {
+            relation: relation.into(),
+            vars: vars.to_vec(),
+        }
+    }
+}
+
+/// A candidate body order with its estimated cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedOrder {
+    /// Indexes into the input atom slice, in evaluation order.
+    pub order: Vec<usize>,
+    /// Estimated tuples examined evaluating the body in that order.
+    pub cost: f64,
+}
+
+impl StatsCatalog {
+    /// Harvest statistics from every relation of a live store.
+    pub fn harvest(store: &Store) -> Self {
+        let mut relations = BTreeMap::new();
+        for name in store.relation_names() {
+            let relation = store
+                .relation(name)
+                .expect("relation_names returned a live relation");
+            let indexes = relation
+                .index_stats()
+                .map(|(sig, distinct, entries)| (sig.columns().to_vec(), distinct, entries))
+                .collect();
+            relations.insert(
+                name.to_string(),
+                RelationStats {
+                    tuples: relation.len(),
+                    indexes,
+                },
+            );
+        }
+        StatsCatalog { relations }
+    }
+
+    /// Stored tuple count for a relation (0 when unknown).
+    pub fn tuples(&self, relation: &str) -> usize {
+        self.relations.get(relation).map_or(0, |r| r.tuples)
+    }
+
+    /// The most selective index whose signature is covered by
+    /// `bound_cols`, as `(distinct, entries)`.
+    fn best_index(&self, relation: &str, bound_cols: &[usize]) -> Option<(usize, usize)> {
+        let stats = self.relations.get(relation)?;
+        stats
+            .indexes
+            .iter()
+            .filter(|(sig, _, _)| sig.iter().all(|c| bound_cols.contains(c)))
+            .map(|&(_, distinct, entries)| (distinct, entries))
+            .max_by_key(|&(distinct, _)| distinct)
+    }
+
+    /// Estimated tuples a single probe binding `bound_cols` examines: the
+    /// average bucket size of the most selective covering index, or a full
+    /// scan of the relation when no index covers the binding.
+    pub fn estimate_examined(&self, relation: &str, bound_cols: &[usize]) -> f64 {
+        match self.best_index(relation, bound_cols) {
+            Some((distinct, entries)) if distinct > 0 => entries as f64 / distinct as f64,
+            _ => self.tuples(relation) as f64,
+        }
+    }
+
+    /// Estimated result cardinality of a single probe binding
+    /// `bound_cols`. Starts from [`StatsCatalog::estimate_examined`] and
+    /// applies independent per-column selectivities for bound columns the
+    /// chosen index did not cover (when a single-column index on such a
+    /// column exists, its distinct-key count gives the selectivity).
+    pub fn estimate_matches(&self, relation: &str, bound_cols: &[usize]) -> f64 {
+        let covered: Vec<usize> = match self.best_index(relation, bound_cols) {
+            Some(_) => self
+                .relations
+                .get(relation)
+                .map(|stats| {
+                    stats
+                        .indexes
+                        .iter()
+                        .filter(|(sig, _, _)| sig.iter().all(|c| bound_cols.contains(c)))
+                        .max_by_key(|&&(_, distinct, _)| distinct)
+                        .map(|(sig, _, _)| sig.clone())
+                        .unwrap_or_default()
+                })
+                .unwrap_or_default(),
+            None => Vec::new(),
+        };
+        let mut estimate = self.estimate_examined(relation, bound_cols);
+        for &col in bound_cols {
+            if covered.contains(&col) {
+                continue;
+            }
+            if let Some(stats) = self.relations.get(relation) {
+                if let Some(&(_, distinct, _)) = stats
+                    .indexes
+                    .iter()
+                    .find(|(sig, _, _)| sig.as_slice() == [col])
+                {
+                    if distinct > 0 {
+                        estimate /= distinct as f64;
+                    }
+                }
+            }
+        }
+        estimate.max(0.0)
+    }
+
+    /// Estimated tuples examined evaluating `atoms` left to right starting
+    /// from `bound` variables (nested-loop join, the engine's shape). Per
+    /// atom: every live binding environment pays one probe (examined
+    /// tuples), then the environment count multiplies by the estimated
+    /// match cardinality and the atom's variables become bound.
+    pub fn order_cost(&self, atoms: &[&JoinAtom], bound: &[usize]) -> f64 {
+        let mut bound: BTreeSet<usize> = bound.iter().copied().collect();
+        let mut envs = 1.0f64;
+        let mut cost = 0.0f64;
+        for atom in atoms {
+            let bound_cols: Vec<usize> = atom
+                .vars
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| bound.contains(v))
+                .map(|(col, _)| col)
+                .collect();
+            cost += envs * self.estimate_examined(&atom.relation, &bound_cols);
+            envs *= self.estimate_matches(&atom.relation, &bound_cols);
+            bound.extend(atom.vars.iter().copied());
+        }
+        cost
+    }
+
+    /// Rank every permutation of `atoms` by [`StatsCatalog::order_cost`],
+    /// cheapest first. Ties keep the lexicographically earlier
+    /// permutation, so ranking is deterministic. Body sizes in NDlog
+    /// programs are small (≤ 4 atoms after localization), so exhaustive
+    /// enumeration is fine.
+    pub fn rank_orders(&self, atoms: &[JoinAtom], bound: &[usize]) -> Vec<RankedOrder> {
+        let mut ranked: Vec<RankedOrder> = permutations(atoms.len())
+            .into_iter()
+            .map(|order| {
+                let view: Vec<&JoinAtom> = order.iter().map(|&i| &atoms[i]).collect();
+                RankedOrder {
+                    cost: self.order_cost(&view, bound),
+                    order,
+                }
+            })
+            .collect();
+        ranked.sort_by(|a, b| {
+            a.cost
+                .partial_cmp(&b.cost)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.order.cmp(&b.order))
+        });
+        ranked
+    }
+
+    /// The cheapest order from [`StatsCatalog::rank_orders`].
+    pub fn best_order(&self, atoms: &[JoinAtom], bound: &[usize]) -> Option<RankedOrder> {
+        self.rank_orders(atoms, bound).into_iter().next()
+    }
+}
+
+/// All permutations of `0..n` in lexicographic order.
+fn permutations(n: usize) -> Vec<Vec<usize>> {
+    fn recurse(remaining: &mut Vec<usize>, prefix: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if remaining.is_empty() {
+            out.push(prefix.clone());
+            return;
+        }
+        for i in 0..remaining.len() {
+            let item = remaining.remove(i);
+            prefix.push(item);
+            recurse(remaining, prefix, out);
+            prefix.pop();
+            remaining.insert(i, item);
+        }
+    }
+    let mut remaining: Vec<usize> = (0..n).collect();
+    let mut out = Vec::new();
+    recurse(&mut remaining, &mut Vec::new(), &mut out);
+    out
+}
 
 /// A search strategy for a constrained (source, destination) path query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -113,7 +345,119 @@ pub fn choose_strategy(graph: &Topology, src: NodeAddr, dst: NodeAddr) -> Option
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ndlog_lang::Value;
     use ndlog_net::topology::LinkMetrics;
+    use ndlog_runtime::{JoinStats, RelationSchema, Tuple};
+
+    /// A store with two 100-tuple relations indexed on column 0:
+    /// `flat(k, 0)` with 100 distinct keys (1 match per probe) and
+    /// `skew(0, k)` where every tuple shares one key (100 matches per
+    /// probe). `flat` has no index on column 1.
+    fn skewed_store() -> Store {
+        let mut store = Store::new();
+        for name in ["flat", "skew"] {
+            let mut schema = RelationSchema::new(name);
+            schema.key_columns = vec![0, 1];
+            let relation = store.ensure(schema);
+            relation.ensure_index(&[0]);
+        }
+        for i in 0..100i64 {
+            let flat = store.relation_mut("flat").unwrap();
+            flat.insert(Tuple::new(vec![Value::Int(i), Value::Int(0)]), 1, 0);
+            let skew = store.relation_mut("skew").unwrap();
+            skew.insert(Tuple::new(vec![Value::Int(0), Value::Int(i)]), 1, 0);
+        }
+        store
+    }
+
+    #[test]
+    fn catalog_reads_live_index_counters() {
+        let catalog = StatsCatalog::harvest(&skewed_store());
+        assert_eq!(catalog.tuples("flat"), 100);
+        assert_eq!(catalog.tuples("skew"), 100);
+        // Probes on the indexed column see the real average bucket size.
+        assert_eq!(catalog.estimate_examined("flat", &[0]), 1.0);
+        assert_eq!(catalog.estimate_examined("skew", &[0]), 100.0);
+        // No covering index -> a probe degenerates to a full scan.
+        assert_eq!(catalog.estimate_examined("flat", &[1]), 100.0);
+        // Unknown relations cost nothing rather than panicking.
+        assert_eq!(catalog.estimate_examined("nope", &[0]), 0.0);
+    }
+
+    #[test]
+    fn preferred_order_matches_measured_examined() {
+        let store = skewed_store();
+        let catalog = StatsCatalog::harvest(&store);
+        // Body: flat(X, Y), skew(Y, Z) with X bound. Probing flat first
+        // binds Y cheaply; starting from skew scans it unbound and then
+        // scans flat per environment (no index on flat's column 1).
+        let atoms = [
+            JoinAtom::new("flat", &[0, 1]),
+            JoinAtom::new("skew", &[1, 2]),
+        ];
+        let ranked = catalog.rank_orders(&atoms, &[0]);
+        assert_eq!(ranked[0].order, vec![0, 1]);
+        assert!(ranked[0].cost < ranked[1].cost);
+
+        // Measure both orders against the live store and check the model
+        // ranked them the same way. Order A: probe flat on X, then probe
+        // skew on the bound Y.
+        let flat = store.relation("flat").unwrap();
+        let skew = store.relation("skew").unwrap();
+        let x = Value::Int(7);
+        let mut stats_a = JoinStats::default();
+        let matches: Vec<_> = flat
+            .lookup(&[0], std::slice::from_ref(&x), u64::MAX, &mut stats_a)
+            .collect();
+        for m in &matches {
+            let y = m.tuple.get(1).unwrap().clone();
+            let _ = skew
+                .lookup(&[0], std::slice::from_ref(&y), u64::MAX, &mut stats_a)
+                .count();
+        }
+        let measured_a = stats_a.tuples_examined;
+
+        // Order B: scan skew unbound, then match flat on its unindexed
+        // column 1 per environment — a full scan of flat each time.
+        let mut measured_b = skew.len(); // unbound scan examines everything
+        for s in skew.iter() {
+            let y = s.tuple.get(1).unwrap().clone();
+            let _ = flat.scan_match(&[(1, y)], u64::MAX).count();
+            measured_b += flat.len();
+        }
+        assert!(
+            measured_a < measured_b,
+            "measured examined: flat-first {measured_a} vs skew-first {measured_b}"
+        );
+        // The model's preference agrees with the measurement.
+        let cost_flat_first = catalog.order_cost(&[&atoms[0], &atoms[1]], &[0]);
+        let cost_skew_first = catalog.order_cost(&[&atoms[1], &atoms[0]], &[0]);
+        assert!(cost_flat_first < cost_skew_first);
+    }
+
+    #[test]
+    fn residual_selectivity_shrinks_match_estimates() {
+        let catalog = StatsCatalog::harvest(&skewed_store());
+        // Binding both columns of skew: the index covers column 0 (100
+        // examined) but the residual bound column 1 has no single-column
+        // index, so the match estimate stays at the bucket size.
+        assert_eq!(catalog.estimate_matches("skew", &[0, 1]), 100.0);
+        // flat's column-0 index makes the same probe precise.
+        assert_eq!(catalog.estimate_matches("flat", &[0, 1]), 1.0);
+    }
+
+    #[test]
+    fn ranking_is_deterministic_on_ties() {
+        let catalog = StatsCatalog::harvest(&skewed_store());
+        // Two identical atoms tie on every order; lexicographic order of
+        // the permutation breaks the tie.
+        let atoms = [
+            JoinAtom::new("flat", &[0, 1]),
+            JoinAtom::new("flat", &[0, 2]),
+        ];
+        let ranked = catalog.rank_orders(&atoms, &[0]);
+        assert_eq!(ranked[0].order, vec![0, 1]);
+    }
 
     /// A "dumbbell": a dense clique with extra leaf nodes around the
     /// source, a long path to a sparse destination. 15 nodes: clique

@@ -17,7 +17,7 @@
 //! | [`sharing`] | opportunistic message sharing (Section 5.2) |
 //! | [`caching`] | query-result caching support for magic queries (Section 5.2) |
 //! | [`updates`] | bursty update workloads (Section 4 / Section 6.5) |
-//! | [`costmodel`] | neighborhood-function cost estimates and hybrid TD/BU radius splits (Section 5.3) |
+//! | [`costmodel`] | cost-based planning: live store statistics ([`costmodel::StatsCatalog`]) ranking join orders by estimated tuples examined, plus neighborhood-function TD/BU/hybrid radius splits (Section 5.3) |
 //! | [`consistency`] | helpers to check distributed results against the centralized evaluator (Theorem 4) |
 
 pub mod caching;
@@ -30,6 +30,7 @@ pub mod plan;
 pub mod sharing;
 pub mod updates;
 
+pub use costmodel::{JoinAtom, RankedOrder, StatsCatalog};
 pub use engine::{ConvergenceReport, DistributedEngine, EngineConfig, RunReport};
 pub use exec::EpochExecutor;
 pub use node::{NodeConfig, NodeEngine};

@@ -111,6 +111,12 @@ pub struct NodeEngine {
     /// Reusable flat buffers for batch-delta strand firing.
     scratch: BatchScratch,
     batch_out: BatchOutput,
+    /// Probe signatures shared by two or more strands (across *all* of
+    /// this node's query plans). Non-empty arms a per-round cross-rule
+    /// probe cache, so one round's distinct `(relation, cols, key)`
+    /// lookups execute once no matter how many strands share them (see
+    /// `ndlog_runtime::subplan`).
+    shared_sigs: Vec<(String, Vec<usize>)>,
     /// Live-query hook: records visibility transitions of subscribed
     /// relations at this node (see `ndlog_runtime::tap`).
     tap: DeltaTap,
@@ -158,6 +164,7 @@ impl NodeEngine {
                 selections.push((sel.clone(), view_idx));
             }
         }
+        let shared_sigs = ndlog_runtime::subplan::shared_signatures(&strands);
         Ok(NodeEngine {
             addr,
             config,
@@ -173,6 +180,7 @@ impl NodeEngine {
             stats: EvalStats::default(),
             scratch: BatchScratch::default(),
             batch_out: BatchOutput::default(),
+            shared_sigs,
             tap: DeltaTap::new(),
         })
     }
@@ -505,6 +513,12 @@ impl NodeEngine {
             })
             .collect();
         let mut joins = JoinStats::default();
+        // Arm the cross-rule probe cache for this round when the plans
+        // share probe signatures: every strand fires against this one
+        // store snapshot (ingestion happens after the round), so cached
+        // candidate sets stay valid for exactly the cache's lifetime.
+        let mut cache = (!self.shared_sigs.is_empty())
+            .then(|| ndlog_runtime::subplan::ProbeCache::new(&self.shared_sigs));
         let mut triggers: Vec<BatchTrigger> = Vec::new();
         let mut indices: Vec<usize> = Vec::new();
         for strand in self.strands.iter() {
@@ -522,13 +536,23 @@ impl NodeEngine {
             if triggers.is_empty() {
                 continue;
             }
-            strand.fire_batch(
-                &self.store,
-                &triggers,
-                &mut joins,
-                &mut self.scratch,
-                &mut self.batch_out,
-            )?;
+            match cache.as_mut() {
+                Some(cache) => strand.fire_batch_shared(
+                    &self.store,
+                    &triggers,
+                    &mut joins,
+                    &mut self.scratch,
+                    &mut self.batch_out,
+                    cache,
+                )?,
+                None => strand.fire_batch(
+                    &self.store,
+                    &triggers,
+                    &mut joins,
+                    &mut self.scratch,
+                    &mut self.batch_out,
+                )?,
+            }
             self.batch_out
                 .drain_into(|local, derivation| per_trigger[indices[local]].push(derivation));
         }

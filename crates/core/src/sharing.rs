@@ -15,7 +15,16 @@
 //! receiver is unchanged (the receiver conceptually re-partitions), so
 //! correctness is unaffected — only the bytes on the wire differ, which is
 //! what Figure 12 measures.
+//!
+//! This module is the **single** wire-size implementation: the epoch
+//! executor's [`OutboundBatch`] pre-sizing
+//! ([`crate::exec::executor::outbound_batches`]) calls
+//! [`plain_wire_size`]/[`combined_wire_size`], and the batch-level helpers
+//! ([`batch_payload`], [`batch_saving`], [`result_wire_bytes`]) let the
+//! experiment harness account traffic from those same pre-sized batches
+//! instead of re-deriving byte formulas of its own.
 
+use crate::exec::executor::OutboundBatch;
 use ndlog_lang::Value;
 use ndlog_runtime::TupleDelta;
 use std::collections::BTreeMap;
@@ -69,6 +78,29 @@ pub fn combined_wire_size(deltas: &[TupleDelta]) -> usize {
 /// to combine.
 pub fn saving(deltas: &[TupleDelta]) -> usize {
     plain_wire_size(deltas).saturating_sub(combined_wire_size(deltas))
+}
+
+/// Total payload bytes across a set of real, pre-sized outbound batches
+/// (as produced by [`crate::exec::executor::outbound_batches`]).
+pub fn batch_payload(batches: &[OutboundBatch]) -> usize {
+    batches.iter().map(|b| b.payload_bytes).sum()
+}
+
+/// Bytes sharing saved across real outbound batches: the plain encoding
+/// of each batch's deltas minus its pre-computed payload. Zero when the
+/// batches were sized with sharing disabled.
+pub fn batch_saving(batches: &[OutboundBatch]) -> usize {
+    batches
+        .iter()
+        .map(|b| plain_wire_size(&b.deltas).saturating_sub(b.payload_bytes))
+        .sum()
+}
+
+/// Wire bytes of shipping one tuple delta as its own message over a link,
+/// header included — the sizing result-return accounting uses, so harness
+/// formulas cannot drift from the engine's per-delta encoding.
+pub fn result_wire_bytes(delta: &TupleDelta, header_bytes: usize) -> usize {
+    plain_wire_size(std::slice::from_ref(delta)) + header_bytes
 }
 
 #[cfg(test)]
@@ -143,6 +175,40 @@ mod tests {
         let combined = combined_wire_size(&[ins.clone(), del.clone()]);
         // Both carry their own prefix.
         assert!(combined > ins.wire_size());
+    }
+
+    #[test]
+    fn batch_helpers_account_real_outbound_batches() {
+        use crate::exec::executor::outbound_batches;
+        use ndlog_net::NodeAddr;
+
+        let deltas = vec![
+            path_delta("path_latency", 12.0),
+            path_delta("path_reliability", 3.0),
+        ];
+        let mut outbound = BTreeMap::new();
+        outbound.insert(NodeAddr(3), deltas.clone());
+
+        // Sized with sharing: the pre-computed payload is the combined
+        // encoding, and the saving helper recovers plain - combined.
+        let shared = outbound_batches(true, outbound.clone());
+        assert_eq!(batch_payload(&shared), combined_wire_size(&deltas));
+        assert_eq!(batch_saving(&shared), saving(&deltas));
+
+        // Sized without sharing: payload is plain, saving is zero.
+        let plain = outbound_batches(false, outbound);
+        assert_eq!(batch_payload(&plain), plain_wire_size(&deltas));
+        assert_eq!(batch_saving(&plain), 0);
+    }
+
+    #[test]
+    fn result_wire_bytes_matches_per_delta_encoding() {
+        let delta = path_delta("shortestPath", 4.0);
+        assert_eq!(
+            result_wire_bytes(&delta, 28),
+            delta.wire_size() + 28,
+            "one delta alone encodes plainly plus the message header"
+        );
     }
 
     #[test]

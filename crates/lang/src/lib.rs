@@ -27,8 +27,33 @@
 //! | [`seminaive`] | the semi-naive delta rewrite (rule strands) |
 //! | [`magic`] | magic-sets rewriting (Section 5.1.2) |
 //! | [`reorder`] | predicate reordering: bottom-up ↔ top-down variants |
+//! | [`optimizer`] | the rewrite pipeline composing magic + reordering |
 //! | [`aggsel`] | aggregate-selection inference (Section 5.1.1) |
 //! | [`programs`] | the canonical NDlog programs used by the paper |
+//!
+//! # Optimizer pipeline
+//!
+//! Programs reach the planner through [`optimizer::optimize`], which runs
+//! the Section 5.1.2 rewrites as composable program-to-program passes in a
+//! fixed order:
+//!
+//! 1. **Predicate reordering** ([`reorder`]) — controls the join order
+//!    (bottom-up `LinkFirst` vs top-down `LinkLast`); constraints always
+//!    trail the predicates.
+//! 2. **Magic sets** ([`magic`]) — one [`optimizer::MagicSpec`] per
+//!    constrained recursion prepends a magic guard to the base rules and
+//!    registers the magic table's materialization; running after the
+//!    reorder pass guarantees the guard stays at body position 0.
+//!
+//! Both passes preserve the queried results (magic restricted to the
+//! seeded constants), and the [`optimizer::Report`] records the applied
+//! passes and `b`/`f` adornments. The canonical magic variants in
+//! [`programs`] are *derived* through this pipeline rather than written by
+//! hand, and the experiment/serve layers use the same entry point, so
+//! optimized and unoptimized executions differ only by the pipeline
+//! configuration. Plan-time decisions that need runtime statistics —
+//! cost-based join ranking, shared-subplan detection — live downstream in
+//! `ndlog-core`/`ndlog-runtime`.
 //!
 //! The execution engines live in `ndlog-runtime` (single node) and
 //! `ndlog-core` (distributed).
@@ -40,6 +65,7 @@ pub mod interactive;
 pub mod lexer;
 pub mod localize;
 pub mod magic;
+pub mod optimizer;
 pub mod parser;
 pub mod programs;
 pub mod reorder;
@@ -53,6 +79,7 @@ pub use ast::{
 };
 pub use error::{LangError, ParseError, ValidationError};
 pub use interactive::{parse_command, parse_session, Command, MetaCommand};
+pub use optimizer::{optimize, MagicSpec, Optimized, PassSet, Pipeline};
 pub use parser::parse_program;
 pub use validate::validate;
 pub use value::Value;

@@ -8,7 +8,10 @@
 //! it from the overlay with the appropriate metric as the cost column.
 
 use crate::ast::Program;
+use crate::magic::MagicBinding;
+use crate::optimizer::{optimize, MagicSpec, Pipeline};
 use crate::parser::parse_program;
+use crate::reorder::BodyOrder;
 
 /// Relation names used by a shortest-path query instance.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -17,6 +20,8 @@ pub struct ShortestPathRelations {
     pub link: String,
     /// The derived path relation.
     pub path: String,
+    /// The destination-accumulated path relation (source-routing variant).
+    pub path_dst: String,
     /// The per-(source, destination) minimum cost relation.
     pub sp_cost: String,
     /// The final shortest-path relation.
@@ -40,6 +45,7 @@ impl ShortestPathRelations {
         ShortestPathRelations {
             link: s("link"),
             path: s("path"),
+            path_dst: s("pathDst"),
             sp_cost: s("spCost"),
             shortest_path: s("shortestPath"),
             magic_dst: s("magicDst"),
@@ -78,43 +84,39 @@ pub fn shortest_path(suffix: &str) -> Program {
     parse_program(&src).expect("shortest_path program is well-formed")
 }
 
-/// The destination-constrained variant (rule SP1-D of Section 5.1.2):
-/// identical to [`shortest_path`] except that 1-hop paths are only seeded
-/// towards destinations present in the `magicDst` table.
-pub fn shortest_path_magic_dst(suffix: &str) -> Program {
+/// The optimizer pipeline that derives the destination-constrained
+/// variant from [`shortest_path`]: one magic-sets rewrite binding the
+/// destination argument of `path`'s base rules.
+pub fn magic_dst_pipeline(suffix: &str) -> Pipeline {
     let r = ShortestPathRelations::new(suffix);
-    let src = format!(
-        r#"
-        materialize({link}, keys(1,2)).
-        materialize({path}, keys(1,2,4)).
-        materialize({spc}, keys(1,2)).
-        materialize({sp}, keys(1,2)).
-        materialize({mdst}, keys(1)).
-
-        sp1 {path}(@S,@D,@D,P,C) :- {mdst}(@D), #{link}(@S,@D,C),
-            P := f_cons(S, f_cons(D, nil)).
-        sp2 {path}(@S,@D,@Z,P,C) :- #{link}(@S,@Z,C1), {path}(@Z,@D,@Z2,P2,C2),
-            f_member(P2, S) == 0, C := C1 + C2, P := f_cons(S, P2).
-        sp3 {spc}(@S,@D,min<C>) :- {path}(@S,@D,@Z,P,C).
-        sp4 {sp}(@S,@D,P,C) :- {spc}(@S,@D,C), {path}(@S,@D,@Z,P,C).
-
-        query {sp}(@S,@D,P,C).
-        "#,
-        link = r.link,
-        path = r.path,
-        spc = r.sp_cost,
-        sp = r.shortest_path,
-        mdst = r.magic_dst,
-    );
-    parse_program(&src).expect("shortest_path_magic_dst program is well-formed")
+    Pipeline::new(
+        vec![MagicSpec::new(
+            r.path,
+            r.magic_dst,
+            MagicBinding::HeadArg(1),
+        )],
+        None,
+    )
 }
 
-/// The source-and-destination-constrained, top-down variant (rules SP1-SD
-/// to SP4-SD of Section 5.1.2), obtained by predicate reordering: paths
-/// accumulate at the *destination* (`pathDst`) and grow forward from the
-/// sources listed in `magicSrc`; results are filtered by `magicDst`. This
-/// execution resembles dynamic source routing.
-pub fn shortest_path_source_routing(suffix: &str) -> Program {
+/// The destination-constrained variant (rule SP1-D of Section 5.1.2):
+/// identical to [`shortest_path`] except that 1-hop paths are only seeded
+/// towards destinations present in the `magicDst` table. Derived from
+/// [`shortest_path`] by running [`magic_dst_pipeline`] through the
+/// optimizer rather than written by hand.
+pub fn shortest_path_magic_dst(suffix: &str) -> Program {
+    optimize(&shortest_path(suffix), &magic_dst_pipeline(suffix))
+        .expect("magic-dst pipeline applies to the shortest-path program")
+        .program
+}
+
+/// The unoptimized top-down base of the source-routing variant: paths
+/// accumulate at the *destination* (`pathDst`) and grow forward from every
+/// source, with the recursive rule still written link-first. The optimizer
+/// pipeline ([`source_routing_pipeline`]) turns this into the paper's
+/// SP1-SD…SP4-SD form: reordering makes SD2 left-recursive and the magic
+/// rewrites constrain sources (`magicSrc`) and destinations (`magicDst`).
+pub fn shortest_path_source_routing_base(suffix: &str) -> Program {
     let r = ShortestPathRelations::new(suffix);
     let src = format!(
         r#"
@@ -122,33 +124,54 @@ pub fn shortest_path_source_routing(suffix: &str) -> Program {
         materialize({pathdst}, keys(1,2,4)).
         materialize({spc}, keys(1,2)).
         materialize({sp}, keys(1,2)).
-        materialize({msrc}, keys(1)).
-        materialize({mdst}, keys(1)).
 
-        sd1 {pathdst}(@D,@S,@D,P,C) :- {msrc}(@S), #{link}(@S,@D,C),
+        sd1 {pathdst}(@D,@S,@D,P,C) :- #{link}(@S,@D,C),
             P := f_append(f_cons(S, nil), D).
-        sd2 {pathdst}(@D,@S,@Z,P,C) :- {pathdst}(@Z,@S,@Z1,P1,C1), #{link}(@Z,@D,C2),
+        sd2 {pathdst}(@D,@S,@Z,P,C) :- #{link}(@Z,@D,C2), {pathdst}(@Z,@S,@Z1,P1,C1),
             f_member(P1, D) == 0, C := C1 + C2, P := f_append(P1, D).
         sd3 {spc}(@D,@S,min<C>) :- {pathdst}(@D,@S,@Z,P,C).
-        sd4 {sp}(@D,@S,P,C) :- {mdst}(@D), {spc}(@D,@S,C), {pathdst}(@D,@S,@Z,P,C).
+        sd4 {sp}(@D,@S,P,C) :- {spc}(@D,@S,C), {pathdst}(@D,@S,@Z,P,C).
 
         query {sp}(@D,@S,P,C).
         "#,
         link = r.link,
-        pathdst = format!(
-            "pathDst{}",
-            if suffix.is_empty() {
-                String::new()
-            } else {
-                format!("_{suffix}")
-            }
-        ),
+        pathdst = r.path_dst,
         spc = r.sp_cost,
         sp = r.shortest_path,
-        msrc = r.magic_src,
-        mdst = r.magic_dst,
     );
-    parse_program(&src).expect("shortest_path_source_routing program is well-formed")
+    parse_program(&src).expect("shortest_path_source_routing_base program is well-formed")
+}
+
+/// The optimizer pipeline that derives the source-routing variant from
+/// [`shortest_path_source_routing_base`]: predicate reordering (link last,
+/// making SD2 left-recursive / top-down) plus two magic-sets rewrites —
+/// `magicSrc` binds the source argument of `pathDst`'s base rule and
+/// `magicDst` filters the final `shortestPath` join.
+pub fn source_routing_pipeline(suffix: &str) -> Pipeline {
+    let r = ShortestPathRelations::new(suffix);
+    Pipeline::new(
+        vec![
+            MagicSpec::new(r.path_dst, r.magic_src, MagicBinding::HeadArg(1)),
+            MagicSpec::new(r.shortest_path, r.magic_dst, MagicBinding::HeadArg(0)),
+        ],
+        Some(BodyOrder::LinkLast),
+    )
+}
+
+/// The source-and-destination-constrained, top-down variant (rules SP1-SD
+/// to SP4-SD of Section 5.1.2), obtained by predicate reordering: paths
+/// accumulate at the *destination* (`pathDst`) and grow forward from the
+/// sources listed in `magicSrc`; results are filtered by `magicDst`. This
+/// execution resembles dynamic source routing. Derived from
+/// [`shortest_path_source_routing_base`] by running
+/// [`source_routing_pipeline`] through the optimizer.
+pub fn shortest_path_source_routing(suffix: &str) -> Program {
+    optimize(
+        &shortest_path_source_routing_base(suffix),
+        &source_routing_pipeline(suffix),
+    )
+    .expect("source-routing pipeline applies to the TD base program")
+    .program
 }
 
 /// A minimal two-rule reachability program used by tests and the
@@ -253,6 +276,18 @@ mod tests {
         assert_valid(&shortest_path_magic_dst("hops"));
         let p = shortest_path_magic_dst("hops");
         assert!(p.rules[0].body_atoms().any(|a| a.name == "magicDst_hops"));
+    }
+
+    #[test]
+    fn source_routing_base_is_valid_before_optimization() {
+        assert_valid(&shortest_path_source_routing_base(""));
+        let base = shortest_path_source_routing_base("t");
+        // No magic tables until the pipeline adds them.
+        assert!(base.table_decl("magicSrc_t").is_none());
+        assert!(base.table_decl("magicDst_t").is_none());
+        let opt = shortest_path_source_routing("t");
+        assert!(opt.table_decl("magicSrc_t").is_some());
+        assert!(opt.table_decl("magicDst_t").is_some());
     }
 
     #[test]

@@ -59,6 +59,7 @@ use crate::index::JoinStats;
 use crate::relation::StoredTuple;
 use crate::store::Store;
 use crate::strand::{Derivation, ProbePlan};
+use crate::subplan::ProbeCache;
 use crate::tuple::{Tuple, TupleDelta};
 use ndlog_lang::seminaive::DeltaRule;
 use ndlog_lang::{Atom, Expr, Literal, Term, Value};
@@ -516,9 +517,18 @@ fn build_probe_key(key: &[SlotSource], row: &[Option<Value>], out: &mut Vec<Valu
 /// each group's span lands in the buffer; every observable (stat sums,
 /// the span each `group_ranges[g]` addresses, within-group candidate
 /// order) is independent of it.
+///
+/// When a cross-rule [`ProbeCache`] is armed and carries this stage's
+/// `(relation, cols)` signature, pass 2 serves each distinct key through
+/// the cache instead of probing the relation directly: the raw candidate
+/// set is fetched once per round across every strand sharing the
+/// signature, and the stage-specific arity/residual filtering still runs
+/// here per candidate (see [`crate::subplan`] for the soundness and
+/// statistics contract).
 #[allow(clippy::too_many_arguments)]
 fn group_and_probe<'r>(
     stored: &'r crate::relation::Relation,
+    relation: &str,
     width: usize,
     rows: &[Option<Value>],
     origins: &[u32],
@@ -535,6 +545,7 @@ fn group_and_probe<'r>(
     group_ranges: &mut Vec<(u32, u32)>,
     probe_row: &mut Vec<Option<Value>>,
     group_matches: &mut Vec<&'r StoredTuple>,
+    mut cache: Option<&mut ProbeCache<'r>>,
 ) {
     group_of.clear();
     group_sizes.clear();
@@ -562,15 +573,30 @@ fn group_and_probe<'r>(
     for (gkey, &g) in group_map.iter() {
         let members = group_sizes[g as usize] as usize;
         let start = group_matches.len();
-        for candidate in stored.lookup_n(cols, gkey, u64::MAX, members, stats) {
-            // An aggregate-term atom rejects every candidate, but the
-            // lookup above still runs so the probe accounting matches
-            // `bind_atom`'s tuple path exactly.
-            if reject_all || candidate.tuple.arity() != arity {
-                continue;
+        let cached = match cache.as_deref_mut() {
+            Some(c) => c.probe(stored, relation, cols, gkey, members, stats),
+            None => None,
+        };
+        if let Some(candidates) = cached {
+            for &candidate in candidates {
+                if reject_all || candidate.tuple.arity() != arity {
+                    continue;
+                }
+                if apply_ops(ops, &candidate.tuple, probe_row) {
+                    group_matches.push(candidate);
+                }
             }
-            if apply_ops(ops, &candidate.tuple, probe_row) {
-                group_matches.push(candidate);
+        } else {
+            for candidate in stored.lookup_n(cols, gkey, u64::MAX, members, stats) {
+                // An aggregate-term atom rejects every candidate, but the
+                // lookup above still runs so the probe accounting matches
+                // `bind_atom`'s tuple path exactly.
+                if reject_all || candidate.tuple.arity() != arity {
+                    continue;
+                }
+                if apply_ops(ops, &candidate.tuple, probe_row) {
+                    group_matches.push(candidate);
+                }
             }
         }
         group_ranges[g as usize] = (
@@ -623,14 +649,25 @@ impl BatchPlan {
     /// distinct probe key per atom — the default) or the per-row reference
     /// probing kept for differential testing. See the module docs for the
     /// equivalence contract with the tuple-at-a-time `fire` path.
-    pub(crate) fn fire_batch(
+    ///
+    /// `cache`, when armed, extends the sharing across rules: grouped
+    /// probe stages whose `(relation, cols)` signature the cache carries
+    /// fetch their raw candidates through it, one real lookup per
+    /// distinct key per *round* instead of per strand ([`crate::subplan`]).
+    /// A cache also routes single-row batches through the grouped arm —
+    /// the per-event distributed workload fires mostly one-delta batches,
+    /// and those are exactly the probes cross-rule sharing answers for
+    /// free.
+    #[allow(clippy::too_many_arguments)] // hot path: flat args beat a param struct here
+    pub(crate) fn fire_batch<'r>(
         &self,
-        store: &Store,
+        store: &'r Store,
         triggers: &[BatchTrigger],
         stats: &mut JoinStats,
         scratch: &mut BatchScratch,
         out: &mut BatchOutput,
         grouped: bool,
+        mut cache: Option<&mut ProbeCache<'r>>,
     ) -> Result<(), EvalError> {
         out.clear();
         let width = self.width;
@@ -694,14 +731,19 @@ impl BatchPlan {
                     next_rows.clear();
                     next_origins.clear();
                     let stored = store.relation(relation);
-                    // A single row cannot share anything, and its grouped
-                    // accounting (one logical, one distinct probe) equals
-                    // the per-row arm's exactly — skip the grouping
-                    // machinery, which the per-event distributed workload
-                    // would otherwise pay on every one-delta batch.
-                    if let (Some(stored), true) = (stored, grouped && origins.len() > 1) {
+                    // A single row cannot share anything within the
+                    // batch, and its grouped accounting (one logical, one
+                    // distinct probe) equals the per-row arm's exactly —
+                    // skip the grouping machinery, which the per-event
+                    // distributed workload would otherwise pay on every
+                    // one-delta batch. A cross-rule cache overrides this:
+                    // single rows then take the grouped arm so their
+                    // probes share with other strands of the round.
+                    let share = (grouped && origins.len() > 1) || cache.is_some();
+                    if let (Some(stored), true) = (stored, share) {
                         group_and_probe(
                             stored,
+                            relation,
                             width,
                             rows,
                             origins,
@@ -718,6 +760,7 @@ impl BatchPlan {
                             group_ranges,
                             probe_row,
                             &mut group_matches,
+                            cache.as_deref_mut(),
                         );
                         // Pass 3: broadcast each group's match set to its
                         // members, in row order — the output is bit-equal
@@ -843,13 +886,16 @@ impl BatchPlan {
                 ..
             } = &mut *scratch;
             let stored = store.relation(relation);
+            let share = (grouped && origins.len() > 1) || cache.is_some();
             if origins.is_empty() {
                 // Nothing survived the earlier stages.
-            } else if let (Some(stored), true) = (stored, grouped && origins.len() > 1) {
+            } else if let (Some(stored), true) = (stored, share) {
                 // Same single-row fast path as the mid-stage arm: one row
-                // groups trivially, so it takes the per-row arm below.
+                // groups trivially, so it takes the per-row arm below —
+                // unless a cross-rule cache is armed (see above).
                 group_and_probe(
                     stored,
+                    relation,
                     width,
                     rows,
                     origins,
@@ -866,6 +912,7 @@ impl BatchPlan {
                     group_ranges,
                     probe_row,
                     &mut group_matches,
+                    cache,
                 );
                 for r in 0..origins.len() {
                     let origin = origins[r] as usize;

@@ -22,8 +22,12 @@
 //! affected aggregate groups pinned) followed by re-derivation of the
 //! survivors. Because that pass never consults a derivation count, the
 //! incremental results match a from-scratch evaluation for *any* initial
-//! strategy — including SN/BSN runs whose repeated inferences leave the
-//! counts inflated.
+//! strategy. Every strategy restricts a trigger's joins to tuples applied
+//! before it (its own store timestamp), so no strategy repeats an
+//! inference when two deltas of the same round join each other — SN, BSN
+//! and PSN agree on stores down to per-tuple derivation counts, which
+//! `tests/optimizer.rs` relies on for the magic-sets differential
+//! property.
 
 use crate::aggview::AggregateView;
 use crate::batch::{BatchOutput, BatchScratch, BatchTrigger};
@@ -143,6 +147,13 @@ pub struct Evaluator {
     /// default). Off = the PR 4 per-trigger probing, kept for
     /// differential testing.
     probe_grouping: bool,
+    /// Probe signatures shared by two or more strands
+    /// ([`crate::subplan::shared_signatures`], computed once at plan
+    /// time). Non-empty arms a per-round cross-rule
+    /// [`crate::subplan::ProbeCache`] on the grouped batch path, so each
+    /// distinct `(relation, cols, key)`
+    /// lookup of a round executes once across every strand sharing it.
+    shared_sigs: Vec<(String, Vec<usize>)>,
     /// Reusable flat buffers for the batch path.
     scratch: BatchScratch,
     batch_out: BatchOutput,
@@ -194,6 +205,7 @@ impl Evaluator {
             })
             .collect::<Result<Vec<_>, String>>()?;
 
+        let shared_sigs = crate::subplan::shared_signatures(&strands);
         Ok(Evaluator {
             store,
             strands,
@@ -201,6 +213,7 @@ impl Evaluator {
             base_facts,
             batching: true,
             probe_grouping: true,
+            shared_sigs,
             scratch: BatchScratch::default(),
             batch_out: BatchOutput::default(),
             tap: crate::tap::DeltaTap::new(),
@@ -332,7 +345,7 @@ impl Evaluator {
             Strategy::Pipelined if self.batching => {
                 while !queue.is_empty() {
                     let round: Vec<(TupleDelta, u64)> = queue.drain(..).collect();
-                    let mut per_trigger = self.fire_batch_round(&round, None, &mut stats)?;
+                    let mut per_trigger = self.fire_batch_round(&round, &mut stats)?;
                     let mut consumed = round.len();
                     for (i, derived) in per_trigger.iter_mut().enumerate() {
                         stats.iterations += 1;
@@ -374,24 +387,21 @@ impl Evaluator {
                 };
                 while !queue.is_empty() {
                     stats.iterations += 1;
-                    // Joins during this iteration may only see tuples that
-                    // existed when the iteration started: that is the
-                    // old/new separation of Algorithm 1.
-                    let iteration_seq = self.store.current_seq();
+                    // Each trigger joins only tuples applied before it (its
+                    // own store timestamp). That is the old/new separation
+                    // of Algorithm 1 with footnote 2's ordering realised by
+                    // apply order: when two deltas of the same iteration
+                    // join each other, exactly one trigger — the later —
+                    // sees the pair, so no inference is repeated.
                     let take = queue.len().min(batch);
                     let mut this_round: Vec<_> = queue.drain(..take).collect();
                     if self.batching {
-                        // The whole iteration fires as delta batches with
-                        // the iteration's shared visibility limit. A
+                        // The whole iteration fires as delta batches. A
                         // mid-iteration removal re-fires the *remainder of
-                        // this iteration* (same limit) after the DRed
-                        // pass — never starting a new iteration early.
+                        // this iteration* after the DRed pass — never
+                        // starting a new iteration early.
                         while !this_round.is_empty() {
-                            let mut per_trigger = self.fire_batch_round(
-                                &this_round,
-                                Some(iteration_seq),
-                                &mut stats,
-                            )?;
+                            let mut per_trigger = self.fire_batch_round(&this_round, &mut stats)?;
                             let mut consumed = this_round.len();
                             for (i, derived) in per_trigger.iter_mut().enumerate() {
                                 for derivation in derived.drain(..) {
@@ -412,14 +422,8 @@ impl Evaluator {
                             self.drain_deletions(&mut queue, &mut pending, &mut stats)?;
                         }
                     } else {
-                        for (delta, _apply_seq) in this_round {
-                            self.fire_all(
-                                &delta,
-                                iteration_seq,
-                                &mut queue,
-                                &mut pending,
-                                &mut stats,
-                            )?;
+                        for (delta, apply_seq) in this_round {
+                            self.fire_all(&delta, apply_seq, &mut queue, &mut pending, &mut stats)?;
                             self.drain_deletions(&mut queue, &mut pending, &mut stats)?;
                         }
                     }
@@ -432,7 +436,10 @@ impl Evaluator {
     /// Fire every strand over a batch of applied-but-unfired insertion
     /// deltas against the current store snapshot, returning each trigger's
     /// derivations in exactly the order the tuple-at-a-time loop ingests
-    /// them (strands in declaration order per trigger). Triggers whose
+    /// them (strands in declaration order per trigger). Every trigger joins
+    /// with its own apply timestamp as the visibility limit, so two deltas
+    /// of the same batch that join each other derive the head exactly once
+    /// (from the later trigger) under every strategy. Triggers whose
     /// tuple is no longer stored — over-deleted or replaced since being
     /// queued — yield nothing, mirroring [`Evaluator::fire_all`]'s skip;
     /// that status cannot change mid-batch because any removal interrupts
@@ -440,7 +447,6 @@ impl Evaluator {
     fn fire_batch_round(
         &mut self,
         batch: &[(TupleDelta, u64)],
-        limit: Option<u64>,
         stats: &mut EvalStats,
     ) -> Result<Vec<Vec<Derivation>>, EvalError> {
         let mut per_trigger: Vec<Vec<Derivation>> = batch.iter().map(|_| Vec::new()).collect();
@@ -454,6 +460,12 @@ impl Evaluator {
             })
             .collect();
         let mut joins = crate::strand::JoinStats::default();
+        // Arm the cross-rule probe cache for this round when the plan
+        // found shared signatures: the store is frozen until every strand
+        // of the round has fired, so cached candidate sets stay valid for
+        // exactly the cache's lifetime.
+        let mut cache = (self.probe_grouping && !self.shared_sigs.is_empty())
+            .then(|| crate::subplan::ProbeCache::new(&self.shared_sigs));
         let mut triggers: Vec<BatchTrigger> = Vec::new();
         let mut indices: Vec<usize> = Vec::new();
         for strand in &self.strands {
@@ -463,7 +475,7 @@ impl Evaluator {
                 if live[i] && strand.trigger_relation() == delta.relation {
                     triggers.push(BatchTrigger {
                         delta,
-                        seq_limit: limit.unwrap_or(*seq),
+                        seq_limit: *seq,
                     });
                     indices.push(i);
                 }
@@ -471,22 +483,29 @@ impl Evaluator {
             if triggers.is_empty() {
                 continue;
             }
-            if self.probe_grouping {
-                strand.fire_batch(
+            match (self.probe_grouping, cache.as_mut()) {
+                (true, Some(cache)) => strand.fire_batch_shared(
                     &self.store,
                     &triggers,
                     &mut joins,
                     &mut self.scratch,
                     &mut self.batch_out,
-                )?;
-            } else {
-                strand.fire_batch_ungrouped(
+                    cache,
+                )?,
+                (true, None) => strand.fire_batch(
                     &self.store,
                     &triggers,
                     &mut joins,
                     &mut self.scratch,
                     &mut self.batch_out,
-                )?;
+                )?,
+                (false, _) => strand.fire_batch_ungrouped(
+                    &self.store,
+                    &triggers,
+                    &mut joins,
+                    &mut self.scratch,
+                    &mut self.batch_out,
+                )?,
             }
             self.batch_out
                 .drain_into(|local, derivation| per_trigger[indices[local]].push(derivation));

@@ -73,6 +73,16 @@
 //!   primary keys, a dense seq array, and contiguous per-column `ValueId`
 //!   arrays — so visibility and residual filtering walk dense `u64`/`u32`
 //!   arrays and only surviving candidates pay the primary-key map lookup.
+//! * **Cross-rule shared subplans** ([`subplan`]): planning fingerprints
+//!   every join stage's probe as a `(relation, bound-column signature)`
+//!   with [`subplan::shared_signatures`]; when two or more stages across
+//!   the program share a fingerprint, a round-scoped
+//!   [`subplan::ProbeCache`] memoizes the raw candidate rows per probed
+//!   key, so later strands of the same round reuse the first bucket walk
+//!   instead of repeating it (residual and visibility checks replay per
+//!   consumer). The store is frozen for the round, so cached candidate
+//!   sets stay exact — `distinct_probes` drops while every logical
+//!   counter is unchanged.
 //!
 //! Probe accounting is two-counter ([`index::JoinStats`]):
 //! `logical_probes` counts per binding environment (identical across
@@ -95,6 +105,7 @@ pub mod intern;
 pub mod relation;
 pub mod store;
 pub mod strand;
+pub mod subplan;
 pub mod tap;
 pub mod tuple;
 
@@ -107,5 +118,6 @@ pub use intern::ValueId;
 pub use relation::{InsertOutcome, Relation, RelationSchema};
 pub use store::Store;
 pub use strand::{ColumnSource, CompiledStrand, Derivation, JoinStats, ProbePlan};
+pub use subplan::{shared_signatures, ProbeCache};
 pub use tap::DeltaTap;
 pub use tuple::{Sign, Tuple, TupleDelta};

@@ -238,6 +238,17 @@ impl Relation {
         self.indexes.iter().map(SecondaryIndex::signature)
     }
 
+    /// Live statistics for every secondary index:
+    /// `(signature, distinct keys, indexed entries)`. Distinct keys is the
+    /// bucket count — the number of different probe-key values currently
+    /// stored — so `entries / distinct` is the average matches per probe,
+    /// the quantity cost-based join ordering ranks plans by.
+    pub fn index_stats(&self) -> impl Iterator<Item = (&IndexSignature, usize, usize)> {
+        self.indexes
+            .iter()
+            .map(|ix| (ix.signature(), ix.bucket_count(), ix.len()))
+    }
+
     /// Probe the index on `cols` (which must be sorted and deduplicated,
     /// with `key` holding the bound values in the same order) for tuples
     /// visible at or before `seq_limit`, in deterministic primary-key

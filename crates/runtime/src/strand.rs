@@ -305,7 +305,32 @@ impl CompiledStrand {
             .iter()
             .all(|t| t.delta.relation == self.rule.trigger_relation));
         self.batch
-            .fire_batch(store, triggers, stats, scratch, out, true)
+            .fire_batch(store, triggers, stats, scratch, out, true, None)
+    }
+
+    /// [`CompiledStrand::fire_batch`] with a cross-rule probe cache
+    /// ([`crate::subplan`]): probe stages whose `(relation, cols)`
+    /// signature is armed in `cache` fetch their candidates through it,
+    /// so a `(relation, cols, key)` bucket lookup executes once per round
+    /// no matter how many strands share it. Derivations and the logical
+    /// join statistics are identical to [`CompiledStrand::fire_batch`];
+    /// only `distinct_probes` shrinks further (cache hits execute no
+    /// lookup), and single-trigger batches also take the grouped arm so
+    /// their probes participate in the sharing.
+    pub fn fire_batch_shared<'r>(
+        &self,
+        store: &'r Store,
+        triggers: &[crate::batch::BatchTrigger],
+        stats: &mut JoinStats,
+        scratch: &mut crate::batch::BatchScratch,
+        out: &mut crate::batch::BatchOutput,
+        cache: &mut crate::subplan::ProbeCache<'r>,
+    ) -> Result<(), EvalError> {
+        debug_assert!(triggers
+            .iter()
+            .all(|t| t.delta.relation == self.rule.trigger_relation));
+        self.batch
+            .fire_batch(store, triggers, stats, scratch, out, true, Some(cache))
     }
 
     /// [`CompiledStrand::fire_batch`] without probe grouping: one index
@@ -324,7 +349,7 @@ impl CompiledStrand {
             .iter()
             .all(|t| t.delta.relation == self.rule.trigger_relation));
         self.batch
-            .fire_batch(store, triggers, stats, scratch, out, false)
+            .fire_batch(store, triggers, stats, scratch, out, false, None)
     }
 }
 

@@ -33,6 +33,7 @@ use ndlog_lang::ast::{Atom, Program, Rule, TableDecl, Term};
 use ndlog_lang::interactive::{
     Command, MetaCommand, Op, SubscribeFilter, UnsubscribeTarget, Update,
 };
+use ndlog_lang::optimizer::{optimize, Pipeline};
 use ndlog_lang::{parse_command, parse_program, Value};
 use ndlog_runtime::{Evaluator, Strategy, Tuple, TupleDelta};
 use std::collections::{BTreeMap, BTreeSet};
@@ -155,7 +156,14 @@ struct Subscription {
 }
 
 struct Core {
+    /// The user-facing program (as typed/loaded — `.rules` shows this).
     program: Program,
+    /// The optimizer pipeline every engine build runs through. Initial
+    /// load and every interactive rebuild (rule/table addition, `.load`)
+    /// compile `optimize(program, pipeline)` — the same entry the batch
+    /// experiments use — so a rule added mid-session executes exactly the
+    /// plan it would have had at load time.
+    pipeline: Pipeline,
     eval: Evaluator,
     epoch: u64,
     commits: Vec<CommittedBatch>,
@@ -201,15 +209,30 @@ impl Service {
     }
 
     /// A service preloaded with a program (its facts are in the initial
-    /// fixpoint; the epoch starts at 0).
+    /// fixpoint; the epoch starts at 0). No optimizer rewrites are applied.
     pub fn from_program(program: &Program) -> Result<Arc<Self>, ServeError> {
-        let mut eval = Evaluator::new(program).map_err(ServeError::new)?;
+        Self::from_program_with(program, Pipeline::identity())
+    }
+
+    /// A service preloaded with a program, compiled through an optimizer
+    /// pipeline. The pipeline is sticky: every later program change (rule
+    /// or table addition, `.load`) rebuilds through the same pipeline, so
+    /// mid-session additions execute the plans they would have had at load
+    /// time.
+    pub fn from_program_with(
+        program: &Program,
+        pipeline: Pipeline,
+    ) -> Result<Arc<Self>, ServeError> {
+        let optimized = optimize(program, &pipeline)
+            .map_err(|e| ServeError::new(format!("optimizer failed: {e}")))?;
+        let mut eval = Evaluator::new(&optimized.program).map_err(ServeError::new)?;
         eval.run(Strategy::Pipelined)
             .map_err(|e| ServeError::new(format!("initial fixpoint failed: {e}")))?;
         eval.drain_tap();
         Ok(Arc::new(Service {
             core: Mutex::new(Core {
                 program: program.clone(),
+                pipeline,
                 eval,
                 epoch: 0,
                 commits: Vec::new(),
@@ -464,13 +487,17 @@ impl Core {
         fresh_label_in(&self.program)
     }
 
-    /// Swap in an extended program: rebuild a fresh engine, replay the
-    /// commit log (incremental == from-scratch, so the store including
-    /// derivation counts is exactly as if the program had always been
-    /// this one), and send subscribers the net visibility diff.
+    /// Swap in an extended program: re-run the optimizer pipeline over the
+    /// whole extended program (the same entry the initial load used, so a
+    /// mid-session rule gets the load-time plan), rebuild a fresh engine,
+    /// replay the commit log (incremental == from-scratch, so the store
+    /// including derivation counts is exactly as if the program had always
+    /// been this one), and send subscribers the net visibility diff.
     fn rebuild(&mut self, program: Program, what: String) -> Result<Response, ServeError> {
         let before = self.subscribed_visible();
-        let mut eval = Evaluator::new(&program).map_err(ServeError::new)?;
+        let optimized = optimize(&program, &self.pipeline)
+            .map_err(|e| ServeError::new(format!("optimizer failed: {e}")))?;
+        let mut eval = Evaluator::new(&optimized.program).map_err(ServeError::new)?;
         let watched: Vec<String> = self.eval.tap().subscribed().map(str::to_string).collect();
         for relation in &watched {
             eval.tap_mut().subscribe(relation.clone());
@@ -906,6 +933,71 @@ mod tests {
                 .count(),
             10
         );
+    }
+
+    #[test]
+    fn rules_added_mid_session_match_load_time_optimization() {
+        use ndlog_lang::reorder::BodyOrder;
+
+        // A pipeline that actually rewrites the program: bodies are
+        // normalized link-last, so the shortest-path rules plan with a
+        // different join order than as written.
+        let pipeline = || Pipeline::new(Vec::new(), Some(BodyOrder::LinkLast));
+        let full = programs::shortest_path("");
+
+        // Service A: the whole program compiled through the pipeline at
+        // load time.
+        let at_load = Service::from_program_with(&full, pipeline()).unwrap();
+        let a_session = figure2(&at_load);
+        let a_sink = CollectSink::new();
+        let a_watcher = at_load.open_session(a_sink.clone());
+        a_watcher.execute_line(".subscribe shortestPath").unwrap();
+
+        // Service B: same pipeline but only the table declarations at load
+        // time; data arrives, a watcher subscribes, and the rules are added
+        // mid-session one at a time (each add rebuilds through the same
+        // pipeline).
+        let mut base = full.clone();
+        base.rules.clear();
+        let mid_session = Service::from_program_with(&base, pipeline()).unwrap();
+        let b_session = figure2(&mid_session);
+        let b_sink = CollectSink::new();
+        let b_watcher = mid_session.open_session(b_sink.clone());
+        b_watcher.execute_line(".subscribe shortestPath").unwrap();
+        assert!(b_sink.drain().is_empty(), "no rules yet, nothing derived");
+        for rule in &full.rules {
+            b_session.execute(Command::Rule(rule.clone())).unwrap();
+        }
+
+        // The subscribed sessions saw identical deltas: A's snapshot (the
+        // load-time fixpoint) equals the net diff B received from the
+        // mid-session additions.
+        let key = |e: &DeltaEvent| {
+            (
+                e.delta.relation.clone(),
+                e.delta.sign == Sign::Insert,
+                e.delta.tuple.clone(),
+            )
+        };
+        let mut a_events: Vec<_> = a_sink.drain().iter().map(key).collect();
+        let mut b_events: Vec<_> = b_sink.drain().iter().map(key).collect();
+        a_events.sort();
+        b_events.sort();
+        assert!(!a_events.is_empty());
+        assert_eq!(a_events, b_events);
+
+        // And the stores are bitwise identical, derivation counts included.
+        assert_eq!(at_load.fingerprint(), mid_session.fingerprint());
+
+        // Further updates keep agreeing: both engines run the same plans.
+        a_session.execute_line("-link(@n0, @n2, 1.0).").unwrap();
+        b_session.execute_line("-link(@n0, @n2, 1.0).").unwrap();
+        let mut a_churn: Vec<_> = a_sink.drain().iter().map(key).collect();
+        let mut b_churn: Vec<_> = b_sink.drain().iter().map(key).collect();
+        a_churn.sort();
+        b_churn.sort();
+        assert!(!a_churn.is_empty());
+        assert_eq!(a_churn, b_churn);
     }
 
     #[test]

@@ -1,0 +1,180 @@
+//! Differential tests for the optimizer pipeline (Section 5.1).
+//!
+//! The optimizer must never change what a query *means*, only what it
+//! costs:
+//!
+//! * **Magic-sets restriction** — on random graphs, the magic-rewritten
+//!   program seeded with one queried destination holds exactly the store
+//!   the unrewritten program holds when restricted to that destination,
+//!   *including per-tuple derivation counts*, under all three evaluation
+//!   strategies (SN / BSN / PSN).
+//! * **Pass levels compose** — `off` is the identity, and the pipeline's
+//!   `all` output equals applying the passes via the canonical builders.
+//! * **Parallel determinism** — the fully optimized (reordered + doubly
+//!   magic) source-routing program runs bit-for-bit identically across
+//!   1 / 2 / 4 executor threads on the distributed engine.
+
+use ndlog_core::consistency::check_bitwise_identical;
+use ndlog_core::{plan, DistributedEngine, EngineConfig, NodeConfig};
+use ndlog_lang::optimizer::{optimize, PassSet};
+use ndlog_lang::{programs, Value};
+use ndlog_net::gtitm::{generate, TransitStubConfig};
+use ndlog_net::overlay::{Overlay, OverlayConfig};
+use ndlog_net::NodeAddr;
+use ndlog_runtime::{Evaluator, Strategy as EvalStrategy, Tuple};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn link(a: u32, b: u32, c: f64) -> Tuple {
+    Tuple::new(vec![Value::addr(a), Value::addr(b), Value::Float(c)])
+}
+
+/// A random directed edge list over `n` nodes (no self-loops).
+fn edges_strategy(max_nodes: u32, max_edges: usize) -> impl Strategy<Value = Vec<(u32, u32, u8)>> {
+    (2..=max_nodes).prop_flat_map(move |n| {
+        prop::collection::vec(
+            (0..n, 0..n, 1u8..10u8).prop_filter("no self-loops", |(a, b, _)| a != b),
+            1..=max_edges,
+        )
+    })
+}
+
+/// `(relation, derivation count, tuple)` rows of the relations the
+/// shortest-path programs derive, restricted to destination `dst`
+/// (column 1 of `path` / `spCost` / `shortestPath`).
+fn store_rows_for_dst(eval: &Evaluator, dst: u32) -> BTreeSet<(String, u64, Tuple)> {
+    let mut rows = BTreeSet::new();
+    for relation in ["path", "spCost", "shortestPath"] {
+        if let Some(stored) = eval.store().relation(relation) {
+            for entry in stored.iter() {
+                if entry.tuple.get(1) == Some(&Value::addr(dst)) {
+                    rows.insert((relation.to_string(), entry.count, entry.tuple.clone()));
+                }
+            }
+        }
+    }
+    rows
+}
+
+fn run_program(
+    program: &ndlog_lang::ast::Program,
+    edges: &[(u32, u32, u8)],
+    magic_dst: Option<u32>,
+    strategy: EvalStrategy,
+) -> Evaluator {
+    let mut eval = Evaluator::new(program).expect("program plans");
+    if let Some(d) = magic_dst {
+        eval.insert_fact("magicDst", Tuple::new(vec![Value::addr(d)]));
+    }
+    for &(a, b, c) in edges {
+        eval.insert_fact("link", link(a, b, f64::from(c)));
+    }
+    eval.run(strategy).expect("fixpoint");
+    eval
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The magic-rewritten program, seeded with one destination, computes
+    /// exactly the unrewritten program's store restricted to that
+    /// destination — same tuples, same derivation counts — under every
+    /// evaluation strategy.
+    #[test]
+    fn magic_restriction_is_exact_on_random_graphs(edges in edges_strategy(6, 12)) {
+        let dst = edges[0].1;
+        let full_program = programs::shortest_path("");
+        let magic_program = programs::shortest_path_magic_dst("");
+        for strategy in [
+            EvalStrategy::SemiNaive,
+            EvalStrategy::Buffered { batch: 2 },
+            EvalStrategy::Pipelined,
+        ] {
+            let full = run_program(&full_program, &edges, None, strategy);
+            let magic = run_program(&magic_program, &edges, Some(dst), strategy);
+            prop_assert_eq!(
+                store_rows_for_dst(&full, dst),
+                store_rows_for_dst(&magic, dst),
+                "strategy {:?}, dst {}", strategy, dst
+            );
+        }
+    }
+}
+
+/// `PassSet::OFF` is the identity rewrite, and the full pipeline output
+/// equals the canonical pre-optimized builders.
+#[test]
+fn pass_levels_compose() {
+    let base = programs::shortest_path_source_routing_base("");
+    let pipeline = programs::source_routing_pipeline("");
+
+    let off = optimize(&base, &pipeline.clone().with_passes(PassSet::OFF)).unwrap();
+    assert_eq!(off.program, base);
+    assert_eq!(off.report.describe(), "identity");
+
+    let all = optimize(&base, &pipeline).unwrap();
+    assert_eq!(all.program, programs::shortest_path_source_routing(""));
+    assert!(all.report.describe().contains("magic"));
+    assert!(all.report.describe().contains("reorder"));
+}
+
+/// The fully optimized source-routing program (reordered + magicSrc +
+/// magicDst) is deterministic across executor thread counts: stores,
+/// statistics and the message trace are bit-for-bit identical.
+#[test]
+fn optimized_program_is_bitwise_identical_across_threads() {
+    let ts = generate(&TransitStubConfig::small());
+    let overlay = Overlay::random_neighbors(&ts.topology, &OverlayConfig::default());
+    let n = overlay.node_count();
+    let (src, dst) = (NodeAddr(0), NodeAddr((n - 1) as u32));
+
+    let build = |threads: usize| -> DistributedEngine {
+        let program = programs::shortest_path_source_routing("");
+        let query_plan = plan(&program).expect("optimized program plans");
+        let config = EngineConfig {
+            node: NodeConfig {
+                aggregate_selections: true,
+                ..Default::default()
+            },
+            parallelism: threads,
+            ..Default::default()
+        };
+        let mut engine =
+            DistributedEngine::new(overlay.graph.clone(), &[query_plan], config).unwrap();
+        for l in overlay.links() {
+            engine
+                .insert_base(
+                    l.src,
+                    "link",
+                    link(
+                        l.src.0,
+                        l.dst.0,
+                        l.cost(ndlog_net::topology::Metric::HopCount),
+                    ),
+                )
+                .unwrap();
+        }
+        engine
+            .insert_base(src, "magicSrc", Tuple::new(vec![Value::Addr(src)]))
+            .unwrap();
+        engine
+            .insert_base(dst, "magicDst", Tuple::new(vec![Value::Addr(dst)]))
+            .unwrap();
+        engine
+    };
+
+    let mut sequential = build(1);
+    let report = sequential.run_to_quiescence().unwrap();
+    assert!(report.quiesced);
+    assert!(
+        sequential.result_count("shortestPath") > 0,
+        "the seeded query found its path"
+    );
+    for threads in [2, 4] {
+        let mut parallel = build(threads);
+        let par_report = parallel.run_to_quiescence().unwrap();
+        assert_eq!(par_report, report, "reports differ at {threads} threads");
+        check_bitwise_identical(&sequential, &parallel)
+            .unwrap_or_else(|e| panic!("{threads} threads: {e}"));
+    }
+}
