@@ -6,7 +6,10 @@
 //!
 //! <figure>    fig7 | fig8 | fig9 | fig10 | fig11 | fig12 | fig13 | fig14 |
 //!             scaling | micro | vectorization | optimizer | summary | all
-//! [scale]     paper (default, 100 nodes) | small (14 nodes) | large (264 nodes)
+//! [scale]     paper (default, 100 nodes) | small (14 nodes) | medium (52) |
+//!             large (264) | 1k (1010) | 4k (4016) | 10k (10100); `scaling`
+//!             also accepts a comma list (e.g. large,1k) and emits one
+//!             trajectory report covering every listed scale
 //! --optimize P  optimizer pass level for the figure experiments:
 //!             off | magic | reorder | all (default all). Every figure's
 //!             plans compile through the same optimizer pipeline; this
@@ -35,6 +38,7 @@ use ndlog_bench::experiments::{
     incremental_updates_interleaved_with, incremental_updates_with, magic_sets_with,
     message_sharing, message_sharing_with, micro_runtime, optimizer_bench, parallel_scaling,
     periodic_aggregate_selections, periodic_aggregate_selections_with, ScalingReference,
+    ScalingTrajectory,
 };
 use ndlog_bench::Scale;
 use ndlog_lang::PassSet;
@@ -43,7 +47,8 @@ use ndlog_net::topology::Metric;
 fn usage() -> ! {
     eprintln!(
         "usage: experiments <fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|scaling|micro|\
-         vectorization|optimizer|summary|all> [paper|small|large] [--optimize off|magic|reorder|all] \
+         vectorization|optimizer|summary|all> [paper|small|medium|large|1k|4k|10k] \
+         (comma list for `scaling`) [--optimize off|magic|reorder|all] \
          [--threads N] [--json PATH] [--baseline PATH] [--reference PATH]"
     );
     std::process::exit(2);
@@ -53,6 +58,9 @@ fn usage() -> ! {
 struct Options {
     figure: String,
     scale: Scale,
+    /// Every scale the `scaling` figure should measure (a comma list on
+    /// the command line); always contains `scale` first.
+    scales: Vec<Scale>,
     /// Maximum executor thread count for the scaling figure.
     threads: usize,
     /// Where to write the figure's JSON report, if anywhere.
@@ -104,10 +112,17 @@ fn parse_args(args: &[String]) -> Options {
         }
     }
     let figure = positional.first().cloned().unwrap_or_else(|| usage());
-    let scale = match positional.get(1) {
-        None => Scale::Paper,
-        Some(s) => Scale::parse(s).unwrap_or_else(|| usage()),
+    let scales: Vec<Scale> = match positional.get(1) {
+        None => vec![Scale::Paper],
+        Some(s) => s
+            .split(',')
+            .map(|part| Scale::parse(part).unwrap_or_else(|| usage()))
+            .collect(),
     };
+    if scales.len() > 1 && figure != "scaling" {
+        eprintln!("a comma list of scales applies only to the `scaling` figure");
+        usage();
+    }
     if positional.len() > 2 {
         usage();
     }
@@ -135,7 +150,8 @@ fn parse_args(args: &[String]) -> Options {
     }
     Options {
         figure,
-        scale,
+        scale: scales[0],
+        scales,
         threads: threads.unwrap_or(4),
         json,
         baseline,
@@ -176,6 +192,10 @@ fn run_micro(options: &Options) {
             ("indexed_batch_us_per_trigger", result.indexed_batch_us),
             ("indexed_grouped_us_per_trigger", result.indexed_grouped_us),
             ("dup_grouped_us_per_trigger", result.dup_grouped_us),
+            (
+                "delivery_coalesced_us_per_trigger",
+                result.delivery_coalesced_us,
+            ),
         ] {
             let committed =
                 json_number(&text, field).unwrap_or_else(|| panic!("{path} has no {field}"));
@@ -235,7 +255,13 @@ fn thread_ladder(max: usize) -> Vec<usize> {
 
 fn run_scaling(options: &Options) {
     let counts = thread_ladder(options.threads);
-    let result = parallel_scaling(options.scale, &counts);
+    let result = ScalingTrajectory {
+        entries: options
+            .scales
+            .iter()
+            .map(|&scale| parallel_scaling(scale, &counts))
+            .collect(),
+    };
     println!("{}", result.render());
     if let Some(path) = &options.json {
         std::fs::write(path, result.to_json()).unwrap_or_else(|e| panic!("writing {path}: {e}"));
@@ -245,8 +271,8 @@ fn run_scaling(options: &Options) {
 
 fn magic_query_counts(scale: Scale) -> (usize, Vec<usize>) {
     match scale {
-        Scale::Paper | Scale::Large => (200, vec![25, 50, 75, 100, 125, 150, 175, 200]),
-        Scale::Small => (12, vec![4, 8, 12]),
+        Scale::Small | Scale::Medium => (12, vec![4, 8, 12]),
+        _ => (200, vec![25, 50, 75, 100, 125, 150, 175, 200]),
     }
 }
 

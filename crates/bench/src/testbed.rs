@@ -24,10 +24,22 @@ pub enum Scale {
     Paper,
     /// A 14-node setup for tests and Criterion benches.
     Small,
+    /// A 52-node setup for CI smoke runs: big enough to exercise the
+    /// epoch executor across several transit domains, small enough to
+    /// finish all-pairs in seconds.
+    Medium,
     /// A 264-node setup (8 transit nodes, 4 stubs per transit, 8 nodes per
     /// stub) used by the parallel-scaling bench, where per-epoch work must
     /// be large enough to amortize thread dispatch.
     Large,
+    /// A 1010-node setup. All-pairs is infeasible here; the scaling bench
+    /// drives it with a Zipf-skewed traffic matrix of source-routing
+    /// (magic) queries instead.
+    OneK,
+    /// A 4016-node setup for multicore hardware (not run in CI).
+    FourK,
+    /// A 10100-node setup for multicore hardware (not run in CI).
+    TenK,
 }
 
 impl Scale {
@@ -36,12 +48,16 @@ impl Scale {
         match self {
             Scale::Paper => TransitStubConfig::paper(),
             Scale::Small => TransitStubConfig::small(),
+            Scale::Medium => TransitStubConfig::medium(),
             Scale::Large => TransitStubConfig {
                 transit_nodes: 8,
                 stubs_per_transit: 4,
                 nodes_per_stub: 8,
                 ..TransitStubConfig::paper()
             },
+            Scale::OneK => TransitStubConfig::one_k(),
+            Scale::FourK => TransitStubConfig::four_k(),
+            Scale::TenK => TransitStubConfig::ten_k(),
         }
     }
 
@@ -50,7 +66,11 @@ impl Scale {
         match s {
             "paper" | "full" | "100" => Some(Scale::Paper),
             "small" | "test" => Some(Scale::Small),
+            "medium" | "52" => Some(Scale::Medium),
             "large" | "264" => Some(Scale::Large),
+            "1k" | "onek" | "1010" => Some(Scale::OneK),
+            "4k" | "fourk" | "4016" => Some(Scale::FourK),
+            "10k" | "tenk" | "10100" => Some(Scale::TenK),
             _ => None,
         }
     }
@@ -60,8 +80,22 @@ impl Scale {
         match self {
             Scale::Paper => "paper",
             Scale::Small => "small",
+            Scale::Medium => "medium",
             Scale::Large => "large",
+            Scale::OneK => "1k",
+            Scale::FourK => "4k",
+            Scale::TenK => "10k",
         }
+    }
+
+    /// Whether all-pairs workloads are feasible at this scale; larger
+    /// scales are driven by bounded query sets (a traffic matrix of
+    /// source-routing queries) instead of `n * (n - 1)` results.
+    pub fn all_pairs_feasible(self) -> bool {
+        matches!(
+            self,
+            Scale::Paper | Scale::Small | Scale::Medium | Scale::Large
+        )
     }
 }
 
@@ -222,9 +256,25 @@ mod tests {
     fn scale_parsing() {
         assert_eq!(Scale::parse("paper"), Some(Scale::Paper));
         assert_eq!(Scale::parse("small"), Some(Scale::Small));
+        assert_eq!(Scale::parse("medium"), Some(Scale::Medium));
         assert_eq!(Scale::parse("large"), Some(Scale::Large));
+        assert_eq!(Scale::parse("1k"), Some(Scale::OneK));
+        assert_eq!(Scale::parse("4k"), Some(Scale::FourK));
+        assert_eq!(Scale::parse("10k"), Some(Scale::TenK));
         assert_eq!(Scale::parse("bogus"), None);
         assert_eq!(Scale::Large.label(), "large");
+        assert_eq!(Scale::OneK.label(), "1k");
+    }
+
+    #[test]
+    fn big_scales_are_not_all_pairs() {
+        assert!(Scale::Large.all_pairs_feasible());
+        assert!(Scale::Medium.all_pairs_feasible());
+        assert!(!Scale::OneK.all_pairs_feasible());
+        assert!(!Scale::TenK.all_pairs_feasible());
+        assert_eq!(Scale::OneK.transit_stub().total_nodes(), 1010);
+        assert_eq!(Scale::FourK.transit_stub().total_nodes(), 4016);
+        assert_eq!(Scale::TenK.transit_stub().total_nodes(), 10100);
     }
 
     #[test]

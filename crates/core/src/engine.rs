@@ -17,15 +17,21 @@
 //! evaluation metrics: *convergence time* (time until all results reach
 //! their final value) and *% results over time* (Figures 8 and 10).
 //!
-//! With [`EngineConfig::parallelism`] ≥ 2 the event loop switches from
-//! one-event-at-a-time to *epochs*: batches of events within a
-//! conservative lookahead window are evaluated concurrently by the
-//! [`crate::exec`] subsystem and their effects merged back in `(time,
-//! seq)` order, producing bit-for-bit the same stores, statistics and
-//! message trace as the sequential loop.
+//! The event loop always runs in *epochs*: batches of events within a
+//! conservative lookahead window are evaluated by the [`crate::exec`]
+//! subsystem and their effects merged back in `(time, seq)` order. With
+//! [`EngineConfig::parallelism`] ≥ 2 the epoch's nodes are sharded across
+//! that many OS threads; with 1 thread the same dispatch runs inline on
+//! the caller. Either way a run is bit-for-bit identical across thread
+//! counts. Consecutive same-node deliveries within an epoch are merged
+//! into one receive batch by default
+//! ([`EngineConfig::coalesce_deliveries`]), and the wire payload buffers
+//! circulate through per-node arenas ([`crate::exec::arena`]) instead of
+//! being reallocated per message.
 
 use crate::exec::{
-    outbound_batches, result_records, EpochExecutor, NodeAction, NodeTask, OutboundBatch,
+    outbound_batches, result_records, ArenaStats, EpochExecutor, NodeAction, NodeTask,
+    OutboundBatch,
 };
 use crate::node::{NodeConfig, NodeEngine};
 use crate::plan::QueryPlan;
@@ -54,11 +60,17 @@ pub struct EngineConfig {
     /// Relations whose propagation is blocked at specific nodes (used by
     /// the query-result caching experiment).
     pub blocked_propagation: BTreeMap<String, BTreeSet<NodeAddr>>,
-    /// Number of executor threads (default 1 = the classic sequential
-    /// event loop). Any value ≥ 2 shards the simulated nodes across that
-    /// many OS threads per epoch; results are bit-for-bit identical to a
-    /// sequential run (see [`crate::exec`]).
+    /// Number of executor threads (default 1 = epochs evaluated inline on
+    /// the caller). Any value ≥ 2 shards the simulated nodes across that
+    /// many OS threads per epoch; results are bit-for-bit identical at
+    /// every thread count (see [`crate::exec`]).
     pub parallelism: usize,
+    /// Merge consecutive same-node deliveries within an epoch into one
+    /// receive batch (default `true`). Coalescing is a different — wider-
+    /// batched — evaluation schedule than per-event delivery, so traffic
+    /// traces differ between the two settings; within either setting,
+    /// results are thread-count invariant (see [`crate::exec::executor`]).
+    pub coalesce_deliveries: bool,
 }
 
 impl Default for EngineConfig {
@@ -69,6 +81,29 @@ impl Default for EngineConfig {
             max_seconds: 600.0,
             blocked_propagation: BTreeMap::new(),
             parallelism: 1,
+            coalesce_deliveries: true,
+        }
+    }
+}
+
+/// Delivery-schedule statistics of a run: how many message deliveries were
+/// ingested and in how many receive batches the coalescer processed them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeliveryStats {
+    /// Message deliveries ingested by the event loop.
+    pub deliveries: u64,
+    /// Receive batches those deliveries were processed in.
+    pub receive_batches: u64,
+}
+
+impl DeliveryStats {
+    /// Mean number of deliveries merged into one receive batch (1.0 when
+    /// coalescing is off or no two deliveries were adjacent).
+    pub fn mean_batch_width(&self) -> f64 {
+        if self.receive_batches == 0 {
+            0.0
+        } else {
+            self.deliveries as f64 / self.receive_batches as f64
         }
     }
 }
@@ -146,8 +181,11 @@ pub struct DistributedEngine {
     flush_pending: BTreeSet<NodeAddr>,
     sharing_enabled: bool,
     max_seconds: f64,
-    /// Present iff parallelism ≥ 2; drives the epoch-parallel event loop.
-    executor: Option<EpochExecutor>,
+    /// Drives the epoch event loop (inline at 1 thread, pooled above).
+    executor: EpochExecutor,
+    /// Delivery-coalescing mode, kept for executor rebuilds.
+    coalesce: bool,
+    delivery_stats: DeliveryStats,
 }
 
 impl DistributedEngine {
@@ -191,22 +229,41 @@ impl DistributedEngine {
             flush_pending: BTreeSet::new(),
             sharing_enabled,
             max_seconds: config.max_seconds,
-            executor: (config.parallelism >= 2)
-                .then(|| EpochExecutor::new(config.parallelism, sharing_enabled)),
+            executor: EpochExecutor::new(config.parallelism, sharing_enabled)
+                .coalescing(config.coalesce_deliveries),
+            coalesce: config.coalesce_deliveries,
+            delivery_stats: DeliveryStats::default(),
         })
     }
 
-    /// The number of executor threads in effect (1 = sequential loop).
+    /// The number of executor threads in effect (1 = inline epochs).
     pub fn parallelism(&self) -> usize {
-        self.executor.as_ref().map_or(1, EpochExecutor::threads)
+        self.executor.threads()
     }
 
-    /// Change the number of executor threads. `threads <= 1` restores the
-    /// sequential event loop; `threads >= 2` shards nodes across that many
-    /// OS threads per epoch. Safe to flip between runs — results are
-    /// bit-for-bit identical either way.
+    /// Change the number of executor threads. `threads <= 1` evaluates
+    /// epochs inline on the caller; `threads >= 2` shards nodes across
+    /// that many OS threads per epoch. Safe to flip between runs —
+    /// results are bit-for-bit identical either way.
     pub fn set_parallelism(&mut self, threads: usize) {
-        self.executor = (threads >= 2).then(|| EpochExecutor::new(threads, self.sharing_enabled));
+        self.executor = EpochExecutor::new(threads, self.sharing_enabled).coalescing(self.coalesce);
+    }
+
+    /// Delivery/receive-batch counters accumulated by the event loop (the
+    /// coalescer's receive-batch-width statistic).
+    pub fn delivery_stats(&self) -> DeliveryStats {
+        self.delivery_stats
+    }
+
+    /// Wire-buffer arena counters summed over all nodes: the per-message
+    /// allocation demand vs. the backing capacity the pools actually
+    /// created (see [`crate::exec::arena`]).
+    pub fn arena_stats(&self) -> ArenaStats {
+        let mut total = ArenaStats::default();
+        for node in self.nodes.values() {
+            total.absorb(node.arena_stats());
+        }
+        total
     }
 
     /// Current simulation time in seconds.
@@ -393,44 +450,6 @@ impl DistributedEngine {
         ));
     }
 
-    /// Process events until the simulation time exceeds `seconds` or the
-    /// network quiesces. Returns a report of the run so far.
-    ///
-    /// With [`EngineConfig::parallelism`] ≥ 2 this drains the simulator in
-    /// epochs and evaluates them on the worker pool; otherwise it is the
-    /// classic one-event-at-a-time loop. Both produce identical results.
-    pub fn run_until(&mut self, seconds: f64) -> Result<RunReport, EvalError> {
-        if self.executor.is_some() {
-            return self.run_until_epochs(seconds);
-        }
-        let limit = ms(seconds * 1000.0);
-        let mut quiesced = true;
-        while let Some(next) = self.sim.peek_time() {
-            if next > limit {
-                quiesced = false;
-                break;
-            }
-            let event = self.sim.next_event().expect("peeked event exists");
-            match event.kind {
-                ndlog_net::EventKind::Delivery(message) => {
-                    let to = message.to;
-                    self.nodes
-                        .get_mut(&to)
-                        .expect("delivery to known node")
-                        .receive(message.payload);
-                    self.process_node(to)?;
-                }
-                ndlog_net::EventKind::Timer { node, token } if token == FLUSH_TOKEN => {
-                    let flushed = self.nodes.get_mut(&node).expect("known node").flush();
-                    let batches = outbound_batches(self.sharing_enabled, flushed);
-                    self.apply_effects(node, Vec::new(), batches, false, true);
-                }
-                ndlog_net::EventKind::Timer { .. } => {}
-            }
-        }
-        Ok(self.report(quiesced))
-    }
-
     /// The conservative lookahead window for epoch draining: no larger
     /// than the minimum link propagation delay (a message sent inside the
     /// window cannot arrive inside it) nor than the nodes' flush interval
@@ -447,10 +466,14 @@ impl DistributedEngine {
         window.max(1)
     }
 
-    /// The epoch-parallel twin of the sequential `run_until` loop: drain
-    /// an epoch, evaluate it concurrently, replay the merged outcomes in
-    /// `(time, seq)` order (see [`crate::exec`] for the full contract).
-    fn run_until_epochs(&mut self, seconds: f64) -> Result<RunReport, EvalError> {
+    /// Process events until the simulation time exceeds `seconds` or the
+    /// network quiesces. Returns a report of the run so far.
+    ///
+    /// Drains the simulator in epochs, evaluates each on the executor
+    /// (inline at 1 thread, on the worker pool above), and replays the
+    /// merged outcomes in `(time, seq)` order (see [`crate::exec`] for
+    /// the full contract).
+    pub fn run_until(&mut self, seconds: f64) -> Result<RunReport, EvalError> {
         let limit = ms(seconds * 1000.0);
         let window = self.epoch_window();
         let mut quiesced = true;
@@ -478,8 +501,9 @@ impl DistributedEngine {
                     ndlog_net::EventKind::Timer { .. } => {}
                 }
             }
-            let executor = self.executor.as_ref().expect("epoch mode has an executor");
-            let result = executor.run_epoch(&mut self.nodes, tasks);
+            let result = self.executor.run_epoch(&mut self.nodes, tasks);
+            self.delivery_stats.deliveries += result.deliveries;
+            self.delivery_stats.receive_batches += result.receive_batches;
             for outcome in result.outcomes {
                 self.sim.advance_to(outcome.time);
                 self.apply_effects(

@@ -25,7 +25,14 @@
 //!    stolen nodes — `receive` → `set_time` → `expire_soft_state` →
 //!    `process` for deliveries, `flush` for flush timers — recording one
 //!    [`EpochOutcome`] per task *without* touching any shared mutable
-//!    state;
+//!    state. With **delivery coalescing** (the default), a run of
+//!    consecutive deliveries to the same node is merged into one receive
+//!    batch: every payload is ingested, then a single
+//!    `set_time`/`expire_soft_state`/`process` runs at the run's *last*
+//!    `(time, seq)`, handing `fire_batch` one wide delta batch instead of
+//!    many single-row rounds (the whole point of the key-grouped probe
+//!    path). Flush timers break a run, so flush ordering relative to
+//!    deliveries is preserved;
 //! 4. **pre-serialization**: the lane also renders each outcome's effects
 //!    into their replay-ready form — tracked-relation changes become
 //!    timestamped [`ResultRecord`]s and each outbound batch's wire size is
@@ -50,6 +57,18 @@
 //! statistics and the result log are all byte-for-byte identical to a
 //! single-threaded run — `threads = N` is observationally equivalent to
 //! `threads = 1`.
+//!
+//! Delivery coalescing preserves this contract across thread counts: the
+//! merge structure (which consecutive deliveries fuse into one batch) is a
+//! pure function of the epoch's per-node task sequences, which are fixed
+//! before any lane runs — it never depends on lane assignment or timing.
+//! Coalescing *is* a different evaluation schedule than per-event delivery
+//! (a merged batch processes at its last member's timestamp, so sends
+//! merge and traffic traces differ between the two modes), which is why it
+//! is a mode on the executor rather than an always-on rewrite: within
+//! either mode, any thread count is bit-for-bit identical to the same mode
+//! at `threads = 1`, and both modes reach the same fixpoint on the result
+//! relations (see the `coalescing` integration test).
 //!
 //! On an evaluation error the guarantee is narrower (see [`EpochResult`]):
 //! the error surfaced is the one the sequential loop would have hit first,
@@ -196,6 +215,12 @@ pub struct EpochResult {
     pub outcomes: Vec<EpochOutcome>,
     /// The earliest evaluation error, if any task failed.
     pub error: Option<EvalError>,
+    /// Number of message deliveries the epoch ingested.
+    pub deliveries: u64,
+    /// Number of receive batches those deliveries were processed in
+    /// (`deliveries / receive_batches` is the mean receive-batch width the
+    /// coalescer achieved; equal to `deliveries` when coalescing is off).
+    pub receive_batches: u64,
 }
 
 /// The parallel epoch executor: a worker pool plus the dispatch/merge
@@ -207,6 +232,9 @@ pub struct EpochExecutor {
     /// Message-sharing mode of the owning engine, needed to pre-compute
     /// outbound wire sizes in the lanes.
     sharing_enabled: bool,
+    /// Merge consecutive same-node deliveries into one receive batch
+    /// (default on; see the module docs).
+    coalesce: bool,
 }
 
 impl EpochExecutor {
@@ -216,13 +244,22 @@ impl EpochExecutor {
     /// pool), which exercises the same queue/steal/merge path and is
     /// useful for differential testing. `sharing_enabled` selects the
     /// wire-size accounting used to pre-serialize outbound batches.
+    /// Delivery coalescing defaults to on; [`EpochExecutor::coalescing`]
+    /// turns it off.
     pub fn new(threads: usize, sharing_enabled: bool) -> EpochExecutor {
         let threads = threads.max(1);
         EpochExecutor {
             pool: (threads > 1).then(|| WorkerPool::new(threads - 1)),
             threads,
             sharing_enabled,
+            coalesce: true,
         }
+    }
+
+    /// Enable or disable delivery coalescing (builder-style).
+    pub fn coalescing(mut self, on: bool) -> EpochExecutor {
+        self.coalesce = on;
+        self
     }
 
     /// The configured worker count.
@@ -243,6 +280,8 @@ impl EpochExecutor {
             return EpochResult {
                 outcomes: Vec::new(),
                 error: None,
+                deliveries: 0,
+                receive_batches: 0,
             };
         }
         // Group per node, preserving (time, seq) order within each node.
@@ -269,8 +308,8 @@ impl EpochExecutor {
 
         let lanes = self.threads;
         let sharing = self.sharing_enabled;
-        let mut results: Vec<(Vec<EpochOutcome>, Option<FailedAt>)> =
-            (0..lanes).map(|_| (Vec::new(), None)).collect();
+        let coalesce = self.coalesce;
+        let mut results: Vec<LaneResult> = (0..lanes).map(|_| LaneResult::default()).collect();
         match &self.pool {
             Some(pool) => {
                 let queue = &queue;
@@ -278,14 +317,14 @@ impl EpochExecutor {
                     .iter_mut()
                     .map(|slot| {
                         let job: Box<dyn FnOnce() + Send + '_> =
-                            Box::new(move || *slot = drain_lane(queue, sharing));
+                            Box::new(move || *slot = drain_lane(queue, sharing, coalesce));
                         job
                     })
                     .collect();
                 pool.scope(jobs);
             }
             None => {
-                results[0] = drain_lane(&queue, sharing);
+                results[0] = drain_lane(&queue, sharing, coalesce);
             }
         }
 
@@ -297,9 +336,13 @@ impl EpochExecutor {
         // applied before failing.
         let mut outcomes = Vec::new();
         let mut first_error: Option<FailedAt> = None;
-        for (lane_outcomes, lane_error) in results {
-            outcomes.extend(lane_outcomes);
-            if let Some(failed) = lane_error {
+        let mut deliveries = 0u64;
+        let mut receive_batches = 0u64;
+        for lane in results {
+            outcomes.extend(lane.outcomes);
+            deliveries += lane.deliveries;
+            receive_batches += lane.receive_batches;
+            if let Some(failed) = lane.error {
                 match &first_error {
                     Some(existing)
                         if (existing.time, existing.seq) <= (failed.time, failed.seq) => {}
@@ -314,13 +357,32 @@ impl EpochExecutor {
         EpochResult {
             outcomes,
             error: first_error.map(|f| f.error),
+            deliveries,
+            receive_batches,
         }
     }
 }
 
+/// What one lane collected: outcomes, the earliest failure, and the
+/// delivery/receive-batch counters feeding the engine's batch-width
+/// statistics. Counters are kept out of [`crate::node::NodeEngine`]'s
+/// `EvalStats` on purpose — they describe the *schedule*, not the
+/// evaluation, and must not perturb the bitwise-identity oracle.
+#[derive(Default)]
+struct LaneResult {
+    outcomes: Vec<EpochOutcome>,
+    error: Option<FailedAt>,
+    deliveries: u64,
+    receive_batches: u64,
+}
+
 /// One lane's share of an epoch: steal per-node work items from the shared
 /// queue until it is dry, mirroring the sequential engine's per-event
-/// recipe exactly and pre-serializing each outcome's effects. A task error
+/// recipe exactly and pre-serializing each outcome's effects. With
+/// `coalesce` on, a run of consecutive deliveries to the node is ingested
+/// back to back and processed once at the run's last `(time, seq)` — the
+/// merge structure depends only on the node's task sequence, never on lane
+/// assignment, so it is identical at every thread count. A task error
 /// stops that *node* (its remaining tasks are skipped, as the sequential
 /// loop would never reach them) but not the lane: other nodes still run,
 /// and the earliest failure by `(time, seq)` is reported alongside the
@@ -328,46 +390,65 @@ impl EpochExecutor {
 fn drain_lane(
     queue: &WorkQueue<(&mut NodeEngine, Vec<NodeTask>)>,
     sharing_enabled: bool,
-) -> (Vec<EpochOutcome>, Option<FailedAt>) {
-    let mut outcomes = Vec::new();
-    let mut first_error: Option<FailedAt> = None;
-    while let Some((node, tasks)) = queue.pop() {
-        for task in tasks {
+    coalesce: bool,
+) -> LaneResult {
+    let mut lane = LaneResult::default();
+    'nodes: while let Some((node, tasks)) = queue.pop() {
+        let mut tasks = tasks.into_iter().peekable();
+        while let Some(task) = tasks.next() {
             debug_assert_eq!(task.node, node.addr());
             match task.action {
                 NodeAction::Deliver(payload) => {
                     node.receive(payload);
-                    node.set_time(task.time);
-                    node.expire_soft_state(task.time);
+                    let (mut time, mut seq) = (task.time, task.seq);
+                    lane.deliveries += 1;
+                    lane.receive_batches += 1;
+                    if coalesce {
+                        // Extend the receive batch over the consecutive
+                        // deliveries that follow; a flush timer ends it.
+                        while matches!(
+                            tasks.peek(),
+                            Some(NodeTask {
+                                action: NodeAction::Deliver(_),
+                                ..
+                            })
+                        ) {
+                            let next = tasks.next().expect("peeked task exists");
+                            let NodeAction::Deliver(payload) = next.action else {
+                                unreachable!("peek guaranteed a delivery");
+                            };
+                            node.receive(payload);
+                            (time, seq) = (next.time, next.seq);
+                            lane.deliveries += 1;
+                        }
+                    }
+                    node.set_time(time);
+                    node.expire_soft_state(time);
                     match node.process() {
-                        Ok(output) => outcomes.push(EpochOutcome {
-                            time: task.time,
-                            seq: task.seq,
+                        Ok(output) => lane.outcomes.push(EpochOutcome {
+                            time,
+                            seq,
                             node: task.node,
-                            records: result_records(task.node, task.time, output.changes),
+                            records: result_records(task.node, time, output.changes),
                             sends: outbound_batches(sharing_enabled, output.outbound),
                             request_flush: output.request_flush,
                             was_flush: false,
                         }),
                         Err(error) => {
-                            let failed = FailedAt {
-                                time: task.time,
-                                seq: task.seq,
-                                error,
-                            };
-                            match &first_error {
+                            let failed = FailedAt { time, seq, error };
+                            match &lane.error {
                                 Some(existing)
                                     if (existing.time, existing.seq)
                                         <= (failed.time, failed.seq) => {}
-                                _ => first_error = Some(failed),
+                                _ => lane.error = Some(failed),
                             }
-                            break;
+                            continue 'nodes;
                         }
                     }
                 }
                 NodeAction::Flush => {
                     let flushed = node.flush();
-                    outcomes.push(EpochOutcome {
+                    lane.outcomes.push(EpochOutcome {
                         time: task.time,
                         seq: task.seq,
                         node: task.node,
@@ -380,7 +461,7 @@ fn drain_lane(
             }
         }
     }
-    (outcomes, first_error)
+    lane
 }
 
 #[cfg(test)]
@@ -562,5 +643,81 @@ mod tests {
         assert_eq!(EpochExecutor::new(0, false).threads(), 1);
         assert_eq!(EpochExecutor::new(1, false).threads(), 1);
         assert_eq!(EpochExecutor::new(3, false).threads(), 3);
+    }
+
+    fn same_node_deliveries() -> Vec<NodeTask> {
+        (0..3u64)
+            .map(|i| NodeTask {
+                time: 1000 + i,
+                seq: i,
+                node: NodeAddr(0),
+                action: NodeAction::Deliver(vec![link(0, i as u32 + 1, 1.0)]),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn consecutive_deliveries_coalesce_into_one_receive_batch() {
+        let executor = EpochExecutor::new(1, false);
+        let mut nodes = make_nodes(1);
+        let result = executor.run_epoch(&mut nodes, same_node_deliveries());
+        assert!(result.error.is_none());
+        assert_eq!(result.outcomes.len(), 1, "one merged outcome");
+        // The merged outcome carries the last member's (time, seq).
+        assert_eq!((result.outcomes[0].time, result.outcomes[0].seq), (1002, 2));
+        assert_eq!(result.deliveries, 3);
+        assert_eq!(result.receive_batches, 1);
+        assert_eq!(nodes[&NodeAddr(0)].store().count("path"), 3);
+    }
+
+    #[test]
+    fn coalescing_off_restores_per_event_outcomes() {
+        let executor = EpochExecutor::new(1, false).coalescing(false);
+        let mut nodes = make_nodes(1);
+        let result = executor.run_epoch(&mut nodes, same_node_deliveries());
+        assert!(result.error.is_none());
+        assert_eq!(result.outcomes.len(), 3);
+        assert_eq!(result.deliveries, 3);
+        assert_eq!(result.receive_batches, 3);
+        assert_eq!(nodes[&NodeAddr(0)].store().count("path"), 3);
+    }
+
+    #[test]
+    fn flush_timers_break_a_coalesced_run() {
+        let executor = EpochExecutor::new(1, false);
+        let plan = plan(&programs::shortest_path("")).unwrap();
+        let strands = Arc::new(plan.strands.clone());
+        let config = NodeConfig {
+            sharing_delay: Some(300_000),
+            ..Default::default()
+        };
+        let engine = NodeEngine::new(NodeAddr(0), &[plan], strands, config).unwrap();
+        let mut nodes: BTreeMap<NodeAddr, NodeEngine> = [(NodeAddr(0), engine)].into();
+        let deliver = |time: u64, seq: u64, d: u32| NodeTask {
+            time,
+            seq,
+            node: NodeAddr(0),
+            action: NodeAction::Deliver(vec![link(0, d, 1.0)]),
+        };
+        let tasks = vec![
+            deliver(1000, 0, 1),
+            NodeTask {
+                time: 1001,
+                seq: 1,
+                node: NodeAddr(0),
+                action: NodeAction::Flush,
+            },
+            deliver(1002, 2, 2),
+        ];
+        let result = executor.run_epoch(&mut nodes, tasks);
+        assert!(result.error.is_none());
+        assert_eq!(result.outcomes.len(), 3, "the flush is not absorbed");
+        assert!(result.outcomes[1].was_flush);
+        assert!(
+            !result.outcomes[1].sends.is_empty(),
+            "the flush releases the held tuples of the first delivery"
+        );
+        assert_eq!(result.deliveries, 2);
+        assert_eq!(result.receive_batches, 2);
     }
 }

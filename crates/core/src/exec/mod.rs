@@ -12,7 +12,8 @@
 //! |---|---|
 //! | [`worker`] | reusable pool of long-lived `std` worker threads with scoped dispatch |
 //! | [`queue`] | shared work queue: lanes steal per-node items dynamically |
-//! | [`executor`] | per-epoch dispatch, effect pre-serialization and the deterministic `(time, seq)` merge |
+//! | [`executor`] | per-epoch dispatch, delivery coalescing, effect pre-serialization and the deterministic `(time, seq)` merge |
+//! | [`arena`] | per-node pools recycling wire-payload buffers through the send → simulate → receive cycle |
 //!
 //! The engine drives it: [`crate::engine::DistributedEngine::run_until`]
 //! drains the simulator in epochs ([`ndlog_net::Simulator::drain_epoch`]),
@@ -26,11 +27,25 @@
 //! run with `parallelism = N` is therefore bit-for-bit identical to
 //! `parallelism = 1`: same stores, same statistics, same message trace
 //! (see the determinism contract in [`executor`]).
+//!
+//! Two allocation-level optimizations ride on the same structure without
+//! weakening that contract. *Delivery coalescing* merges each run of
+//! consecutive same-node deliveries within an epoch into one receive
+//! batch, so `NodeEngine::process` fires the strands' batch plans over
+//! wide delta batches instead of single-row rounds; the merge structure is
+//! fixed before lanes run, so it is thread-count invariant (see
+//! [`executor`]). *Wire-buffer pooling* ([`arena`]) recycles every
+//! delivered payload vector back into the receiving node's pool, from
+//! which the node's own send path rents its next outbound batches —
+//! payload buffers move end to end (node → simulator → node) and are
+//! reused instead of reallocated.
 
+pub mod arena;
 pub mod executor;
 pub mod queue;
 pub mod worker;
 
+pub use arena::{ArenaStats, DeltaArena};
 pub use executor::{
     outbound_batches, result_records, EpochExecutor, EpochOutcome, EpochResult, NodeAction,
     NodeTask, OutboundBatch,

@@ -31,8 +31,8 @@ pub mod sharing;
 pub mod updates;
 
 pub use costmodel::{JoinAtom, RankedOrder, StatsCatalog};
-pub use engine::{ConvergenceReport, DistributedEngine, EngineConfig, RunReport};
-pub use exec::EpochExecutor;
+pub use engine::{ConvergenceReport, DeliveryStats, DistributedEngine, EngineConfig, RunReport};
+pub use exec::{ArenaStats, EpochExecutor};
 pub use node::{NodeConfig, NodeEngine};
 pub use plan::{plan, QueryPlan};
 pub use updates::{LinkUpdate, UpdateWorkload};

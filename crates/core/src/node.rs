@@ -29,6 +29,7 @@
 //!   to model a node answering from its cache instead of forwarding an
 //!   exploration.
 
+use crate::exec::arena::{ArenaStats, DeltaArena};
 use crate::plan::QueryPlan;
 use ndlog_lang::aggsel::AggSelectionSpec;
 use ndlog_net::sim::SimTime;
@@ -120,6 +121,11 @@ pub struct NodeEngine {
     /// Live-query hook: records visibility transitions of subscribed
     /// relations at this node (see `ndlog_runtime::tap`).
     tap: DeltaTap,
+    /// Pool of reusable wire-payload buffers: delivered payloads are
+    /// recycled here after ingestion and the outbound path rents from it,
+    /// so message buffers circulate instead of being reallocated (see
+    /// `crate::exec::arena`).
+    arena: DeltaArena,
 }
 
 impl NodeEngine {
@@ -182,6 +188,7 @@ impl NodeEngine {
             batch_out: BatchOutput::default(),
             shared_sigs,
             tap: DeltaTap::new(),
+            arena: DeltaArena::default(),
         })
     }
 
@@ -240,11 +247,22 @@ impl NodeEngine {
 
     /// Accept deltas arriving from the network (or from local base-data
     /// changes). They are applied to the store and queued; call
-    /// [`NodeEngine::process`] to run them to a local fixpoint.
-    pub fn receive(&mut self, deltas: Vec<TupleDelta>) {
-        for delta in deltas {
+    /// [`NodeEngine::process`] to run them to a local fixpoint. The
+    /// drained payload buffer is recycled into this node's arena, closing
+    /// the zero-copy loop: the vector allocated by some sender's outbound
+    /// path becomes one of this node's future outbound batches.
+    pub fn receive(&mut self, mut deltas: Vec<TupleDelta>) {
+        let payload_len = deltas.len();
+        for delta in deltas.drain(..) {
             self.ingest(delta);
         }
+        self.arena.recycle(payload_len, deltas);
+    }
+
+    /// This node's wire-buffer pool counters (meaningful summed across all
+    /// nodes — buffers rent at senders and recycle at receivers).
+    pub fn arena_stats(&self) -> ArenaStats {
+        self.arena.stats()
     }
 
     /// Expire soft-state tuples; the expired tuples seed the next DRed
@@ -352,7 +370,10 @@ impl NodeEngine {
             self.held.push((dest, delta));
             *request_flush = true;
         } else {
-            outbound.entry(dest).or_default().push(delta);
+            outbound
+                .entry(dest)
+                .or_insert_with(|| self.arena.rent())
+                .push(delta);
         }
     }
 
@@ -573,9 +594,12 @@ impl NodeEngine {
     /// held insertion per (destination, group) is sent — the *periodic
     /// aggregate selections* saving. Buffers containing deletions for a
     /// group are flushed verbatim to preserve FIFO correctness.
+    ///
+    /// Decisions are made over borrowed entries, then the survivors are
+    /// *moved* out of the held buffer into arena-rented wire buffers — the
+    /// flush tail allocates no tuples and clones no deltas.
     pub fn flush(&mut self) -> BTreeMap<NodeAddr, Vec<TupleDelta>> {
         let held = std::mem::take(&mut self.held);
-        let mut out: BTreeMap<NodeAddr, Vec<TupleDelta>> = BTreeMap::new();
         // Group keys that contain any deletion are exempt from deduplication.
         let mut has_delete: BTreeSet<(NodeAddr, String, Vec<ndlog_lang::Value>)> = BTreeSet::new();
         for (dest, delta) in &held {
@@ -585,25 +609,27 @@ impl NodeEngine {
                 }
             }
         }
-        // Best insertion per (dest, relation, group).
+        // Decide each entry's fate: sent verbatim, or competing for best
+        // insertion per (dest, relation, group).
+        let mut verbatim = vec![false; held.len()];
         let mut best: BTreeMap<(NodeAddr, String, Vec<ndlog_lang::Value>), (usize, f64)> =
             BTreeMap::new();
         for (idx, (dest, delta)) in held.iter().enumerate() {
             let Some(sel) = self.selection_for(&delta.relation) else {
-                out.entry(*dest).or_default().push(delta.clone());
+                verbatim[idx] = true;
                 continue;
             };
             if delta.sign == Sign::Delete {
-                out.entry(*dest).or_default().push(delta.clone());
+                verbatim[idx] = true;
                 continue;
             }
             let Some(key) = self.group_key(delta) else {
-                out.entry(*dest).or_default().push(delta.clone());
+                verbatim[idx] = true;
                 continue;
             };
             let full_key = (*dest, delta.relation.clone(), key);
             if has_delete.contains(&full_key) {
-                out.entry(*dest).or_default().push(delta.clone());
+                verbatim[idx] = true;
                 continue;
             }
             let value = delta
@@ -618,8 +644,14 @@ impl NodeEngine {
                 }
             }
         }
-        for ((dest, _, _), (idx, _)) in best {
-            out.entry(dest).or_default().push(held[idx].1.clone());
+        let winners: BTreeSet<usize> = best.into_values().map(|(idx, _)| idx).collect();
+        let mut out: BTreeMap<NodeAddr, Vec<TupleDelta>> = BTreeMap::new();
+        for (idx, (dest, delta)) in held.into_iter().enumerate() {
+            if verbatim[idx] || winners.contains(&idx) {
+                out.entry(dest)
+                    .or_insert_with(|| self.arena.rent())
+                    .push(delta);
+            }
         }
         out
     }

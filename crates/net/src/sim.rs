@@ -275,6 +275,17 @@ impl<P: Clone> Simulator<P> {
     /// drained here and are therefore picked up by a later epoch in the
     /// same relative order the sequential loop would have processed them.
     pub fn drain_epoch(&mut self, window: SimTime, limit: SimTime) -> Vec<TimedEvent<P>> {
+        #[cfg(debug_assertions)]
+        if window > 1 {
+            if let Some(min_delay) = self.min_link_delay() {
+                debug_assert!(
+                    window <= min_delay,
+                    "epoch window {window} exceeds the minimum link delay {min_delay}: \
+                     a message sent inside the window could arrive inside it, breaking \
+                     the conservative-lookahead precondition"
+                );
+            }
+        }
         let mut out = Vec::new();
         let Some(t0) = self.peek_time() else {
             return out;
@@ -525,7 +536,9 @@ mod tests {
 
     #[test]
     fn drain_epoch_respects_window_and_limit() {
-        let mut sim: Simulator<u32> = Simulator::new(two_node_topology(5.0), SimConfig::default());
+        // Timer-only (linkless) topology: wide windows are trivially
+        // conservative, so the lookahead assert stays out of the way.
+        let mut sim: Simulator<u32> = Simulator::new(Topology::with_nodes(2), SimConfig::default());
         sim.schedule_timer(ms(1.0), NodeAddr(0), 1);
         sim.schedule_timer(ms(1.0), NodeAddr(1), 2);
         sim.schedule_timer(ms(3.0), NodeAddr(0), 3);
@@ -548,6 +561,17 @@ mod tests {
         assert_eq!(epoch.len(), 1);
         assert_eq!(sim.now(), ms(10.0));
         assert!(sim.drain_epoch(1, SimTime::MAX).is_empty());
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "exceeds the minimum link delay")]
+    fn drain_epoch_rejects_non_conservative_windows() {
+        // A 50 ms window over 5 ms links: a message sent inside the window
+        // could arrive inside it, so debug builds must refuse.
+        let mut sim: Simulator<u32> = Simulator::new(two_node_topology(5.0), SimConfig::default());
+        sim.schedule_timer(ms(1.0), NodeAddr(0), 1);
+        sim.drain_epoch(ms(50.0), SimTime::MAX);
     }
 
     #[test]

@@ -84,6 +84,27 @@
 //!   sets stay exact — `distinct_probes` drops while every logical
 //!   counter is unchanged.
 //!
+//! Two more optimizations live a layer up, in the distributed engine
+//! (`ndlog-core`), but exist to feed this crate's batch path and are
+//! measured by the same micro bench:
+//!
+//! * **Epoch delivery coalescing** (`ndlog-core`'s `exec` module): the
+//!   epoch executor merges consecutive same-node message deliveries into
+//!   one receive batch, so a node ingests every payload of the run and
+//!   calls `process` once — handing [`batch`] one wide delta batch
+//!   instead of many single-delta batches. The micro bench times both
+//!   schedules through a full node engine (store clock, PSN queue,
+//!   outbound routing) as `delivery_per_event_us_per_trigger` vs
+//!   `delivery_coalesced_us_per_trigger`; the coalesced figure is part
+//!   of the CI 2× gate.
+//! * **Wire-buffer arenas** (`ndlog-core`'s `exec::arena` module): the
+//!   `Vec<TupleDelta>` payload buffers that carry deltas between nodes
+//!   circulate through a per-node pool — rented at the send path,
+//!   recycled when the receiver drains them — so steady-state messaging
+//!   reuses buffers instead of allocating per message. The scaling
+//!   report accounts demanded vs actually-allocated buffer bytes and
+//!   prints the reduction factor.
+//!
 //! Probe accounting is two-counter ([`index::JoinStats`]):
 //! `logical_probes` counts per binding environment (identical across
 //! grouped, ungrouped and tuple-at-a-time evaluation — what differential

@@ -1,0 +1,190 @@
+//! Delivery-coalescing equivalence properties.
+//!
+//! The epoch executor merges consecutive same-node deliveries into one
+//! receive batch (one `process` call over every payload of the run)
+//! instead of one `process` per message. Coalescing changes the *schedule*
+//! — message traces and probe counts differ from the per-event engine —
+//! but it must not change *results*. This test pins both halves of that
+//! contract on seeded random topologies:
+//!
+//! * within each delivery mode, runs at 1, 2 and 4 executor threads are
+//!   bit-for-bit identical (stores, statistics, message trace);
+//! * across modes, the coalesced and per-event engines reach the same
+//!   `shortestPath` fixpoint, which matches the underlay's Dijkstra
+//!   distances everywhere and — on the sparse topology, where
+//!   selection-free evaluation is tractable — a centralized evaluation
+//!   over the same base facts under every strategy of Section 3: SN,
+//!   BSN and PSN.
+
+use ndlog_core::consistency::{check_against_centralized, check_bitwise_identical};
+use ndlog_core::{plan, DistributedEngine, EngineConfig};
+use ndlog_lang::{programs, Value};
+use ndlog_net::gtitm::{generate, TransitStubConfig};
+use ndlog_net::overlay::{Overlay, OverlayConfig};
+use ndlog_net::topology::Metric;
+use ndlog_runtime::{Evaluator, Strategy, Tuple};
+use std::collections::BTreeSet;
+
+fn link(a: ndlog_net::NodeAddr, b: ndlog_net::NodeAddr, c: f64) -> Tuple {
+    Tuple::new(vec![Value::Addr(a), Value::Addr(b), Value::Float(c)])
+}
+
+/// All stored `shortestPath` tuples, node-independent. The Reliability
+/// metric carries per-link random noise, so costs are tie-free and the
+/// full-tuple set (path vectors included) is deterministic across
+/// schedules.
+fn result_set(engine: &DistributedEngine) -> BTreeSet<Tuple> {
+    engine
+        .results("shortestPath")
+        .into_iter()
+        .map(|(_, t)| t)
+        .collect()
+}
+
+#[test]
+fn coalesced_delivery_is_equivalent_to_per_event_delivery() {
+    // (name, transit-stub shape, overlay neighbors, centralized
+    // comparison feasible), regenerated per seed. The centralized
+    // evaluator runs without aggregate selections and therefore
+    // materializes every cycle-free path — tractable only on the sparse
+    // overlay; the denser one is checked against Dijkstra distances
+    // instead.
+    let topologies: [(&str, TransitStubConfig, usize, bool); 2] = [
+        ("small", TransitStubConfig::small(), 4, false),
+        (
+            "sparse",
+            TransitStubConfig {
+                transit_nodes: 2,
+                stubs_per_transit: 1,
+                nodes_per_stub: 3,
+                ..TransitStubConfig::paper()
+            },
+            2,
+            true,
+        ),
+    ];
+    for (name, ts_config, neighbors, centralized_ok) in topologies {
+        for seed in [7_u64, 0xbeef] {
+            let ts = generate(&ts_config);
+            let overlay_config = OverlayConfig {
+                neighbors_per_node: neighbors,
+                seed,
+            };
+            let overlay = Overlay::random_neighbors(&ts.topology, &overlay_config);
+
+            let mut base = Vec::new();
+            for l in overlay.links() {
+                base.push((
+                    "link".to_string(),
+                    link(l.src, l.dst, l.cost(Metric::Reliability)),
+                ));
+            }
+
+            let run = |coalesce: bool, threads: usize| -> DistributedEngine {
+                let program = programs::shortest_path("");
+                let query_plan = plan(&program).unwrap();
+                let mut config = EngineConfig::default();
+                config.node.aggregate_selections = true;
+                config.parallelism = threads;
+                config.coalesce_deliveries = coalesce;
+                let mut engine =
+                    DistributedEngine::new(overlay.graph.clone(), &[query_plan], config).unwrap();
+                for l in overlay.links() {
+                    engine
+                        .insert_base(
+                            l.src,
+                            "link",
+                            link(l.src, l.dst, l.cost(Metric::Reliability)),
+                        )
+                        .unwrap();
+                }
+                let report = engine.run_to_quiescence().unwrap();
+                assert!(report.quiesced, "{name}/seed {seed}/threads {threads}");
+                engine
+            };
+
+            let mut fixpoints = Vec::new();
+            for coalesce in [true, false] {
+                let mode = if coalesce { "coalesced" } else { "per-event" };
+                let baseline = run(coalesce, 1);
+
+                // Per-event delivery means one receive batch per message;
+                // coalescing can only widen batches.
+                let delivery = baseline.delivery_stats();
+                assert!(delivery.deliveries > 0, "{name}/seed {seed}: no messages");
+                if coalesce {
+                    assert!(delivery.mean_batch_width() >= 1.0);
+                } else {
+                    assert_eq!(delivery.deliveries, delivery.receive_batches);
+                }
+
+                // Within a mode, thread count must not change anything.
+                for threads in [2, 4] {
+                    let parallel = run(coalesce, threads);
+                    check_bitwise_identical(&baseline, &parallel).unwrap_or_else(|e| {
+                        panic!("{mode}, topology {name}, seed {seed:#x}, {threads} threads: {e}")
+                    });
+                }
+
+                // Each mode's fixpoint must match the centralized one
+                // (where tractable) and the underlay's Dijkstra costs.
+                if centralized_ok {
+                    check_against_centralized(
+                        &baseline,
+                        &programs::shortest_path(""),
+                        &base,
+                        "shortestPath",
+                    )
+                    .unwrap_or_else(|e| panic!("{mode}, topology {name}, seed {seed:#x}: {e}"));
+                }
+                for src in overlay.graph.nodes() {
+                    let oracle = overlay.graph.shortest_distances(src, Metric::Reliability);
+                    for (node, tuple) in baseline.results("shortestPath") {
+                        if node != src {
+                            continue;
+                        }
+                        let dst = tuple.get(1).unwrap().as_addr().unwrap();
+                        let cost = tuple.get(3).unwrap().as_f64().unwrap();
+                        assert!(
+                            (cost - oracle[dst.index()]).abs() < 1e-6,
+                            "{mode}, topology {name}, seed {seed:#x}: cost mismatch {src}->{dst}"
+                        );
+                    }
+                }
+                fixpoints.push(result_set(&baseline));
+            }
+
+            // Across modes: different schedules, same fixpoint.
+            assert_eq!(
+                fixpoints[0], fixpoints[1],
+                "topology {name}, seed {seed:#x}: coalesced and per-event fixpoints differ"
+            );
+
+            // And the centralized fixpoint itself is strategy-independent:
+            // SN, BSN and PSN all agree with what the distributed engines
+            // converged to (tie-free costs make the comparison exact).
+            if !centralized_ok {
+                continue;
+            }
+            let program = programs::shortest_path("");
+            for strategy in [
+                Strategy::SemiNaive,
+                Strategy::Buffered { batch: 16 },
+                Strategy::Pipelined,
+            ] {
+                let mut evaluator = Evaluator::new(&program).unwrap();
+                for (rel, tuple) in &base {
+                    evaluator.insert_fact(rel, tuple.clone());
+                }
+                evaluator.run(strategy).unwrap();
+                let central: BTreeSet<Tuple> =
+                    evaluator.results("shortestPath").into_iter().collect();
+                assert_eq!(
+                    central, fixpoints[0],
+                    "topology {name}, seed {seed:#x}: {strategy:?} centralized fixpoint \
+                     differs from the distributed one"
+                );
+            }
+        }
+    }
+}
