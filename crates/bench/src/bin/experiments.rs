@@ -34,11 +34,11 @@
 //! bit-for-bit identity check against the sequential baseline.
 
 use ndlog_bench::experiments::{
-    aggregate_selections, aggregate_selections_with, batch_vectorization, incremental_updates,
-    incremental_updates_interleaved_with, incremental_updates_with, magic_sets_with,
-    message_sharing, message_sharing_with, micro_runtime, optimizer_bench, parallel_scaling,
-    periodic_aggregate_selections, periodic_aggregate_selections_with, ScalingReference,
-    ScalingTrajectory,
+    adversity, aggregate_selections, aggregate_selections_with, batch_vectorization,
+    incremental_updates, incremental_updates_interleaved_with, incremental_updates_with,
+    magic_sets_with, message_sharing, message_sharing_with, micro_runtime, optimizer_bench,
+    parallel_scaling, periodic_aggregate_selections, periodic_aggregate_selections_with,
+    ScalingReference, ScalingTrajectory, ADVERSITY_SEED,
 };
 use ndlog_bench::Scale;
 use ndlog_lang::PassSet;
@@ -47,7 +47,7 @@ use ndlog_net::topology::Metric;
 fn usage() -> ! {
     eprintln!(
         "usage: experiments <fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|scaling|micro|\
-         vectorization|optimizer|summary|all> [paper|small|medium|large|1k|4k|10k] \
+         vectorization|optimizer|adversity|summary|all> [paper|small|medium|large|1k|4k|10k] \
          (comma list for `scaling`) [--optimize off|magic|reorder|all] \
          [--threads N] [--json PATH] [--baseline PATH] [--reference PATH]"
     );
@@ -130,10 +130,12 @@ fn parse_args(args: &[String]) -> Options {
     // silently ignoring them.
     let takes_json = matches!(
         figure.as_str(),
-        "scaling" | "micro" | "vectorization" | "optimizer" | "all"
+        "scaling" | "micro" | "vectorization" | "optimizer" | "adversity" | "all"
     );
     if !takes_json && json.is_some() {
-        eprintln!("--json applies only to scaling, micro, vectorization, optimizer (or all)");
+        eprintln!(
+            "--json applies only to scaling, micro, vectorization, optimizer, adversity (or all)"
+        );
         usage();
     }
     if threads.is_some() && figure != "scaling" && figure != "all" {
@@ -369,6 +371,21 @@ fn run_figure(figure: &str, options: &Options) {
         }
         "optimizer" => {
             run_optimizer(options);
+        }
+        "adversity" => {
+            let result = adversity(options.scale, ADVERSITY_SEED);
+            println!("{}", result.render());
+            if let Some(path) = &options.json {
+                std::fs::write(path, result.to_json())
+                    .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+                println!("wrote {path}");
+            }
+            // The grid is its own gate: a cell that misses the oracle or
+            // diverges across thread counts is a bug, not a data point.
+            if result.cells.iter().any(|c| !c.converged || !c.identical) {
+                eprintln!("FAIL: an adversity cell did not converge (or was not thread-identical)");
+                std::process::exit(1);
+            }
         }
         "summary" => {
             summary(scale);

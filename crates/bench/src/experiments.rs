@@ -10,16 +10,16 @@
 
 use crate::testbed::{Scale, SourceRoutingSetup, Testbed};
 use ndlog_core::caching::QueryCache;
-use ndlog_core::{sharing, EngineConfig, UpdateWorkload};
+use ndlog_core::{sharing, EngineConfig, RefreshConfig, UpdateWorkload};
 use ndlog_lang::{PassSet, Value};
 use ndlog_net::sim::ms;
 use ndlog_net::stats::{BandwidthSeries, NetStats};
 use ndlog_net::topology::Metric;
-use ndlog_net::NodeAddr;
+use ndlog_net::{FaultPlan, LinkFaults, NodeAddr};
 use ndlog_runtime::{Tuple, TupleDelta};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 
 /// Bucket width (seconds) for per-node bandwidth series.
@@ -1281,6 +1281,368 @@ pub fn parallel_scaling(scale: Scale, thread_counts: &[usize]) -> ParallelScalin
         cpus,
         note,
         runs,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adversity: lossy links + crash/rejoin waves healed by soft-state refresh.
+// ---------------------------------------------------------------------------
+
+/// Soft-state TTL (seconds) declared by the adversity grid's program.
+const ADVERSITY_TTL_S: f64 = 5.0;
+/// Refresh (re-announcement) interval for the adversity grid, seconds.
+const ADVERSITY_REFRESH_S: f64 = 2.0;
+/// When the random link faults (loss/duplication/jitter) switch off.
+const ADVERSITY_FAULTS_END_S: f64 = 8.0;
+/// Default fault-plan seed used by the committed `BENCH_adversity.json`
+/// and the CI smoke run; any other seed replays a different but equally
+/// deterministic fault schedule.
+pub const ADVERSITY_SEED: u64 = 0xad5eed;
+
+/// One cell of the adversity grid: a loss-rate × crash-wave combination
+/// run to quiescence under soft-state refresh, then judged against the
+/// Dijkstra oracle on the (fully healed) topology.
+#[derive(Debug, Clone)]
+pub struct AdversityCell {
+    /// Per-message loss probability while faults are active.
+    pub loss: f64,
+    /// Number of crash/rejoin waves in the schedule.
+    pub crash_waves: usize,
+    /// Total nodes crashed across all waves.
+    pub crashed_nodes: usize,
+    /// Whether the post-quiescence routing state equals the Dijkstra
+    /// oracle at every node (and the run actually quiesced).
+    pub converged: bool,
+    /// Whether the 2-thread run was bit-for-bit identical to 1-thread.
+    pub identical: bool,
+    /// Whether the run quiesced before the time cap.
+    pub quiesced: bool,
+    /// Time at which the last result reached its final value (seconds).
+    pub convergence_seconds: f64,
+    /// Messages sent over the whole run (includes refresh traffic).
+    pub messages: usize,
+    /// Total communication (MB).
+    pub total_mb: f64,
+    /// Traffic sent after the last scheduled fault (MB) — the sustained
+    /// soft-state refresh overhead, no longer doing repair work.
+    pub refresh_mb: f64,
+    /// Messages dropped by the fault plan (loss + partition + crash).
+    pub dropped: u64,
+    /// Of `dropped`: random loss draws.
+    pub loss_drops: u64,
+    /// Of `dropped`: messages whose receiver was down on arrival.
+    pub crash_drops: u64,
+    /// Extra copies delivered by duplication draws.
+    pub duplicated: u64,
+    /// Messages that drew nonzero jitter.
+    pub delayed: u64,
+    /// Distinct insertions the fault plan dropped in flight.
+    pub dropped_inserts: usize,
+    /// Of `dropped_inserts`: present at their destination at the end
+    /// (healed by a later refresh cycle; obsolete insertions — replaced,
+    /// pruned as non-best or expired — legitimately stay unrepaired).
+    pub repaired: usize,
+    /// Refresh tasks executed across all nodes.
+    pub refresh_ticks: u64,
+    /// Seed facts re-announced by those tasks.
+    pub refresh_reannounced: u64,
+}
+
+/// Results of the adversity experiment: the full grid at one scale.
+#[derive(Debug, Clone)]
+pub struct AdversityResult {
+    /// Scale label (for reports).
+    pub scale: Scale,
+    /// Number of overlay nodes.
+    pub nodes: usize,
+    /// Fault-plan seed (the whole grid is replayable from it).
+    pub seed: u64,
+    /// Soft-state TTL declared by the program (seconds).
+    pub ttl_seconds: f64,
+    /// Refresh interval driving re-announcement (seconds).
+    pub refresh_interval_seconds: f64,
+    /// One cell per loss × crash-wave combination.
+    pub cells: Vec<AdversityCell>,
+}
+
+impl AdversityResult {
+    /// Render the grid table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "Adversity grid ({} nodes, scale {}, seed {:#x}): loss × crash waves under \
+             soft-state refresh (TTL {} s, refresh every {} s)",
+            self.nodes,
+            self.scale.label(),
+            self.seed,
+            self.ttl_seconds,
+            self.refresh_interval_seconds
+        );
+        let _ = writeln!(
+            out,
+            "{:<6} {:>5} {:>7} {:>8} {:>8} {:>8} {:>10} {:>8} {:>14} {:>6} {:>9} {:>9}",
+            "loss",
+            "waves",
+            "crashed",
+            "conv(s)",
+            "msgs",
+            "MB",
+            "refresh MB",
+            "dropped",
+            "repaired/ins",
+            "ticks",
+            "converged",
+            "identical"
+        );
+        for c in &self.cells {
+            let _ = writeln!(
+                out,
+                "{:<6.2} {:>5} {:>7} {:>8.2} {:>8} {:>8.2} {:>10.2} {:>8} {:>8}/{:<5} {:>6} {:>9} {:>9}",
+                c.loss,
+                c.crash_waves,
+                c.crashed_nodes,
+                c.convergence_seconds,
+                c.messages,
+                c.total_mb,
+                c.refresh_mb,
+                c.dropped,
+                c.repaired,
+                c.dropped_inserts,
+                c.refresh_ticks,
+                c.converged,
+                c.identical
+            );
+        }
+        out
+    }
+
+    /// Serialize as the `BENCH_adversity.json` machine-readable report.
+    /// The `"converged"` / `"identical"` booleans are what the CI smoke
+    /// step greps for.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"bench\": \"adversity\",");
+        let _ = writeln!(out, "  \"scale\": \"{}\",", self.scale.label());
+        let _ = writeln!(out, "  \"nodes\": {},", self.nodes);
+        let _ = writeln!(out, "  \"seed\": {},", self.seed);
+        let _ = writeln!(out, "  \"ttl_seconds\": {},", self.ttl_seconds);
+        let _ = writeln!(
+            out,
+            "  \"refresh_interval_seconds\": {},",
+            self.refresh_interval_seconds
+        );
+        let _ = writeln!(out, "  \"cells\": [");
+        for (i, c) in self.cells.iter().enumerate() {
+            let comma = if i + 1 < self.cells.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{\"loss\": {:.2}, \"crash_waves\": {}, \"crashed_nodes\": {}, \
+                 \"converged\": {}, \"identical\": {}, \"quiesced\": {}, \
+                 \"convergence_seconds\": {:.6}, \"messages\": {}, \"total_mb\": {:.6}, \
+                 \"refresh_mb\": {:.6}, \"dropped\": {}, \"loss_drops\": {}, \
+                 \"crash_drops\": {}, \"duplicated\": {}, \"delayed\": {}, \
+                 \"dropped_inserts\": {}, \"repaired\": {}, \"refresh_ticks\": {}, \
+                 \"refresh_reannounced\": {}}}{comma}",
+                c.loss,
+                c.crash_waves,
+                c.crashed_nodes,
+                c.converged,
+                c.identical,
+                c.quiesced,
+                c.convergence_seconds,
+                c.messages,
+                c.total_mb,
+                c.refresh_mb,
+                c.dropped,
+                c.loss_drops,
+                c.crash_drops,
+                c.duplicated,
+                c.delayed,
+                c.dropped_inserts,
+                c.repaired,
+                c.refresh_ticks,
+                c.refresh_reannounced
+            );
+        }
+        let _ = writeln!(out, "  ]");
+        let _ = writeln!(out, "}}");
+        out
+    }
+}
+
+/// Whether every node's routing state equals the Dijkstra oracle on the
+/// overlay: each node holds exactly one shortest-path tuple per reachable
+/// destination, with the oracle's cost, and nothing else.
+fn adversity_converged(
+    engine: &ndlog_core::DistributedEngine,
+    testbed: &Testbed,
+    relation: &str,
+    metric: Metric,
+) -> bool {
+    let mut per_node: BTreeMap<NodeAddr, BTreeMap<NodeAddr, f64>> = BTreeMap::new();
+    for (node, tuple) in engine.results(relation) {
+        let (Some(src), Some(dst), Some(cost)) = (
+            tuple.get(0).and_then(|v| v.as_addr()),
+            tuple.get(1).and_then(|v| v.as_addr()),
+            tuple.get(3).and_then(|v| v.as_f64()),
+        ) else {
+            return false;
+        };
+        // Results must live at their own source (`@S` locality).
+        if src != node {
+            return false;
+        }
+        per_node.entry(node).or_default().insert(dst, cost);
+    }
+    for src in testbed.overlay.graph.nodes() {
+        let oracle = testbed.overlay.graph.shortest_distances(src, metric);
+        let mut found = per_node.remove(&src).unwrap_or_default();
+        for dst in testbed.overlay.graph.nodes() {
+            if dst == src {
+                continue;
+            }
+            let want = oracle[dst.index()];
+            match found.remove(&dst) {
+                Some(got) => {
+                    if !want.is_finite() || (got - want).abs() > 1e-6 {
+                        return false;
+                    }
+                }
+                None => {
+                    if want.is_finite() {
+                        return false;
+                    }
+                }
+            }
+        }
+        // Tuples for destinations the oracle can't reach at all.
+        if !found.is_empty() {
+            return false;
+        }
+    }
+    per_node.is_empty()
+}
+
+/// Run the soft-state shortest-path query across a loss-rate × churn grid
+/// of deterministic fault plans: every cell suffers random message loss,
+/// duplication and jitter until [`ADVERSITY_FAULTS_END_S`], plus zero or
+/// more crash/rejoin waves taking down ~10% of the overlay, while periodic
+/// refresh re-announces seed facts so lost state heals by TTL turnover.
+/// Each cell runs at 1 and 2 executor threads and checks bitwise identity,
+/// then compares the post-quiescence routing state against the Dijkstra
+/// oracle on the (fully healed) topology.
+pub fn adversity(scale: Scale, seed: u64) -> AdversityResult {
+    let testbed = Testbed::new(scale);
+    let metric = Metric::Reliability;
+    let nodes = testbed.node_count();
+    let link_rel = Testbed::link_relation(metric);
+    let sp_rel = Testbed::shortest_path_relation(metric);
+    let program =
+        ndlog_lang::programs::shortest_path_soft(Testbed::metric_suffix(metric), ADVERSITY_TTL_S);
+    let query = ndlog_core::plan(&program).expect("soft shortest-path plans");
+    let addrs: Vec<NodeAddr> = testbed.overlay.graph.nodes().collect();
+
+    let mut cells = Vec::new();
+    for &loss in &[0.10, 0.25] {
+        for &crash_waves in &[0usize, 1] {
+            // Deterministic crash roster: each wave takes down ~10% of the
+            // overlay (at least one node), staggered 1.5 s apart, each node
+            // rejoining 1.5 s after it went down.
+            let wave_size = (nodes / 10).max(1);
+            let mut picked: BTreeSet<usize> = BTreeSet::new();
+            let mut crashes: Vec<(NodeAddr, f64, f64)> = Vec::new();
+            for wave in 0..crash_waves {
+                let at = 3.0 + 1.5 * wave as f64;
+                for i in 0..wave_size {
+                    let mut idx = (1 + wave * 5 + i * 7) % nodes;
+                    while picked.contains(&idx) {
+                        idx = (idx + 1) % nodes;
+                    }
+                    picked.insert(idx);
+                    crashes.push((addrs[idx], at, at + 1.5));
+                }
+            }
+            let last_fault_s = crashes
+                .iter()
+                .map(|c| c.2)
+                .fold(ADVERSITY_FAULTS_END_S, f64::max);
+            // Refresh must outlive the faults by TTL (so stale remote state
+            // expires) plus a few cycles (so live state is re-announced
+            // after the last expiry pass).
+            let horizon_s = last_fault_s + ADVERSITY_TTL_S + 4.0 * ADVERSITY_REFRESH_S;
+            let cell_seed = seed ^ (((loss * 1000.0) as u64) << 8) ^ crash_waves as u64;
+
+            let fault_for_run = || {
+                let mut plan = FaultPlan::new(cell_seed)
+                    .with_default_faults(LinkFaults {
+                        loss,
+                        duplicate: 0.05,
+                        jitter_ms: 2.0,
+                    })
+                    .with_active_until(ms(ADVERSITY_FAULTS_END_S * 1000.0));
+                for &(node, at, rejoin) in &crashes {
+                    plan = plan.with_crash(node, ms(at * 1000.0), ms(rejoin * 1000.0));
+                }
+                plan
+            };
+            let execute = |threads: usize| {
+                let mut config = EngineConfig::default();
+                config.node.aggregate_selections = true;
+                config.parallelism = threads;
+                config.max_seconds = horizon_s + 30.0;
+                config.fault = Some(fault_for_run());
+                config.refresh = Some(RefreshConfig {
+                    interval_seconds: ADVERSITY_REFRESH_S,
+                    horizon_seconds: horizon_s,
+                });
+                let mut engine = testbed.engine(std::slice::from_ref(&query), config);
+                testbed
+                    .load_links(&mut engine, &link_rel, metric)
+                    .expect("link loading");
+                let report = engine.run_to_quiescence().expect("adversity run");
+                (engine, report)
+            };
+
+            let (engine, report) = execute(1);
+            let (parallel, _) = execute(2);
+            let identical =
+                ndlog_core::consistency::check_bitwise_identical(&engine, &parallel).is_ok();
+            let converged =
+                report.quiesced && adversity_converged(&engine, &testbed, &sp_rel, metric);
+            let fault = engine.fault_stats();
+            let repair = engine.fault_repair_report();
+            cells.push(AdversityCell {
+                loss,
+                crash_waves,
+                crashed_nodes: crashes.len(),
+                converged,
+                identical,
+                quiesced: report.quiesced,
+                convergence_seconds: engine.convergence(&sp_rel).convergence_seconds,
+                messages: report.messages,
+                total_mb: report.total_mb,
+                refresh_mb: engine.stats().mb_in_window(last_fault_s, f64::INFINITY),
+                dropped: fault.dropped,
+                loss_drops: fault.loss_drops,
+                crash_drops: fault.crash_drops,
+                duplicated: fault.duplicated,
+                delayed: fault.delayed,
+                dropped_inserts: repair.dropped_inserts,
+                repaired: repair.repaired,
+                refresh_ticks: repair.refresh_ticks,
+                refresh_reannounced: repair.refresh_reannounced,
+            });
+        }
+    }
+    AdversityResult {
+        scale,
+        nodes,
+        seed,
+        ttl_seconds: ADVERSITY_TTL_S,
+        refresh_interval_seconds: ADVERSITY_REFRESH_S,
+        cells,
     }
 }
 

@@ -40,13 +40,19 @@ use ndlog_lang::Value;
 use ndlog_net::sim::{ms, to_seconds, SimTime};
 use ndlog_net::stats::NetStats;
 use ndlog_net::topology::Topology;
-use ndlog_net::{Message, NodeAddr, SimConfig, Simulator};
+use ndlog_net::{FaultPlan, FaultStats, Message, NodeAddr, SimConfig, Simulator};
 use ndlog_runtime::{EvalError, EvalStats, Sign, Tuple, TupleDelta};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 /// Timer token for outbound-buffer flushes.
 const FLUSH_TOKEN: u64 = 1;
+/// Timer token for a scheduled node crash (from the fault plan).
+const CRASH_TOKEN: u64 = 2;
+/// Timer token for a crashed node's rejoin.
+const REJOIN_TOKEN: u64 = 3;
+/// Timer token for the periodic soft-state refresh tick.
+const REFRESH_TOKEN: u64 = 4;
 
 /// Configuration of a distributed run.
 #[derive(Debug, Clone)]
@@ -71,6 +77,35 @@ pub struct EngineConfig {
     /// traces differ between the two settings; within either setting,
     /// results are thread-count invariant (see [`crate::exec::executor`]).
     pub coalesce_deliveries: bool,
+    /// Deterministic fault plan attached to the simulator (loss, jitter,
+    /// duplication, partitions, crash/rejoin waves). `None` keeps the
+    /// reliable network of all previous experiments.
+    pub fault: Option<FaultPlan>,
+    /// Soft-state refresh driver (`None` disables it). When set, base
+    /// facts injected through [`DistributedEngine::insert_base`] are
+    /// remembered as *seeds* and periodically re-announced at their node,
+    /// and every node re-fires its stored state each tick — the healing
+    /// half of the paper's soft-state story.
+    pub refresh: Option<RefreshConfig>,
+}
+
+/// Soft-state refresh driver configuration.
+///
+/// Every `interval_seconds` each node gets a refresh tick: its seed facts
+/// are re-announced (a duplicate insert refreshes the stored tuple's TTL
+/// and propagates nothing) and its stored state is re-fired, re-sending
+/// current remote conclusions so receivers that lost the original message
+/// are repaired by the next cycle. Ticks stop after `horizon_seconds`, so
+/// runs still quiesce; pick a horizon at least one TTL plus a few
+/// intervals past the fault plan's last scheduled event, giving stale
+/// soft state time to expire (and be retracted exactly, via DRed) while
+/// live state keeps being refreshed until the end.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RefreshConfig {
+    /// Seconds between refresh ticks at each node.
+    pub interval_seconds: f64,
+    /// Simulation time (seconds) after which no more ticks are scheduled.
+    pub horizon_seconds: f64,
 }
 
 impl Default for EngineConfig {
@@ -82,8 +117,31 @@ impl Default for EngineConfig {
             blocked_propagation: BTreeMap::new(),
             parallelism: 1,
             coalesce_deliveries: true,
+            fault: None,
+            refresh: None,
         }
     }
+}
+
+/// Fault-injection repair accounting for a run: what the network dropped
+/// and how much of it the soft-state refresh cycle healed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultRepairReport {
+    /// Distinct (destination, relation, tuple) insertions dropped in
+    /// flight by the fault plan.
+    pub dropped_inserts: usize,
+    /// Of those, how many are present at their destination now — lost
+    /// then healed (by a refresh re-send or an equivalent re-derivation).
+    /// Dropped insertions that are obsolete by the end of the run (later
+    /// replaced under their primary key, pruned as non-best, or expired)
+    /// legitimately stay unrepaired, so this is not expected to reach
+    /// `dropped_inserts` on a converging run.
+    pub repaired: usize,
+    /// Refresh ticks delivered across all nodes.
+    pub refresh_ticks: u64,
+    /// Seed deltas re-announced by those ticks (the refresh overhead's
+    /// input side; the traffic side shows up in [`NetStats`]).
+    pub refresh_reannounced: u64,
 }
 
 /// Delivery-schedule statistics of a run: how many message deliveries were
@@ -186,6 +244,19 @@ pub struct DistributedEngine {
     /// Delivery-coalescing mode, kept for executor rebuilds.
     coalesce: bool,
     delivery_stats: DeliveryStats,
+    /// Base facts per node, remembered for refresh re-announcement and
+    /// crash rejoin (tracked only when a fault plan or refresh driver is
+    /// configured).
+    seeds: BTreeMap<NodeAddr, Vec<TupleDelta>>,
+    refresh: Option<RefreshConfig>,
+    /// Crash/rejoin/refresh timers are scheduled lazily on the first
+    /// `run_until`, so setup-time base facts are already in the seed map.
+    fault_timers_scheduled: bool,
+    refresh_ticks: u64,
+    refresh_reannounced: u64,
+    /// Insert deltas the fault plan dropped in flight, for the repair
+    /// report.
+    dropped_inserts: Vec<(NodeAddr, String, Tuple)>,
 }
 
 impl DistributedEngine {
@@ -221,8 +292,12 @@ impl DistributedEngine {
         }
 
         let sharing_enabled = config.node.sharing_delay.is_some();
+        let mut sim = Simulator::new(graph, config.sim);
+        if let Some(plan) = config.fault {
+            sim.set_fault_plan(plan)?;
+        }
         Ok(DistributedEngine {
-            sim: Simulator::new(graph, config.sim),
+            sim,
             nodes,
             key_columns,
             result_log: Vec::new(),
@@ -233,6 +308,12 @@ impl DistributedEngine {
                 .coalescing(config.coalesce_deliveries),
             coalesce: config.coalesce_deliveries,
             delivery_stats: DeliveryStats::default(),
+            seeds: BTreeMap::new(),
+            refresh: config.refresh,
+            fault_timers_scheduled: false,
+            refresh_ticks: 0,
+            refresh_reannounced: 0,
+            dropped_inserts: Vec::new(),
         })
     }
 
@@ -274,6 +355,35 @@ impl DistributedEngine {
     /// Network statistics accumulated so far.
     pub fn stats(&self) -> &NetStats {
         self.sim.stats()
+    }
+
+    /// Fault-injection counters from the simulator (all zero without a
+    /// fault plan).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.sim.fault_stats()
+    }
+
+    /// Repair accounting: which in-flight insertions the fault plan
+    /// dropped, and how many of them are nevertheless present at their
+    /// destination now — i.e. were healed by a refresh re-send (or an
+    /// equivalent re-derivation) as the paper's soft-state story promises.
+    pub fn fault_repair_report(&self) -> FaultRepairReport {
+        let distinct: BTreeSet<&(NodeAddr, String, Tuple)> = self.dropped_inserts.iter().collect();
+        let repaired = distinct
+            .iter()
+            .filter(|(dest, relation, tuple)| {
+                self.nodes
+                    .get(dest)
+                    .and_then(|n| n.store().relation(relation))
+                    .is_some_and(|r| r.contains(tuple))
+            })
+            .count();
+        FaultRepairReport {
+            dropped_inserts: distinct.len(),
+            repaired,
+            refresh_ticks: self.refresh_ticks,
+            refresh_reannounced: self.refresh_reannounced,
+        }
     }
 
     /// Number of nodes.
@@ -372,12 +482,31 @@ impl DistributedEngine {
     }
 
     fn inject(&mut self, node: NodeAddr, delta: TupleDelta) -> Result<(), EvalError> {
+        self.remember_seed(node, &delta);
         let engine = self
             .nodes
             .get_mut(&node)
             .unwrap_or_else(|| panic!("unknown node {node}"));
         engine.receive(vec![delta]);
         self.process_node(node)
+    }
+
+    /// Record a base-data injection as a seed fact: the refresh driver
+    /// re-announces seeds every tick, and a rejoining node repopulates
+    /// from them. A deletion stops the seed from being refreshed — under
+    /// soft state, that is how a fact is permanently withdrawn: it simply
+    /// expires everywhere once nobody re-announces it.
+    fn remember_seed(&mut self, node: NodeAddr, delta: &TupleDelta) {
+        if self.refresh.is_none() && self.sim.fault_plan().is_none() {
+            return;
+        }
+        let seeds = self.seeds.entry(node).or_default();
+        match delta.sign {
+            Sign::Insert => seeds.push(delta.clone()),
+            Sign::Delete => {
+                seeds.retain(|s| !(s.relation == delta.relation && s.tuple == delta.tuple))
+            }
+        }
     }
 
     /// Process a node to its local fixpoint and ship its outbound batches.
@@ -442,12 +571,59 @@ impl DistributedEngine {
         if batch.deltas.is_empty() {
             return;
         }
-        self.sim.send(Message::new(
-            from,
-            batch.dest,
-            batch.payload_bytes,
-            batch.deltas,
-        ));
+        let dest = batch.dest;
+        // With a fault plan attached, remember which insertions a dropped
+        // message carried so the repair report can check whether refresh
+        // healed them.
+        let snapshot = self
+            .sim
+            .fault_plan()
+            .is_some()
+            .then(|| batch.deltas.clone());
+        let delivered = self
+            .sim
+            .send(Message::new(from, dest, batch.payload_bytes, batch.deltas));
+        if delivered.is_none() {
+            if let Some(deltas) = snapshot {
+                for d in deltas {
+                    if d.sign == Sign::Insert {
+                        self.dropped_inserts.push((dest, d.relation, d.tuple));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Schedule the fault plan's crash/rejoin timers and the first refresh
+    /// tick per node. Idempotent; runs once, on the first `run_until`
+    /// call, so base facts injected during setup are already in the seed
+    /// map by the time the first refresh tick fires.
+    fn ensure_fault_timers(&mut self) {
+        if self.fault_timers_scheduled {
+            return;
+        }
+        self.fault_timers_scheduled = true;
+        let crashes: Vec<(NodeAddr, SimTime, SimTime)> = self
+            .sim
+            .fault_plan()
+            .map(|p| {
+                p.crashes
+                    .iter()
+                    .map(|c| (c.node, c.at, c.rejoin_at))
+                    .collect()
+            })
+            .unwrap_or_default();
+        for (node, at, rejoin_at) in crashes {
+            self.sim.schedule_timer(at, node, CRASH_TOKEN);
+            self.sim.schedule_timer(rejoin_at, node, REJOIN_TOKEN);
+        }
+        if let Some(refresh) = self.refresh {
+            let first = ms(refresh.interval_seconds * 1000.0);
+            let addrs: Vec<NodeAddr> = self.nodes.keys().copied().collect();
+            for addr in addrs {
+                self.sim.schedule_timer(first, addr, REFRESH_TOKEN);
+            }
+        }
     }
 
     /// The conservative lookahead window for epoch draining: no larger
@@ -474,6 +650,7 @@ impl DistributedEngine {
     /// merged outcomes in `(time, seq)` order (see [`crate::exec`] for
     /// the full contract).
     pub fn run_until(&mut self, seconds: f64) -> Result<RunReport, EvalError> {
+        self.ensure_fault_timers();
         let limit = ms(seconds * 1000.0);
         let window = self.epoch_window();
         let mut quiesced = true;
@@ -498,6 +675,48 @@ impl DistributedEngine {
                             node,
                             action: NodeAction::Flush,
                         }),
+                    ndlog_net::EventKind::Timer { node, token } if token == CRASH_TOKEN => tasks
+                        .push(NodeTask {
+                            time: event.time,
+                            seq: event.seq,
+                            node,
+                            action: NodeAction::Crash,
+                        }),
+                    ndlog_net::EventKind::Timer { node, token }
+                        if token == REJOIN_TOKEN || token == REFRESH_TOKEN =>
+                    {
+                        if token == REFRESH_TOKEN {
+                            // Reschedule the next tick while inside the
+                            // horizon. This happens on the serial dispatch
+                            // path, so the timer schedule is identical at
+                            // every thread count.
+                            if let Some(refresh) = self.refresh {
+                                let next_tick = event.time + ms(refresh.interval_seconds * 1000.0);
+                                if next_tick <= ms(refresh.horizon_seconds * 1000.0) {
+                                    self.sim.schedule_timer(next_tick, node, REFRESH_TOKEN);
+                                }
+                            }
+                            // A tick landing inside the node's down window
+                            // is lost with the node; the rejoin timer
+                            // repopulates it.
+                            if self
+                                .sim
+                                .fault_plan()
+                                .is_some_and(|p| p.node_down_at(node, event.time))
+                            {
+                                continue;
+                            }
+                        }
+                        let seeds = self.seeds.get(&node).cloned().unwrap_or_default();
+                        self.refresh_ticks += 1;
+                        self.refresh_reannounced += seeds.len() as u64;
+                        tasks.push(NodeTask {
+                            time: event.time,
+                            seq: event.seq,
+                            node,
+                            action: NodeAction::Refresh(seeds),
+                        });
+                    }
                     ndlog_net::EventKind::Timer { .. } => {}
                 }
             }
@@ -960,5 +1179,119 @@ mod tests {
         // node 3 has none.
         assert!(engine.node(NodeAddr(1)).store().count("pathDst") > 0);
         assert_eq!(engine.node(NodeAddr(3)).store().count("pathDst"), 0);
+    }
+
+    /// Build a soft-state diamond engine with the given fault plan and
+    /// refresh driver, seed links both ways, and run it to quiescence.
+    fn run_faulty(
+        fault: ndlog_net::FaultPlan,
+        refresh: RefreshConfig,
+        threads: usize,
+    ) -> DistributedEngine {
+        let (graph, edges) = diamond();
+        let plan = plan(&programs::shortest_path_soft("", 3.0)).unwrap();
+        let config = EngineConfig {
+            node: NodeConfig {
+                aggregate_selections: true,
+                ..Default::default()
+            },
+            parallelism: threads,
+            fault: Some(fault),
+            refresh: Some(refresh),
+            ..Default::default()
+        };
+        let mut engine = DistributedEngine::new(graph, &[plan], config).unwrap();
+        for (a, b, c) in edges {
+            engine
+                .insert_base(NodeAddr(a), "link", link_tuple(a, b, c))
+                .unwrap();
+            engine
+                .insert_base(NodeAddr(b), "link", link_tuple(b, a, c))
+                .unwrap();
+        }
+        let report = engine.run_to_quiescence().unwrap();
+        assert!(report.quiesced, "faulty run must still quiesce");
+        engine
+    }
+
+    fn assert_diamond_costs(engine: &DistributedEngine) {
+        assert_eq!(engine.result_count("shortestPath"), 12);
+        assert_eq!(shortest_cost(engine, 0, 1), 2.0);
+        assert_eq!(shortest_cost(engine, 0, 3), 3.0);
+        assert_eq!(shortest_cost(engine, 3, 0), 3.0);
+        assert_eq!(shortest_cost(engine, 2, 3), 2.0);
+    }
+
+    #[test]
+    fn lossy_run_with_refresh_heals_to_the_reliable_fixpoint() {
+        let fault = ndlog_net::FaultPlan::new(0xad5eed)
+            .with_default_faults(ndlog_net::LinkFaults {
+                loss: 0.3,
+                duplicate: 0.1,
+                jitter_ms: 1.0,
+            })
+            .with_active_until(ms(4_000.0));
+        let refresh = RefreshConfig {
+            interval_seconds: 1.0,
+            horizon_seconds: 12.0,
+        };
+        let engine = run_faulty(fault, refresh, 1);
+        assert_diamond_costs(&engine);
+        let stats = engine.fault_stats();
+        assert!(stats.loss_drops > 0, "30% loss must drop something");
+        let repair = engine.fault_repair_report();
+        assert!(repair.refresh_ticks > 0);
+        // Some dropped insertions are obsolete by the end (replaced by a
+        // better tuple or pruned as non-best), so not every one reappears —
+        // but the refresh cycle must have healed a nonzero share, and the
+        // converged costs above prove the survivors are exactly right.
+        assert!(repair.dropped_inserts > 0, "seeded loss must hit inserts");
+        assert!(repair.repaired > 0, "refresh must heal dropped inserts");
+    }
+
+    #[test]
+    fn crash_rejoin_repopulates_from_seeds() {
+        // Node 2 crashes at 2 s and rejoins at 4 s; refresh repopulates it
+        // and every pair converges to the reliable fixpoint anyway.
+        let fault = ndlog_net::FaultPlan::new(7).with_crash(NodeAddr(2), ms(2_000.0), ms(4_000.0));
+        let refresh = RefreshConfig {
+            interval_seconds: 1.0,
+            horizon_seconds: 12.0,
+        };
+        let engine = run_faulty(fault, refresh, 1);
+        assert_diamond_costs(&engine);
+        assert!(
+            engine.node(NodeAddr(2)).store().count("link") > 0,
+            "rejoined node must repopulate its seed links"
+        );
+        assert!(
+            engine.fault_stats().crash_drops > 0,
+            "messages to the down node are lost"
+        );
+    }
+
+    #[test]
+    fn faulty_runs_are_bit_identical_across_thread_counts() {
+        let make_fault = || {
+            ndlog_net::FaultPlan::new(0xbeef)
+                .with_default_faults(ndlog_net::LinkFaults {
+                    loss: 0.2,
+                    duplicate: 0.1,
+                    jitter_ms: 1.5,
+                })
+                .with_crash(NodeAddr(1), ms(1_500.0), ms(3_500.0))
+                .with_active_until(ms(4_000.0))
+        };
+        let refresh = RefreshConfig {
+            interval_seconds: 1.0,
+            horizon_seconds: 12.0,
+        };
+        let baseline = run_faulty(make_fault(), refresh, 1);
+        for threads in [2, 4] {
+            let parallel = run_faulty(make_fault(), refresh, threads);
+            crate::consistency::check_bitwise_identical(&baseline, &parallel)
+                .unwrap_or_else(|e| panic!("{threads} threads diverged: {e}"));
+            assert_eq!(baseline.fault_stats(), parallel.fault_stats());
+        }
     }
 }

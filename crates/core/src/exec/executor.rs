@@ -93,6 +93,14 @@ pub enum NodeAction {
     Deliver(Vec<TupleDelta>),
     /// A flush timer: release the node's held outbound tuples.
     Flush,
+    /// A crash: the node loses all volatile state (store tuples, queues,
+    /// aggregate views) and retracts its tracked results.
+    Crash,
+    /// A soft-state refresh tick (also the rejoin path): re-announce the
+    /// node's seed facts, re-fire its stored state, and process to a local
+    /// fixpoint — re-sending current remote conclusions so lost messages
+    /// are repaired and receiver-side expiry clocks move forward.
+    Refresh(Vec<TupleDelta>),
 }
 
 /// One epoch event routed to a node, keyed by the simulator's `(time, seq)`
@@ -457,6 +465,49 @@ fn drain_lane(
                         request_flush: false,
                         was_flush: true,
                     });
+                }
+                NodeAction::Crash => {
+                    let changes = node.crash_reset();
+                    lane.outcomes.push(EpochOutcome {
+                        time: task.time,
+                        seq: task.seq,
+                        node: task.node,
+                        records: result_records(task.node, task.time, changes),
+                        sends: Vec::new(),
+                        request_flush: false,
+                        was_flush: false,
+                    });
+                }
+                NodeAction::Refresh(seeds) => {
+                    node.set_time(task.time);
+                    node.expire_soft_state(task.time);
+                    node.receive(seeds);
+                    node.refresh_refire();
+                    match node.process() {
+                        Ok(output) => lane.outcomes.push(EpochOutcome {
+                            time: task.time,
+                            seq: task.seq,
+                            node: task.node,
+                            records: result_records(task.node, task.time, output.changes),
+                            sends: outbound_batches(sharing_enabled, output.outbound),
+                            request_flush: output.request_flush,
+                            was_flush: false,
+                        }),
+                        Err(error) => {
+                            let failed = FailedAt {
+                                time: task.time,
+                                seq: task.seq,
+                                error,
+                            };
+                            match &lane.error {
+                                Some(existing)
+                                    if (existing.time, existing.seq)
+                                        <= (failed.time, failed.seq) => {}
+                                _ => lane.error = Some(failed),
+                            }
+                            continue 'nodes;
+                        }
+                    }
                 }
             }
         }

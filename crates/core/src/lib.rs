@@ -31,7 +31,10 @@ pub mod sharing;
 pub mod updates;
 
 pub use costmodel::{JoinAtom, RankedOrder, StatsCatalog};
-pub use engine::{ConvergenceReport, DeliveryStats, DistributedEngine, EngineConfig, RunReport};
+pub use engine::{
+    ConvergenceReport, DeliveryStats, DistributedEngine, EngineConfig, FaultRepairReport,
+    RefreshConfig, RunReport,
+};
 pub use exec::{ArenaStats, EpochExecutor};
 pub use node::{NodeConfig, NodeEngine};
 pub use plan::{plan, QueryPlan};

@@ -273,6 +273,61 @@ impl NodeEngine {
         self.pending_deletes.extend(deltas);
     }
 
+    /// Crash the node: all volatile state — stored tuples, aggregate-view
+    /// groups, the evaluation queue, pending deletions and held outbound
+    /// tuples — is lost, exactly as a process restart would lose it.
+    /// Tracked relations and tap subscribers see an explicit retraction of
+    /// every stored tuple so downstream result logs stay exact; sequence
+    /// numbers and the logical clock survive (a rejoining node must not
+    /// travel back in time). Returns the tracked-relation retractions.
+    pub fn crash_reset(&mut self) -> Vec<ResultChange> {
+        let names: Vec<String> = self.store.relation_names().map(str::to_string).collect();
+        for name in names {
+            for tuple in self.store.tuples(&name) {
+                let delta = TupleDelta::delete(name.clone(), tuple);
+                self.tap.record(&delta);
+                if self.config.tracked_relations.contains(&name) {
+                    self.changes.push(ResultChange {
+                        relation: name.clone(),
+                        tuple: delta.tuple.clone(),
+                        sign: Sign::Delete,
+                    });
+                }
+            }
+        }
+        self.store.clear_tuples();
+        self.queue.clear();
+        self.pending_deletes.clear();
+        self.held.clear();
+        for view in &mut self.views {
+            view.reset();
+        }
+        std::mem::take(&mut self.changes)
+    }
+
+    /// Queue every stored tuple for re-firing with its original stored
+    /// timestamp. Joins fire once per pair (the member with the larger
+    /// timestamp sees the smaller one, never vice versa — the pipelined
+    /// visibility rule), so one refire pass re-derives the node's current
+    /// conclusions without duplicating derivation pairs. Re-derived local
+    /// conclusions are absorbed as duplicates (which refreshes their
+    /// soft-state expiry); remote conclusions are re-sent — exactly the
+    /// repair traffic a soft-state refresh cycle pays, and what heals
+    /// receivers that lost the original message.
+    pub fn refresh_refire(&mut self) {
+        let names: Vec<String> = self.store.relation_names().map(str::to_string).collect();
+        for name in names {
+            let entries: Vec<(Tuple, u64)> = match self.store.relation(&name) {
+                Some(rel) => rel.iter().map(|s| (s.tuple.clone(), s.seq)).collect(),
+                None => continue,
+            };
+            for (tuple, seq) in entries {
+                self.queue
+                    .push_back((TupleDelta::insert(name.clone(), tuple), seq));
+            }
+        }
+    }
+
     /// Returns the current aggregate value governing a selection relation
     /// group, if any (used by tests).
     pub fn current_best(&self, relation: &str, tuple: &Tuple) -> Option<ndlog_lang::Value> {
@@ -300,6 +355,19 @@ impl NodeEngine {
                         .and_then(|v| v.as_f64()),
                 ) {
                     if !sel.is_better(candidate, current) {
+                        // A re-announcement of the reigning best tuple is
+                        // "not strictly better" too, but it must still
+                        // reach the store so its soft-state expiry moves
+                        // forward (the Duplicate outcome propagates
+                        // nothing); everything else is pruned outright.
+                        if self
+                            .store
+                            .relation(&delta.relation)
+                            .is_some_and(|r| r.contains(&delta.tuple))
+                        {
+                            self.store.apply(&delta);
+                            self.refresh_view_outputs(&delta);
+                        }
                         self.pruned += 1;
                         return;
                     }
@@ -309,6 +377,13 @@ impl NodeEngine {
 
         let effect = self.store.apply(&delta);
         let seq = effect.seq;
+        // A duplicate insertion (nothing to propagate) still re-exercised
+        // the derivations downstream of this tuple; aggregate-view outputs
+        // emit nothing when the best is unchanged, so their soft-state
+        // expiry has to be moved forward here.
+        if delta.sign == Sign::Insert && effect.propagate.is_empty() {
+            self.refresh_view_outputs(&delta);
+        }
         for prop in effect.propagate {
             if prop.sign == Sign::Delete {
                 // An actual removal (count reached zero, or the old half
@@ -324,6 +399,34 @@ impl NodeEngine {
 
     /// Bookkeeping after a real insertion: tracking, view maintenance,
     /// queueing.
+    /// A duplicate insertion of a view's source tuple keeps that group's
+    /// aggregate derivable, so the group's current output tuple must have
+    /// its soft-state expiry refreshed along with the source — the view
+    /// itself emits nothing while the best is unchanged. Only outputs
+    /// still present in the store are touched (a bare store insert here
+    /// would bypass the tracking/queueing bookkeeping).
+    fn refresh_view_outputs(&mut self, delta: &TupleDelta) {
+        for view in &self.views {
+            if view.source_relation() != delta.relation {
+                continue;
+            }
+            let Some(key) = view.group_key(&delta.tuple) else {
+                continue;
+            };
+            let Some(best) = view.current_output(&key) else {
+                continue;
+            };
+            if self
+                .store
+                .relation(view.head_relation())
+                .is_some_and(|r| r.contains(best))
+            {
+                self.store
+                    .apply(&TupleDelta::insert(view.head_relation(), best.clone()));
+            }
+        }
+    }
+
     fn after_store_change(&mut self, delta: TupleDelta, seq: u64) {
         // A propagated insert is a 0 → >0 visibility transition.
         self.tap.record(&delta);

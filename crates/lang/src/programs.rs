@@ -200,6 +200,40 @@ pub fn reachability(suffix: &str) -> Program {
     parse_program(&src).expect("reachability program is well-formed")
 }
 
+/// Soft-state variant of [`shortest_path`]: every relation carries a TTL,
+/// so stored tuples vanish unless refreshed. This is the paper's
+/// soft-state model (Section 4.2): loss, churn and failure are not
+/// repaired explicitly — stale state expires, and live state survives
+/// because the periodic refresh cycle re-announces it (a duplicate insert
+/// renews the stored tuple's lifetime). Pair it with the engine's refresh
+/// driver and a fault plan to exercise the healing path.
+pub fn shortest_path_soft(suffix: &str, ttl_seconds: f64) -> Program {
+    let r = ShortestPathRelations::new(suffix);
+    let src = format!(
+        r#"
+        materialize({link}, keys(1,2), ttl({ttl})).
+        materialize({path}, keys(1,2,4), ttl({ttl})).
+        materialize({spc}, keys(1,2), ttl({ttl})).
+        materialize({sp}, keys(1,2), ttl({ttl})).
+
+        sp1 {path}(@S,@D,@D,P,C) :- #{link}(@S,@D,C),
+            P := f_cons(S, f_cons(D, nil)).
+        sp2 {path}(@S,@D,@Z,P,C) :- #{link}(@S,@Z,C1), {path}(@Z,@D,@Z2,P2,C2),
+            f_member(P2, S) == 0, C := C1 + C2, P := f_cons(S, P2).
+        sp3 {spc}(@S,@D,min<C>) :- {path}(@S,@D,@Z,P,C).
+        sp4 {sp}(@S,@D,P,C) :- {spc}(@S,@D,C), {path}(@S,@D,@Z,P,C).
+
+        query {sp}(@S,@D,P,C).
+        "#,
+        link = r.link,
+        path = r.path,
+        spc = r.sp_cost,
+        sp = r.shortest_path,
+        ttl = ttl_seconds,
+    );
+    parse_program(&src).expect("shortest_path_soft program is well-formed")
+}
+
 /// The distance-vector style "best next hop" program: like shortest path
 /// but propagating only the next hop rather than the full path vector,
 /// closer to how real routing protocols behave (Section 2.2 notes that many
@@ -244,6 +278,58 @@ pub fn distance_vector(suffix: &str, max_hops: u32) -> Program {
         max_hops = max_hops,
     );
     parse_program(&src).expect("distance_vector program is well-formed")
+}
+
+/// Distance-vector routing with *split horizon*: a node never advertises
+/// a route back to the neighbor it learned it from. In rule form the
+/// advertisement from `Z` to `S` is suppressed when `Z`'s next hop for the
+/// destination is `S` itself (`N != S`) — the classic damping that removes
+/// two-node count-to-infinity loops, on top of the hop bound that caps the
+/// rest. With `ttl_seconds` set, every relation is soft state, so the
+/// protocol can be stressed under fault plans: lost advertisements are
+/// healed by refresh, stale routes by expiry.
+pub fn distance_vector_split_horizon(
+    suffix: &str,
+    max_hops: u32,
+    ttl_seconds: Option<f64>,
+) -> Program {
+    let r = ShortestPathRelations::new(suffix);
+    let name = |base: &str| {
+        if suffix.is_empty() {
+            base.to_string()
+        } else {
+            format!("{base}_{suffix}")
+        }
+    };
+    let route = name("route");
+    let best = name("bestRoute");
+    let cost = name("bestCost");
+    let ttl = ttl_seconds
+        .map(|t| format!(", ttl({t})"))
+        .unwrap_or_default();
+    let src = format!(
+        r#"
+        materialize({link}, keys(1,2){ttl}).
+        materialize({route}, keys(1,2,3,4){ttl}).
+        materialize({cost}, keys(1,2){ttl}).
+        materialize({best}, keys(1,2){ttl}).
+
+        dh1 {route}(@S,@D,@D,C,H) :- #{link}(@S,@D,C), H := 1.
+        dh2 {route}(@S,@D,@Z,C,H) :- #{link}(@S,@Z,C1), {route}(@Z,@D,@N,C2,H2),
+            N != S, H := H2 + 1, H <= {max_hops}, C := C1 + C2.
+        dh3 {cost}(@S,@D,min<C>) :- {route}(@S,@D,@Z,C,H).
+        dh4 {best}(@S,@D,@Z,C) :- {cost}(@S,@D,C), {route}(@S,@D,@Z,C,H).
+
+        query {best}(@S,@D,@Z,C).
+        "#,
+        link = r.link,
+        route = route,
+        cost = cost,
+        best = best,
+        max_hops = max_hops,
+        ttl = ttl,
+    );
+    parse_program(&src).expect("distance_vector_split_horizon program is well-formed")
 }
 
 #[cfg(test)]
@@ -335,6 +421,40 @@ mod tests {
                 "each variant exposes exactly one min selection"
             );
         }
+    }
+
+    #[test]
+    fn soft_shortest_path_declares_ttls() {
+        let p = shortest_path_soft("soft", 5.0);
+        assert_valid(&p);
+        for name in ["link_soft", "path_soft", "spCost_soft", "shortestPath_soft"] {
+            let decl = p
+                .table_decl(name)
+                .unwrap_or_else(|| panic!("missing {name}"));
+            assert_eq!(decl.ttl_seconds, Some(5.0), "{name} must be soft state");
+        }
+    }
+
+    #[test]
+    fn split_horizon_adds_the_suppression_filter() {
+        let p = distance_vector_split_horizon("", 8, None);
+        assert_valid(&p);
+        let dh2 = p.rule("dh2").unwrap();
+        let filters = dh2
+            .body
+            .iter()
+            .filter(|l| matches!(l, crate::ast::Literal::Filter(_)))
+            .count();
+        // The hop bound plus the split-horizon constraint.
+        assert_eq!(filters, 2);
+        assert!(p.table_decl("route").unwrap().ttl_seconds.is_none());
+
+        let soft = distance_vector_split_horizon("dv", 8, Some(4.0));
+        assert_valid(&soft);
+        assert_eq!(
+            soft.table_decl("bestRoute_dv").unwrap().ttl_seconds,
+            Some(4.0)
+        );
     }
 
     #[test]

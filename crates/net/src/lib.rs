@@ -18,6 +18,14 @@
 //!   aggregate transfer volume and convergence bookkeeping, matching the
 //!   metrics reported in Section 6 of the paper.
 //!
+//! * [`fault`] — deterministic fault injection: a [`FaultPlan`] attached
+//!   to the simulator applies per-link loss, delay jitter, duplication,
+//!   scheduled partitions and node crash/rejoin waves. Every random
+//!   decision is drawn from a generator seeded by `(plan seed, time, seq,
+//!   link)` — keyed, not streamed — so fault runs are replayable from the
+//!   seed and bit-identical across executor thread counts; see the module
+//!   docs for the full determinism contract.
+//!
 //! The simulator is deterministic given a seed, which makes every
 //! experiment in `ndlog-bench` repeatable bit-for-bit. Events can be
 //! consumed one at a time ([`sim::Simulator::next_event`]) or drained in
@@ -31,6 +39,7 @@
 //! single-threaded ones.
 
 pub mod address;
+pub mod fault;
 pub mod gtitm;
 pub mod message;
 pub mod overlay;
@@ -39,6 +48,7 @@ pub mod stats;
 pub mod topology;
 
 pub use address::NodeAddr;
+pub use fault::{Crash, FaultPlan, FaultStats, LinkFaults, Partition};
 pub use message::{Message, Payload};
 pub use overlay::{Overlay, OverlayConfig, OverlayLink};
 pub use sim::{Event, EventKind, SimConfig, SimTime, Simulator, TimedEvent};

@@ -19,9 +19,11 @@
 //! [`LinkMetrics::latency_ms`]: crate::topology::LinkMetrics::latency_ms
 
 use crate::address::NodeAddr;
+use crate::fault::{FaultPlan, FaultStats};
 use crate::message::Message;
 use crate::stats::NetStats;
 use crate::topology::Topology;
+use rand::Rng;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
@@ -138,6 +140,8 @@ pub struct Simulator<P> {
     seq: u64,
     stats: NetStats,
     dropped: u64,
+    fault: Option<FaultPlan>,
+    fault_stats: FaultStats,
 }
 
 impl<P: Clone> Simulator<P> {
@@ -153,7 +157,34 @@ impl<P: Clone> Simulator<P> {
             seq: 0,
             stats: NetStats::new(),
             dropped: 0,
+            fault: None,
+            fault_stats: FaultStats::default(),
         }
+    }
+
+    /// Attach a fault plan (validated), replacing any existing one. Fault
+    /// decisions are drawn per message from the plan's `(time, seq, link)`
+    /// keyed generator — see [`crate::fault`] for the determinism
+    /// contract.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) -> Result<(), String> {
+        plan.validate()?;
+        self.fault = Some(plan);
+        Ok(())
+    }
+
+    /// The attached fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref()
+    }
+
+    /// Injection counters so far, with `partitions_healed` computed from
+    /// the current simulation time.
+    pub fn fault_stats(&self) -> FaultStats {
+        let mut stats = self.fault_stats;
+        if let Some(plan) = &self.fault {
+            stats.partitions_healed = plan.partitions_healed_by(self.now);
+        }
+        stats
     }
 
     /// Current simulation time.
@@ -196,7 +227,11 @@ impl<P: Clone> Simulator<P> {
 
     /// Send a message from `message.from` to `message.to` at the current
     /// simulation time. Returns the scheduled delivery time, or `None` if
-    /// the message was dropped (no such link and enforcement disabled).
+    /// the message was dropped — over a missing link (with enforcement
+    /// disabled) or by the attached fault plan (loss draw, active
+    /// partition, or receiver down on arrival). Dropped messages still
+    /// appear in the send trace: the sender paid for the bytes, and the
+    /// trace must stay identical across thread counts.
     pub fn send(&mut self, message: Message<P>) -> Option<SimTime> {
         let Message {
             from, to, bytes, ..
@@ -215,17 +250,93 @@ impl<P: Clone> Simulator<P> {
         let propagation = ms(metrics.latency_ms);
         let transmission =
             ((wire_bytes as f64 * 8.0 / metrics.bandwidth_bps) * 1_000_000.0).round() as SimTime;
-        let mut arrival = self.now + propagation + transmission;
+
+        // Fault decisions. `send` runs on the serial replay path even under
+        // the parallel epoch executor, and the generator is keyed by
+        // `(time, seq, link)`, so every draw is thread-count invariant.
+        let mut jitter: SimTime = 0;
+        let mut duplicate = false;
+        if let Some(plan) = &self.fault {
+            if plan.partition_blocks(self.now, from, to) {
+                self.stats.record_send(self.now, from, wire_bytes);
+                self.stats.record_drop();
+                self.fault_stats.dropped += 1;
+                self.fault_stats.partition_drops += 1;
+                return None;
+            }
+            if self.now < plan.active_until {
+                let faults = plan.link_faults(from, to);
+                if !faults.is_none() {
+                    let mut rng = plan.decision_rng(self.now, self.seq, from, to);
+                    if faults.loss > 0.0 && rng.random_bool(faults.loss) {
+                        self.stats.record_send(self.now, from, wire_bytes);
+                        self.stats.record_drop();
+                        self.fault_stats.dropped += 1;
+                        self.fault_stats.loss_drops += 1;
+                        return None;
+                    }
+                    if faults.jitter_ms > 0.0 {
+                        jitter = ms(rng.random_range(0.0..faults.jitter_ms));
+                        if jitter > 0 {
+                            self.fault_stats.delayed += 1;
+                        }
+                    }
+                    duplicate = faults.duplicate > 0.0 && rng.random_bool(faults.duplicate);
+                }
+            }
+        }
+
+        // Jitter only ever *adds* delay, so the epoch executor's
+        // conservative lookahead bound (min link propagation) stays safe.
+        let mut arrival = self.now + propagation + transmission + jitter;
         if self.config.fifo_links {
             let clock = self.link_clock.entry((from, to)).or_insert(0);
             if arrival < *clock {
                 arrival = *clock;
+                if jitter > 0 {
+                    // The jittered message would have overtaken an earlier
+                    // one; FIFO clamped it back into order.
+                    self.stats.record_reorder();
+                }
             }
             // Strictly increasing so two messages on a link never tie.
             *clock = arrival + 1;
         }
+        if let Some(plan) = &self.fault {
+            if plan.node_down_at(to, arrival) || plan.node_down_at(from, self.now) {
+                self.stats.record_send(self.now, from, wire_bytes);
+                self.stats.record_drop();
+                self.fault_stats.dropped += 1;
+                self.fault_stats.crash_drops += 1;
+                return None;
+            }
+        }
         self.stats.record_send(self.now, from, wire_bytes);
-        self.push(arrival, EventKind::Delivery(message));
+        if duplicate {
+            let copy = message.clone();
+            self.push(arrival, EventKind::Delivery(message));
+            // The extra copy trails the original on the same link, subject
+            // to the same FIFO clock and crash windows.
+            let mut dup_arrival = arrival;
+            if self.config.fifo_links {
+                let clock = self.link_clock.entry((from, to)).or_insert(0);
+                if dup_arrival < *clock {
+                    dup_arrival = *clock;
+                }
+                *clock = dup_arrival + 1;
+            }
+            let receiver_down = self
+                .fault
+                .as_ref()
+                .is_some_and(|plan| plan.node_down_at(to, dup_arrival));
+            if !receiver_down {
+                self.stats.record_duplicate();
+                self.fault_stats.duplicated += 1;
+                self.push(dup_arrival, EventKind::Delivery(copy));
+            }
+        } else {
+            self.push(arrival, EventKind::Delivery(message));
+        }
         Some(arrival)
     }
 
@@ -572,6 +683,146 @@ mod tests {
         let mut sim: Simulator<u32> = Simulator::new(two_node_topology(5.0), SimConfig::default());
         sim.schedule_timer(ms(1.0), NodeAddr(0), 1);
         sim.drain_epoch(ms(50.0), SimTime::MAX);
+    }
+
+    #[test]
+    fn fault_loss_is_deterministic_and_traced() {
+        use crate::fault::{FaultPlan, LinkFaults};
+        let build = || {
+            let mut sim: Simulator<u32> = Simulator::new(
+                two_node_topology(5.0),
+                SimConfig {
+                    header_bytes: 0,
+                    ..Default::default()
+                },
+            );
+            sim.set_fault_plan(FaultPlan::new(0xfa17).with_default_faults(LinkFaults {
+                loss: 0.5,
+                ..LinkFaults::NONE
+            }))
+            .unwrap();
+            sim
+        };
+        let run = |mut sim: Simulator<u32>| {
+            let mut delivered = Vec::new();
+            for i in 0..64 {
+                if sim
+                    .send(Message::new(NodeAddr(0), NodeAddr(1), 100, i))
+                    .is_some()
+                {
+                    delivered.push(i);
+                }
+            }
+            (delivered, sim.fault_stats(), sim.stats().clone())
+        };
+        let (delivered_a, fault_a, net_a) = run(build());
+        let (delivered_b, fault_b, net_b) = run(build());
+        assert_eq!(
+            delivered_a, delivered_b,
+            "loss draws must replay from the seed"
+        );
+        assert_eq!(fault_a, fault_b);
+        assert_eq!(net_a, net_b, "fault counters participate in the trace");
+        assert!(fault_a.dropped > 0 && fault_a.dropped < 64, "~50% loss");
+        assert_eq!(fault_a.dropped, fault_a.loss_drops);
+        assert_eq!(net_a.drops(), fault_a.dropped);
+        // Dropped messages still appear in the send trace: sender paid.
+        assert_eq!(net_a.message_count(), 64);
+    }
+
+    #[test]
+    fn fault_duplication_delivers_an_extra_copy() {
+        use crate::fault::{FaultPlan, LinkFaults};
+        let mut sim: Simulator<u32> = Simulator::new(two_node_topology(5.0), SimConfig::default());
+        sim.set_fault_plan(FaultPlan::new(9).with_default_faults(LinkFaults {
+            duplicate: 1.0,
+            ..LinkFaults::NONE
+        }))
+        .unwrap();
+        sim.send(Message::new(NodeAddr(0), NodeAddr(1), 100, 7))
+            .unwrap();
+        let mut payloads = Vec::new();
+        while let Some(ev) = sim.next_event() {
+            if let EventKind::Delivery(m) = ev.kind {
+                payloads.push(m.payload);
+            }
+        }
+        assert_eq!(payloads, vec![7, 7]);
+        assert_eq!(sim.fault_stats().duplicated, 1);
+        assert_eq!(sim.stats().duplicates(), 1);
+        // The duplicate is network-level: the sender paid for one message.
+        assert_eq!(sim.stats().message_count(), 1);
+    }
+
+    #[test]
+    fn fault_jitter_only_adds_delay() {
+        use crate::fault::{FaultPlan, LinkFaults};
+        let mut sim: Simulator<u32> = Simulator::new(
+            two_node_topology(5.0),
+            SimConfig {
+                header_bytes: 0,
+                ..Default::default()
+            },
+        );
+        sim.set_fault_plan(FaultPlan::new(3).with_default_faults(LinkFaults {
+            jitter_ms: 20.0,
+            ..LinkFaults::NONE
+        }))
+        .unwrap();
+        let base = ms(5.0) + 100; // propagation + transmission at 1 B/µs
+        for i in 0..32 {
+            let at = sim
+                .send(Message::new(NodeAddr(0), NodeAddr(1), 100, i))
+                .unwrap();
+            assert!(at >= base, "jitter never delivers early");
+        }
+        assert!(sim.fault_stats().delayed > 0);
+    }
+
+    #[test]
+    fn fault_partition_cuts_and_heals() {
+        use crate::fault::FaultPlan;
+        let mut sim: Simulator<u32> = Simulator::new(two_node_topology(5.0), SimConfig::default());
+        sim.set_fault_plan(FaultPlan::new(1).with_partition(0, ms(100.0), [NodeAddr(0)]))
+            .unwrap();
+        assert!(sim
+            .send(Message::new(NodeAddr(0), NodeAddr(1), 10, 1))
+            .is_none());
+        assert_eq!(sim.fault_stats().partition_drops, 1);
+        assert_eq!(sim.fault_stats().partitions_healed, 0);
+        sim.advance_to(ms(100.0));
+        assert!(sim
+            .send(Message::new(NodeAddr(0), NodeAddr(1), 10, 2))
+            .is_some());
+        assert_eq!(sim.fault_stats().partitions_healed, 1);
+    }
+
+    #[test]
+    fn fault_crash_window_drops_arrivals() {
+        use crate::fault::FaultPlan;
+        let mut sim: Simulator<u32> = Simulator::new(two_node_topology(5.0), SimConfig::default());
+        // Node 1 is down for arrivals in [0, 20 ms); a 5 ms link puts the
+        // first send's arrival inside the window.
+        sim.set_fault_plan(FaultPlan::new(1).with_crash(NodeAddr(1), 0, ms(20.0)))
+            .unwrap();
+        assert!(sim
+            .send(Message::new(NodeAddr(0), NodeAddr(1), 10, 1))
+            .is_none());
+        assert_eq!(sim.fault_stats().crash_drops, 1);
+        sim.advance_to(ms(30.0));
+        assert!(sim
+            .send(Message::new(NodeAddr(0), NodeAddr(1), 10, 2))
+            .is_some());
+    }
+
+    #[test]
+    fn fault_plan_validation_is_enforced_on_attach() {
+        use crate::fault::FaultPlan;
+        let mut sim: Simulator<u32> = Simulator::new(two_node_topology(5.0), SimConfig::default());
+        assert!(sim
+            .set_fault_plan(FaultPlan::new(1).with_crash(NodeAddr(0), 10, 5))
+            .is_err());
+        assert!(sim.fault_plan().is_none());
     }
 
     #[test]

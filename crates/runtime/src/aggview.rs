@@ -200,6 +200,12 @@ impl AggregateView {
         self.groups.len()
     }
 
+    /// Forget all group state (a node crash loses the view along with the
+    /// store it was built from; rejoin rebuilds both from scratch).
+    pub fn reset(&mut self) {
+        self.groups.clear();
+    }
+
     /// Current aggregate value for the group a source tuple belongs to.
     pub fn current_for(&self, source_tuple: &Tuple) -> Option<Value> {
         let key = source_tuple.project(&self.group_cols);

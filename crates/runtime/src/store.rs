@@ -211,6 +211,27 @@ impl Store {
         out
     }
 
+    /// Drop every stored tuple while keeping relation schemas, declared
+    /// indexes, the timestamp counter and the logical clock. This is the
+    /// store half of a node crash: volatile state is lost, but the node
+    /// restarts with the same program (schemas + indexes) and its sequence
+    /// numbers keep advancing so rejoin-era tuples sort after crash-era
+    /// ones.
+    pub fn clear_tuples(&mut self) {
+        for rel in self.relations.values_mut() {
+            let schema = rel.schema().clone();
+            let signatures: Vec<Vec<usize>> = rel
+                .index_signatures()
+                .map(|sig| sig.columns().to_vec())
+                .collect();
+            let mut fresh = Relation::new(schema);
+            for cols in &signatures {
+                fresh.ensure_index(cols);
+            }
+            *rel = fresh;
+        }
+    }
+
     /// All tuples of a relation (empty if the relation does not exist),
     /// in deterministic key order.
     pub fn tuples(&self, relation: &str) -> Vec<Tuple> {

@@ -95,45 +95,73 @@ pub fn start(service: Arc<Service>, addr: impl ToSocketAddrs) -> std::io::Result
     })
 }
 
+/// A peer that sends nothing for this long is treated as gone: the read
+/// loop wakes up, the connection is dropped and the session reaped,
+/// instead of a silent dead peer pinning its delta subscription until
+/// process exit.
+const IDLE_READ_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(300);
+
 fn serve_connection(service: Arc<Service>, stream: TcpStream) -> std::io::Result<()> {
     // Responses are small request/reply lines; Nagle + delayed ACK would
     // add ~40ms to every round trip.
     stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(IDLE_READ_TIMEOUT))?;
     let write = Arc::new(Mutex::new(stream.try_clone()?));
     let sink = Arc::new(WireSink {
         write: Arc::clone(&write),
     });
     let session = service.open_session(sink);
-    {
-        let mut w = write.lock().unwrap();
-        writeln!(w, "hello {}", session.id())?;
-        w.flush()?;
-    }
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-    loop {
-        line.clear();
-        if reader.read_line(&mut line)? == 0 {
-            break; // EOF: client vanished.
-        }
-        // Execute WITHOUT holding the write lock (lock hierarchy).
-        let result = session.execute_line(line.trim_end_matches(['\r', '\n']));
-        let quitting = matches!(result, Ok(Response::Quit));
-        let lines = match &result {
-            Ok(resp) => protocol::format_response(resp),
-            Err(err) => vec![protocol::format_error(err)],
-        };
+    // Returns whether the client quit cleanly (`.quit` drops the session
+    // state itself).
+    let drive = || -> std::io::Result<bool> {
         {
             let mut w = write.lock().unwrap();
-            for out in &lines {
-                writeln!(w, "{out}")?;
-            }
+            writeln!(w, "hello {}", session.id())?;
             w.flush()?;
         }
-        if quitting {
-            return Ok(()); // `.quit` already dropped the session state.
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match reader.read_line(&mut line) {
+                Ok(0) => return Ok(false), // EOF: client vanished.
+                Ok(_) => {}
+                // The idle timeout fired: treat the silent peer as gone.
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return Ok(false)
+                }
+                Err(e) => return Err(e),
+            }
+            // Execute WITHOUT holding the write lock (lock hierarchy).
+            let result = session.execute_line(line.trim_end_matches(['\r', '\n']));
+            let quitting = matches!(result, Ok(Response::Quit));
+            let lines = match &result {
+                Ok(resp) => protocol::format_response(resp),
+                Err(err) => vec![protocol::format_error(err)],
+            };
+            {
+                let mut w = write.lock().unwrap();
+                for out in &lines {
+                    writeln!(w, "{out}")?;
+                }
+                w.flush()?;
+            }
+            if quitting {
+                return Ok(true);
+            }
         }
+    };
+    let outcome = drive();
+    // Whatever ended the loop — EOF, idle timeout or a mid-session I/O
+    // error — the session and its subscriptions must not outlive the
+    // connection. (Dropping an already-quit session is a no-op.)
+    if !matches!(outcome, Ok(true)) {
+        session.close();
     }
-    session.close();
-    Ok(())
+    outcome.map(|_| ())
 }

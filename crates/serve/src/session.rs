@@ -275,6 +275,13 @@ impl Service {
         self.core.lock().unwrap().commits.clone()
     }
 
+    /// Live query subscriptions across all sessions. A connection that
+    /// drops mid-session must take its subscriptions with it — this is
+    /// the observable for that invariant.
+    pub fn subscription_count(&self) -> usize {
+        self.core.lock().unwrap().subs.len()
+    }
+
     /// The bitwise store fingerprint: every stored tuple with its
     /// derivation count, sorted. Two services whose fingerprints are equal
     /// hold identical visible stores *including* per-tuple derivation

@@ -80,6 +80,33 @@ fn tcp_subscriber_sees_exact_deltas_in_commit_order() {
 }
 
 #[test]
+fn dropped_connection_reaps_its_subscription() {
+    let (svc, server) = start_figure2();
+
+    let mut watcher = ScriptClient::connect(server.addr()).unwrap();
+    let reply = watcher
+        .send(".subscribe shortestPath(@n0, _, _, _)")
+        .unwrap();
+    assert!(reply.ok, "{}", reply.message);
+    assert_eq!(svc.subscription_count(), 1);
+
+    // Vanish without `.quit`: the server's reader sees EOF and must reap
+    // the session, subscription included, instead of pinning it until
+    // process exit.
+    drop(watcher);
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while svc.subscription_count() != 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(
+        svc.subscription_count(),
+        0,
+        "dead peer's subscription lingered"
+    );
+    server.shutdown();
+}
+
+#[test]
 fn tcp_dump_matches_in_process_fingerprint() {
     let (svc, server) = start_figure2();
     let mut client = ScriptClient::connect(server.addr()).unwrap();

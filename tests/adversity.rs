@@ -1,0 +1,267 @@
+//! Fault-injection robustness properties.
+//!
+//! A seeded [`FaultPlan`] subjects seeded random topologies to message
+//! loss, duplication, delivery jitter, node crash/rejoin and a full
+//! network partition, while periodic soft-state refresh re-announces the
+//! seed facts so every lost message is repaired by a later refresh cycle.
+//! This test pins the contract from Section 4.2 of the paper (soft-state
+//! refresh + TTL expiry make the computation self-healing):
+//!
+//! * after the fault schedule quiesces, every node's routing state equals
+//!   the Dijkstra oracle on the healed topology — exactly: right costs,
+//!   no missing destinations, no stale extras;
+//! * the same fixpoint is reached by a centralized evaluation (where
+//!   tractable) under every strategy of Section 3: SN, BSN and PSN;
+//! * runs at 1, 2 and 4 executor threads are bit-for-bit identical,
+//!   fault decisions included (the fault RNG is keyed, not streamed);
+//! * the fault plan actually bit: messages were dropped, and dropped
+//!   insertions were healed by refresh.
+
+use ndlog_core::consistency::{check_against_centralized, check_bitwise_identical};
+use ndlog_core::{plan, DistributedEngine, EngineConfig, RefreshConfig};
+use ndlog_lang::{programs, Value};
+use ndlog_net::gtitm::{generate, TransitStubConfig};
+use ndlog_net::overlay::{Overlay, OverlayConfig};
+use ndlog_net::sim::ms;
+use ndlog_net::topology::Metric;
+use ndlog_net::{FaultPlan, LinkFaults, NodeAddr};
+use ndlog_runtime::{Evaluator, Strategy, Tuple};
+use std::collections::BTreeSet;
+
+/// Soft-state TTL declared by the program under test (seconds).
+const TTL_S: f64 = 5.0;
+/// Refresh re-announcement interval (seconds).
+const REFRESH_S: f64 = 2.0;
+
+fn link(a: NodeAddr, b: NodeAddr, c: f64) -> Tuple {
+    Tuple::new(vec![Value::Addr(a), Value::Addr(b), Value::Float(c)])
+}
+
+/// All stored `shortestPath` tuples, node-independent (Reliability costs
+/// are tie-free, so the full-tuple fixpoint is schedule-independent).
+fn result_set(engine: &DistributedEngine) -> BTreeSet<Tuple> {
+    engine
+        .results("shortestPath")
+        .into_iter()
+        .map(|(_, t)| t)
+        .collect()
+}
+
+/// The post-quiescence store must equal the Dijkstra oracle *exactly*:
+/// every tuple's cost matches, and every reachable destination is present
+/// (a lossy run that silently dropped a result forever would otherwise
+/// pass a cost-only check).
+fn assert_matches_oracle(engine: &DistributedEngine, overlay: &Overlay, context: &str) {
+    let mut expected = 0usize;
+    for src in overlay.graph.nodes() {
+        let oracle = overlay.graph.shortest_distances(src, Metric::Reliability);
+        for dst in overlay.graph.nodes() {
+            if dst != src && oracle[dst.index()].is_finite() {
+                expected += 1;
+            }
+        }
+        for (node, tuple) in engine.results("shortestPath") {
+            if node != src {
+                continue;
+            }
+            let dst = tuple.get(1).unwrap().as_addr().unwrap();
+            let cost = tuple.get(3).unwrap().as_f64().unwrap();
+            assert!(
+                (cost - oracle[dst.index()]).abs() < 1e-6,
+                "{context}: cost mismatch {src}->{dst}"
+            );
+        }
+    }
+    assert_eq!(
+        engine.results("shortestPath").len(),
+        expected,
+        "{context}: result count differs from the oracle's reachable pairs"
+    );
+}
+
+/// Build, seed and run one engine over `overlay` with the given fault
+/// plan and refresh horizon.
+fn run_faulty(
+    overlay: &Overlay,
+    fault: FaultPlan,
+    horizon_s: f64,
+    threads: usize,
+    context: &str,
+) -> DistributedEngine {
+    let program = programs::shortest_path_soft("", TTL_S);
+    let query_plan = plan(&program).unwrap();
+    let mut config = EngineConfig::default();
+    config.node.aggregate_selections = true;
+    config.parallelism = threads;
+    config.max_seconds = horizon_s + 30.0;
+    config.fault = Some(fault);
+    config.refresh = Some(RefreshConfig {
+        interval_seconds: REFRESH_S,
+        horizon_seconds: horizon_s,
+    });
+    let mut engine = DistributedEngine::new(overlay.graph.clone(), &[query_plan], config).unwrap();
+    for l in overlay.links() {
+        engine
+            .insert_base(
+                l.src,
+                "link",
+                link(l.src, l.dst, l.cost(Metric::Reliability)),
+            )
+            .unwrap();
+    }
+    let report = engine.run_to_quiescence().unwrap();
+    assert!(report.quiesced, "{context}: did not quiesce");
+    engine
+}
+
+#[test]
+fn lossy_churning_runs_heal_to_the_oracle_under_every_strategy() {
+    // (name, transit-stub shape, overlay neighbors, centralized
+    // comparison feasible) — the same grid the coalescing property uses.
+    let topologies: [(&str, TransitStubConfig, usize, bool); 2] = [
+        ("small", TransitStubConfig::small(), 4, false),
+        (
+            "sparse",
+            TransitStubConfig {
+                transit_nodes: 2,
+                stubs_per_transit: 1,
+                nodes_per_stub: 3,
+                ..TransitStubConfig::paper()
+            },
+            2,
+            true,
+        ),
+    ];
+    for (name, ts_config, neighbors, centralized_ok) in topologies {
+        for seed in [7_u64, 0xbeef] {
+            let ts = generate(&ts_config);
+            let overlay_config = OverlayConfig {
+                neighbors_per_node: neighbors,
+                seed,
+            };
+            let overlay = Overlay::random_neighbors(&ts.topology, &overlay_config);
+            let addrs: Vec<NodeAddr> = overlay.graph.nodes().collect();
+
+            // 15% loss + duplication + jitter until t=4s, and one node
+            // crashing at 2s / rejoining at 3.5s. Refresh must outlive
+            // the faults by TTL (stale state expires) plus a few cycles.
+            let crashed = addrs[1];
+            let fault = || {
+                FaultPlan::new(seed ^ 0xfau64)
+                    .with_default_faults(LinkFaults {
+                        loss: 0.15,
+                        duplicate: 0.05,
+                        jitter_ms: 1.5,
+                    })
+                    .with_active_until(ms(4_000.0))
+                    .with_crash(crashed, ms(2_000.0), ms(3_500.0))
+            };
+            let horizon_s = 4.0 + TTL_S + 4.0 * REFRESH_S;
+            let context = format!("topology {name}, seed {seed:#x}");
+
+            let baseline = run_faulty(&overlay, fault(), horizon_s, 1, &context);
+            for threads in [2, 4] {
+                let parallel = run_faulty(&overlay, fault(), horizon_s, threads, &context);
+                check_bitwise_identical(&baseline, &parallel)
+                    .unwrap_or_else(|e| panic!("{context}, {threads} threads: {e}"));
+                assert_eq!(
+                    baseline.fault_stats(),
+                    parallel.fault_stats(),
+                    "{context}, {threads} threads: fault decisions diverged"
+                );
+            }
+
+            // The faults bit, and refresh healed what they broke.
+            let stats = baseline.fault_stats();
+            assert!(stats.dropped > 0, "{context}: no messages dropped");
+            assert!(stats.crash_drops > 0, "{context}: crash window missed");
+            let repair = baseline.fault_repair_report();
+            assert!(repair.dropped_inserts > 0, "{context}: no insertions lost");
+            assert!(repair.repaired > 0, "{context}: refresh repaired nothing");
+            assert!(repair.refresh_ticks > 0, "{context}: refresh never ran");
+
+            assert_matches_oracle(&baseline, &overlay, &context);
+
+            if !centralized_ok {
+                continue;
+            }
+            let mut base = Vec::new();
+            for l in overlay.links() {
+                base.push((
+                    "link".to_string(),
+                    link(l.src, l.dst, l.cost(Metric::Reliability)),
+                ));
+            }
+            check_against_centralized(
+                &baseline,
+                &programs::shortest_path_soft("", TTL_S),
+                &base,
+                "shortestPath",
+            )
+            .unwrap_or_else(|e| panic!("{context}: {e}"));
+
+            // The same fixpoint under every Section 3 strategy.
+            let fixpoint = result_set(&baseline);
+            let program = programs::shortest_path_soft("", TTL_S);
+            for strategy in [
+                Strategy::SemiNaive,
+                Strategy::Buffered { batch: 16 },
+                Strategy::Pipelined,
+            ] {
+                let mut evaluator = Evaluator::new(&program).unwrap();
+                for (rel, tuple) in &base {
+                    evaluator.insert_fact(rel, tuple.clone());
+                }
+                evaluator.run(strategy).unwrap();
+                let central: BTreeSet<Tuple> =
+                    evaluator.results("shortestPath").into_iter().collect();
+                assert_eq!(
+                    central, fixpoint,
+                    "{context}: {strategy:?} centralized fixpoint differs from the faulty \
+                     distributed run"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn full_partition_then_heal_converges() {
+    let ts = generate(&TransitStubConfig::small());
+    let overlay_config = OverlayConfig {
+        neighbors_per_node: 4,
+        seed: 0xbeef,
+    };
+    let overlay = Overlay::random_neighbors(&ts.topology, &overlay_config);
+    let addrs: Vec<NodeAddr> = overlay.graph.nodes().collect();
+    let side_a = &addrs[..addrs.len() / 2];
+
+    // The whole network splits in two from 1s to 3s while 10% loss runs
+    // until 4s; once the partition heals, the next refresh cycles carry
+    // the missed announcements across.
+    let fault = || {
+        FaultPlan::new(0x9a97)
+            .with_default_faults(LinkFaults {
+                loss: 0.10,
+                duplicate: 0.05,
+                jitter_ms: 1.0,
+            })
+            .with_active_until(ms(4_000.0))
+            .with_partition(ms(1_000.0), ms(3_000.0), side_a.iter().copied())
+    };
+    let horizon_s = 4.0 + TTL_S + 4.0 * REFRESH_S;
+    let context = "full partition";
+
+    let baseline = run_faulty(&overlay, fault(), horizon_s, 1, context);
+    for threads in [2, 4] {
+        let parallel = run_faulty(&overlay, fault(), horizon_s, threads, context);
+        check_bitwise_identical(&baseline, &parallel)
+            .unwrap_or_else(|e| panic!("{context}, {threads} threads: {e}"));
+    }
+
+    let stats = baseline.fault_stats();
+    assert!(stats.partition_drops > 0, "partition cut no messages");
+    assert_eq!(stats.partitions_healed, 1);
+    assert!(baseline.fault_repair_report().repaired > 0);
+    assert_matches_oracle(&baseline, &overlay, context);
+}
